@@ -1,0 +1,308 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// experiment row of DESIGN.md §3 / EXPERIMENTS.md (E1–E9), plus
+// microbenchmarks of the core algorithm. Each experiment benchmark runs the
+// full deterministic simulation per iteration and reports the headline
+// metric with ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every table and figure.
+package esds_test
+
+import (
+	"testing"
+	"time"
+
+	"esds"
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/exp"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+func benchE1Params() exp.E1Params {
+	p := exp.DefaultE1Params()
+	p.MaxReplicas = 6
+	p.RunFor = 500 * sim.Millisecond
+	return p
+}
+
+// BenchmarkE1ThroughputVsReplicas regenerates the §11.1 scalability figure.
+func BenchmarkE1ThroughputVsReplicas(b *testing.B) {
+	var r exp.E1Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE1(benchE1Params())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Fit.Slope, "resp/s/replica")
+	b.ReportMetric(r.Fit.R2, "R2")
+}
+
+func benchE2Params() exp.E2Params {
+	p := exp.DefaultE2Params()
+	p.StepPct = 20
+	p.RunFor = 500 * sim.Millisecond
+	return p
+}
+
+// BenchmarkE2LatencyVsStrictPct regenerates the §11.1 strictness figure.
+func BenchmarkE2LatencyVsStrictPct(b *testing.B) {
+	var r exp.E2Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE2(benchE2Params())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Fit.Slope*100, "ms/100pct")
+	b.ReportMetric(r.Fit.R2, "R2")
+}
+
+// BenchmarkE3ResponseTimeBounds regenerates the Theorem 9.3 table.
+func BenchmarkE3ResponseTimeBounds(b *testing.B) {
+	var r exp.E3Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE3(exp.DefaultE3Params())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[2].MaxMs, "strict-max-ms")
+	b.ReportMetric(r.Rows[2].BoundMs, "strict-bound-ms")
+}
+
+// BenchmarkE4StabilizationBound regenerates the Lemma 9.2 table.
+func BenchmarkE4StabilizationBound(b *testing.B) {
+	var r exp.E4Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE4(exp.DefaultE4Params())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxMs, "max-ms")
+	b.ReportMetric(r.BoundMs, "bound-ms")
+}
+
+// BenchmarkE5FaultRecovery regenerates the Theorem 9.4 table.
+func BenchmarkE5FaultRecovery(b *testing.B) {
+	var r exp.E5Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE5(exp.DefaultE5Params())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MaxAfterHealMs, "recovery-ms")
+}
+
+func benchAblationParams() exp.AblationParams {
+	p := exp.DefaultAblationParams()
+	p.Ops = 150
+	return p
+}
+
+// BenchmarkE6MemoizationAblation regenerates the §10.1 table.
+func BenchmarkE6MemoizationAblation(b *testing.B) {
+	var r exp.E6Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE6(benchAblationParams())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Base.Metrics.AppliesForResponse), "applies-base")
+	b.ReportMetric(float64(r.Memo.Metrics.AppliesForResponse), "applies-memo")
+}
+
+// BenchmarkE7CommuteAblation regenerates the §10.3 table.
+func BenchmarkE7CommuteAblation(b *testing.B) {
+	var r exp.E7Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE7(benchAblationParams())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Base.Metrics.AppliesForResponse), "applies-base")
+	b.ReportMetric(float64(r.Commute.Metrics.AppliesForCurrentState), "applies-cs")
+}
+
+// BenchmarkE8GossipAblation regenerates the §10.4 table.
+func BenchmarkE8GossipAblation(b *testing.B) {
+	var r exp.E8Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE8(benchAblationParams())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Full.NetBytes), "bytes-full")
+	b.ReportMetric(float64(r.Incr.NetBytes), "bytes-incr")
+}
+
+func benchE9Params() exp.E9Params {
+	p := exp.DefaultE9Params()
+	p.RunFor = 500 * sim.Millisecond
+	return p
+}
+
+// BenchmarkE9Baselines regenerates the baseline-comparison table.
+func BenchmarkE9Baselines(b *testing.B) {
+	var r exp.E9Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunE9(benchE9Params())
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[0].MeanLatency, "causal-ms")
+	b.ReportMetric(r.Rows[1].MeanLatency, "strict-ms")
+	b.ReportMetric(r.Rows[3].MeanLatency, "central-ms")
+}
+
+// --- Microbenchmarks of the core algorithm ---
+
+// BenchmarkLabelGeneration measures label assignment (ℒ_r partition).
+func BenchmarkLabelGeneration(b *testing.B) {
+	g := label.NewGenerator(1)
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+// BenchmarkLabelMapMergeMin measures the gossip label merge on a 1k-entry
+// snapshot.
+func BenchmarkLabelMapMergeMin(b *testing.B) {
+	src := label.NewMap()
+	for i := 0; i < 1000; i++ {
+		src.SetMin(ops.ID{Client: "c", Seq: uint64(i)}, label.Make(uint64(i+1), 0))
+	}
+	snap := src.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := label.NewMap()
+		dst.MergeMin(snap)
+	}
+}
+
+// BenchmarkGossipRound measures one full-gossip round of a 3-replica
+// cluster holding 500 operations.
+func BenchmarkGossipRound(b *testing.B) {
+	s := sim.New(1)
+	net := transport.NewSimNet(s, transport.SimNetConfig{})
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas: 3, DataType: dtype.Counter{}, Network: net,
+		Options: core.Options{Memoize: true},
+	})
+	fe := cluster.FrontEnd("c")
+	for i := 0; i < 500; i++ {
+		fe.Submit(dtype.CtrAdd{N: 1}, nil, false, nil)
+	}
+	s.Run(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.GossipAll()
+		s.Run(0)
+	}
+}
+
+// BenchmarkLiveSubmitNonStrict measures the end-to-end latency path of a
+// non-strict operation on the live transport. The service is recreated
+// every few thousand operations so the measurement reflects a bounded
+// history (otherwise per-op gossip cost grows with b.N and the benchmark
+// measures history length, not the submit path).
+func BenchmarkLiveSubmitNonStrict(b *testing.B) {
+	const historyCap = 4000
+	var (
+		svc    *esds.Service
+		client *esds.Client
+	)
+	fresh := func() {
+		if svc != nil {
+			svc.Close()
+		}
+		var err error
+		svc, err = esds.New(esds.Config{
+			Replicas:       3,
+			DataType:       esds.Counter(),
+			GossipInterval: time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		client = svc.Client("bench")
+	}
+	fresh()
+	defer func() { svc.Close() }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%historyCap == 0 {
+			b.StopTimer()
+			fresh()
+			b.StartTimer()
+		}
+		client.Apply(esds.Add(1))
+	}
+}
+
+// BenchmarkValueComputation contrasts response-value computation with and
+// without the memoized solid prefix at a 2000-op history.
+func BenchmarkValueComputation(b *testing.B) {
+	for _, memo := range []bool{false, true} {
+		name := "memoized"
+		if !memo {
+			name = "recompute"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := sim.New(1)
+			net := transport.NewSimNet(s, transport.SimNetConfig{})
+			cluster := core.NewCluster(core.ClusterConfig{
+				Replicas: 2, DataType: dtype.Counter{}, Network: net,
+				Options: core.Options{Memoize: memo},
+			})
+			cluster.StartSimGossip(s, 5*sim.Millisecond)
+			fe := cluster.FrontEnd("c")
+			for i := 0; i < 2000; i++ {
+				fe.Submit(dtype.CtrAdd{N: 1}, nil, false, nil)
+			}
+			s.RunFor(2 * sim.Second)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fe.Submit(dtype.CtrRead{}, nil, false, nil)
+				s.RunFor(10 * sim.Millisecond)
+			}
+		})
+	}
+}
+
+// BenchmarkDataTypeApply measures the serial data types' transition
+// functions.
+func BenchmarkDataTypeApply(b *testing.B) {
+	cases := []struct {
+		name string
+		dt   dtype.DataType
+		op   dtype.Operator
+	}{
+		{"counter", dtype.Counter{}, dtype.CtrAdd{N: 1}},
+		{"register", dtype.Register{}, dtype.RegWrite{Val: "v"}},
+		{"set", dtype.Set{}, dtype.SetAdd{Elem: "e"}},
+		{"directory", dtype.Directory{}, dtype.DirLookup{Name: "n"}},
+		{"log", dtype.Log{}, dtype.LogLen{}},
+		{"bank", dtype.Bank{}, dtype.BankDeposit{Account: "a", Amount: 1}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			st := tc.dt.Initial()
+			for i := 0; i < b.N; i++ {
+				st, _ = tc.dt.Apply(st, tc.op)
+			}
+			_ = st
+		})
+	}
+}

@@ -1,0 +1,69 @@
+// Command esds-bench regenerates the paper's evaluation: every table and
+// figure of the reproduction (E1–E9, see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	esds-bench             # run everything
+//	esds-bench -exp e2     # run one experiment
+//	esds-bench -list       # list experiments
+//
+// Experiments run on the deterministic discrete-event simulator, so the
+// output is reproducible bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"esds/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("esds-bench", flag.ContinueOnError)
+	which := fs.String("exp", "all", "experiment id (e1..e9) or 'all'")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return 0
+	}
+	var chosen []exp.Experiment
+	if *which == "all" {
+		chosen = exp.All()
+	} else {
+		e, ok := exp.ByID(*which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "esds-bench: unknown experiment %q (try -list)\n", *which)
+			return 2
+		}
+		chosen = []exp.Experiment{e}
+	}
+	failures := 0
+	for _, e := range chosen {
+		start := time.Now()
+		table, err := e.Run()
+		fmt.Printf("=== %s — %s (%s) [%.1fs]\n\n", e.ID, e.Title, e.PaperRef, time.Since(start).Seconds())
+		fmt.Println(table)
+		if err != nil {
+			failures++
+			fmt.Printf("VERIFY FAILED: %v\n\n", err)
+		} else {
+			fmt.Printf("verify: OK\n\n")
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "esds-bench: %d experiment(s) failed verification\n", failures)
+		return 1
+	}
+	return 0
+}

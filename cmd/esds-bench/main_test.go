@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-exp", "e99"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunSingleFastExperiment(t *testing.T) {
+	// E4 is the fastest experiment (~ms); it exercises the whole
+	// run-verify-print path.
+	if code := run([]string{"-exp", "e4"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}

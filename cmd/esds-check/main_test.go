@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestSmallRunPasses(t *testing.T) {
+	if code := run([]string{"-runs", "3", "-steps", "150", "-q"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestAllStrictRunPasses(t *testing.T) {
+	if code := run([]string{"-runs", "2", "-steps", "150", "-strict", "1.0", "-q"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestFourReplicas(t *testing.T) {
+	if code := run([]string{"-runs", "2", "-steps", "200", "-replicas", "4", "-requests", "4", "-q"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,235 @@
+// Package esds is an eventually-serializable data service: a replicated
+// data object that trades immediate consistency for availability and
+// latency while guaranteeing that all operations are eventually serialized
+// in a single total order, following Fekete, Gupta, Luchangco, Lynch, and
+// Shvartsman, "Eventually-Serializable Data Services" (PODC '96; TCS 220,
+// 1999).
+//
+// # Model
+//
+// Clients submit operations on an arbitrary serial data type. Each
+// operation carries:
+//
+//   - a prev set: identifiers of earlier operations that must precede it in
+//     the eventual order (the client-specified constraints), and
+//   - a strict flag: a strict operation is answered only once its position
+//     in the eventual total order is fixed — its response is never
+//     invalidated. Non-strict operations are answered immediately from a
+//     replica's current view and may be reordered afterwards.
+//
+// The service keeps a full replica of the object at every node. Replicas
+// assign totally-ordered labels to operations and reconcile them through
+// background gossip (lazy replication); the system-wide minimum label per
+// operation defines the eventual total order.
+//
+// # Quick start
+//
+//	service, _ := esds.New(esds.Config{Replicas: 3, DataType: esds.Counter()})
+//	defer service.Close()
+//	client := service.Client("alice")
+//	client.Apply(esds.Add(5))                   // non-strict write
+//	v, _ := client.ApplyStrict(esds.ReadCounter()) // serialized read
+//
+// Per-client sessions provide causal chaining (read-your-writes) by
+// threading each operation's id into the next one's prev set; see
+// Session.
+package esds
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// DataType describes the serial behaviour of the replicated object: an
+// initial state and a transition function Apply(state, op) → (state, value).
+// Apply must be deterministic and must not mutate its input state.
+// Implementations for common objects are in this package (Counter,
+// Register, Set, Directory, Log, Bank).
+type DataType = dtype.DataType
+
+// Operator is an operation of the data type.
+type Operator = dtype.Operator
+
+// Value is a reportable value returned by an operation.
+type Value = dtype.Value
+
+// ID identifies a submitted operation; use it in prev sets to constrain
+// ordering.
+type ID = ops.ID
+
+// Options selects the §10 optimizations of the paper. The zero value is
+// the unoptimized algorithm; DefaultOptions enables memoization, pruning,
+// and incremental gossip.
+type Options = core.Options
+
+// DefaultOptions returns the recommended production options.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Config assembles a Service.
+type Config struct {
+	// Replicas is the number of data replicas (≥ 1; the paper's algorithm
+	// targets ≥ 2).
+	Replicas int
+	// DataType is the replicated object's serial type.
+	DataType DataType
+	// GossipInterval is the anti-entropy period (the paper's g). Default:
+	// 10ms.
+	GossipInterval time.Duration
+	// Options selects optimizations. Default: DefaultOptions().
+	Options *Options
+}
+
+// Service is a running eventually-serializable data service over the
+// in-process transport. For simulated deployments with controlled timing
+// and fault injection, use the internal packages directly (see DESIGN.md).
+type Service struct {
+	net       *transport.LiveNet
+	cluster   *core.Cluster
+	closeOnce sync.Once
+}
+
+// New starts a service: replicas, gossip, and transport.
+func New(cfg Config) (*Service, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("esds: invalid replica count %d", cfg.Replicas)
+	}
+	if cfg.DataType == nil {
+		return nil, errors.New("esds: nil data type")
+	}
+	if cfg.GossipInterval < 0 {
+		return nil, fmt.Errorf("esds: negative gossip interval %v", cfg.GossipInterval)
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 10 * time.Millisecond
+	}
+	opt := core.DefaultOptions()
+	if cfg.Options != nil {
+		opt = *cfg.Options
+	}
+	net := transport.NewLiveNet()
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas: cfg.Replicas,
+		DataType: cfg.DataType,
+		Network:  net,
+		Options:  opt,
+	})
+	cluster.StartLiveGossip(cfg.GossipInterval)
+	return &Service{net: net, cluster: cluster}, nil
+}
+
+// Close stops gossip and the transport. Outstanding ApplyAsync callbacks
+// for undelivered responses will not fire after Close. Close is idempotent
+// and safe for concurrent use.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.cluster.Close()
+		s.net.Close()
+	})
+}
+
+// Replicas returns the replica count.
+func (s *Service) Replicas() int { return s.cluster.NumReplicas() }
+
+// Metrics returns cluster-wide operation counters.
+func (s *Service) Metrics() core.ReplicaMetrics { return s.cluster.TotalMetrics() }
+
+// Client returns a handle for the named client. Each client name owns an
+// independent identifier space; calling Client twice with the same name
+// returns handles backed by the same front end.
+func (s *Service) Client(name string) *Client {
+	return &Client{fe: s.cluster.FrontEnd(name)}
+}
+
+// Client submits operations on behalf of one named client.
+type Client struct {
+	fe *core.FrontEnd
+}
+
+// Response is a completed operation.
+type Response struct {
+	ID    ID
+	Value Value
+}
+
+// Apply submits a non-strict operation with no ordering constraints and
+// waits for the response. The returned value reflects some subset of
+// previously requested operations and may be reordered later; use
+// ApplyStrict or prev constraints for stronger guarantees.
+func (c *Client) Apply(op Operator) (Value, ID) {
+	x, v := c.fe.SubmitWait(op, nil, false)
+	return v, x.ID
+}
+
+// ApplyStrict submits a strict operation: the response is computed at its
+// final position in the eventual total order and will never be
+// invalidated.
+func (c *Client) ApplyStrict(op Operator) (Value, ID) {
+	x, v := c.fe.SubmitWait(op, nil, true)
+	return v, x.ID
+}
+
+// ApplyAfter submits an operation constrained to follow every operation in
+// prev (the paper's client-specified constraints).
+func (c *Client) ApplyAfter(op Operator, strict bool, prev ...ID) (Value, ID) {
+	x, v := c.fe.SubmitWait(op, prev, strict)
+	return v, x.ID
+}
+
+// ApplyAsync submits without waiting; cb fires once when the response
+// arrives. It returns the operation's id immediately.
+func (c *Client) ApplyAsync(op Operator, strict bool, prev []ID, cb func(Response)) ID {
+	var wrapped func(core.Response)
+	if cb != nil {
+		wrapped = func(r core.Response) { cb(Response{ID: r.ID, Value: r.Value}) }
+	}
+	x := c.fe.Submit(op, prev, strict, wrapped)
+	return x.ID
+}
+
+// Session returns a causal session: every operation is ordered after the
+// session's previous operation, giving read-your-writes and monotonic
+// views without strictness.
+func (c *Client) Session() *Session { return &Session{client: c} }
+
+// Session chains operations causally (§1.2's causality constraints,
+// expressed through prev sets).
+type Session struct {
+	client *Client
+	last   *ID
+}
+
+// Apply submits an operation ordered after the session's previous one.
+func (s *Session) Apply(op Operator) (Value, ID) {
+	return s.apply(op, false)
+}
+
+// ApplyStrict submits a strict operation ordered after the session's
+// previous one.
+func (s *Session) ApplyStrict(op Operator) (Value, ID) {
+	return s.apply(op, true)
+}
+
+func (s *Session) apply(op Operator, strict bool) (Value, ID) {
+	var prev []ID
+	if s.last != nil {
+		prev = []ID{*s.last}
+	}
+	v, id := s.client.ApplyAfter(op, strict, prev...)
+	s.last = &id
+	return v, id
+}
+
+// Last returns the id of the session's most recent operation.
+func (s *Session) Last() (ID, bool) {
+	if s.last == nil {
+		return ID{}, false
+	}
+	return *s.last, true
+}

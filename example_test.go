@@ -1,0 +1,68 @@
+package esds_test
+
+import (
+	"fmt"
+	"time"
+
+	"esds"
+)
+
+// Example demonstrates the quickstart flow: non-strict writes followed by
+// a strict read ordered after them.
+func Example() {
+	svc, err := esds.New(esds.Config{Replicas: 3, DataType: esds.Counter()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+
+	client := svc.Client("alice")
+	_, id1 := client.Apply(esds.Add(5))
+	_, id2 := client.Apply(esds.Add(7))
+	v, _ := client.ApplyAfter(esds.ReadCounter(), true, id1, id2)
+	fmt.Println(v)
+	// Output: 12
+}
+
+// ExampleSession shows causal chaining: a session orders each operation
+// after its previous one, so reads observe the session's own writes.
+func ExampleSession() {
+	svc, err := esds.New(esds.Config{Replicas: 3, DataType: esds.Register()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+
+	sess := svc.Client("bob").Session()
+	sess.Apply(esds.Write("v1"))
+	v, _ := sess.Apply(esds.Read())
+	fmt.Println(v)
+	// Output: v1
+}
+
+// ExampleClient_ApplyAfter shows the paper's directory pattern (§11.2):
+// attribute initialization constrained to follow name creation.
+func ExampleClient_ApplyAfter() {
+	svc, err := esds.New(esds.Config{
+		Replicas:       3,
+		DataType:       esds.Directory(),
+		GossipInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer svc.Close()
+
+	admin := svc.Client("admin")
+	_, bindID := admin.Apply(esds.Bind("printer"))
+	v, setID := admin.ApplyAfter(esds.SetAttr("printer", "host", "10.0.0.7"), false, bindID)
+	fmt.Println(v)
+	host, _ := admin.ApplyAfter(esds.GetAttr("printer", "host"), true, setID)
+	fmt.Println(host)
+	// Output:
+	// ok
+	// 10.0.0.7
+}

@@ -1,0 +1,107 @@
+// Distributed repository: the second application class of §11.2 — a
+// module/interface repository for a coarse-grained distributed object
+// framework (CORBA-style). Access is query-dominated; infrequent interface
+// registrations propagate lazily with guaranteed eventual consistency; and
+// a deployment step uses a strict read to take a consistent snapshot before
+// rolling out.
+//
+// The repository also demonstrates the bank-style value dependence: version
+// activation withdraws from a quota account, so concurrent activations
+// cannot exceed the quota in the eventual serialization.
+//
+// Run with:
+//
+//	go run ./examples/repository
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"esds"
+)
+
+func main() {
+	// The repository itself: names are interface ids, attributes hold the
+	// implementation metadata.
+	repo, err := esds.New(esds.Config{
+		Replicas:       3,
+		DataType:       esds.Directory(),
+		GossipInterval: 4 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	// A quota ledger on the side (same service pattern, Bank data type):
+	// each activated module version consumes one deployment slot.
+	quota, err := esds.New(esds.Config{
+		Replicas:       3,
+		DataType:       esds.Bank(),
+		GossipInterval: 4 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer quota.Close()
+	quota.Client("ops").Session().Apply(esds.Deposit("slots", 3))
+
+	// Publishers register interfaces concurrently. Each publisher uses a
+	// causal session so its own register→describe chain is ordered.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var published []esds.ID
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sess := repo.Client(fmt.Sprintf("publisher%d", p)).Session()
+			for v := 1; v <= 2; v++ {
+				iface := fmt.Sprintf("IDL:acme/Svc%d:%d.0", p, v)
+				sess.Apply(esds.Bind(iface))
+				sess.Apply(esds.SetAttr(iface, "impl", fmt.Sprintf("lib/svc%d_v%d.so", p, v)))
+				_, id := sess.Apply(esds.SetAttr(iface, "status", "published"))
+				mu.Lock()
+				published = append(published, id)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	fmt.Println("publishers registered 6 interface versions")
+
+	// Dynamic dispatch path: hot, non-strict queries (out-of-date answers
+	// are acceptable; the framework retries on miss).
+	dispatch := repo.Client("orb")
+	found := 0
+	for p := 0; p < 3; p++ {
+		iface := fmt.Sprintf("IDL:acme/Svc%d:2.0", p)
+		if impl, _ := dispatch.Apply(esds.GetAttr(iface, "impl")); impl != "" {
+			found++
+		}
+	}
+	fmt.Printf("dispatcher resolved %d/3 v2 implementations via fast queries\n", found)
+
+	// Deployment: take a strict snapshot of the repository (ordered after
+	// all publishes), then activate up to the quota. Withdrawals are
+	// serialized by the ledger, so overshoot is impossible even if several
+	// deployers race.
+	deployer := repo.Client("deployer")
+	snapshot, _ := deployer.ApplyAfter(esds.ListNames(), true, published...)
+	names := snapshot.([]string)
+	fmt.Printf("strict snapshot: %d interfaces registered\n", len(names))
+
+	ledger := quota.Client("deployer").Session()
+	activated := 0
+	for _, iface := range names {
+		if v, _ := ledger.Apply(esds.Withdraw("slots", 1)); v == "ok" {
+			deployer.Apply(esds.SetAttr(iface, "status", "active"))
+			activated++
+		}
+	}
+	remaining, _ := ledger.ApplyStrict(esds.Balance("slots"))
+	fmt.Printf("activated %d interfaces (quota 3); slots remaining: %v\n", activated, remaining)
+}

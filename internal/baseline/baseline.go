@@ -1,0 +1,192 @@
+// Package baseline implements the comparison systems for the E9 experiment:
+//
+//   - Centralized: the classic single-copy service the paper's introduction
+//     contrasts with replication (§1.1): one server applies every operation
+//     in arrival order. Strongly consistent, but a throughput bottleneck —
+//     the server serializes all work.
+//
+//   - Ladin-style clients: the causal / forced / immediate operation classes
+//     of Ladin et al. [15] expressed on top of the ESDS interface (§1.2
+//     notes ESDS generalizes them): causal operations are non-strict with a
+//     causal-context prev set, forced and immediate operations are strict.
+//
+// The all-strict ESDS baseline (Corollary 5.9) needs no code: it is the
+// core cluster with every request flagged strict.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+// CentralizedNode is the transport address of the centralized server.
+const CentralizedNode = transport.NodeID("central:0")
+
+// Centralized is the single-copy service: every request is applied to one
+// authoritative state, in arrival order, with a fixed per-operation
+// processing cost that models the server's CPU (the saturation source when
+// load grows).
+type Centralized struct {
+	mu        sync.Mutex
+	dt        dtype.DataType
+	s         *sim.Sim
+	net       transport.Network
+	state     dtype.State
+	perOpCost sim.Duration
+	busyUntil sim.Time
+	applied   uint64
+}
+
+// NewCentralized registers the server on the network. perOpCost models the
+// processing time each operation occupies the server for.
+func NewCentralized(s *sim.Sim, net transport.Network, dt dtype.DataType, perOpCost sim.Duration) *Centralized {
+	if perOpCost < 0 {
+		panic(fmt.Sprintf("baseline: negative per-op cost %v", perOpCost))
+	}
+	c := &Centralized{
+		dt:        dt,
+		s:         s,
+		net:       net,
+		state:     dt.Initial(),
+		perOpCost: perOpCost,
+	}
+	net.Register(CentralizedNode, c.handle)
+	return c
+}
+
+func (c *Centralized) handle(m transport.Message) {
+	req, ok := m.Payload.(core.RequestMsg)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	// Serialize: the op starts when the server frees up.
+	start := c.busyUntil
+	if now := c.s.Now(); now > start {
+		start = now
+	}
+	finish := start.Add(c.perOpCost)
+	c.busyUntil = finish
+	c.mu.Unlock()
+	c.s.ScheduleAt(finish, func() {
+		c.mu.Lock()
+		var v dtype.Value
+		c.state, v = c.dt.Apply(c.state, req.Op.Op)
+		c.applied++
+		c.mu.Unlock()
+		c.net.Send(CentralizedNode, core.FrontEndNode(req.Op.ID.Client), core.ResponseMsg{ID: req.Op.ID, Value: v})
+	})
+}
+
+// Applied returns the number of operations executed.
+func (c *Centralized) Applied() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied
+}
+
+// CentralizedClient issues requests to the centralized server with the same
+// front-end bookkeeping as the replicated service.
+type CentralizedClient struct {
+	fe *core.FrontEnd
+}
+
+// NewCentralizedClient builds a client front end pinned to the server.
+func NewCentralizedClient(net transport.Network, client string) *CentralizedClient {
+	fe := core.NewFrontEnd(core.FrontEndConfig{
+		Client:   client,
+		Replicas: []transport.NodeID{CentralizedNode},
+		Network:  net,
+	})
+	return &CentralizedClient{fe: fe}
+}
+
+// Submit issues an operation (prev and strict are irrelevant for a
+// single-copy service: every response reflects all earlier operations).
+func (c *CentralizedClient) Submit(op dtype.Operator, cb func(core.Response)) ops.Operation {
+	return c.fe.Submit(op, nil, false, cb)
+}
+
+// --- Ladin et al. style clients ---
+
+// OpClass is the operation classification of Ladin et al.: causal
+// operations need only causal consistency; forced operations are totally
+// ordered with respect to other forced operations; immediate operations are
+// totally ordered with respect to everything.
+type OpClass int
+
+// The three classes of [15].
+const (
+	Causal OpClass = iota + 1
+	Forced
+	Immediate
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case Causal:
+		return "causal"
+	case Forced:
+		return "forced"
+	case Immediate:
+		return "immediate"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// LadinClient maps the [15] interface onto an ESDS front end, as §1.2/§10.3
+// describe: causal ordering is expressed with prev sets carrying the
+// client's causal context, and the stronger classes use the strict flag
+// (which totally orders the operation against everything at response time —
+// a conservative superset of "totally ordered against forced operations").
+type LadinClient struct {
+	mu  sync.Mutex
+	fe  *core.FrontEnd
+	ctx []ops.ID // causal context: ids this client issued (frontier, capped)
+}
+
+// maxCausalContext caps the prev set carried by each operation; the
+// context is a frontier, so the most recent ids dominate older ones
+// transitively (each op's prev includes the previous frontier).
+const maxCausalContext = 2
+
+// NewLadinClient wraps an ESDS front end.
+func NewLadinClient(fe *core.FrontEnd) *LadinClient {
+	if fe == nil {
+		panic("baseline: nil front end")
+	}
+	return &LadinClient{fe: fe}
+}
+
+// Submit issues an operation in the given class. The returned descriptor's
+// id joins the client's causal context.
+func (l *LadinClient) Submit(op dtype.Operator, class OpClass, cb func(core.Response)) ops.Operation {
+	l.mu.Lock()
+	prev := append([]ops.ID(nil), l.ctx...)
+	l.mu.Unlock()
+
+	strict := class == Forced || class == Immediate
+	x := l.fe.Submit(op, prev, strict, cb)
+
+	l.mu.Lock()
+	l.ctx = append(l.ctx, x.ID)
+	if len(l.ctx) > maxCausalContext {
+		l.ctx = l.ctx[len(l.ctx)-maxCausalContext:]
+	}
+	l.mu.Unlock()
+	return x
+}
+
+// Context returns the current causal context (for tests).
+func (l *LadinClient) Context() []ops.ID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ops.ID(nil), l.ctx...)
+}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"testing"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+func TestCentralizedAppliesInOrderAndSerializes(t *testing.T) {
+	s := sim.New(1)
+	net := transport.NewSimNet(s, transport.SimNetConfig{Latency: transport.FixedLatency(sim.Millisecond)})
+	srv := NewCentralized(s, net, dtype.Counter{}, 2*sim.Millisecond)
+	cl := NewCentralizedClient(net, "c1")
+
+	var responses []core.Response
+	var latencies []sim.Duration
+	start := s.Now()
+	for i := 0; i < 5; i++ {
+		cl.Submit(dtype.CtrAdd{N: 1}, func(r core.Response) {
+			responses = append(responses, r)
+			latencies = append(latencies, s.Now().Sub(start))
+		})
+	}
+	var read dtype.Value
+	cl.Submit(dtype.CtrRead{}, func(r core.Response) { read = r.Value })
+	s.Run(0)
+	if len(responses) != 5 {
+		t.Fatalf("responses = %d", len(responses))
+	}
+	if read != int64(5) {
+		t.Fatalf("read = %v", read)
+	}
+	if srv.Applied() != 6 {
+		t.Fatalf("applied = %d", srv.Applied())
+	}
+	// Serialization: with 2ms per op, the 5th add completes no earlier than
+	// 1ms (request) + 5·2ms + 1ms (response) = 12ms.
+	last := latencies[len(latencies)-1]
+	if last < 12*sim.Millisecond {
+		t.Fatalf("server did not serialize: last latency %v", last)
+	}
+}
+
+func TestCentralizedIgnoresGarbage(t *testing.T) {
+	s := sim.New(1)
+	net := transport.NewSimNet(s, transport.SimNetConfig{})
+	srv := NewCentralized(s, net, dtype.Counter{}, 0)
+	net.Send("x", CentralizedNode, "garbage")
+	s.Run(0)
+	if srv.Applied() != 0 {
+		t.Fatal("garbage applied")
+	}
+}
+
+func TestCentralizedValidation(t *testing.T) {
+	s := sim.New(1)
+	net := transport.NewSimNet(s, transport.SimNetConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCentralized(s, net, dtype.Counter{}, -1)
+}
+
+func newClusterEnv(t *testing.T) (*sim.Sim, *core.Cluster) {
+	t.Helper()
+	s := sim.New(1)
+	net := transport.NewSimNet(s, transport.SimNetConfig{Latency: transport.FixedLatency(sim.Millisecond)})
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas: 3,
+		DataType: dtype.Log{},
+		Network:  net,
+		Options:  core.Options{Memoize: true},
+	})
+	cluster.StartSimGossip(s, 5*sim.Millisecond)
+	return s, cluster
+}
+
+func TestLadinCausalChainOrdering(t *testing.T) {
+	s, cluster := newClusterEnv(t)
+	lc := NewLadinClient(cluster.FrontEnd("u"))
+
+	// Causal appends from one client must appear in issue order (their prev
+	// chains force it), even without strictness.
+	for i, e := range []string{"a", "b", "c"} {
+		x := lc.Submit(dtype.LogAppend{Entry: e}, Causal, nil)
+		if i > 0 && len(x.Prev) == 0 {
+			t.Fatal("causal op missing context")
+		}
+	}
+	var got dtype.Value
+	lc.Submit(dtype.LogRead{}, Causal, func(r core.Response) { got = r.Value })
+	s.RunFor(500 * sim.Millisecond)
+	if got != "a|b|c" {
+		t.Fatalf("causal read = %v, want a|b|c", got)
+	}
+	if n := len(lc.Context()); n != maxCausalContext {
+		t.Fatalf("context size = %d, want %d", n, maxCausalContext)
+	}
+}
+
+func TestLadinForcedIsStrict(t *testing.T) {
+	s, cluster := newClusterEnv(t)
+	lc := NewLadinClient(cluster.FrontEnd("u"))
+	x := lc.Submit(dtype.LogAppend{Entry: "f"}, Forced, nil)
+	if !x.Strict {
+		t.Fatal("forced op not strict")
+	}
+	y := lc.Submit(dtype.LogRead{}, Immediate, nil)
+	if !y.Strict {
+		t.Fatal("immediate op not strict")
+	}
+	z := lc.Submit(dtype.LogRead{}, Causal, nil)
+	if z.Strict {
+		t.Fatal("causal op strict")
+	}
+	s.RunFor(500 * sim.Millisecond)
+}
+
+func TestLadinClassStrings(t *testing.T) {
+	if Causal.String() != "causal" || Forced.String() != "forced" || Immediate.String() != "immediate" {
+		t.Fatal("class strings wrong")
+	}
+	if OpClass(99).String() != "OpClass(99)" {
+		t.Fatal("unknown class string wrong")
+	}
+}
+
+func TestLadinNilFrontEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLadinClient(nil)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/spec"
+	"esds/internal/transport"
+)
+
+// The chaos suite drives live clusters through adversarial conditions —
+// jittered latency, message loss, duplication, crash windows — with front
+// ends retransmitting, then heals the network and checks the paper's
+// safety claims on whatever happened:
+//
+//   - the cluster converges to a single label order (eventual
+//     serialization),
+//   - every request is eventually answered (liveness under retransmission,
+//     §9.3),
+//   - the converged order is consistent with all client-specified
+//     constraints and explains every strict response (Theorem 5.8).
+func runChaos(t *testing.T, seed int64, replicas, numOps int, strictProb, dropProb, dupProb float64, crashWindows bool) {
+	t.Helper()
+	s := sim.New(seed)
+	isReplica := func(id transport.NodeID) bool {
+		return len(id) > 8 && id[:8] == "replica:"
+	}
+	net := transport.NewSimNet(s, transport.SimNetConfig{
+		Latency: transport.ClassLatency(isReplica,
+			transport.UniformLatency(200*sim.Microsecond, 2*sim.Millisecond),
+			transport.UniformLatency(500*sim.Microsecond, 4*sim.Millisecond)),
+		DropProb: dropProb,
+		DupProb:  dupProb,
+		Sizer:    EstimateSize,
+	})
+	cluster := NewCluster(ClusterConfig{
+		Replicas: replicas,
+		DataType: dtype.Log{},
+		Network:  net,
+		Options:  Options{Memoize: true}, // full gossip: loss-tolerant
+	})
+	cluster.StartSimGossip(s, 5*sim.Millisecond)
+	defer cluster.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	clients := []string{"a", "b", "c"}
+
+	// Front ends retransmit pending requests every 40ms.
+	for _, c := range clients {
+		fe := cluster.FrontEnd(c)
+		s.Every(40*sim.Millisecond, func() { fe.Retransmit() })
+	}
+
+	// Crash windows: replica i is down during [60+40i, 100+40i) ms.
+	if crashWindows {
+		for i := 0; i < replicas && i < 3; i++ {
+			node := ReplicaNode(label.ReplicaID(i))
+			down := sim.Time((60 + 40*i)) * sim.Time(sim.Millisecond)
+			up := down.Add(40 * sim.Millisecond)
+			s.ScheduleAt(down, func() { net.SetNodeDown(node, true) })
+			s.ScheduleAt(up, func() { net.SetNodeDown(node, false) })
+		}
+	}
+
+	// Workload: appends and reads, random strictness, random prev sets over
+	// this client's earlier ops.
+	type outcome struct {
+		x     ops.Operation
+		value dtype.Value
+		done  bool
+	}
+	var all []*outcome
+	issued := make(map[string][]ops.ID)
+	for i := 0; i < numOps; i++ {
+		i := i
+		c := clients[rng.Intn(len(clients))]
+		at := sim.Time(rng.Intn(300)) * sim.Time(sim.Millisecond)
+		strict := rng.Float64() < strictProb
+		s.ScheduleAt(at, func() {
+			fe := cluster.FrontEnd(c)
+			var prev []ops.ID
+			if hist := issued[c]; len(hist) > 0 && rng.Float64() < 0.4 {
+				prev = []ops.ID{hist[rng.Intn(len(hist))]}
+			}
+			var op dtype.Operator = dtype.LogAppend{Entry: fmt.Sprintf("%s%d", c, i)}
+			if rng.Float64() < 0.3 {
+				op = dtype.LogLen{}
+			}
+			o := &outcome{}
+			o.x = fe.Submit(op, prev, strict, func(r Response) {
+				o.value = r.Value
+				o.done = true
+			})
+			issued[c] = append(issued[c], o.x.ID)
+			all = append(all, o)
+		})
+	}
+
+	// Chaos phase, then heal and drain.
+	s.RunUntil(sim.Time(400 * sim.Millisecond))
+	net.SetDropProb(0)
+	s.RunUntil(sim.Time(3 * sim.Second))
+
+	// Liveness: everything answered after the heal + retransmissions.
+	for _, o := range all {
+		if !o.done {
+			t.Fatalf("seed %d: op %v never answered", seed, o.x)
+		}
+	}
+	// Convergence to one order.
+	conv := cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("seed %d: no convergence: %s", seed, conv.Reason)
+	}
+	if len(conv.Order) != len(all) {
+		t.Fatalf("seed %d: order has %d ops, submitted %d", seed, len(conv.Order), len(all))
+	}
+	// Theorem 5.8 on the trace: the converged order must be CSC-consistent
+	// and explain every strict response.
+	requested := make([]ops.Operation, 0, len(all))
+	strictResponses := make(map[ops.ID]dtype.Value)
+	for _, o := range all {
+		requested = append(requested, o.x)
+		if o.x.Strict {
+			strictResponses[o.x.ID] = o.value
+		}
+	}
+	if err := spec.ExplainStrictResponses(dtype.Log{}, requested, conv.Order, strictResponses); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}
+
+func TestChaosLossAndDuplication(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		runChaos(t, seed, 3, 40, 0.3, 0.15, 0.10, false)
+	}
+}
+
+func TestChaosWithCrashWindows(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		runChaos(t, seed, 3, 30, 0.3, 0.10, 0.05, true)
+	}
+}
+
+func TestChaosFiveReplicasHighStrict(t *testing.T) {
+	for seed := int64(20); seed < 23; seed++ {
+		runChaos(t, seed, 5, 30, 0.7, 0.10, 0.10, false)
+	}
+}
+
+func TestChaosNoFaultsManyOps(t *testing.T) {
+	runChaos(t, 42, 4, 120, 0.25, 0, 0, false)
+}

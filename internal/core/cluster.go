@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+// Cluster assembles n replicas and their front ends over a transport, and
+// owns gossip scheduling. It works identically over the simulated network
+// (deterministic, virtual time) and the live goroutine transport
+// (wall-clock tickers).
+type Cluster struct {
+	mu       sync.Mutex
+	dt       dtype.DataType
+	net      transport.Network
+	opt      Options
+	replicas []*Replica
+	nodes    []transport.NodeID
+	fronts   map[string]*FrontEnd
+	stops    []func()
+	closed   bool
+}
+
+// ClusterConfig configures a cluster.
+type ClusterConfig struct {
+	// Replicas is the number of data replicas (≥ 1; the paper assumes ≥ 2,
+	// and with 1 every operation is trivially stable immediately).
+	Replicas int
+	// DataType is the serial data type the service manages.
+	DataType dtype.DataType
+	// Network carries all messages.
+	Network transport.Network
+	// Options selects the §10 optimizations.
+	Options Options
+	// Stores, if non-nil, supplies a per-replica stable store for the §9.3
+	// crash-recovery protocol (indexed by replica id; nil entries allowed).
+	Stores []StableStore
+}
+
+// NewCluster builds the replicas and registers them on the network. Gossip
+// is not started; call StartSimGossip / StartLiveGossip or drive rounds
+// manually with GossipAll.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Replicas < 1 {
+		panic(fmt.Sprintf("core: invalid replica count %d", cfg.Replicas))
+	}
+	if cfg.DataType == nil {
+		panic("core: nil data type")
+	}
+	if cfg.Network == nil {
+		panic("core: nil network")
+	}
+	nodes := make([]transport.NodeID, cfg.Replicas)
+	for i := range nodes {
+		nodes[i] = ReplicaNode(label.ReplicaID(i))
+	}
+	c := &Cluster{
+		dt:     cfg.DataType,
+		net:    cfg.Network,
+		opt:    cfg.Options,
+		nodes:  nodes,
+		fronts: make(map[string]*FrontEnd),
+	}
+	c.replicas = make([]*Replica, cfg.Replicas)
+	for i := range c.replicas {
+		var store StableStore
+		if i < len(cfg.Stores) {
+			store = cfg.Stores[i]
+		}
+		c.replicas[i] = NewReplica(ReplicaConfig{
+			ID:       label.ReplicaID(i),
+			Peers:    nodes,
+			DataType: cfg.DataType,
+			Network:  cfg.Network,
+			Options:  cfg.Options,
+			Store:    store,
+		})
+	}
+	return c
+}
+
+// NumReplicas returns the replica count.
+func (c *Cluster) NumReplicas() int { return len(c.replicas) }
+
+// Replica returns replica i.
+func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
+
+// Nodes returns the replica transport addresses.
+func (c *Cluster) Nodes() []transport.NodeID {
+	return append([]transport.NodeID(nil), c.nodes...)
+}
+
+// FrontEnd returns the front end for the named client, creating and
+// registering it on first use.
+func (c *Cluster) FrontEnd(client string) *FrontEnd {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fe, ok := c.fronts[client]; ok {
+		return fe
+	}
+	fe := NewFrontEnd(FrontEndConfig{Client: client, Replicas: c.nodes, Network: c.net})
+	c.fronts[client] = fe
+	return fe
+}
+
+// GossipAll runs one gossip round: every replica sends to every peer.
+func (c *Cluster) GossipAll() {
+	for _, r := range c.replicas {
+		r.SendGossip()
+	}
+}
+
+// StartSimGossip schedules a gossip round for each replica every period of
+// virtual time — the timing assumption "at least one send_rr' in every
+// interval of length g" (§9.1). Rounds are staggered one event apart but at
+// the same virtual instants.
+func (c *Cluster) StartSimGossip(s *sim.Sim, period sim.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.replicas {
+		r := r
+		c.stops = append(c.stops, s.Every(period, r.SendGossip))
+	}
+}
+
+// StartLiveGossip starts a wall-clock gossip ticker per replica. Call Close
+// to stop the tickers.
+func (c *Cluster) StartLiveGossip(period time.Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: invalid gossip period %v", period))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		panic("core: StartLiveGossip on closed cluster")
+	}
+	for _, r := range c.replicas {
+		r := r
+		ticker := time.NewTicker(period)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ticker.C:
+					r.SendGossip()
+				case <-done:
+					return
+				}
+			}
+		}()
+		c.stops = append(c.stops, func() {
+			ticker.Stop()
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// Close stops all gossip schedulers. It does not close the transport (the
+// caller owns it). Close is idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	stops := c.stops
+	c.stops = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// TotalMetrics sums the metrics of all replicas.
+func (c *Cluster) TotalMetrics() ReplicaMetrics {
+	var total ReplicaMetrics
+	for _, r := range c.replicas {
+		m := r.Metrics()
+		total.RequestsReceived += m.RequestsReceived
+		total.DoItCount += m.DoItCount
+		total.GossipSent += m.GossipSent
+		total.GossipReceived += m.GossipReceived
+		total.ResponsesSent += m.ResponsesSent
+		total.AppliesForResponse += m.AppliesForResponse
+		total.AppliesForMemoize += m.AppliesForMemoize
+		total.AppliesForCurrentState += m.AppliesForCurrentState
+		total.DoneOps += m.DoneOps
+		total.StableOps += m.StableOps
+		total.MemoizedOps += m.MemoizedOps
+		total.PendingOps += m.PendingOps
+		total.RetainedOps += m.RetainedOps
+	}
+	return total
+}
+
+// Convergence describes the cluster-wide agreement state at a quiescent
+// moment (no messages in flight): whether all replicas have the same done
+// set and the same label for every operation, and if so, the eventual total
+// order (ids sorted by the agreed labels — the paper's minlabel order).
+type Convergence struct {
+	Converged bool
+	Reason    string   // why not converged, when Converged is false
+	Order     []ops.ID // eventual total order (valid when Converged)
+}
+
+// CheckConvergence inspects all replicas. It is meaningful only when the
+// system is quiescent; mid-flight it simply reports non-convergence.
+func (c *Cluster) CheckConvergence() Convergence {
+	snaps := make([]DebugSnapshot, len(c.replicas))
+	for i, r := range c.replicas {
+		snaps[i] = r.Snapshot()
+	}
+	base := snaps[0]
+	for i := 1; i < len(snaps); i++ {
+		if len(snaps[i].Done) != len(base.Done) {
+			return Convergence{Reason: fmt.Sprintf("replica %d has %d done ops, replica 0 has %d",
+				i, len(snaps[i].Done), len(base.Done))}
+		}
+	}
+	// Labels must agree on the union of ids.
+	for id, l := range base.Labels {
+		for i := 1; i < len(snaps); i++ {
+			if got := snaps[i].Labels[id]; got != l {
+				return Convergence{Reason: fmt.Sprintf("label of %v: replica 0 has %v, replica %d has %v",
+					id, l, i, got)}
+			}
+		}
+	}
+	for i := 1; i < len(snaps); i++ {
+		if len(snaps[i].Labels) != len(base.Labels) {
+			return Convergence{Reason: fmt.Sprintf("replica %d knows %d labels, replica 0 knows %d",
+				i, len(snaps[i].Labels), len(base.Labels))}
+		}
+	}
+	order := append([]ops.ID(nil), base.Done...)
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := base.Labels[order[a]], base.Labels[order[b]]
+		return la.Less(lb)
+	})
+	return Convergence{Converged: true, Order: order}
+}

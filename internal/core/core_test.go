@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+// testEnv wires a sim, a FIFO simulated network (fixed latencies), and a
+// cluster, with the gossip schedule running.
+type testEnv struct {
+	s       *sim.Sim
+	net     *transport.SimNet
+	cluster *Cluster
+	df, dg  sim.Duration
+	g       sim.Duration
+}
+
+func newTestEnv(t *testing.T, replicas int, dt dtype.DataType, opt Options) *testEnv {
+	t.Helper()
+	s := sim.New(1)
+	df := 1 * sim.Millisecond
+	dg := 2 * sim.Millisecond
+	g := 5 * sim.Millisecond
+	isReplica := func(id transport.NodeID) bool {
+		return len(id) > 8 && id[:8] == "replica:"
+	}
+	net := transport.NewSimNet(s, transport.SimNetConfig{
+		Latency: transport.ClassLatency(isReplica, transport.FixedLatency(df), transport.FixedLatency(dg)),
+		Sizer:   EstimateSize,
+	})
+	cluster := NewCluster(ClusterConfig{Replicas: replicas, DataType: dt, Network: net, Options: opt})
+	cluster.StartSimGossip(s, g)
+	return &testEnv{s: s, net: net, cluster: cluster, df: df, dg: dg, g: g}
+}
+
+// submit issues an operation and records its response time and value.
+type result struct {
+	x     ops.Operation
+	value dtype.Value
+	at    sim.Time
+	done  bool
+}
+
+func (e *testEnv) submit(client string, op dtype.Operator, prev []ops.ID, strict bool) *result {
+	res := &result{}
+	fe := e.cluster.FrontEnd(client)
+	res.x = fe.Submit(op, prev, strict, func(r Response) {
+		res.value = r.Value
+		res.at = e.s.Now()
+		res.done = true
+	})
+	return res
+}
+
+func TestNonStrictFastPath(t *testing.T) {
+	e := newTestEnv(t, 3, dtype.Counter{}, Options{})
+	start := e.s.Now()
+	res := e.submit("c1", dtype.CtrAdd{N: 5}, nil, false)
+	e.s.RunFor(100 * sim.Millisecond)
+	if !res.done {
+		t.Fatal("no response")
+	}
+	if res.value != "ok" {
+		t.Fatalf("value = %v", res.value)
+	}
+	// Theorem 9.3: non-strict with empty prev responds within 2·d_f.
+	if got, bound := res.at.Sub(start), 2*e.df; got > bound {
+		t.Fatalf("latency %v exceeds 2·d_f = %v", got, bound)
+	}
+}
+
+func TestStrictOperationWaitsForStability(t *testing.T) {
+	e := newTestEnv(t, 3, dtype.Counter{}, Options{})
+	start := e.s.Now()
+	add := e.submit("c1", dtype.CtrAdd{N: 5}, nil, false)
+	read := e.submit("c2", dtype.CtrRead{}, nil, true)
+	e.s.RunFor(200 * sim.Millisecond)
+	if !add.done || !read.done {
+		t.Fatal("missing responses")
+	}
+	// A strict op cannot be answered on the round trip alone: it needs
+	// gossip rounds, so its latency must exceed the non-strict fast path.
+	if read.at.Sub(start) <= 2*e.df {
+		t.Fatalf("strict latency %v suspiciously fast", read.at.Sub(start))
+	}
+	// Theorem 9.3 bound: 2·d_f + 3·(g + d_g).
+	bound := 2*e.df + 3*(e.g+e.dg)
+	if got := read.at.Sub(start); got > bound {
+		t.Fatalf("strict latency %v exceeds δ = %v", got, bound)
+	}
+}
+
+func TestPrevDependencyAcrossReplicas(t *testing.T) {
+	// The §11.2 directory scenario: bind on one replica, setattr (with prev
+	// = bind) reaches another replica first; the setattr must wait until the
+	// bind arrives by gossip and must then see the bound name.
+	e := newTestEnv(t, 3, dtype.Directory{}, Options{})
+	feA := e.cluster.FrontEnd("alice")
+	feA.StickTo(ReplicaNode(0))
+	feB := e.cluster.FrontEnd("bob")
+	feB.StickTo(ReplicaNode(1))
+
+	var bindID ops.ID
+	bind := feA.Submit(dtype.DirBind{Name: "svc"}, nil, false, nil)
+	bindID = bind.ID
+
+	var setVal dtype.Value
+	feB.Submit(dtype.DirSetAttr{Name: "svc", Key: "host", Val: "h9"}, []ops.ID{bindID}, false, func(r Response) {
+		setVal = r.Value
+	})
+	e.s.RunFor(200 * sim.Millisecond)
+	if setVal != "ok" {
+		t.Fatalf("setattr = %v: prev constraint not honored", setVal)
+	}
+
+	// A strict read now sees the attribute on every replica's view.
+	var got dtype.Value
+	feB.Submit(dtype.DirGetAttr{Name: "svc", Key: "host"}, nil, true, func(r Response) { got = r.Value })
+	e.s.RunFor(200 * sim.Millisecond)
+	if got != "h9" {
+		t.Fatalf("strict getattr = %v", got)
+	}
+}
+
+func TestIncDoubleConvergesAcrossReplicas(t *testing.T) {
+	// The §10.3 motivating failure of [15]: concurrent non-commuting inc and
+	// double submitted to different replicas WITHOUT client constraints.
+	// Under lazy replication without ESDS's label protocol the replicas can
+	// diverge forever; ESDS must converge to a single order.
+	e := newTestEnv(t, 3, dtype.Counter{}, Options{})
+	feA := e.cluster.FrontEnd("a")
+	feA.StickTo(ReplicaNode(0))
+	feB := e.cluster.FrontEnd("b")
+	feB.StickTo(ReplicaNode(1))
+
+	e.submit("seed", dtype.CtrAdd{N: 1}, nil, false) // state 1 at some point
+	e.s.RunFor(50 * sim.Millisecond)
+	feA.Submit(dtype.CtrAdd{N: 1}, nil, false, nil)
+	feB.Submit(dtype.CtrDouble{}, nil, false, nil)
+	e.s.RunFor(300 * sim.Millisecond)
+
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("cluster did not converge: %s", conv.Reason)
+	}
+	// Strict reads from both replicas agree.
+	r1 := e.submit("a", dtype.CtrRead{}, nil, true)
+	r2 := e.submit("b", dtype.CtrRead{}, nil, true)
+	e.s.RunFor(300 * sim.Millisecond)
+	if !r1.done || !r2.done {
+		t.Fatal("strict reads unanswered")
+	}
+	if fmt.Sprint(r1.value) != fmt.Sprint(r2.value) {
+		t.Fatalf("strict reads disagree: %v vs %v", r1.value, r2.value)
+	}
+	if r1.value != int64(3) && r1.value != int64(4) {
+		t.Fatalf("converged value %v is not a serialization of {+1, ×2} from 1", r1.value)
+	}
+}
+
+func TestEventualTotalOrderExplainsStrictResponses(t *testing.T) {
+	// Theorem 5.8 on live traces: the converged label order must explain
+	// every strict response.
+	e := newTestEnv(t, 4, dtype.Log{}, Options{})
+	var strictResults []*result
+	all := make(map[ops.ID]ops.Operation)
+	for i := 0; i < 12; i++ {
+		client := fmt.Sprintf("c%d", i%3)
+		res := e.submit(client, dtype.LogAppend{Entry: fmt.Sprintf("e%d", i)}, nil, false)
+		all[res.x.ID] = res.x
+		e.s.RunFor(3 * sim.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		res := e.submit(fmt.Sprintf("c%d", i), dtype.LogRead{}, nil, true)
+		all[res.x.ID] = res.x
+		strictResults = append(strictResults, res)
+	}
+	e.s.RunFor(500 * sim.Millisecond)
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("not converged: %s", conv.Reason)
+	}
+	// Replay the eventual total order and check each strict read's value.
+	dt := dtype.Log{}
+	st := dt.Initial()
+	values := make(map[ops.ID]dtype.Value)
+	for _, id := range conv.Order {
+		x, ok := all[id]
+		if !ok {
+			t.Fatalf("converged order contains unknown op %v", id)
+		}
+		var v dtype.Value
+		st, v = dt.Apply(st, x.Op)
+		values[id] = v
+	}
+	for _, res := range strictResults {
+		if !res.done {
+			t.Fatal("strict read unanswered")
+		}
+		if fmt.Sprint(values[res.x.ID]) != fmt.Sprint(res.value) {
+			t.Fatalf("strict response %v for %v not explained by eventual order (want %v)",
+				res.value, res.x.ID, values[res.x.ID])
+		}
+	}
+}
+
+func TestAllReplicasConvergeToSameLogOrder(t *testing.T) {
+	// Log appends never commute: convergence means every replica ends with
+	// the exact same sequence.
+	e := newTestEnv(t, 5, dtype.Log{}, Options{})
+	for i := 0; i < 20; i++ {
+		e.submit(fmt.Sprintf("c%d", i%4), dtype.LogAppend{Entry: fmt.Sprintf("x%d", i)}, nil, false)
+		e.s.RunFor(sim.Millisecond)
+	}
+	e.s.RunFor(time500())
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("not converged: %s", conv.Reason)
+	}
+	if len(conv.Order) != 20 {
+		t.Fatalf("order has %d ops, want 20", len(conv.Order))
+	}
+	// Every replica, asked strictly, reports the identical log.
+	var logs []string
+	for i := 0; i < 5; i++ {
+		fe := e.cluster.FrontEnd(fmt.Sprintf("reader%d", i))
+		fe.StickTo(ReplicaNode(label.ReplicaID(i)))
+		var v dtype.Value
+		fe.Submit(dtype.LogRead{}, nil, true, func(r Response) { v = r.Value })
+		e.s.RunFor(time500())
+		logs = append(logs, fmt.Sprint(v))
+	}
+	for i := 1; i < len(logs); i++ {
+		if logs[i] != logs[0] {
+			t.Fatalf("replica %d log %q != replica 0 log %q", i, logs[i], logs[0])
+		}
+	}
+}
+
+func time500() sim.Duration { return 500 * sim.Millisecond }

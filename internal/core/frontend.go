@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// Response pairs an operation with the value the service returned for it.
+type Response struct {
+	ID    ops.ID
+	Value dtype.Value
+}
+
+// FrontEnd is the per-client front end of Fig. 6: it relays requests to
+// replicas, tracks pending operations (wait_c), records replica responses
+// (rept_c), and delivers exactly one response per request to the client.
+//
+// Per §6.2, the client identity is encoded in every operation identifier,
+// and per the paper's send_cr, a front end may retransmit a pending request
+// — to the same or a different replica — without affecting safety.
+type FrontEnd struct {
+	mu sync.Mutex
+
+	client   string
+	node     transport.NodeID
+	net      transport.Network
+	replicas []transport.NodeID
+
+	nextSeq  uint64
+	rr       int // round-robin cursor over replicas
+	wait     map[ops.ID]ops.Operation
+	sentTo   map[ops.ID]transport.NodeID
+	onResult map[ops.ID]func(Response)
+	history  []ops.ID // issue order, for auto-causality helpers
+
+	responses uint64
+	requests  uint64
+}
+
+// FrontEndConfig assembles a front end.
+type FrontEndConfig struct {
+	Client   string
+	Replicas []transport.NodeID
+	Network  transport.Network
+}
+
+// NewFrontEnd constructs a front end and registers it on the network under
+// the FrontEndNode convention.
+func NewFrontEnd(cfg FrontEndConfig) *FrontEnd {
+	if cfg.Client == "" {
+		panic("core: empty client name")
+	}
+	if len(cfg.Replicas) == 0 {
+		panic("core: front end needs at least one replica")
+	}
+	fe := &FrontEnd{
+		client:   cfg.Client,
+		node:     FrontEndNode(cfg.Client),
+		net:      cfg.Network,
+		replicas: append([]transport.NodeID(nil), cfg.Replicas...),
+		wait:     make(map[ops.ID]ops.Operation),
+		sentTo:   make(map[ops.ID]transport.NodeID),
+		onResult: make(map[ops.ID]func(Response)),
+	}
+	cfg.Network.Register(fe.node, fe.handleMessage)
+	return fe
+}
+
+// Client returns the client name this front end serves.
+func (fe *FrontEnd) Client() string { return fe.client }
+
+// Node returns the front end's transport address.
+func (fe *FrontEnd) Node() transport.NodeID { return fe.node }
+
+// Submit issues a request (the request(x) input action): it allocates the
+// next operation identifier for this client, records the operation in
+// wait_c, and relays it to one replica. The callback fires exactly once,
+// when the first response for the operation arrives. It returns the
+// operation descriptor (whose ID the client may use in later prev sets).
+func (fe *FrontEnd) Submit(op dtype.Operator, prev []ops.ID, strict bool, cb func(Response)) ops.Operation {
+	fe.mu.Lock()
+	id := ops.ID{Client: fe.client, Seq: fe.nextSeq}
+	fe.nextSeq++
+	x := ops.New(op, id, prev, strict)
+	fe.wait[id] = x
+	if cb != nil {
+		fe.onResult[id] = cb
+	}
+	fe.history = append(fe.history, id)
+	target := fe.replicas[fe.rr%len(fe.replicas)]
+	fe.rr++
+	fe.sentTo[id] = target
+	fe.requests++
+	fe.mu.Unlock()
+
+	fe.net.Send(fe.node, target, RequestMsg{Op: x})
+	return x
+}
+
+// SubmitWait issues a request and blocks until the response arrives. Only
+// meaningful on the live transport (on the simulated network the caller IS
+// the delivering goroutine, so use Submit with a callback instead).
+func (fe *FrontEnd) SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value) {
+	ch := make(chan Response, 1)
+	x := fe.Submit(op, prev, strict, func(resp Response) { ch <- resp })
+	resp := <-ch
+	return x, resp.Value
+}
+
+// Retransmit re-sends every pending request, rotating to a different
+// replica. This is the fault-tolerance mechanism the paper permits (§6.2):
+// duplicate requests do not affect safety, and retransmission restores
+// liveness after message loss or a replica crash.
+func (fe *FrontEnd) Retransmit() int {
+	fe.mu.Lock()
+	type outMsg struct {
+		to  transport.NodeID
+		msg RequestMsg
+	}
+	outbox := make([]outMsg, 0, len(fe.wait))
+	for id, x := range fe.wait {
+		next := fe.replicas[fe.rr%len(fe.replicas)]
+		fe.rr++
+		if prev, ok := fe.sentTo[id]; ok && prev == next && len(fe.replicas) > 1 {
+			next = fe.replicas[fe.rr%len(fe.replicas)]
+			fe.rr++
+		}
+		fe.sentTo[id] = next
+		outbox = append(outbox, outMsg{to: next, msg: RequestMsg{Op: x}})
+	}
+	fe.mu.Unlock()
+	for _, o := range outbox {
+		fe.net.Send(fe.node, o.to, o.msg)
+	}
+	return len(outbox)
+}
+
+// Pending returns the number of requests still awaiting a response.
+func (fe *FrontEnd) Pending() int {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return len(fe.wait)
+}
+
+// Stats returns (requests issued, responses delivered).
+func (fe *FrontEnd) Stats() (requests, responses uint64) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.requests, fe.responses
+}
+
+// History returns the ids of all operations issued, in issue order.
+func (fe *FrontEnd) History() []ops.ID {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return append([]ops.ID(nil), fe.history...)
+}
+
+// LastID returns the identifier of the most recently issued operation and
+// whether one exists — a convenience for building causal chains
+// (prev = {last}).
+func (fe *FrontEnd) LastID() (ops.ID, bool) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if len(fe.history) == 0 {
+		return ops.ID{}, false
+	}
+	return fe.history[len(fe.history)-1], true
+}
+
+// handleMessage processes replica responses (receive_rc of Fig. 6): the
+// first response for a pending operation is delivered to the client and the
+// operation leaves wait_c; later duplicates are ignored.
+func (fe *FrontEnd) handleMessage(m transport.Message) {
+	resp, ok := m.Payload.(ResponseMsg)
+	if !ok {
+		return
+	}
+	fe.mu.Lock()
+	if _, waiting := fe.wait[resp.ID]; !waiting {
+		fe.mu.Unlock()
+		return // duplicate or stale response
+	}
+	delete(fe.wait, resp.ID)
+	delete(fe.sentTo, resp.ID)
+	cb := fe.onResult[resp.ID]
+	delete(fe.onResult, resp.ID)
+	fe.responses++
+	fe.mu.Unlock()
+	if cb != nil {
+		cb(Response{ID: resp.ID, Value: resp.Value})
+	}
+}
+
+// ReplicaForRoundRobin exposes the next round-robin target without issuing
+// a request (used by tests to pin expectations).
+func (fe *FrontEnd) ReplicaForRoundRobin() transport.NodeID {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.replicas[fe.rr%len(fe.replicas)]
+}
+
+// StickTo pins the front end to a single replica (disables round-robin).
+// §9.2 notes that a client whose front end always talks to the same replica
+// gets the fast 2·d_f path for its causal chains.
+func (fe *FrontEnd) StickTo(replica transport.NodeID) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	for i, node := range fe.replicas {
+		if node == replica {
+			fe.replicas = []transport.NodeID{fe.replicas[i]}
+			fe.rr = 0
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: StickTo(%q): unknown replica", replica))
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// TestLiveClusterEndToEnd runs a real goroutine-backed cluster: concurrent
+// clients, wall-clock gossip, strict and non-strict operations.
+func TestLiveClusterEndToEnd(t *testing.T) {
+	net := transport.NewLiveNet()
+	cluster := NewCluster(ClusterConfig{
+		Replicas: 3,
+		DataType: dtype.Counter{},
+		Network:  net,
+		Options:  DefaultOptions(),
+	})
+	cluster.StartLiveGossip(2 * time.Millisecond)
+	defer func() {
+		cluster.Close()
+		net.Close()
+	}()
+
+	const clients = 4
+	const opsPerClient = 10
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		fe := cluster.FrontEnd(fmt.Sprintf("client%d", c))
+		go func(fe *FrontEnd) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				_, v := fe.SubmitWait(dtype.CtrAdd{N: 1}, nil, false)
+				if v != "ok" {
+					t.Errorf("add returned %v", v)
+					return
+				}
+			}
+		}(fe)
+	}
+	wg.Wait()
+
+	// A strict read must observe all 40 increments once everything
+	// stabilizes. Strict ops need gossip rounds; retry with a deadline.
+	fe := cluster.FrontEnd("reader")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, v := fe.SubmitWait(dtype.CtrRead{}, nil, true)
+		if v == int64(clients*opsPerClient) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("strict read = %v, want %d", v, clients*opsPerClient)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLiveClusterCausalChain checks read-your-writes via prev sets on the
+// live transport: a read depending on a write must see it, regardless of
+// which replica serves the read.
+func TestLiveClusterCausalChain(t *testing.T) {
+	net := transport.NewLiveNet()
+	cluster := NewCluster(ClusterConfig{
+		Replicas: 3,
+		DataType: dtype.Register{},
+		Network:  net,
+		Options:  DefaultOptions(),
+	})
+	cluster.StartLiveGossip(time.Millisecond)
+	defer func() {
+		cluster.Close()
+		net.Close()
+	}()
+
+	fe := cluster.FrontEnd("writer")
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("v%d", i)
+		w, v := fe.SubmitWait(dtype.RegWrite{Val: want}, nil, false)
+		if v != "ok" {
+			t.Fatalf("write %d returned %v", i, v)
+		}
+		_, got := fe.SubmitWait(dtype.RegRead{}, []ops.ID{w.ID}, false)
+		if got != want {
+			t.Fatalf("read-your-write %d: got %v, want %q", i, got, want)
+		}
+	}
+}

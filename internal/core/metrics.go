@@ -1,0 +1,34 @@
+package core
+
+// ReplicaMetrics counts the work a replica has performed. The ablation
+// experiments (E6–E8) read these counters; they are monotone and are
+// snapshotted under the replica mutex.
+type ReplicaMetrics struct {
+	// RequestsReceived counts ⟨request⟩ messages (including retransmissions).
+	RequestsReceived uint64
+	// DoItCount counts do_it actions (label assignments).
+	DoItCount uint64
+	// GossipSent / GossipReceived count gossip messages.
+	GossipSent     uint64
+	GossipReceived uint64
+	// ResponsesSent counts ⟨response⟩ messages.
+	ResponsesSent uint64
+	// AppliesForResponse counts data type Apply calls made while computing
+	// response values. Without memoization this grows quadratically with
+	// history length; with it, only the unstable suffix is recomputed.
+	AppliesForResponse uint64
+	// AppliesForMemoize counts Apply calls that advanced the memoized
+	// prefix (each done operation is memoized exactly once).
+	AppliesForMemoize uint64
+	// AppliesForCurrentState counts Apply calls maintaining cs_r in commute
+	// mode (each done operation applied exactly once, at do-time).
+	AppliesForCurrentState uint64
+	// DoneOps, StableOps, MemoizedOps, PendingOps, RetainedOps are state
+	// sizes at snapshot time (RetainedOps counts full descriptors held,
+	// which pruning reduces).
+	DoneOps     int
+	StableOps   int
+	MemoizedOps int
+	PendingOps  int
+	RetainedOps int
+}

@@ -1,0 +1,81 @@
+// Package core is the deployable implementation of the eventually-
+// serializable data service: the lazy-replication algorithm of §6 of
+// Fekete et al. (front ends, replicas, gossip, labels), extended with the
+// §10 optimizations (memoized solid prefix, memory pruning, commutativity
+// mode, incremental gossip).
+//
+// The same algorithm is transliterated as I/O automata in internal/model
+// for specification checking; this package is the version a downstream user
+// runs, over either the deterministic simulated network or the live
+// goroutine transport.
+package core
+
+import (
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+)
+
+// RequestMsg is a ⟨"request", x⟩ message from a front end to a replica
+// (message set 𝓜_req, §6.1).
+type RequestMsg struct {
+	Op ops.Operation
+}
+
+// ResponseMsg is a ⟨"response", x, v⟩ message from a replica to a front end
+// (message set 𝓜_resp, §6.1).
+type ResponseMsg struct {
+	ID    ops.ID
+	Value dtype.Value
+}
+
+// GossipMsg is a ⟨"gossip", R, D, L, S⟩ message between replicas (message
+// set 𝓜_gossip, §6.1). R carries full operation descriptors (the receiver
+// may not know them yet); D and S are identifier sets (their descriptors are
+// in R or were carried by earlier gossip); L is the label-function snapshot.
+//
+// With incremental gossip (§10.4) the fields carry only entries not
+// previously sent to the destination. Full gossip messages are
+// self-contained (D comes with its R descriptors and L labels), so they
+// tolerate loss and reordering; deltas require reliable FIFO channels,
+// exactly the condition §10.4 states.
+type GossipMsg struct {
+	From label.ReplicaID
+	R    []ops.Operation
+	D    []ops.ID
+	L    map[ops.ID]label.Label
+	S    []ops.ID
+	// RecoveryAck marks a gossip message sent in response to a
+	// RecoveryRequestMsg (§9.3): the recovering replica counts one ack per
+	// peer before resuming.
+	RecoveryAck bool
+}
+
+// EstimateSize approximates the wire size in bytes of a core message, for
+// the communication experiments (E8). Operation descriptors weigh more than
+// bare identifiers, and label entries carry an id plus a label.
+func EstimateSize(payload any) int {
+	const (
+		idBytes    = 16
+		labelBytes = 12
+		opBytes    = idBytes + 24 // id + operator + flags
+		headerSize = 8
+	)
+	switch m := payload.(type) {
+	case RequestMsg:
+		return headerSize + opBytes + idBytes*len(m.Op.Prev)
+	case ResponseMsg:
+		return headerSize + idBytes + 16
+	case GossipMsg:
+		size := headerSize
+		for _, x := range m.R {
+			size += opBytes + idBytes*len(x.Prev)
+		}
+		size += idBytes * len(m.D)
+		size += (idBytes + labelBytes) * len(m.L)
+		size += idBytes * len(m.S)
+		return size
+	default:
+		return headerSize
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+// runWorkload drives a fixed mixed workload and returns the responses keyed
+// by operation id plus the environment for further inspection.
+func runWorkload(t *testing.T, opt Options, strictEvery int) (map[ops.ID]string, *testEnv) {
+	t.Helper()
+	e := newTestEnv(t, 3, dtype.Log{}, opt)
+	var all []*result
+	for i := 0; i < 30; i++ {
+		strict := strictEvery > 0 && i%strictEvery == 0
+		var op dtype.Operator = dtype.LogAppend{Entry: fmt.Sprintf("e%d", i)}
+		if i%5 == 4 {
+			op = dtype.LogRead{}
+		}
+		all = append(all, e.submit(fmt.Sprintf("c%d", i%3), op, nil, strict))
+		e.s.RunFor(2 * sim.Millisecond)
+	}
+	e.s.RunFor(800 * sim.Millisecond)
+	results := make(map[ops.ID]string, len(all))
+	for _, r := range all {
+		if r.done {
+			results[r.x.ID] = fmt.Sprint(r.value)
+		}
+	}
+	return results, e
+}
+
+func TestMemoizationPreservesResponsesAndCutsWork(t *testing.T) {
+	collect := func(opt Options) (map[ops.ID]string, ReplicaMetrics, Convergence) {
+		results, e := runWorkload(t, opt, 6)
+		return results, e.cluster.TotalMetrics(), e.cluster.CheckConvergence()
+	}
+	baseRes, baseM, baseConv := collect(Options{})
+	memoRes, memoM, memoConv := collect(Options{Memoize: true})
+
+	if !baseConv.Converged || !memoConv.Converged {
+		t.Fatalf("convergence: base=%v memo=%v", baseConv.Reason, memoConv.Reason)
+	}
+	if len(baseRes) == 0 || len(baseRes) != len(memoRes) {
+		t.Fatalf("response counts differ: %d vs %d", len(baseRes), len(memoRes))
+	}
+	for id, v := range baseRes {
+		if memoRes[id] != v {
+			t.Errorf("op %v: base %q, memoized %q", id, v, memoRes[id])
+		}
+	}
+	// Both runs are identical except for internal caching, so the eventual
+	// orders must match exactly.
+	for i := range baseConv.Order {
+		if baseConv.Order[i] != memoConv.Order[i] {
+			t.Fatalf("eventual orders diverge at %d", i)
+		}
+	}
+	if memoM.AppliesForResponse >= baseM.AppliesForResponse {
+		t.Errorf("memoization did not reduce response applies: %d vs %d",
+			memoM.AppliesForResponse, baseM.AppliesForResponse)
+	}
+	if memoM.MemoizedOps == 0 {
+		t.Error("nothing was memoized")
+	}
+}
+
+func TestPruneReleasesDescriptors(t *testing.T) {
+	_, plain := runWorkload(t, Options{Memoize: true}, 0)
+	_, pruned := runWorkload(t, Options{Memoize: true, Prune: true}, 0)
+	mPlain := plain.cluster.TotalMetrics()
+	mPruned := pruned.cluster.TotalMetrics()
+	if mPruned.RetainedOps >= mPlain.RetainedOps {
+		t.Fatalf("pruning retained %d descriptors, plain retained %d",
+			mPruned.RetainedOps, mPlain.RetainedOps)
+	}
+	// Pruning must not affect responses: both runs converged with all
+	// operations done at all replicas.
+	if !pruned.cluster.CheckConvergence().Converged {
+		t.Fatal("pruned run did not converge")
+	}
+}
+
+func TestIncrementalGossipEquivalentAndSmaller(t *testing.T) {
+	_, full := runWorkload(t, Options{Memoize: true}, 4)
+	_, incr := runWorkload(t, Options{Memoize: true, IncrementalGossip: true}, 4)
+	fullConv := full.cluster.CheckConvergence()
+	incrConv := incr.cluster.CheckConvergence()
+	if !fullConv.Converged || !incrConv.Converged {
+		t.Fatalf("convergence: full=%v incr=%v", fullConv.Reason, incrConv.Reason)
+	}
+	if len(fullConv.Order) != len(incrConv.Order) {
+		t.Fatal("different op counts")
+	}
+	for i := range fullConv.Order {
+		if fullConv.Order[i] != incrConv.Order[i] {
+			t.Fatalf("eventual orders diverge at %d", i)
+		}
+	}
+	fullBytes := full.net.Stats().Bytes
+	incrBytes := incr.net.Stats().Bytes
+	if incrBytes >= fullBytes {
+		t.Fatalf("incremental gossip bytes %d not smaller than full %d", incrBytes, fullBytes)
+	}
+	t.Logf("gossip bytes: full=%d incremental=%d (%.1f%%)",
+		fullBytes, incrBytes, 100*float64(incrBytes)/float64(fullBytes))
+}
+
+func TestCommuteModeMatchesBaseOnSafeWorkload(t *testing.T) {
+	// SafeUsers discipline on a Set: all mutators of the same element are
+	// ordered by prev chains per element; queries ordered after the mutators
+	// they must observe. Under this discipline commute mode must return the
+	// same values as the base algorithm with zero response-time applies for
+	// non-strict ops.
+	run := func(opt Options) (map[ops.ID]string, ReplicaMetrics) {
+		e := newTestEnv(t, 3, dtype.Set{}, opt)
+		var all []*result
+		lastMut := make(map[string]ops.ID) // per-element chain
+		elems := []string{"a", "b", "c"}
+		for i := 0; i < 24; i++ {
+			elem := elems[i%3]
+			var prev []ops.ID
+			if last, ok := lastMut[elem]; ok {
+				prev = []ops.ID{last}
+			}
+			var op dtype.Operator
+			switch (i / 3) % 3 {
+			case 0, 1:
+				op = dtype.SetAdd{Elem: elem}
+			default:
+				op = dtype.SetRemove{Elem: elem}
+			}
+			res := e.submit(fmt.Sprintf("c%d", i%2), op, prev, false)
+			lastMut[elem] = res.x.ID
+			all = append(all, res)
+			e.s.RunFor(2 * sim.Millisecond)
+		}
+		// Queries ordered after the relevant chains.
+		for _, elem := range elems {
+			all = append(all, e.submit("q", dtype.SetContains{Elem: elem}, []ops.ID{lastMut[elem]}, false))
+		}
+		e.s.RunFor(800 * sim.Millisecond)
+		if !e.cluster.CheckConvergence().Converged {
+			t.Fatal("no convergence")
+		}
+		results := make(map[ops.ID]string, len(all))
+		for _, r := range all {
+			if !r.done {
+				t.Fatalf("op %v unanswered", r.x.ID)
+			}
+			results[r.x.ID] = fmt.Sprint(r.value)
+		}
+		return results, e.cluster.TotalMetrics()
+	}
+	baseRes, _ := run(Options{})
+	commRes, commM := run(Options{Commute: true})
+	if len(baseRes) == 0 || len(baseRes) != len(commRes) {
+		t.Fatalf("response counts differ: %d vs %d", len(baseRes), len(commRes))
+	}
+	for id, v := range baseRes {
+		if commRes[id] != v {
+			t.Errorf("op %v: base %q, commute %q", id, v, commRes[id])
+		}
+	}
+	if commM.AppliesForResponse != 0 {
+		t.Errorf("commute mode recomputed %d applies at response time", commM.AppliesForResponse)
+	}
+	if commM.AppliesForCurrentState == 0 {
+		t.Error("commute mode never applied to cs_r")
+	}
+}
+
+func TestGossipLossDelaysButDoesNotBreakStrict(t *testing.T) {
+	// Theorem 9.4 in miniature: cut all replica↔replica links during a fault
+	// window; a strict op issued during the window is answered after the
+	// window ends, within δ of the heal time.
+	e := newTestEnv(t, 3, dtype.Counter{}, Options{})
+	replicas := e.cluster.Nodes()
+	e.net.PartitionBetween(replicas[:1], replicas[1:], false)
+	e.net.PartitionBetween(replicas[1:2], replicas[2:], false)
+
+	res := e.submit("c1", dtype.CtrRead{}, nil, true)
+	e.s.RunFor(100 * sim.Millisecond)
+	if res.done {
+		t.Fatal("strict op answered during total gossip partition")
+	}
+	healAt := e.s.Now()
+	e.net.PartitionBetween(replicas[:1], replicas[1:], true)
+	e.net.PartitionBetween(replicas[1:2], replicas[2:], true)
+	e.s.RunFor(200 * sim.Millisecond)
+	if !res.done {
+		t.Fatal("strict op never answered after heal")
+	}
+	// From the heal, the δ(x) bound applies with the request already at the
+	// replica: ≤ d_f + 3·(g + d_g) plus one full gossip period of slack for
+	// the round in progress.
+	bound := e.df + 4*(e.g+e.dg)
+	if got := res.at.Sub(healAt); got > bound {
+		t.Fatalf("post-heal strict latency %v exceeds %v", got, bound)
+	}
+}
+
+func TestReplicaCrashRetransmitRecovers(t *testing.T) {
+	e := newTestEnv(t, 3, dtype.Counter{}, Options{})
+	e.net.SetNodeDown(ReplicaNode(0), true)
+
+	// The front end's first round-robin target is replica 0, which is down.
+	res := e.submit("c3", dtype.CtrAdd{N: 2}, nil, false)
+	e.s.RunFor(50 * sim.Millisecond)
+	if res.done {
+		t.Fatal("answered by a downed replica")
+	}
+	fe := e.cluster.FrontEnd("c3")
+	if fe.Pending() != 1 {
+		t.Fatalf("pending = %d", fe.Pending())
+	}
+	if n := fe.Retransmit(); n != 1 {
+		t.Fatalf("retransmitted %d requests", n)
+	}
+	e.s.RunFor(100 * sim.Millisecond)
+	if !res.done {
+		t.Fatal("retransmission did not recover from replica crash")
+	}
+}
+
+func TestDuplicateRequestsAreHarmless(t *testing.T) {
+	e := newTestEnv(t, 3, dtype.Counter{}, Options{Memoize: true})
+	fe := e.cluster.FrontEnd("c1")
+	res := e.submit("c1", dtype.CtrAdd{N: 5}, nil, false)
+	// Retransmit the same pending op to other replicas before the response.
+	fe.Retransmit()
+	fe.Retransmit()
+	e.s.RunFor(500 * sim.Millisecond)
+	if !res.done {
+		t.Fatal("no response")
+	}
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("not converged: %s", conv.Reason)
+	}
+	if len(conv.Order) != 1 {
+		t.Fatalf("duplicate requests produced %d ops, want 1", len(conv.Order))
+	}
+	var total dtype.Value
+	r := e.submit("c1", dtype.CtrRead{}, nil, true)
+	e.s.RunFor(300 * sim.Millisecond)
+	total = r.value
+	if total != int64(5) {
+		t.Fatalf("counter = %v: duplicate was applied twice", total)
+	}
+}
+
+func TestStrictEverywhereCountAndSnapshot(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	e.submit("c1", dtype.CtrAdd{N: 1}, nil, false)
+	e.s.RunFor(300 * sim.Millisecond)
+	r0 := e.cluster.Replica(0)
+	if r0.StableEverywhereCount() != 1 {
+		t.Fatalf("stable-everywhere = %d", r0.StableEverywhereCount())
+	}
+	snap := r0.Snapshot()
+	if len(snap.Done) != 1 || len(snap.Stable) != 1 || snap.Pending != 0 || snap.Deferred != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.MaxStable.IsInf() {
+		t.Fatal("maxStable not advanced")
+	}
+	if r0.ID() != 0 || r0.Node() != ReplicaNode(0) {
+		t.Fatal("identity accessors wrong")
+	}
+}
+
+func TestSingleReplicaClusterIsImmediatelyStable(t *testing.T) {
+	e := newTestEnv(t, 1, dtype.Counter{}, Options{Memoize: true})
+	start := e.s.Now()
+	res := e.submit("c1", dtype.CtrRead{}, nil, true)
+	e.s.RunFor(50 * sim.Millisecond)
+	if !res.done {
+		t.Fatal("no response")
+	}
+	if res.at.Sub(start) > 2*e.df {
+		t.Fatalf("single-replica strict latency %v should be the round trip", res.at.Sub(start))
+	}
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	cases := map[string]func(){
+		"zero replicas": func() {
+			NewCluster(ClusterConfig{Replicas: 0, DataType: dtype.Counter{}, Network: e.net})
+		},
+		"nil data type": func() {
+			NewCluster(ClusterConfig{Replicas: 1, Network: e.net})
+		},
+		"nil network": func() {
+			NewCluster(ClusterConfig{Replicas: 1, DataType: dtype.Counter{}})
+		},
+		"bad replica id": func() {
+			NewReplica(ReplicaConfig{ID: 5, Peers: []transport.NodeID{"a"}, DataType: dtype.Counter{}, Network: e.net})
+		},
+		"empty client": func() {
+			NewFrontEnd(FrontEndConfig{Client: "", Replicas: e.cluster.Nodes(), Network: e.net})
+		},
+		"no replicas for fe": func() {
+			NewFrontEnd(FrontEndConfig{Client: "x", Network: e.net})
+		},
+		"stick to unknown": func() {
+			e.cluster.FrontEnd("c9").StickTo("nope")
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestFrontEndIdentifiers(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	fe := e.cluster.FrontEnd("u")
+	x1 := fe.Submit(dtype.CtrAdd{N: 1}, nil, false, nil)
+	x2 := fe.Submit(dtype.CtrAdd{N: 2}, nil, false, nil)
+	if x1.ID == x2.ID {
+		t.Fatal("duplicate ids")
+	}
+	if x1.ID.Client != "u" || x2.ID.Seq != x1.ID.Seq+1 {
+		t.Fatalf("id scheme wrong: %v %v", x1.ID, x2.ID)
+	}
+	if fe.Client() != "u" || fe.Node() != FrontEndNode("u") {
+		t.Fatal("identity accessors wrong")
+	}
+	if last, ok := fe.LastID(); !ok || last != x2.ID {
+		t.Fatal("LastID wrong")
+	}
+	if h := fe.History(); len(h) != 2 || h[0] != x1.ID {
+		t.Fatalf("history = %v", h)
+	}
+	e.s.RunFor(100 * sim.Millisecond)
+	req, resp := fe.Stats()
+	if req != 2 || resp != 2 {
+		t.Fatalf("stats = %d/%d", req, resp)
+	}
+	if fe.Pending() != 0 {
+		t.Fatal("pending should be drained")
+	}
+	// Same front end instance on repeat lookup.
+	if e.cluster.FrontEnd("u") != fe {
+		t.Fatal("FrontEnd not memoized per client")
+	}
+}
+
+func TestFrontEndLastIDEmpty(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	fe := e.cluster.FrontEnd("empty")
+	if _, ok := fe.LastID(); ok {
+		t.Fatal("LastID on empty history")
+	}
+}
+
+func TestUnknownPayloadIgnored(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	e.net.Send("x", ReplicaNode(0), "garbage")
+	e.net.Send("x", FrontEndNode("c"), 42)
+	e.cluster.FrontEnd("c") // register after send: message dropped anyway
+	e.s.RunFor(50 * sim.Millisecond)
+	// Nothing to assert beyond "no panic": replicas ignore junk.
+}
+
+func TestSelfAndMalformedGossipIgnored(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	r0 := e.cluster.Replica(0)
+	// Self gossip and out-of-range sender ids must be ignored.
+	r0.handleGossip(GossipMsg{From: 0})
+	r0.handleGossip(GossipMsg{From: 99})
+	r0.handleGossip(GossipMsg{From: -1})
+	if len(r0.Snapshot().Done) != 0 {
+		t.Fatal("malformed gossip changed state")
+	}
+}
+
+func TestGossipByteAccountingGrowsWithHistory(t *testing.T) {
+	e := newTestEnv(t, 2, dtype.Counter{}, Options{})
+	for i := 0; i < 5; i++ {
+		e.submit("c", dtype.CtrAdd{N: 1}, nil, false)
+		e.s.RunFor(20 * sim.Millisecond)
+	}
+	bytesAfter5 := e.net.Stats().Bytes
+	e.s.RunFor(100 * sim.Millisecond)
+	if e.net.Stats().Bytes <= bytesAfter5 {
+		t.Fatal("full gossip should keep resending state")
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	x := ops.New(dtype.CtrAdd{N: 1}, ops.ID{Client: "c", Seq: 1}, []ops.ID{{Client: "c", Seq: 0}}, false)
+	if EstimateSize(RequestMsg{Op: x}) <= EstimateSize(ResponseMsg{}) {
+		t.Error("request with prev should outweigh a response")
+	}
+	g := GossipMsg{R: []ops.Operation{x}, D: []ops.ID{x.ID}, S: []ops.ID{x.ID},
+		L: map[ops.ID]label.Label{x.ID: label.Make(1, 0)}}
+	if EstimateSize(g) <= EstimateSize(RequestMsg{Op: x}) {
+		t.Error("gossip should outweigh a single request")
+	}
+	if EstimateSize("junk") <= 0 {
+		t.Error("unknown payloads still have header cost")
+	}
+}

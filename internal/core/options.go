@@ -1,0 +1,41 @@
+package core
+
+// Options selects which of the §10 optimizations a replica runs. The zero
+// value is the unoptimized abstract algorithm of Fig. 7 (recompute every
+// response from the initial state, full gossip).
+type Options struct {
+	// Memoize enables the §10.1 solid-prefix memoization (ESDS-Alg′,
+	// Fig. 10): once an operation is solid at the replica — stable, or
+	// locally ordered before a stable operation — its value and the state
+	// after it are cached and never recomputed.
+	Memoize bool
+
+	// Prune enables the §10.2 memory reclamation: prev sets are dropped once
+	// an operation is done locally, and full descriptors of memoized
+	// operations are released (only id and value are retained).
+	Prune bool
+
+	// Commute enables the §10.3 current-state mode (Fig. 11): the replica
+	// additionally maintains cs_r, the state after all locally done
+	// operations in arrival order, and answers non-strict requests from the
+	// value computed when the operation was first applied — no recomputation
+	// at response time. Sound only for SafeUsers workloads, where clients
+	// order all non-commuting operations via prev sets.
+	Commute bool
+
+	// IncrementalGossip enables the §10.4 communication reduction: each
+	// replica remembers what it has sent to each peer and gossips only new
+	// operations, newly done/stable identifiers, and lowered labels.
+	// As in the paper, this requires reliable FIFO channels: with full
+	// gossip every message is self-contained (its D entries come with their
+	// R descriptors and L labels), so reordering is harmless, but a delta
+	// depends on its predecessors having been delivered.
+	IncrementalGossip bool
+}
+
+// DefaultOptions is the configuration a production deployment would run:
+// memoization and pruning on, incremental gossip on, commute mode off
+// (commute mode needs the SafeUsers client discipline).
+func DefaultOptions() Options {
+	return Options{Memoize: true, Prune: true, IncrementalGossip: true}
+}

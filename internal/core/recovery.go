@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// This file implements the §9.3 crash-recovery protocol for replicas with
+// volatile memory:
+//
+//	"A replica recovers by requesting new gossip messages and waiting for
+//	 a response from each replica before resuming the algorithm. The key
+//	 to establishing correctness is that after recovery, the replica
+//	 should have a label for each operation that is less than or equal to
+//	 the label it had for that operation before the crash. This is only a
+//	 problem if the smallest label it had prior to the crash was generated
+//	 locally, so only those labels need to be kept in stable storage."
+//
+// Accordingly, a replica configured with a StableStore persists exactly the
+// labels it generates itself (its ℒ_r assignments). Crash wipes all
+// volatile state; Recover reloads the persisted labels, asks every peer for
+// fresh gossip, and suspends do_it / responses / outgoing gossip until
+// every peer has answered.
+
+// RecoveryRequestMsg asks a peer for a full gossip message (and, under
+// incremental gossip, a reset of the peer's delta bookkeeping for the
+// requester, since the requester lost everything previously sent).
+type RecoveryRequestMsg struct {
+	From label.ReplicaID
+}
+
+// StableStore persists locally generated labels across crashes. Implementations
+// must retain writes made before a crash; they are the replica's only
+// non-volatile state.
+type StableStore interface {
+	// PersistLabel records that the replica assigned l to id.
+	PersistLabel(id ops.ID, l label.Label)
+	// Labels returns all persisted assignments.
+	Labels() map[ops.ID]label.Label
+}
+
+// MemStableStore is an in-memory StableStore that lives outside the replica
+// (so it survives Replica.Crash). It is safe for concurrent use.
+type MemStableStore struct {
+	mu sync.Mutex
+	m  map[ops.ID]label.Label
+}
+
+var _ StableStore = (*MemStableStore)(nil)
+
+// NewMemStableStore returns an empty store.
+func NewMemStableStore() *MemStableStore {
+	return &MemStableStore{m: make(map[ops.ID]label.Label)}
+}
+
+// PersistLabel implements StableStore.
+func (s *MemStableStore) PersistLabel(id ops.ID, l label.Label) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = l
+}
+
+// Labels implements StableStore.
+func (s *MemStableStore) Labels() map[ops.ID]label.Label {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ops.ID]label.Label, len(s.m))
+	for id, l := range s.m {
+		out[id] = l
+	}
+	return out
+}
+
+// Crash simulates a crash with volatile memory loss: every state component
+// except the replica's identity, configuration, and stable store is reset
+// to its initial value. The caller is responsible for also making the
+// replica unreachable during the outage (e.g. SimNet.SetNodeDown) — Crash
+// itself only wipes memory.
+func (r *Replica) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	r.pendingQueue = nil
+	r.pendingSet = make(map[ops.ID]struct{})
+	r.retained = make(map[ops.ID]ops.Operation)
+	r.rcvdIDs = make(map[ops.ID]struct{})
+	r.rcvdQueue = nil
+	r.doneAt = make([]map[ops.ID]struct{}, n)
+	r.stableAt = make([]map[ops.ID]struct{}, n)
+	for i := 0; i < n; i++ {
+		r.doneAt[i] = make(map[ops.ID]struct{})
+		r.stableAt[i] = make(map[ops.ID]struct{})
+	}
+	r.doneCount = make(map[ops.ID]int)
+	r.stableCount = make(map[ops.ID]int)
+	r.labels = label.NewMap()
+	r.gen = label.NewGenerator(r.id)
+	r.doneSeq = nil
+	r.seqDirty = false
+	r.deferredQueue = nil
+	r.deferredSet = make(map[ops.ID]struct{})
+	r.memoized = 0
+	r.memoState = r.dt.Initial()
+	r.memoVals = make(map[ops.ID]dtype.Value)
+	r.lastMemoLabel = label.Label{}
+	r.maxStable = label.Infinity
+	r.curState = r.dt.Initial()
+	r.curVals = make(map[ops.ID]dtype.Value)
+	for i := 0; i < n; i++ {
+		r.pendR[i] = nil
+		r.pendD[i] = nil
+		r.pendS[i] = nil
+		r.pendL[i] = make(map[ops.ID]struct{})
+	}
+	r.crashed = true
+	r.recovering = false
+	r.recoveryAcks = nil
+}
+
+// Recover restarts a crashed replica: persisted labels are reloaded (so
+// every re-learned operation gets a label ≤ its pre-crash label, the §9.3
+// correctness condition), every peer is asked for fresh gossip, and the
+// replica resumes the algorithm only after all peers have answered.
+// A single-replica cluster resumes immediately.
+func (r *Replica) Recover() {
+	r.mu.Lock()
+	if r.store != nil {
+		for id, l := range r.store.Labels() {
+			r.gen.Observe(l)
+			r.labels.SetMin(id, l)
+		}
+	}
+	r.crashed = false
+	r.recovering = r.n > 1
+	r.recoveryAcks = make(map[label.ReplicaID]struct{})
+	peers := make([]transport.NodeID, 0, r.n-1)
+	for i := 0; i < r.n; i++ {
+		if i != int(r.id) {
+			peers = append(peers, r.peers[i])
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range peers {
+		r.net.Send(r.node, p, RecoveryRequestMsg{From: r.id})
+	}
+}
+
+// Recovering reports whether the replica is waiting for recovery acks.
+func (r *Replica) Recovering() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovering
+}
+
+// handleRecoveryRequest serves a peer's recovery: the requester lost
+// everything previously sent, so the peer's delta queues are re-primed
+// with a full snapshot, which is then sent as one gossip message flagged
+// as a recovery ack.
+func (r *Replica) handleRecoveryRequest(msg RecoveryRequestMsg) {
+	from := int(msg.From)
+	r.mu.Lock()
+	if from < 0 || from >= r.n || from == int(r.id) || r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	var out GossipMsg
+	if r.opt.IncrementalGossip {
+		r.ensureSorted()
+		r.pendR[from] = nil
+		r.pendD[from] = nil
+		r.pendS[from] = nil
+		r.pendL[from] = make(map[ops.ID]struct{})
+		for _, id := range r.doneSeq {
+			r.pendR[from] = append(r.pendR[from], id)
+			r.pendD[from] = append(r.pendD[from], id)
+			r.pendL[from][id] = struct{}{}
+			if _, st := r.stableAt[r.id][id]; st {
+				r.pendS[from] = append(r.pendS[from], id)
+			}
+		}
+		r.pendR[from] = append(r.pendR[from], r.rcvdQueue...)
+		out = r.buildDelta(from)
+	} else {
+		out = r.buildGossip(from)
+	}
+	out.RecoveryAck = true
+	r.metrics.GossipSent++
+	to := r.peers[from]
+	r.mu.Unlock()
+	r.net.Send(r.node, to, out)
+}

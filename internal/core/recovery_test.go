@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/spec"
+	"esds/internal/transport"
+)
+
+// newRecoveryEnv builds a 3-replica cluster with stable stores.
+func newRecoveryEnv(t *testing.T, opt Options) (*testEnv, []*MemStableStore) {
+	t.Helper()
+	s := sim.New(1)
+	df := 1 * sim.Millisecond
+	dg := 2 * sim.Millisecond
+	g := 5 * sim.Millisecond
+	isReplica := func(id transport.NodeID) bool {
+		return len(id) > 8 && id[:8] == "replica:"
+	}
+	net := transport.NewSimNet(s, transport.SimNetConfig{
+		Latency: transport.ClassLatency(isReplica, transport.FixedLatency(df), transport.FixedLatency(dg)),
+		Sizer:   EstimateSize,
+	})
+	stores := []*MemStableStore{NewMemStableStore(), NewMemStableStore(), NewMemStableStore()}
+	cluster := NewCluster(ClusterConfig{
+		Replicas: 3,
+		DataType: dtype.Log{},
+		Network:  net,
+		Options:  opt,
+		Stores:   []StableStore{stores[0], stores[1], stores[2]},
+	})
+	cluster.StartSimGossip(s, g)
+	return &testEnv{s: s, net: net, cluster: cluster, df: df, dg: dg, g: g}, stores
+}
+
+func TestCrashWipesAndRecoverRebuilds(t *testing.T) {
+	e, _ := newRecoveryEnv(t, Options{Memoize: true})
+	for i := 0; i < 10; i++ {
+		e.submit(fmt.Sprintf("c%d", i%2), dtype.LogAppend{Entry: fmt.Sprintf("e%d", i)}, nil, false)
+		e.s.RunFor(3 * sim.Millisecond)
+	}
+	e.s.RunFor(200 * sim.Millisecond)
+
+	r0 := e.cluster.Replica(0)
+	before := r0.Snapshot()
+	if len(before.Done) != 10 {
+		t.Fatalf("pre-crash done = %d", len(before.Done))
+	}
+
+	// Crash: memory gone.
+	e.net.SetNodeDown(r0.Node(), true)
+	r0.Crash()
+	if got := len(r0.Snapshot().Done); got != 0 {
+		t.Fatalf("post-crash done = %d, want 0", got)
+	}
+	e.s.RunFor(50 * sim.Millisecond)
+
+	// Recover: rejoin, handshake, resume.
+	e.net.SetNodeDown(r0.Node(), false)
+	r0.Recover()
+	if !r0.Recovering() {
+		t.Fatal("replica not in recovery after Recover")
+	}
+	e.s.RunFor(200 * sim.Millisecond)
+	if r0.Recovering() {
+		t.Fatal("recovery never completed")
+	}
+
+	after := r0.Snapshot()
+	if len(after.Done) != 10 {
+		t.Fatalf("post-recovery done = %d, want 10", len(after.Done))
+	}
+	// §9.3 correctness condition: every recovered label ≤ its pre-crash
+	// label.
+	for id, l := range after.Labels {
+		if old, ok := before.Labels[id]; ok && old.Less(l) {
+			t.Fatalf("label of %v rose across crash: %v -> %v", id, old, l)
+		}
+	}
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("cluster did not reconverge: %s", conv.Reason)
+	}
+}
+
+func TestRecoveryPreservesUngossipedLocalLabels(t *testing.T) {
+	// The hard §9.3 case: an operation labelled ONLY at the crashing
+	// replica, never gossiped out. Without stable storage its label would be
+	// regenerated (possibly higher); with it, the persisted label is reused.
+	e, stores := newRecoveryEnv(t, Options{Memoize: true})
+	fe := e.cluster.FrontEnd("c")
+	fe.StickTo(ReplicaNode(0))
+	r0 := e.cluster.Replica(0)
+
+	// Cut all outbound gossip from r0 before the request, so r0's label for
+	// x never leaves.
+	nodes := e.cluster.Nodes()
+	e.net.SetLinkDown(nodes[0], nodes[1], true)
+	e.net.SetLinkDown(nodes[0], nodes[2], true)
+	x := fe.Submit(dtype.LogAppend{Entry: "lonely"}, nil, false, nil)
+	e.s.RunFor(20 * sim.Millisecond)
+	preLabel := r0.Snapshot().Labels[x.ID]
+	if preLabel.IsInf() {
+		t.Fatal("op not labelled at r0")
+	}
+	if got := stores[0].Labels()[x.ID]; got != preLabel {
+		t.Fatalf("stable store holds %v, replica assigned %v", got, preLabel)
+	}
+
+	// Crash r0, heal links, recover.
+	e.net.SetNodeDown(nodes[0], true)
+	r0.Crash()
+	e.net.SetLinkDown(nodes[0], nodes[1], false)
+	e.net.SetLinkDown(nodes[0], nodes[2], false)
+	e.s.RunFor(20 * sim.Millisecond)
+	e.net.SetNodeDown(nodes[0], false)
+	r0.Recover()
+	e.s.RunFor(100 * sim.Millisecond)
+
+	// The front end retransmits the lost request.
+	fe.Retransmit()
+	e.s.RunFor(300 * sim.Millisecond)
+
+	post := r0.Snapshot().Labels[x.ID]
+	if post != preLabel {
+		t.Fatalf("recovered label %v != persisted pre-crash label %v", post, preLabel)
+	}
+	if !e.cluster.CheckConvergence().Converged {
+		t.Fatal("no convergence after recovery")
+	}
+}
+
+func TestRecoveringReplicaDoesNotAnswer(t *testing.T) {
+	e, _ := newRecoveryEnv(t, Options{})
+	r0 := e.cluster.Replica(0)
+	nodes := e.cluster.Nodes()
+
+	// Crash and recover r0 while one peer is unreachable: the handshake
+	// cannot complete, so r0 must not process new requests.
+	e.net.SetNodeDown(nodes[1], true)
+	r0.Crash()
+	r0.Recover()
+	e.s.RunFor(100 * sim.Millisecond)
+	if !r0.Recovering() {
+		t.Fatal("recovery completed despite unreachable peer")
+	}
+
+	fe := e.cluster.FrontEnd("c")
+	fe.StickTo(ReplicaNode(0))
+	var answered bool
+	fe.Submit(dtype.LogAppend{Entry: "x"}, nil, false, func(Response) { answered = true })
+	e.s.RunFor(100 * sim.Millisecond)
+	if answered {
+		t.Fatal("recovering replica answered a request")
+	}
+
+	// Peer returns: handshake completes, request drains.
+	e.net.SetNodeDown(nodes[1], false)
+	r0.Recover() // re-issue requests (the first ack from node1 was lost)
+	e.s.RunFor(300 * sim.Millisecond)
+	if r0.Recovering() {
+		t.Fatal("recovery stuck after peer healed")
+	}
+	if !answered {
+		t.Fatal("request not answered after recovery")
+	}
+}
+
+func TestCrashedReplicaIgnoresTraffic(t *testing.T) {
+	e, _ := newRecoveryEnv(t, Options{})
+	r0 := e.cluster.Replica(0)
+	r0.Crash()
+	// Messages arriving at a crashed replica (e.g. in-flight before the
+	// crash was modelled on the network) must be ignored.
+	r0.handleRequest(RequestMsg{Op: ops.New(dtype.LogAppend{Entry: "z"}, ops.ID{Client: "c", Seq: 0}, nil, false)})
+	r0.handleGossip(GossipMsg{From: 1})
+	r0.handleRecoveryRequest(RecoveryRequestMsg{From: 1})
+	if got := len(r0.Snapshot().Done); got != 0 {
+		t.Fatalf("crashed replica processed traffic: %d done", got)
+	}
+	r0.SendGossip() // no-op
+	if r0.Metrics().GossipSent != 0 {
+		t.Fatal("crashed replica gossiped")
+	}
+}
+
+func TestStrictSafetyAcrossCrashRecovery(t *testing.T) {
+	// End-to-end: workload, crash+recover mid-stream, more workload, then
+	// Theorem 5.8 on the converged order.
+	e, _ := newRecoveryEnv(t, Options{Memoize: true})
+	var all []*result
+	submit := func(i int, strict bool) {
+		res := e.submit(fmt.Sprintf("c%d", i%2), dtype.LogAppend{Entry: fmt.Sprintf("e%d", i)}, nil, strict)
+		all = append(all, res)
+	}
+	for i := 0; i < 8; i++ {
+		submit(i, i%4 == 0)
+		e.s.RunFor(5 * sim.Millisecond)
+	}
+	r1 := e.cluster.Replica(1)
+	e.net.SetNodeDown(r1.Node(), true)
+	r1.Crash()
+	e.s.RunFor(30 * sim.Millisecond)
+	e.net.SetNodeDown(r1.Node(), false)
+	r1.Recover()
+	for i := 8; i < 16; i++ {
+		submit(i, i%4 == 0)
+		e.s.RunFor(5 * sim.Millisecond)
+	}
+	// Retransmit anything lost in the crash, then drain.
+	for i := 0; i < 2; i++ {
+		e.cluster.FrontEnd(fmt.Sprintf("c%d", i)).Retransmit()
+	}
+	e.s.RunFor(2 * sim.Second)
+
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("no convergence: %s", conv.Reason)
+	}
+	requested := make([]ops.Operation, 0, len(all))
+	strictResponses := make(map[ops.ID]dtype.Value)
+	for _, o := range all {
+		if !o.done {
+			t.Fatalf("op %v unanswered", o.x.ID)
+		}
+		requested = append(requested, o.x)
+		if o.x.Strict {
+			strictResponses[o.x.ID] = o.value
+		}
+	}
+	if err := spec.ExplainStrictResponses(dtype.Log{}, requested, conv.Order, strictResponses); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStableStore(t *testing.T) {
+	st := NewMemStableStore()
+	id := ops.ID{Client: "c", Seq: 1}
+	st.PersistLabel(id, label.Make(5, 0))
+	st.PersistLabel(id, label.Make(3, 0)) // overwrite
+	got := st.Labels()
+	if len(got) != 1 || got[id] != label.Make(3, 0) {
+		t.Fatalf("labels = %v", got)
+	}
+	// Returned map is a copy.
+	got[id] = label.Make(99, 0)
+	if st.Labels()[id] != label.Make(3, 0) {
+		t.Fatal("Labels aliases internal state")
+	}
+}

@@ -1,0 +1,879 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// Replica is one data replica of the ESDS algorithm (Fig. 7 of the paper,
+// plus the §10 optimizations selected in Options). It keeps a full copy of
+// the object, assigns labels to operations from its own partition ℒ_r, and
+// exchanges gossip with its peers. All state is guarded by a single mutex so
+// the replica is safe both on the single-threaded simulated network and on
+// the live goroutine transport.
+type Replica struct {
+	mu sync.Mutex
+
+	id    label.ReplicaID
+	n     int // number of replicas
+	dt    dtype.DataType
+	net   transport.Network
+	node  transport.NodeID
+	peers []transport.NodeID // node ids of ALL replicas, indexed by ReplicaID
+	opt   Options
+
+	// pending_r: requests awaiting a response (Fig. 7). pendingQueue keeps a
+	// deterministic iteration order; pendingSet dedupes.
+	pendingQueue []ops.ID
+	pendingSet   map[ops.ID]struct{}
+
+	// rcvd_r: every operation received, directly or by gossip. retained maps
+	// id → descriptor; pruning (§10.2) may remove entries for memoized ops.
+	retained  map[ops.ID]ops.Operation
+	rcvdIDs   map[ops.ID]struct{} // ids ever received (survives pruning)
+	rcvdQueue []ops.ID            // arrival order of not-yet-locally-done ops
+
+	// done_r[i] and stable_r[i] (Fig. 7), with incremental counters:
+	// doneCount[id] = |{i : id ∈ done[i]}|; stable-everywhere when
+	// stableCount[id] = n.
+	doneAt      []map[ops.ID]struct{}
+	stableAt    []map[ops.ID]struct{}
+	doneCount   map[ops.ID]int
+	stableCount map[ops.ID]int
+
+	// label_r and the label generator over ℒ_r (§6.3).
+	labels *label.Map
+	gen    *label.Generator
+
+	// doneSeq is done_r[r] sorted ascending by current label: the local
+	// total order lc_r (Invariant 7.15). The prefix [0:memoized) is solid
+	// and never reordered (Lemma 10.2); the suffix is re-sorted lazily.
+	doneSeq  []ops.ID
+	seqDirty bool
+
+	// deferred: ids reported done elsewhere (gossip D/S) whose descriptor or
+	// label has not arrived yet (possible with incremental gossip under
+	// reordering). Retried after every message.
+	deferredQueue []ops.ID
+	deferredSet   map[ops.ID]struct{}
+
+	// Memoization (§10.1): state and values of the solid prefix.
+	memoized      int
+	memoState     dtype.State
+	memoVals      map[ops.ID]dtype.Value
+	lastMemoLabel label.Label
+	maxStable     label.Label // max label among stable_r[r]; ∞ when none yet
+
+	// Commute mode (§10.3): current state after all locally done ops in
+	// application order, and the value each op produced when applied.
+	curState dtype.State
+	curVals  map[ops.ID]dtype.Value
+
+	// Incremental gossip bookkeeping (§10.4): per destination replica, the
+	// deltas accumulated since the last message to it. Keeping explicit
+	// delta queues makes each gossip build O(changes), not O(history) — the
+	// point of the optimization.
+	pendR []([]ops.ID)          // descriptors not yet sent
+	pendD []([]ops.ID)          // newly locally-done ids, in done order
+	pendS []([]ops.ID)          // newly locally-stable ids
+	pendL []map[ops.ID]struct{} // ids whose label changed (value read at build)
+
+	// Crash recovery (§9.3): the stable store holding locally generated
+	// labels, and the recovery handshake state.
+	store        StableStore
+	crashed      bool
+	recovering   bool
+	recoveryAcks map[label.ReplicaID]struct{}
+
+	metrics ReplicaMetrics
+}
+
+// ReplicaConfig assembles a replica.
+type ReplicaConfig struct {
+	ID       label.ReplicaID
+	Peers    []transport.NodeID // node ids of all replicas, indexed by ReplicaID
+	DataType dtype.DataType
+	Network  transport.Network
+	Options  Options
+	// Store, if non-nil, persists locally generated labels for the §9.3
+	// crash-recovery protocol (see recovery.go). Without a store, Crash
+	// followed by Recover is only safe if the replica's labels had been
+	// gossiped before the crash.
+	Store StableStore
+}
+
+// NewReplica constructs a replica and registers it on the network. The
+// paper assumes at least two replicas; a single replica is permitted here
+// (everything it does is trivially stable) to support the centralized
+// baseline.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.DataType == nil {
+		panic("core: nil data type")
+	}
+	if int(cfg.ID) < 0 || int(cfg.ID) >= len(cfg.Peers) {
+		panic(fmt.Sprintf("core: replica id %d out of range for %d peers", cfg.ID, len(cfg.Peers)))
+	}
+	n := len(cfg.Peers)
+	r := &Replica{
+		id:          cfg.ID,
+		n:           n,
+		dt:          cfg.DataType,
+		net:         cfg.Network,
+		node:        cfg.Peers[cfg.ID],
+		peers:       append([]transport.NodeID(nil), cfg.Peers...),
+		opt:         cfg.Options,
+		pendingSet:  make(map[ops.ID]struct{}),
+		retained:    make(map[ops.ID]ops.Operation),
+		rcvdIDs:     make(map[ops.ID]struct{}),
+		doneAt:      make([]map[ops.ID]struct{}, n),
+		stableAt:    make([]map[ops.ID]struct{}, n),
+		doneCount:   make(map[ops.ID]int),
+		stableCount: make(map[ops.ID]int),
+		labels:      label.NewMap(),
+		gen:         label.NewGenerator(cfg.ID),
+		deferredSet: make(map[ops.ID]struct{}),
+		memoState:   cfg.DataType.Initial(),
+		memoVals:    make(map[ops.ID]dtype.Value),
+		maxStable:   label.Infinity,
+		curState:    cfg.DataType.Initial(),
+		curVals:     make(map[ops.ID]dtype.Value),
+		pendR:       make([][]ops.ID, n),
+		pendD:       make([][]ops.ID, n),
+		pendS:       make([][]ops.ID, n),
+		pendL:       make([]map[ops.ID]struct{}, n),
+		store:       cfg.Store,
+	}
+	for i := 0; i < n; i++ {
+		r.doneAt[i] = make(map[ops.ID]struct{})
+		r.stableAt[i] = make(map[ops.ID]struct{})
+		r.pendL[i] = make(map[ops.ID]struct{})
+	}
+	cfg.Network.Register(r.node, r.handleMessage)
+	return r
+}
+
+// ID returns the replica's identifier.
+func (r *Replica) ID() label.ReplicaID { return r.id }
+
+// Node returns the replica's transport address.
+func (r *Replica) Node() transport.NodeID { return r.node }
+
+// Metrics returns a snapshot of the replica's counters and state sizes.
+func (r *Replica) Metrics() ReplicaMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metrics
+	m.DoneOps = len(r.doneAt[r.id])
+	m.StableOps = len(r.stableAt[r.id])
+	m.MemoizedOps = r.memoized
+	m.PendingOps = len(r.pendingSet)
+	m.RetainedOps = len(r.retained)
+	return m
+}
+
+// handleMessage dispatches a transport delivery.
+func (r *Replica) handleMessage(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case RequestMsg:
+		r.handleRequest(p)
+	case GossipMsg:
+		r.handleGossip(p)
+	case RecoveryRequestMsg:
+		r.handleRecoveryRequest(p)
+	default:
+		// Unknown payloads are ignored: a replica must tolerate garbage on
+		// the wire without violating safety.
+	}
+}
+
+// handleRequest is receive_cr(⟨"request", x⟩) of Fig. 7: the operation is
+// recorded as received and marked pending (even if received before — the
+// front end may legitimately retransmit, §6.3 footnote 4).
+func (r *Replica) handleRequest(msg RequestMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed {
+		return
+	}
+	x := msg.Op
+	r.metrics.RequestsReceived++
+	if _, isPending := r.pendingSet[x.ID]; !isPending {
+		r.pendingSet[x.ID] = struct{}{}
+		r.pendingQueue = append(r.pendingQueue, x.ID)
+	}
+	r.receiveOp(x)
+	r.process()
+}
+
+// receiveOp records an operation descriptor in rcvd_r.
+func (r *Replica) receiveOp(x ops.Operation) {
+	if _, seen := r.rcvdIDs[x.ID]; seen {
+		return
+	}
+	r.rcvdIDs[x.ID] = struct{}{}
+	r.retained[x.ID] = x
+	r.enqueueR(x.ID)
+	if _, done := r.doneAt[r.id][x.ID]; !done {
+		r.rcvdQueue = append(r.rcvdQueue, x.ID)
+	}
+}
+
+// handleGossip is receive_r'r(⟨"gossip", R, D, L, S⟩) of Fig. 7.
+func (r *Replica) handleGossip(msg GossipMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed {
+		return
+	}
+	r.metrics.GossipReceived++
+	from := int(msg.From)
+	if from < 0 || from >= r.n || from == int(r.id) {
+		return // malformed or self gossip: ignore
+	}
+	if msg.RecoveryAck && r.recovering {
+		r.recoveryAcks[msg.From] = struct{}{}
+		if len(r.recoveryAcks) == r.n-1 {
+			// Every peer has answered: resume the algorithm (§9.3) after
+			// merging this final message below.
+			r.recovering = false
+		}
+	}
+
+	// rcvd_r ← rcvd_r ∪ R.
+	for _, x := range msg.R {
+		r.receiveOp(x)
+	}
+
+	// label_r ← min(label_r, L), observing every label so future labels from
+	// this replica sort above everything it has seen (do_it precondition).
+	for id, l := range msg.L {
+		r.setLabelMin(id, l)
+	}
+
+	// done_r[r'] ∪= D ∪ S; done_r[r] ∪= D ∪ S; done_r[i] ∪= S for all i.
+	for _, id := range msg.D {
+		r.markDoneAt(from, id)
+		r.markDoneLocal(id)
+	}
+	for _, id := range msg.S {
+		for i := 0; i < r.n; i++ {
+			if i == int(r.id) {
+				r.markDoneLocal(id)
+			} else {
+				r.markDoneAt(i, id)
+			}
+		}
+	}
+
+	// stable_r[r'] ∪= S; stable_r[r] ∪= S (S was stable at the sender, hence
+	// done at every replica; the ∩_i done_r[i] part is maintained
+	// incrementally by markDoneAt).
+	for _, id := range msg.S {
+		r.markStableAt(from, id)
+		r.markStableLocal(id)
+	}
+
+	r.process()
+}
+
+// setLabelMin merges one label entry, keeping the generator's freshness
+// invariant and asserting that solid labels never change (Lemma 10.2).
+func (r *Replica) setLabelMin(id ops.ID, l label.Label) {
+	r.gen.Observe(l)
+	if !r.labels.SetMin(id, l) {
+		return
+	}
+	r.enqueueL(id)
+	if _, memoed := r.memoVals[id]; memoed && r.opt.Memoize {
+		// A memoized operation's label changed: the solid-prefix reasoning
+		// (Invariant 7.19 / Lemma 10.2) has been violated — this is an
+		// algorithm bug, not a recoverable condition.
+		panic(fmt.Sprintf("core: replica %d: label of memoized op %v changed to %v", r.id, id, l))
+	}
+	if _, done := r.doneAt[r.id][id]; done {
+		r.seqDirty = true
+	}
+}
+
+// markDoneAt records that id is done at replica i (i ≠ r). It feeds the
+// doneCount used to detect stability (Invariant 7.2: stable_r[r] =
+// ∩_i done_r[i]).
+func (r *Replica) markDoneAt(i int, id ops.ID) {
+	if _, ok := r.doneAt[i][id]; ok {
+		return
+	}
+	r.doneAt[i][id] = struct{}{}
+	r.doneCount[id]++
+	if r.doneCount[id] == r.n {
+		r.markStableLocal(id)
+	}
+}
+
+// markDoneLocal makes id done at this replica via gossip: it joins doneSeq
+// (ordered by its gossiped label) once its label is known; if the label has
+// not arrived yet (incremental gossip reordering) it is deferred.
+func (r *Replica) markDoneLocal(id ops.ID) {
+	if _, ok := r.doneAt[r.id][id]; ok {
+		return
+	}
+	if r.labels.Get(id).IsInf() {
+		r.defer_(id)
+		return
+	}
+	if _, ok := r.retained[id]; !ok {
+		// Done elsewhere but the descriptor has not arrived (possible only
+		// with incremental gossip while a message is in flight).
+		r.defer_(id)
+		return
+	}
+	r.doneAt[r.id][id] = struct{}{}
+	r.doneCount[id]++
+	r.doneSeq = append(r.doneSeq, id)
+	r.seqDirty = true
+	r.enqueueD(id)
+	if r.doneCount[id] == r.n {
+		r.markStableLocal(id)
+	}
+	r.applyCurrent(id)
+}
+
+// defer_ queues an id whose done-ness cannot be processed yet.
+func (r *Replica) defer_(id ops.ID) {
+	if _, ok := r.deferredSet[id]; ok {
+		return
+	}
+	r.deferredSet[id] = struct{}{}
+	r.deferredQueue = append(r.deferredQueue, id)
+}
+
+// markStableAt records that id is stable at replica i (i ≠ r).
+func (r *Replica) markStableAt(i int, id ops.ID) {
+	if _, ok := r.stableAt[i][id]; ok {
+		return
+	}
+	r.stableAt[i][id] = struct{}{}
+	r.stableCount[id]++
+}
+
+// markStableLocal records that id is stable at this replica, updating the
+// solid-prefix boundary maxStable.
+func (r *Replica) markStableLocal(id ops.ID) {
+	if _, ok := r.stableAt[r.id][id]; ok {
+		return
+	}
+	r.stableAt[r.id][id] = struct{}{}
+	r.stableCount[id]++
+	r.enqueueS(id)
+	l := r.labels.Get(id)
+	if l.IsInf() {
+		// A stable op is done everywhere, so a label must exist (Invariant
+		// 7.5); with incremental gossip the label may still be in flight.
+		// maxStable will advance when it arrives and the op is re-marked via
+		// the deferred queue.
+		r.defer_(id)
+		return
+	}
+	if r.maxStable.IsInf() || r.maxStable.Less(l) {
+		r.maxStable = l
+	}
+	r.maybePrune(id)
+}
+
+// applyCurrent maintains cs_r in commute mode: every op is applied exactly
+// once, when it becomes locally done.
+func (r *Replica) applyCurrent(id ops.ID) {
+	if !r.opt.Commute {
+		return
+	}
+	x, ok := r.retained[id]
+	if !ok {
+		// Descriptor pruned: only possible for memoized (stable-everywhere)
+		// ops, which were applied when first done — unreachable here.
+		panic(fmt.Sprintf("core: replica %d: commute apply of pruned op %v", r.id, id))
+	}
+	var v dtype.Value
+	r.curState, v = r.dt.Apply(r.curState, x.Op)
+	r.curVals[id] = v
+	r.metrics.AppliesForCurrentState++
+}
+
+// process runs the replica's internal actions to quiescence: deferred
+// completions, do_it (Fig. 7), stability bookkeeping, memoization (§10.1),
+// and responses. Called with the mutex held after every message. While the
+// §9.3 recovery handshake is outstanding the replica only merges state; it
+// neither labels new operations nor answers clients.
+func (r *Replica) process() {
+	r.retryDeferred()
+	if r.recovering {
+		return
+	}
+	r.tryDoIt()
+	r.advanceMemo()
+	r.respondPending()
+}
+
+// retryDeferred re-attempts done/stable processing for ids whose descriptor
+// or label arrived after the gossip that declared them done.
+func (r *Replica) retryDeferred() {
+	if len(r.deferredQueue) == 0 {
+		return
+	}
+	pending := r.deferredQueue
+	r.deferredQueue = nil
+	for _, id := range pending {
+		delete(r.deferredSet, id)
+	}
+	for _, id := range pending {
+		if r.labels.Get(id).IsInf() {
+			r.defer_(id)
+			continue
+		}
+		r.markDoneLocal(id)
+		if r.doneCount[id] == r.n {
+			r.markStableLocal(id)
+		}
+		// If it was stable-deferred (label missing at stable time), redo the
+		// maxStable update.
+		if _, st := r.stableAt[r.id][id]; st {
+			l := r.labels.Get(id)
+			if r.maxStable.IsInf() || r.maxStable.Less(l) {
+				r.maxStable = l
+			}
+		}
+	}
+}
+
+// tryDoIt runs do_it_r(x, l) (Fig. 7) to fixpoint: every received,
+// not-yet-done operation whose prev set is locally done gets a fresh label
+// from ℒ_r greater than every label this replica has seen.
+func (r *Replica) tryDoIt() {
+	for {
+		progress := false
+		remaining := r.rcvdQueue[:0]
+		for _, id := range r.rcvdQueue {
+			if _, done := r.doneAt[r.id][id]; done {
+				continue // became done via gossip
+			}
+			if !r.labels.Get(id).IsInf() {
+				// Labelled by another replica: it is done elsewhere and will
+				// join doneSeq via markDoneLocal, never via do_it.
+				r.markDoneLocal(id)
+				continue
+			}
+			x := r.retained[id]
+			if !r.prevsDone(x) {
+				remaining = append(remaining, id)
+				continue
+			}
+			l := r.gen.Next()
+			if r.store != nil {
+				// §9.3: locally generated labels are the only state that
+				// must survive a crash.
+				r.store.PersistLabel(id, l)
+			}
+			r.labels.SetMin(id, l)
+			r.enqueueL(id)
+			r.doneAt[r.id][id] = struct{}{}
+			r.doneCount[id]++
+			r.doneSeq = append(r.doneSeq, id)
+			r.seqDirty = true
+			r.enqueueD(id)
+			r.metrics.DoItCount++
+			if r.doneCount[id] == r.n {
+				r.markStableLocal(id)
+			}
+			r.applyCurrent(id)
+			if r.opt.Prune {
+				// §10.2: the prev set is only needed by do_it; free it.
+				x.Prev = nil
+				r.retained[id] = x
+			}
+			progress = true
+		}
+		// Preserve arrival order of the remaining undone ops.
+		r.rcvdQueue = append([]ops.ID(nil), remaining...)
+		if !progress {
+			return
+		}
+	}
+}
+
+// prevsDone reports whether every operation in x.prev is locally done.
+func (r *Replica) prevsDone(x ops.Operation) bool {
+	for _, p := range x.Prev {
+		if _, done := r.doneAt[r.id][p]; !done {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureSorted re-sorts the unsolid suffix of doneSeq by current labels.
+// The memoized prefix is fixed (Lemma 10.2) and never re-sorted.
+func (r *Replica) ensureSorted() {
+	if !r.seqDirty {
+		return
+	}
+	suffix := r.doneSeq[r.memoized:]
+	// Insertion sort: the suffix is nearly sorted (labels only lower via
+	// gossip, and new ops append with the highest label yet).
+	for i := 1; i < len(suffix); i++ {
+		j := i
+		for j > 0 && r.labels.Get(suffix[j]).Less(r.labels.Get(suffix[j-1])) {
+			suffix[j], suffix[j-1] = suffix[j-1], suffix[j]
+			j--
+		}
+	}
+	r.seqDirty = false
+}
+
+// advanceMemo extends the memoized solid prefix (§10.1): operations whose
+// label is ≤ the largest stable label are solid — their position in the
+// eventual total order is fixed — so their value and the state after them
+// are computed once and cached.
+func (r *Replica) advanceMemo() {
+	if !r.opt.Memoize || r.maxStable.IsInf() {
+		return
+	}
+	r.ensureSorted()
+	for r.memoized < len(r.doneSeq) {
+		id := r.doneSeq[r.memoized]
+		l := r.labels.Get(id)
+		if !l.LessEq(r.maxStable) {
+			break
+		}
+		if l.Less(r.lastMemoLabel) {
+			panic(fmt.Sprintf("core: replica %d: memoization order violated: %v < %v", r.id, l, r.lastMemoLabel))
+		}
+		x, ok := r.retained[id]
+		if !ok {
+			panic(fmt.Sprintf("core: replica %d: memoizing pruned op %v", r.id, id))
+		}
+		var v dtype.Value
+		r.memoState, v = r.dt.Apply(r.memoState, x.Op)
+		r.memoVals[id] = v
+		r.lastMemoLabel = l
+		r.memoized++
+		r.metrics.AppliesForMemoize++
+		r.maybePrune(id)
+	}
+}
+
+// maybePrune releases the descriptor of id under §10.2 once BOTH hold:
+// the op is memoized (its value and state contribution are cached) and it
+// is stable at this replica (done at every replica, so every peer already
+// holds the descriptor and no future gossip R needs it). Pruning merely
+// solid ops is unsound: a solid op's descriptor may not have reached every
+// peer yet, and skipping it in gossip R would leave those peers with D/L
+// entries they can never complete.
+func (r *Replica) maybePrune(id ops.ID) {
+	if !r.opt.Prune {
+		return
+	}
+	if _, memoed := r.memoVals[id]; !memoed {
+		return
+	}
+	if _, st := r.stableAt[r.id][id]; !st {
+		return
+	}
+	delete(r.retained, id)
+}
+
+// respondPending is send_rc(⟨"response", x, v⟩) of Fig. 7: every pending
+// operation that is locally done — and, if strict, known stable at every
+// replica — is answered and removed from pending.
+func (r *Replica) respondPending() {
+	if len(r.pendingQueue) == 0 {
+		return
+	}
+	remaining := r.pendingQueue[:0]
+	type outMsg struct {
+		to  transport.NodeID
+		msg ResponseMsg
+	}
+	var outbox []outMsg
+	for _, id := range r.pendingQueue {
+		if _, stillPending := r.pendingSet[id]; !stillPending {
+			continue
+		}
+		if _, done := r.doneAt[r.id][id]; !done {
+			remaining = append(remaining, id)
+			continue
+		}
+		strict := r.isStrict(id)
+		if strict && r.stableCount[id] < r.n {
+			remaining = append(remaining, id)
+			continue
+		}
+		if strict && r.opt.Memoize {
+			if _, memoed := r.memoVals[id]; !memoed {
+				// Stable everywhere but the solid prefix has not advanced
+				// past it yet (only possible transiently); respond next round.
+				remaining = append(remaining, id)
+				continue
+			}
+		}
+		v := r.valueFor(id, strict)
+		delete(r.pendingSet, id)
+		r.metrics.ResponsesSent++
+		outbox = append(outbox, outMsg{to: FrontEndNode(id.Client), msg: ResponseMsg{ID: id, Value: v}})
+	}
+	r.pendingQueue = append([]ops.ID(nil), remaining...)
+	// Send outside the per-op loop but still under the mutex: on the sim
+	// transport Send only schedules an event, and on the live transport it
+	// only enqueues into a mailbox, so no lock-order issue arises.
+	for _, o := range outbox {
+		r.net.Send(r.node, o.to, o.msg)
+	}
+}
+
+// isStrict reports the strict flag of a done operation. For pruned
+// descriptors the answer is reconstructed from the pending bookkeeping:
+// pruning only affects memoized ops, whose strictness no longer matters for
+// ordering — a pruned pending op must have been answered already, so this
+// path defaults to non-strict.
+func (r *Replica) isStrict(id ops.ID) bool {
+	if x, ok := r.retained[id]; ok {
+		return x.Strict
+	}
+	return false
+}
+
+// valueFor computes the response value for a locally done operation: its
+// value in the local total order lc_r (Invariant 7.16 makes this the unique
+// element of valset(x, done_r[r], lc_r)).
+//
+// Fast paths: commute mode answers non-strict ops from the value recorded
+// when the op was applied to cs_r (Fig. 11, Lemma 10.6); memoization
+// answers solid ops from the cached prefix (Fig. 10).
+func (r *Replica) valueFor(id ops.ID, strict bool) dtype.Value {
+	if r.opt.Commute && !strict {
+		if v, ok := r.curVals[id]; ok {
+			return v
+		}
+	}
+	if r.opt.Memoize {
+		if v, ok := r.memoVals[id]; ok {
+			return v
+		}
+	}
+	r.ensureSorted()
+	st := r.memoState // initial state when nothing is memoized
+	for _, seqID := range r.doneSeq[r.memoized:] {
+		x, ok := r.retained[seqID]
+		if !ok {
+			panic(fmt.Sprintf("core: replica %d: unsolid op %v was pruned", r.id, seqID))
+		}
+		var v dtype.Value
+		st, v = r.dt.Apply(st, x.Op)
+		r.metrics.AppliesForResponse++
+		if seqID == id {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("core: replica %d: valueFor(%v): op not in doneSeq", r.id, id))
+}
+
+// SendGossip performs one gossip round: send_rr'(⟨"gossip", ...⟩) of Fig. 7
+// to every peer. With IncrementalGossip only the delta since the last send
+// to each peer is included (§10.4).
+func (r *Replica) SendGossip() {
+	r.mu.Lock()
+	if r.crashed || r.recovering {
+		r.mu.Unlock()
+		return
+	}
+	type outMsg struct {
+		to  transport.NodeID
+		msg GossipMsg
+	}
+	var outbox []outMsg
+	for i := 0; i < r.n; i++ {
+		if i == int(r.id) {
+			continue
+		}
+		msg := r.buildGossip(i)
+		r.metrics.GossipSent++
+		outbox = append(outbox, outMsg{to: r.peers[i], msg: msg})
+	}
+	r.mu.Unlock()
+	for _, o := range outbox {
+		r.net.Send(r.node, o.to, o.msg)
+	}
+}
+
+// buildGossip assembles the gossip message for destination replica i:
+// the full local state (Fig. 7) or, under §10.4, only the accumulated
+// delta.
+func (r *Replica) buildGossip(i int) GossipMsg {
+	if r.opt.IncrementalGossip {
+		return r.buildDelta(i)
+	}
+	msg := GossipMsg{From: r.id, L: r.labels.Snapshot()}
+
+	// R: operation descriptors. Order: arrival-independent but deterministic
+	// (doneSeq order, then the not-yet-done arrival queue) so receivers
+	// process dependencies first. Pruned descriptors are omitted: pruning
+	// requires stability at this replica, i.e. the op is done (descriptor
+	// and all) at every replica already.
+	appendR := func(id ops.ID) {
+		if x, ok := r.retained[id]; ok {
+			msg.R = append(msg.R, x)
+		}
+	}
+	for _, id := range r.doneSeq {
+		appendR(id)
+	}
+	for _, id := range r.rcvdQueue {
+		appendR(id)
+	}
+
+	// D: done_r[r], in local label order (CSC-consistent by Invariant 7.10,
+	// so commute-mode receivers can apply in message order).
+	r.ensureSorted()
+	msg.D = append(msg.D, r.doneSeq...)
+
+	// S: stable_r[r], in label order for determinism.
+	for _, id := range r.doneSeq {
+		if _, st := r.stableAt[r.id][id]; st {
+			msg.S = append(msg.S, id)
+		}
+	}
+	return msg
+}
+
+// buildDelta drains the pending delta queues for peer i (§10.4). Cost is
+// proportional to the changes since the last send, not to the history.
+func (r *Replica) buildDelta(i int) GossipMsg {
+	msg := GossipMsg{From: r.id, L: make(map[ops.ID]label.Label, len(r.pendL[i]))}
+	for _, id := range r.pendR[i] {
+		if x, ok := r.retained[id]; ok {
+			msg.R = append(msg.R, x)
+		}
+		// Pruned before first send: the op is stable here, hence done (with
+		// descriptor) at every replica — the peer does not need it.
+	}
+	msg.D = r.pendD[i]
+	msg.S = r.pendS[i]
+	for id := range r.pendL[i] {
+		if l := r.labels.Get(id); !l.IsInf() {
+			msg.L[id] = l
+		}
+	}
+	r.pendR[i] = nil
+	r.pendD[i] = nil
+	r.pendS[i] = nil
+	r.pendL[i] = make(map[ops.ID]struct{})
+	return msg
+}
+
+// Delta enqueue helpers: record a change for every peer. No-ops when
+// incremental gossip is off (full gossip rebuilds from state each round).
+
+func (r *Replica) enqueueR(id ops.ID) {
+	if !r.opt.IncrementalGossip {
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		if i != int(r.id) {
+			r.pendR[i] = append(r.pendR[i], id)
+		}
+	}
+}
+
+func (r *Replica) enqueueD(id ops.ID) {
+	if !r.opt.IncrementalGossip {
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		if i != int(r.id) {
+			r.pendD[i] = append(r.pendD[i], id)
+		}
+	}
+}
+
+func (r *Replica) enqueueS(id ops.ID) {
+	if !r.opt.IncrementalGossip {
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		if i != int(r.id) {
+			r.pendS[i] = append(r.pendS[i], id)
+		}
+	}
+}
+
+func (r *Replica) enqueueL(id ops.ID) {
+	if !r.opt.IncrementalGossip {
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		if i != int(r.id) {
+			r.pendL[i][id] = struct{}{}
+		}
+	}
+}
+
+// DebugSnapshot exposes a consistent view of the replica's key state for
+// tests and trace checkers.
+type DebugSnapshot struct {
+	Done      []ops.ID               // done_r[r] in local label order
+	Stable    []ops.ID               // stable_r[r] in local label order
+	Labels    map[ops.ID]label.Label // label_r (proper entries)
+	Memoized  int
+	Pending   int
+	Deferred  int
+	MaxStable label.Label
+}
+
+// Snapshot returns a DebugSnapshot.
+func (r *Replica) Snapshot() DebugSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureSorted()
+	snap := DebugSnapshot{
+		Done:      append([]ops.ID(nil), r.doneSeq...),
+		Labels:    r.labels.Snapshot(),
+		Memoized:  r.memoized,
+		Pending:   len(r.pendingSet),
+		Deferred:  len(r.deferredSet),
+		MaxStable: r.maxStable,
+	}
+	for _, id := range r.doneSeq {
+		if _, st := r.stableAt[r.id][id]; st {
+			snap.Stable = append(snap.Stable, id)
+		}
+	}
+	return snap
+}
+
+// StableEverywhereCount returns |{x : x ∈ ∩_i stable_r[i]}| — the ops this
+// replica knows are stable at every replica (the strict-response guard).
+func (r *Replica) StableEverywhereCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	count := 0
+	for _, c := range r.stableCount {
+		if c == r.n {
+			count++
+		}
+	}
+	return count
+}
+
+// FrontEndNode is the transport address convention for front ends: the
+// replica derives the response destination from client(x.id), exactly as
+// the paper's send_rc uses c = client(x.id).
+func FrontEndNode(client string) transport.NodeID {
+	return transport.NodeID("fe:" + client)
+}
+
+// ReplicaNode is the transport address convention for replicas.
+func ReplicaNode(id label.ReplicaID) transport.NodeID {
+	return transport.NodeID(fmt.Sprintf("replica:%d", id))
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/sim"
+)
+
+// TestTheorem57ResponsesInClientValset checks Theorem 5.7's client-visible
+// guarantee on the live implementation: for EVERY response (strict or not)
+// there exists a total order on the requested operations, consistent with
+// the client-specified constraints, that explains it — equivalently, the
+// value lies in valset(x, requested, TC(CSC(requested))).
+//
+// The valset is computed by exhaustive enumeration of linear extensions, so
+// histories are kept small (≤ 7 ops) and many random schedules are run.
+func TestTheorem57ResponsesInClientValset(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			e := newTestEnv(t, 3, dtype.Counter{}, Options{Memoize: seed%2 == 0})
+
+			operators := []dtype.Operator{
+				dtype.CtrAdd{N: 1}, dtype.CtrAdd{N: 3}, dtype.CtrDouble{}, dtype.CtrRead{},
+			}
+			type obs struct {
+				x     ops.Operation
+				value dtype.Value
+				done  bool
+			}
+			var all []*obs
+			var issued []ops.ID
+			for i := 0; i < 7; i++ {
+				client := fmt.Sprintf("c%d", rng.Intn(2))
+				var prev []ops.ID
+				if len(issued) > 0 && rng.Float64() < 0.35 {
+					prev = []ops.ID{issued[rng.Intn(len(issued))]}
+				}
+				strict := rng.Float64() < 0.3
+				op := operators[rng.Intn(len(operators))]
+				o := &obs{}
+				fe := e.cluster.FrontEnd(client)
+				o.x = fe.Submit(op, prev, strict, func(r Response) {
+					o.value = r.Value
+					o.done = true
+				})
+				issued = append(issued, o.x.ID)
+				all = append(all, o)
+				e.s.RunFor(sim.Duration(rng.Intn(12)) * sim.Millisecond)
+			}
+			e.s.RunFor(time500())
+
+			requested := make([]ops.Operation, 0, len(all))
+			for _, o := range all {
+				if !o.done {
+					t.Fatalf("op %v unanswered", o.x.ID)
+				}
+				requested = append(requested, o.x)
+			}
+			csc := ops.CSC(requested).TransitiveClosure()
+			dt := dtype.Counter{}
+			for _, o := range all {
+				vs, err := ops.ValSet(dt, dt.Initial(), o.x, requested, csc, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, member := vs[fmt.Sprint(o.value)]; !member {
+					t.Errorf("response %v for %v outside valset(reqs, CSC): %v",
+						o.value, o.x, keysOf(vs))
+				}
+			}
+		})
+	}
+}
+
+func keysOf(m map[string]dtype.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

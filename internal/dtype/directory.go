@@ -1,0 +1,258 @@
+package dtype
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Directory is a name service data type in the style of §11.2: a mapping
+// from names to attribute sets. It is the paper's motivating application —
+// lookups dominate, updates tolerate lazy propagation, and attribute
+// initialization depends (via prev sets) on name creation.
+type Directory struct{}
+
+var (
+	_ DataType         = Directory{}
+	_ Commuter         = Directory{}
+	_ ObliviousChecker = Directory{}
+)
+
+// DirBind creates the name object (with no attributes). Binding an existing
+// name is a no-op. Value: "ok".
+type DirBind struct{ Name string }
+
+// DirUnbind removes the name and its attributes. Value: "ok".
+type DirUnbind struct{ Name string }
+
+// DirSetAttr sets attribute Key of Name to Val. Setting an attribute of an
+// unbound name reports "no-such-name" and leaves the state unchanged —
+// which is why clients order DirSetAttr after DirBind via prev sets.
+type DirSetAttr struct{ Name, Key, Val string }
+
+// DirGetAttr reads attribute Key of Name (value: the attribute value, or
+// "" if the name or key is absent).
+type DirGetAttr struct{ Name, Key string }
+
+// DirLookup reports whether Name is bound (value: bool).
+type DirLookup struct{ Name string }
+
+// DirList returns the sorted list of bound names (value: []string).
+type DirList struct{}
+
+func (o DirBind) String() string    { return fmt.Sprintf("bind(%s)", o.Name) }
+func (o DirUnbind) String() string  { return fmt.Sprintf("unbind(%s)", o.Name) }
+func (o DirSetAttr) String() string { return fmt.Sprintf("setattr(%s.%s=%s)", o.Name, o.Key, o.Val) }
+func (o DirGetAttr) String() string { return fmt.Sprintf("getattr(%s.%s)", o.Name, o.Key) }
+func (o DirLookup) String() string  { return fmt.Sprintf("lookup(%s)", o.Name) }
+func (DirList) String() string      { return "list" }
+
+// DirState is the immutable canonical state of a Directory.
+type DirState struct {
+	// enc is a canonical encoding: "name\x01k=v\x02k=v..." entries joined by
+	// "\x00", names and keys sorted. Canonical encoding makes states
+	// comparable with == and printable deterministically.
+	enc string
+}
+
+func (s DirState) String() string { return "dir[" + strings.ReplaceAll(s.enc, "\x00", " ") + "]" }
+
+type dirEntry struct {
+	name  string
+	attrs map[string]string
+}
+
+func (s DirState) decode() []dirEntry {
+	if s.enc == "" {
+		return nil
+	}
+	parts := strings.Split(s.enc, "\x00")
+	out := make([]dirEntry, 0, len(parts))
+	for _, p := range parts {
+		fields := strings.Split(p, "\x01")
+		e := dirEntry{name: fields[0], attrs: make(map[string]string)}
+		if len(fields) > 1 && fields[1] != "" {
+			for _, kv := range strings.Split(fields[1], "\x02") {
+				i := strings.IndexByte(kv, '=')
+				e.attrs[kv[:i]] = kv[i+1:]
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func encodeDir(entries []dirEntry) DirState {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		keys := make([]string, 0, len(e.attrs))
+		for k := range e.attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kvs := make([]string, 0, len(keys))
+		for _, k := range keys {
+			kvs = append(kvs, k+"="+e.attrs[k])
+		}
+		parts = append(parts, e.name+"\x01"+strings.Join(kvs, "\x02"))
+	}
+	return DirState{enc: strings.Join(parts, "\x00")}
+}
+
+// Bound reports whether name is bound in the state.
+func (s DirState) Bound(name string) bool {
+	for _, e := range s.decode() {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Attr returns the value of an attribute, or "" if absent.
+func (s DirState) Attr(name, key string) string {
+	for _, e := range s.decode() {
+		if e.name == name {
+			return e.attrs[key]
+		}
+	}
+	return ""
+}
+
+// Names returns the sorted bound names.
+func (s DirState) Names() []string {
+	es := s.decode()
+	out := make([]string, 0, len(es))
+	for _, e := range es {
+		out = append(out, e.name)
+	}
+	return out
+}
+
+// Name implements DataType.
+func (Directory) Name() string { return "directory" }
+
+// Initial implements DataType.
+func (Directory) Initial() State { return DirState{} }
+
+// Apply implements DataType.
+func (Directory) Apply(s State, op Operator) (State, Value) {
+	cur, ok := s.(DirState)
+	if !ok {
+		panic(fmt.Sprintf("dtype: directory state has type %T, want DirState", s))
+	}
+	entries := cur.decode()
+	switch o := op.(type) {
+	case DirBind:
+		for _, e := range entries {
+			if e.name == o.Name {
+				return cur, "ok"
+			}
+		}
+		entries = append(entries, dirEntry{name: o.Name, attrs: map[string]string{}})
+		return encodeDir(entries), "ok"
+	case DirUnbind:
+		out := entries[:0:0]
+		for _, e := range entries {
+			if e.name != o.Name {
+				out = append(out, e)
+			}
+		}
+		return encodeDir(out), "ok"
+	case DirSetAttr:
+		for i, e := range entries {
+			if e.name == o.Name {
+				attrs := make(map[string]string, len(e.attrs)+1)
+				for k, v := range e.attrs {
+					attrs[k] = v
+				}
+				attrs[o.Key] = o.Val
+				entries[i] = dirEntry{name: e.name, attrs: attrs}
+				return encodeDir(entries), "ok"
+			}
+		}
+		return cur, "no-such-name"
+	case DirGetAttr:
+		return cur, cur.Attr(o.Name, o.Key)
+	case DirLookup:
+		return cur, cur.Bound(o.Name)
+	case DirList:
+		return cur, cur.Names()
+	default:
+		panic(fmt.Sprintf("dtype: directory does not support operator %T", op))
+	}
+}
+
+// Commute implements Commuter: operations on different names commute;
+// queries commute with queries. On the same name, bind/bind and
+// setattr/setattr-on-different-keys commute; unbind does not commute with
+// any mutator of the same name; setattr does not commute with bind of the
+// same name (setattr before bind is lost).
+func (Directory) Commute(op1, op2 Operator) bool {
+	n1, mut1 := dirMutTarget(op1)
+	n2, mut2 := dirMutTarget(op2)
+	if !mut1 || !mut2 {
+		return true
+	}
+	if n1 != n2 {
+		return true
+	}
+	switch a := op1.(type) {
+	case DirBind:
+		_, otherBind := op2.(DirBind)
+		return otherBind
+	case DirUnbind:
+		_, otherUnbind := op2.(DirUnbind)
+		return otherUnbind
+	case DirSetAttr:
+		b, otherSet := op2.(DirSetAttr)
+		if !otherSet {
+			return false
+		}
+		return a.Key != b.Key || a.Val == b.Val
+	default:
+		return false
+	}
+}
+
+// Oblivious implements ObliviousChecker: a query is not oblivious to
+// mutators of the name (or name set) it observes.
+func (Directory) Oblivious(op1, op2 Operator) bool {
+	n2, mut2 := dirMutTarget(op2)
+	if !mut2 {
+		return true
+	}
+	switch q := op1.(type) {
+	case DirGetAttr:
+		return q.Name != n2
+	case DirLookup:
+		return q.Name != n2
+	case DirList:
+		return false
+	case DirSetAttr:
+		// setattr's value ("ok" vs "no-such-name") depends on whether the
+		// name is bound, so it is not oblivious to bind/unbind of its name.
+		switch op2.(type) {
+		case DirBind, DirUnbind:
+			return q.Name != n2
+		default:
+			return true
+		}
+	default:
+		return true
+	}
+}
+
+func dirMutTarget(op Operator) (name string, isMutator bool) {
+	switch o := op.(type) {
+	case DirBind:
+		return o.Name, true
+	case DirUnbind:
+		return o.Name, true
+	case DirSetAttr:
+		return o.Name, true
+	default:
+		return "", false
+	}
+}

@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"esds/internal/baseline"
+	"esds/internal/core"
+	"esds/internal/sim"
+	"esds/internal/stats"
+	"esds/internal/transport"
+)
+
+// E9Params configures the baseline comparison: the same offered load is
+// presented to (a) ESDS with all-causal requests, (b) ESDS all-strict
+// (Corollary 5.9: looks atomic), (c) a Ladin-style class mix, and (d) the
+// centralized single-copy service.
+type E9Params struct {
+	Seed            int64
+	Replicas        int
+	Clients         int
+	RequestInterval sim.Duration
+	RunFor          sim.Duration
+	PerOpCost       sim.Duration // centralized server CPU per op
+}
+
+// DefaultE9Params uses a load high enough to expose the centralized
+// bottleneck (6 clients at 4ms spacing against a 3ms/op server).
+func DefaultE9Params() E9Params {
+	return E9Params{
+		Seed:            9,
+		Replicas:        3,
+		Clients:         6,
+		RequestInterval: 4 * sim.Millisecond,
+		RunFor:          2 * sim.Second,
+		PerOpCost:       3 * sim.Millisecond,
+	}
+}
+
+// E9Row is one system's measurements.
+type E9Row struct {
+	System      string
+	Throughput  float64
+	MeanLatency float64
+	P95Latency  float64
+}
+
+// E9Result is the regenerated table.
+type E9Result struct{ Rows []E9Row }
+
+// RunE9 executes all four systems under the same load.
+func RunE9(p E9Params) E9Result {
+	var res E9Result
+	res.Rows = append(res.Rows, runESDSBaseline(p, "ESDS all-causal", 0))
+	res.Rows = append(res.Rows, runESDSBaseline(p, "ESDS all-strict", 100))
+	res.Rows = append(res.Rows, runLadinBaseline(p))
+	res.Rows = append(res.Rows, runCentralizedBaseline(p))
+	return res
+}
+
+func runESDSBaseline(p E9Params, name string, strictPct int) E9Row {
+	env := NewEnv(EnvConfig{
+		Seed:     p.Seed,
+		Replicas: p.Replicas,
+		DataType: dirDT(),
+		Options:  core.DefaultOptions(),
+	})
+	col := &Collector{}
+	nextOp := DirectoryWorkload(env.RNG)
+	strictRng := rand.New(rand.NewSource(p.Seed))
+	for c := 0; c < p.Clients; c++ {
+		client := fmt.Sprintf("c%d", c)
+		env.S.Every(p.RequestInterval, func() {
+			col.Submit(env, client, nextOp(), nil, strictRng.Intn(100) < strictPct)
+		})
+	}
+	env.S.RunUntil(sim.Time(p.RunFor))
+	env.Cluster.Close()
+	return rowFrom(name, p, col)
+}
+
+func runLadinBaseline(p E9Params) E9Row {
+	env := NewEnv(EnvConfig{
+		Seed:     p.Seed,
+		Replicas: p.Replicas,
+		DataType: dirDT(),
+		Options:  core.DefaultOptions(),
+	})
+	col := &Collector{}
+	nextOp := DirectoryWorkload(env.RNG)
+	classRng := rand.New(rand.NewSource(p.Seed + 1))
+	for c := 0; c < p.Clients; c++ {
+		client := fmt.Sprintf("c%d", c)
+		lc := baseline.NewLadinClient(env.Cluster.FrontEnd(client))
+		env.S.Every(p.RequestInterval, func() {
+			class := baseline.Causal
+			switch r := classRng.Intn(100); {
+			case r < 5:
+				class = baseline.Immediate
+			case r < 20:
+				class = baseline.Forced
+			}
+			o := &Obs{Submitted: env.S.Now()}
+			o.X = lc.Submit(nextOp(), class, func(resp core.Response) {
+				o.Value = resp.Value
+				o.Responded = env.S.Now()
+				o.Done = true
+			})
+			col.All = append(col.All, o)
+		})
+	}
+	env.S.RunUntil(sim.Time(p.RunFor))
+	env.Cluster.Close()
+	return rowFrom("Ladin classes (80/15/5)", p, col)
+}
+
+func runCentralizedBaseline(p E9Params) E9Row {
+	s := sim.New(p.Seed)
+	net := transport.NewSimNet(s, transport.SimNetConfig{
+		Latency: transport.FixedLatency(DefaultTiming().DF),
+		Sizer:   core.EstimateSize,
+	})
+	baseline.NewCentralized(s, net, dirDT(), p.PerOpCost)
+	rng := rand.New(rand.NewSource(p.Seed + 7919))
+	nextOp := DirectoryWorkload(rng)
+	col := &Collector{}
+	for c := 0; c < p.Clients; c++ {
+		cl := baseline.NewCentralizedClient(net, fmt.Sprintf("c%d", c))
+		s.Every(p.RequestInterval, func() {
+			o := &Obs{Submitted: s.Now()}
+			o.X = cl.Submit(nextOp(), func(resp core.Response) {
+				o.Value = resp.Value
+				o.Responded = s.Now()
+				o.Done = true
+			})
+			col.All = append(col.All, o)
+		})
+	}
+	s.RunUntil(sim.Time(p.RunFor))
+	return rowFrom("centralized single copy", p, col)
+}
+
+func rowFrom(name string, p E9Params, col *Collector) E9Row {
+	lat := stats.Summarize(col.Latencies(nil))
+	seconds := float64(p.RunFor) / float64(sim.Second)
+	return E9Row{
+		System:      name,
+		Throughput:  float64(col.Completed()) / seconds,
+		MeanLatency: lat.Mean,
+		P95Latency:  lat.P95,
+	}
+}
+
+// Table renders the comparison.
+func (r E9Result) Table() string {
+	t := stats.NewTable("system", "throughput resp/s", "mean latency ms", "p95 ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, row.Throughput, row.MeanLatency, row.P95Latency)
+	}
+	return t.String()
+}
+
+// Verify asserts the qualitative shape: all-causal ESDS beats all-strict
+// ESDS on latency; the centralized server saturates below the replicated
+// service's throughput; the Ladin mix sits between all-causal and
+// all-strict.
+func (r E9Result) Verify() error {
+	byName := make(map[string]E9Row, len(r.Rows))
+	for _, row := range r.Rows {
+		byName[row.System] = row
+	}
+	causal := byName["ESDS all-causal"]
+	strict := byName["ESDS all-strict"]
+	ladin := byName["Ladin classes (80/15/5)"]
+	central := byName["centralized single copy"]
+	if causal.MeanLatency*2 > strict.MeanLatency {
+		return fmt.Errorf("exp: E9 all-strict latency %vms not ≫ causal %vms",
+			strict.MeanLatency, causal.MeanLatency)
+	}
+	if !(causal.MeanLatency <= ladin.MeanLatency && ladin.MeanLatency <= strict.MeanLatency) {
+		return fmt.Errorf("exp: E9 Ladin mix latency %vms not between causal %vms and strict %vms",
+			ladin.MeanLatency, causal.MeanLatency, strict.MeanLatency)
+	}
+	if central.Throughput >= causal.Throughput {
+		return fmt.Errorf("exp: E9 centralized throughput %v not below replicated %v",
+			central.Throughput, causal.Throughput)
+	}
+	return nil
+}

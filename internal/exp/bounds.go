@@ -1,0 +1,389 @@
+package exp
+
+import (
+	"fmt"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/sim"
+	"esds/internal/stats"
+)
+
+// OpClass3 labels the three δ(x) classes of Theorem 9.3.
+type OpClass3 int
+
+// The classes, in the paper's order.
+const (
+	NonStrictNoPrev OpClass3 = iota + 1
+	NonStrictWithPrev
+	Strict
+)
+
+func (c OpClass3) String() string {
+	switch c {
+	case NonStrictNoPrev:
+		return "non-strict, empty prev"
+	case NonStrictWithPrev:
+		return "non-strict, with prev"
+	case Strict:
+		return "strict"
+	default:
+		return fmt.Sprintf("OpClass3(%d)", int(c))
+	}
+}
+
+// Delta is δ(x) from Theorem 9.3.
+func Delta(c OpClass3, t Timing) sim.Duration {
+	switch c {
+	case NonStrictNoPrev:
+		return 2 * t.DF
+	case NonStrictWithPrev:
+		return 2*t.DF + t.G + t.DG
+	case Strict:
+		return 2*t.DF + 3*(t.G+t.DG)
+	default:
+		panic(fmt.Sprintf("exp: unknown class %d", int(c)))
+	}
+}
+
+// E3Params configures the Theorem 9.3 bound check.
+type E3Params struct {
+	Seed        int64
+	Replicas    int
+	OpsPerClass int
+	Timing      Timing
+}
+
+// DefaultE3Params uses the default timing and 40 ops per class.
+func DefaultE3Params() E3Params {
+	return E3Params{Seed: 3, Replicas: 3, OpsPerClass: 40, Timing: DefaultTiming()}
+}
+
+// E3Row is one class row of the regenerated table.
+type E3Row struct {
+	Class       OpClass3
+	BoundMs     float64
+	MaxMs       float64
+	MeanMs      float64
+	N           int
+	WithinBound bool
+}
+
+// E3Result is the regenerated table.
+type E3Result struct{ Rows []E3Row }
+
+// RunE3 submits operations of each class under the timing assumptions and
+// compares the worst observed latency with δ(x).
+func RunE3(p E3Params) E3Result {
+	env := NewEnv(EnvConfig{
+		Seed:     p.Seed,
+		Replicas: p.Replicas,
+		DataType: dtype.Counter{},
+		Options:  core.Options{Memoize: true},
+	})
+	col := &Collector{}
+	classOf := make(map[ops.ID]OpClass3)
+
+	// Cross-replica prev targets: client "seed" pins to replica 0; the
+	// with-prev clients pin elsewhere, so satisfying prev requires gossip.
+	seedFE := env.Cluster.FrontEnd("seed")
+	seedFE.StickTo(core.ReplicaNode(0))
+	for c := 1; c < p.Replicas; c++ {
+		env.Cluster.FrontEnd(fmt.Sprintf("w%d", c)).StickTo(core.ReplicaNode(replicaID(c)))
+	}
+
+	gap := 4 * (env.Timing.G + env.Timing.DG) // quiet gap between submissions
+	at := sim.Time(0)
+	for i := 0; i < p.OpsPerClass; i++ {
+		i := i
+		// Class 1: non-strict, empty prev.
+		env.S.ScheduleAt(at, func() {
+			o := col.Submit(env, "seed", dtype.CtrAdd{N: 1}, nil, false)
+			classOf[o.X.ID] = NonStrictNoPrev
+		})
+		at = at.Add(gap)
+		// Class 2: non-strict with a prev issued moments ago on another
+		// replica (the gossip-wait path).
+		env.S.ScheduleAt(at, func() {
+			dep := col.Submit(env, "seed", dtype.CtrAdd{N: 1}, nil, false)
+			classOf[dep.X.ID] = NonStrictNoPrev
+			client := fmt.Sprintf("w%d", 1+i%(p.Replicas-1))
+			o := col.Submit(env, client, dtype.CtrRead{}, []ops.ID{dep.X.ID}, false)
+			classOf[o.X.ID] = NonStrictWithPrev
+		})
+		at = at.Add(gap)
+		// Class 3: strict.
+		env.S.ScheduleAt(at, func() {
+			o := col.Submit(env, "seed", dtype.CtrRead{}, nil, true)
+			classOf[o.X.ID] = Strict
+		})
+		at = at.Add(gap)
+	}
+	env.S.RunUntil(at.Add(20 * gap))
+	env.Cluster.Close()
+
+	var res E3Result
+	for _, class := range []OpClass3{NonStrictNoPrev, NonStrictWithPrev, Strict} {
+		class := class
+		lat := stats.Summarize(col.Latencies(func(o *Obs) bool { return classOf[o.X.ID] == class }))
+		bound := float64(Delta(class, env.Timing)) / float64(sim.Millisecond)
+		res.Rows = append(res.Rows, E3Row{
+			Class:       class,
+			BoundMs:     bound,
+			MaxMs:       lat.Max,
+			MeanMs:      lat.Mean,
+			N:           lat.N,
+			WithinBound: lat.N > 0 && lat.Max <= bound+1e-9,
+		})
+	}
+	return res
+}
+
+// Table renders the regenerated table.
+func (r E3Result) Table() string {
+	t := stats.NewTable("class", "δ(x) bound ms", "max ms", "mean ms", "n", "within bound")
+	for _, row := range r.Rows {
+		t.AddRow(row.Class, row.BoundMs, row.MaxMs, row.MeanMs, row.N, row.WithinBound)
+	}
+	return t.String()
+}
+
+// Verify asserts Theorem 9.3: every class within its bound, with all
+// classes populated.
+func (r E3Result) Verify() error {
+	for _, row := range r.Rows {
+		if row.N == 0 {
+			return fmt.Errorf("exp: E3 class %q has no completed ops", row.Class)
+		}
+		if !row.WithinBound {
+			return fmt.Errorf("exp: E3 class %q max %vms exceeds δ = %vms", row.Class, row.MaxMs, row.BoundMs)
+		}
+	}
+	return nil
+}
+
+// E4Params configures the Lemma 9.2 stabilization check.
+type E4Params struct {
+	Seed     int64
+	Replicas int
+	Ops      int
+	Timing   Timing
+	PollGap  sim.Duration
+}
+
+// DefaultE4Params polls done-sets every 200µs.
+func DefaultE4Params() E4Params {
+	return E4Params{Seed: 4, Replicas: 4, Ops: 30, Timing: DefaultTiming(), PollGap: 200 * sim.Microsecond}
+}
+
+// E4Result is the regenerated table.
+type E4Result struct {
+	BoundMs float64 // d_f + g + d_g
+	MaxMs   float64 // worst observed time-to-done-everywhere
+	MeanMs  float64
+	N       int
+}
+
+// RunE4 measures, for each op, the time from request until it is done at
+// every replica, and compares with t + d_f + g + d_g.
+func RunE4(p E4Params) E4Result {
+	env := NewEnv(EnvConfig{
+		Seed:     p.Seed,
+		Replicas: p.Replicas,
+		DataType: dtype.Counter{},
+		Options:  core.Options{Memoize: true},
+	})
+	type track struct {
+		submitted sim.Time
+		doneAll   sim.Time
+		seen      bool
+	}
+	tracks := make(map[ops.ID]*track)
+	var issued []ops.ID
+
+	// Poll replica snapshots to record the first instant each op is done
+	// everywhere (the poll gap is added to the bound as measurement error).
+	env.S.Every(p.PollGap, func() {
+		for _, id := range issued {
+			tr := tracks[id]
+			if tr.seen {
+				continue
+			}
+			everywhere := true
+			for i := 0; i < p.Replicas; i++ {
+				found := false
+				for _, did := range env.Cluster.Replica(i).Snapshot().Done {
+					if did == id {
+						found = true
+						break
+					}
+				}
+				if !found {
+					everywhere = false
+					break
+				}
+			}
+			if everywhere {
+				tr.doneAll = env.S.Now()
+				tr.seen = true
+			}
+		}
+	})
+
+	gap := 2 * (env.Timing.G + env.Timing.DG)
+	at := sim.Time(0)
+	for i := 0; i < p.Ops; i++ {
+		client := fmt.Sprintf("c%d", i%3)
+		env.S.ScheduleAt(at, func() {
+			fe := env.Cluster.FrontEnd(client)
+			x := fe.Submit(dtype.CtrAdd{N: 1}, nil, false, nil)
+			tracks[x.ID] = &track{submitted: env.S.Now()}
+			issued = append(issued, x.ID)
+		})
+		at = at.Add(gap)
+	}
+	env.S.RunUntil(at.Add(20 * gap))
+	env.Cluster.Close()
+
+	bound := env.Timing.DF + env.Timing.G + env.Timing.DG + p.PollGap
+	var xs []float64
+	for _, id := range issued {
+		tr := tracks[id]
+		if tr.seen {
+			xs = append(xs, float64(tr.doneAll.Sub(tr.submitted))/float64(sim.Millisecond))
+		}
+	}
+	sum := stats.Summarize(xs)
+	return E4Result{
+		BoundMs: float64(bound) / float64(sim.Millisecond),
+		MaxMs:   sum.Max,
+		MeanMs:  sum.Mean,
+		N:       sum.N,
+	}
+}
+
+// Table renders the result.
+func (r E4Result) Table() string {
+	t := stats.NewTable("metric", "value")
+	t.AddRow("bound d_f+g+d_g (ms, incl. poll error)", r.BoundMs)
+	t.AddRow("max time to done-everywhere (ms)", r.MaxMs)
+	t.AddRow("mean (ms)", r.MeanMs)
+	t.AddRow("ops measured", r.N)
+	return t.String()
+}
+
+// Verify asserts Lemma 9.2.
+func (r E4Result) Verify() error {
+	if r.N == 0 {
+		return fmt.Errorf("exp: E4 measured no ops")
+	}
+	if r.MaxMs > r.BoundMs+1e-9 {
+		return fmt.Errorf("exp: E4 max %vms exceeds bound %vms", r.MaxMs, r.BoundMs)
+	}
+	return nil
+}
+
+// E5Params configures the Theorem 9.4 fault-recovery check.
+type E5Params struct {
+	Seed        int64
+	Replicas    int
+	Timing      Timing
+	FaultWindow sim.Duration // gossip fully partitioned during [0, FaultWindow)
+	Ops         int
+}
+
+// DefaultE5Params partitions gossip for 150ms.
+func DefaultE5Params() E5Params {
+	return E5Params{Seed: 5, Replicas: 3, Timing: DefaultTiming(), FaultWindow: 150 * sim.Millisecond, Ops: 10}
+}
+
+// E5Result is the regenerated table.
+type E5Result struct {
+	FaultMs        float64
+	AnsweredDuring int     // strict ops answered inside the window (must be 0)
+	MaxAfterHealMs float64 // worst strict latency measured from the heal
+	BoundMs        float64 // post-heal bound: d_f + 3(g+d_g) + g slack
+	N              int
+}
+
+// RunE5 partitions all replica links during the window, submits strict ops
+// inside it, heals, and measures recovery latency from the heal instant.
+func RunE5(p E5Params) E5Result {
+	env := NewEnv(EnvConfig{
+		Seed:     p.Seed,
+		Replicas: p.Replicas,
+		DataType: dtype.Counter{},
+		Options:  core.Options{Memoize: true},
+	})
+	nodes := env.Cluster.Nodes()
+	partition := func(heal bool) {
+		for i := range nodes {
+			for j := range nodes {
+				if i != j {
+					env.Net.SetLinkDown(nodes[i], nodes[j], !heal)
+				}
+			}
+		}
+	}
+	partition(false)
+	healAt := sim.Time(p.FaultWindow)
+	env.S.ScheduleAt(healAt, func() { partition(true) })
+
+	col := &Collector{}
+	gap := p.FaultWindow / sim.Duration(p.Ops+1)
+	for i := 0; i < p.Ops; i++ {
+		client := fmt.Sprintf("c%d", i%2)
+		env.S.ScheduleAt(sim.Time(gap)*sim.Time(i+1), func() {
+			col.Submit(env, client, dtype.CtrRead{}, nil, true)
+		})
+	}
+	env.S.RunUntil(healAt.Add(100 * (env.Timing.G + env.Timing.DG)))
+	env.Cluster.Close()
+
+	var res E5Result
+	res.FaultMs = float64(p.FaultWindow) / float64(sim.Millisecond)
+	res.N = col.Completed()
+	bound := env.Timing.DF + 3*(env.Timing.G+env.Timing.DG) + env.Timing.G
+	res.BoundMs = float64(bound) / float64(sim.Millisecond)
+	for _, o := range col.All {
+		if !o.Done {
+			continue
+		}
+		if o.Responded < healAt {
+			res.AnsweredDuring++
+			continue
+		}
+		ms := float64(o.Responded.Sub(healAt)) / float64(sim.Millisecond)
+		if ms > res.MaxAfterHealMs {
+			res.MaxAfterHealMs = ms
+		}
+	}
+	return res
+}
+
+// Table renders the result.
+func (r E5Result) Table() string {
+	t := stats.NewTable("metric", "value")
+	t.AddRow("fault window (ms)", r.FaultMs)
+	t.AddRow("strict ops answered during partition", r.AnsweredDuring)
+	t.AddRow("strict ops answered total", r.N)
+	t.AddRow("max latency after heal (ms)", r.MaxAfterHealMs)
+	t.AddRow("post-heal bound (ms)", r.BoundMs)
+	return t.String()
+}
+
+// Verify asserts Theorem 9.4's shape: nothing strict answered during a
+// total gossip partition, everything answered within the bound after heal.
+func (r E5Result) Verify() error {
+	if r.AnsweredDuring > 0 {
+		return fmt.Errorf("exp: E5 answered %d strict ops during a total partition", r.AnsweredDuring)
+	}
+	if r.N == 0 {
+		return fmt.Errorf("exp: E5 no strict ops answered at all")
+	}
+	if r.MaxAfterHealMs > r.BoundMs+1e-9 {
+		return fmt.Errorf("exp: E5 post-heal max %vms exceeds %vms", r.MaxAfterHealMs, r.BoundMs)
+	}
+	return nil
+}

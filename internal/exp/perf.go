@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"esds/internal/core"
+	"esds/internal/sim"
+	"esds/internal/stats"
+)
+
+// E1Params configures the throughput-vs-replicas experiment (§11.1: with
+// the per-replica request rate held constant, throughput grows almost
+// linearly in the number of replicas).
+type E1Params struct {
+	Seed              int64
+	MinReplicas       int
+	MaxReplicas       int
+	ClientsPerReplica int
+	RequestInterval   sim.Duration // per-client inter-request gap
+	RunFor            sim.Duration // measurement window (virtual)
+}
+
+// DefaultE1Params mirrors Cheiner's 1–10 replica sweep.
+func DefaultE1Params() E1Params {
+	return E1Params{
+		Seed:              1,
+		MinReplicas:       1,
+		MaxReplicas:       10,
+		ClientsPerReplica: 2,
+		RequestInterval:   8 * sim.Millisecond,
+		RunFor:            2 * sim.Second,
+	}
+}
+
+// E1Row is one sweep point.
+type E1Row struct {
+	Replicas    int
+	Offered     float64 // requests/s offered
+	Throughput  float64 // responses/s completed
+	MeanLatency float64 // ms
+}
+
+// E1Result is the regenerated figure.
+type E1Result struct {
+	Rows []E1Row
+	Fit  stats.LinFit // throughput as a function of replica count
+}
+
+// RunE1 executes the sweep.
+func RunE1(p E1Params) E1Result {
+	var res E1Result
+	for n := p.MinReplicas; n <= p.MaxReplicas; n++ {
+		env := NewEnv(EnvConfig{
+			Seed:     p.Seed + int64(n),
+			Replicas: n,
+			DataType: dirDT(),
+			Options:  core.DefaultOptions(),
+		})
+		col := &Collector{}
+		nextOp := DirectoryWorkload(env.RNG)
+		clients := n * p.ClientsPerReplica
+		for c := 0; c < clients; c++ {
+			client := fmt.Sprintf("c%d", c)
+			fe := env.Cluster.FrontEnd(client)
+			fe.StickTo(core.ReplicaNode(replicaID(c % n)))
+			env.S.Every(p.RequestInterval, func() {
+				col.Submit(env, client, nextOp(), nil, false)
+			})
+		}
+		env.S.RunUntil(sim.Time(p.RunFor))
+		env.Cluster.Close()
+
+		seconds := float64(p.RunFor) / float64(sim.Second)
+		lat := stats.Summarize(col.Latencies(nil))
+		res.Rows = append(res.Rows, E1Row{
+			Replicas:    n,
+			Offered:     float64(len(col.All)) / seconds,
+			Throughput:  float64(col.Completed()) / seconds,
+			MeanLatency: lat.Mean,
+		})
+	}
+	if len(res.Rows) >= 2 {
+		var xs, ys []float64
+		for _, r := range res.Rows {
+			xs = append(xs, float64(r.Replicas))
+			ys = append(ys, r.Throughput)
+		}
+		res.Fit = stats.Fit(xs, ys)
+	}
+	return res
+}
+
+// Table renders the figure data.
+func (r E1Result) Table() string {
+	t := stats.NewTable("replicas", "offered req/s", "throughput resp/s", "mean latency ms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Replicas, row.Offered, row.Throughput, row.MeanLatency)
+	}
+	return t.String() + fmt.Sprintf("linear fit: throughput ≈ %s·replicas + %s, R² = %.4f\n",
+		stats.FormatFloat(r.Fit.Slope), stats.FormatFloat(r.Fit.Intercept), r.Fit.R2)
+}
+
+// Verify checks the paper's qualitative claim: throughput grows almost
+// linearly (R² ≥ 0.98 and positive slope), and latency stays bounded (the
+// largest cluster's mean latency within 3× the smallest's).
+func (r E1Result) Verify() error {
+	if len(r.Rows) < 2 {
+		return fmt.Errorf("exp: E1 needs at least two sweep points")
+	}
+	if r.Fit.Slope <= 0 {
+		return fmt.Errorf("exp: E1 throughput slope %v not positive", r.Fit.Slope)
+	}
+	if r.Fit.R2 < 0.98 {
+		return fmt.Errorf("exp: E1 linearity R² = %v < 0.98", r.Fit.R2)
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.MeanLatency > 3*first.MeanLatency+1 {
+		return fmt.Errorf("exp: E1 latency degraded from %vms to %vms", first.MeanLatency, last.MeanLatency)
+	}
+	return nil
+}
+
+// E2Params configures the latency-vs-strict-fraction experiment (§11.1:
+// latency increases linearly as the strict percentage rises 0→100).
+type E2Params struct {
+	Seed            int64
+	Replicas        int
+	Clients         int
+	StepPct         int // sweep step (e.g. 10 → 0,10,...,100)
+	RequestInterval sim.Duration
+	RunFor          sim.Duration
+}
+
+// DefaultE2Params mirrors Cheiner's 0–100% sweep.
+func DefaultE2Params() E2Params {
+	return E2Params{
+		Seed:            2,
+		Replicas:        5,
+		Clients:         6,
+		StepPct:         10,
+		RequestInterval: 10 * sim.Millisecond,
+		RunFor:          2 * sim.Second,
+	}
+}
+
+// E2Row is one sweep point.
+type E2Row struct {
+	StrictPct   int
+	MeanLatency float64 // ms
+	P95Latency  float64 // ms
+	Throughput  float64 // resp/s
+}
+
+// E2Result is the regenerated figure.
+type E2Result struct {
+	Rows []E2Row
+	Fit  stats.LinFit // mean latency as a function of strict fraction
+}
+
+// RunE2 executes the sweep.
+func RunE2(p E2Params) E2Result {
+	var res E2Result
+	for pct := 0; pct <= 100; pct += p.StepPct {
+		env := NewEnv(EnvConfig{
+			Seed:     p.Seed + int64(pct),
+			Replicas: p.Replicas,
+			DataType: dirDT(),
+			Options:  core.DefaultOptions(),
+		})
+		col := &Collector{}
+		nextOp := DirectoryWorkload(env.RNG)
+		strictRng := rand.New(rand.NewSource(p.Seed * int64(pct+1)))
+		for c := 0; c < p.Clients; c++ {
+			client := fmt.Sprintf("c%d", c)
+			env.S.Every(p.RequestInterval, func() {
+				strict := strictRng.Intn(100) < pct
+				col.Submit(env, client, nextOp(), nil, strict)
+			})
+		}
+		env.S.RunUntil(sim.Time(p.RunFor))
+		env.Cluster.Close()
+
+		seconds := float64(p.RunFor) / float64(sim.Second)
+		lat := stats.Summarize(col.Latencies(nil))
+		res.Rows = append(res.Rows, E2Row{
+			StrictPct:   pct,
+			MeanLatency: lat.Mean,
+			P95Latency:  lat.P95,
+			Throughput:  float64(col.Completed()) / seconds,
+		})
+	}
+	if len(res.Rows) >= 2 {
+		var xs, ys []float64
+		for _, r := range res.Rows {
+			xs = append(xs, float64(r.StrictPct))
+			ys = append(ys, r.MeanLatency)
+		}
+		res.Fit = stats.Fit(xs, ys)
+	}
+	return res
+}
+
+// Table renders the figure data.
+func (r E2Result) Table() string {
+	t := stats.NewTable("strict %", "mean latency ms", "p95 ms", "throughput resp/s")
+	for _, row := range r.Rows {
+		t.AddRow(row.StrictPct, row.MeanLatency, row.P95Latency, row.Throughput)
+	}
+	return t.String() + fmt.Sprintf("linear fit: latency ≈ %s·pct + %s ms, R² = %.4f\n",
+		stats.FormatFloat(r.Fit.Slope), stats.FormatFloat(r.Fit.Intercept), r.Fit.R2)
+}
+
+// Verify checks the paper's qualitative claim: latency grows with the
+// strict fraction, approximately linearly (positive slope, R² ≥ 0.9), and
+// the 100% point is substantially slower than the 0% point.
+func (r E2Result) Verify() error {
+	if len(r.Rows) < 3 {
+		return fmt.Errorf("exp: E2 needs at least three sweep points")
+	}
+	if r.Fit.Slope <= 0 {
+		return fmt.Errorf("exp: E2 latency slope %v not positive", r.Fit.Slope)
+	}
+	if r.Fit.R2 < 0.9 {
+		return fmt.Errorf("exp: E2 linearity R² = %v < 0.9", r.Fit.R2)
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.MeanLatency < 2*first.MeanLatency {
+		return fmt.Errorf("exp: E2 all-strict latency %vms not ≫ all-causal %vms",
+			last.MeanLatency, first.MeanLatency)
+	}
+	return nil
+}

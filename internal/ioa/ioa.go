@@ -1,0 +1,162 @@
+// Package ioa is a small framework for non-live I/O automata in the sense
+// of §3 of Fekete et al.: automata with input, output, and internal actions,
+// composition by shared actions, executions, and traces.
+//
+// Liveness is not modelled (matching the paper, which derives liveness from
+// timing assumptions instead); the framework provides a seeded random
+// exploration driver with invariant checking, which is how the spec and
+// model packages validate the paper's invariants and the simulation
+// relation on concrete executions.
+package ioa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Action is a single transition label. Implementations are small value
+// types; String() must identify the action and its parameters uniquely
+// enough for traces to be compared.
+type Action interface {
+	fmt.Stringer
+	// External reports whether the action is externally visible (input or
+	// output); internal actions are excluded from traces.
+	External() bool
+}
+
+// Automaton is a non-live I/O automaton with explicitly enumerable
+// locally-controlled (output + internal) actions.
+type Automaton interface {
+	// Name identifies the automaton in diagnostics.
+	Name() string
+	// Enabled returns a set of locally-controlled actions enabled in the
+	// current state. Nondeterministic parameters (which value to calculate,
+	// which operation to enter, ...) are sampled with rng; the same rng seed
+	// yields the same choices. The returned slice must be in a deterministic
+	// order (do not iterate Go maps directly into it), or traces will differ
+	// between runs with the same seed.
+	Enabled(rng *rand.Rand) []Action
+	// Input reports whether a is an input action of this automaton (inputs
+	// are enabled in every state, per the I/O automaton input-enabledness
+	// requirement).
+	Input(a Action) bool
+	// Apply performs the action. For locally-controlled actions the caller
+	// must only pass actions obtained from Enabled in the current state;
+	// automata should panic on non-enabled local actions (a harness bug).
+	Apply(a Action)
+}
+
+// Step is an enabled locally-controlled action together with the component
+// that controls it.
+type Step struct {
+	Owner  int
+	Action Action
+}
+
+// Composite is the composition of compatible automata (§3): an action
+// controlled by one component is simultaneously applied, as input, to every
+// other component that declares it as an input.
+type Composite struct {
+	components []Automaton
+}
+
+// Compose builds a composition. The compatibility conditions of §3 (disjoint
+// outputs, no shared internals) are the caller's responsibility; this
+// framework only routes actions.
+func Compose(components ...Automaton) *Composite {
+	if len(components) == 0 {
+		panic("ioa: empty composition")
+	}
+	return &Composite{components: components}
+}
+
+// Components returns the composed automata.
+func (c *Composite) Components() []Automaton { return c.components }
+
+// Enabled returns the enabled locally-controlled steps of all components.
+func (c *Composite) Enabled(rng *rand.Rand) []Step {
+	var steps []Step
+	for i, comp := range c.components {
+		for _, a := range comp.Enabled(rng) {
+			steps = append(steps, Step{Owner: i, Action: a})
+		}
+	}
+	return steps
+}
+
+// Apply executes a step: at its owner, and as input at every other
+// component whose signature includes it.
+func (c *Composite) Apply(s Step) {
+	c.components[s.Owner].Apply(s.Action)
+	for i, comp := range c.components {
+		if i == s.Owner {
+			continue
+		}
+		if comp.Input(s.Action) {
+			comp.Apply(s.Action)
+		}
+	}
+}
+
+// Invariant is a named predicate over the composed state. Check returns nil
+// when the invariant holds.
+type Invariant struct {
+	Name  string
+	Check func() error
+}
+
+// Trace is the external image of an execution: the externally visible
+// actions in order.
+type Trace []Action
+
+// String renders a trace one action per line.
+func (tr Trace) String() string {
+	parts := make([]string, len(tr))
+	for i, a := range tr {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// RunResult summarizes a random exploration.
+type RunResult struct {
+	Steps  int   // steps executed
+	Trace  Trace // external image
+	Halted bool  // true if no action was enabled before maxSteps
+}
+
+// Run drives a composite for up to maxSteps steps, choosing uniformly among
+// enabled steps, checking every invariant after every step. onStep, if
+// non-nil, observes each executed step (e.g. to drive a simulation to a
+// specification). Run returns the trace and the first invariant violation,
+// annotated with the offending step.
+func Run(c *Composite, maxSteps int, rng *rand.Rand, invariants []Invariant, onStep func(Step) error) (RunResult, error) {
+	var res RunResult
+	for i := 0; i < maxSteps; i++ {
+		steps := c.Enabled(rng)
+		if len(steps) == 0 {
+			res.Halted = true
+			return res, nil
+		}
+		step := steps[rng.Intn(len(steps))]
+		c.Apply(step)
+		res.Steps++
+		if step.Action.External() {
+			res.Trace = append(res.Trace, step.Action)
+		}
+		for _, inv := range invariants {
+			if err := inv.Check(); err != nil {
+				return res, fmt.Errorf("ioa: invariant %q violated after step %d (%s): %w",
+					inv.Name, res.Steps, step.Action, err)
+			}
+		}
+		if onStep != nil {
+			if err := onStep(step); err != nil {
+				return res, fmt.Errorf("ioa: step observer failed after step %d (%s): %w",
+					res.Steps, step.Action, err)
+			}
+		}
+	}
+	return res, nil
+}

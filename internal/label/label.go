@@ -1,0 +1,196 @@
+// Package label implements the well-ordered label set ℒ of §6.3 of
+// Fekete et al. Labels are pairs (Seq, Replica) compared lexicographically.
+// The set is partitioned per replica — ℒ_r = { (s, r) : s ∈ ℕ } — so labels
+// are generated uniquely, and for any finite set of labels a replica can
+// always produce a label above all of them (Seq = max+1). The distinguished
+// value Infinity (∞) means "no label seen yet" and compares above every
+// proper label.
+package label
+
+import (
+	"fmt"
+	"math"
+
+	"esds/internal/ops"
+)
+
+// ReplicaID identifies a replica. IDs are small dense integers assigned by
+// the cluster.
+type ReplicaID int32
+
+// Label is an element of ℒ ∪ {∞}. The zero value is NOT a valid label;
+// use Make or Infinity.
+type Label struct {
+	Seq     uint64
+	Replica ReplicaID
+	inf     bool
+}
+
+// Infinity is the ∞ sentinel: no label assigned. It compares greater than
+// every proper label.
+var Infinity = Label{inf: true}
+
+// Make constructs the proper label (seq, r) ∈ ℒ_r.
+func Make(seq uint64, r ReplicaID) Label { return Label{Seq: seq, Replica: r} }
+
+// IsInf reports whether l is the ∞ sentinel.
+func (l Label) IsInf() bool { return l.inf }
+
+// Owner returns the replica whose partition ℒ_r contains l. It panics on ∞,
+// which belongs to no partition.
+func (l Label) Owner() ReplicaID {
+	if l.inf {
+		panic("label: Infinity has no owner")
+	}
+	return l.Replica
+}
+
+// Less is the strict total order on ℒ ∪ {∞}: lexicographic on
+// (Seq, Replica), with ∞ above everything.
+func (l Label) Less(other Label) bool {
+	switch {
+	case l.inf:
+		return false
+	case other.inf:
+		return true
+	case l.Seq != other.Seq:
+		return l.Seq < other.Seq
+	default:
+		return l.Replica < other.Replica
+	}
+}
+
+// LessEq is the reflexive closure of Less.
+func (l Label) LessEq(other Label) bool { return l == other || l.Less(other) }
+
+// Min returns the smaller of two labels (∞ acts as the identity).
+func Min(a, b Label) Label {
+	if b.Less(a) {
+		return b
+	}
+	return a
+}
+
+// String renders the label for diagnostics.
+func (l Label) String() string {
+	if l.inf {
+		return "∞"
+	}
+	return fmt.Sprintf("%d@r%d", l.Seq, l.Replica)
+}
+
+// Generator produces fresh labels for one replica, each strictly greater
+// than every label the replica has seen. This implements the do_it
+// precondition "l > label_r(y.id) for all y ∈ done_r[r]" constructively.
+// The zero value is not usable; use NewGenerator.
+type Generator struct {
+	replica ReplicaID
+	highSeq uint64 // highest Seq observed or generated
+}
+
+// NewGenerator returns a generator for replica r.
+func NewGenerator(r ReplicaID) *Generator { return &Generator{replica: r} }
+
+// Observe records a label seen via gossip so future labels sort above it.
+// Observing ∞ is a no-op.
+func (g *Generator) Observe(l Label) {
+	if l.inf {
+		return
+	}
+	if l.Seq > g.highSeq {
+		g.highSeq = l.Seq
+	}
+}
+
+// Next returns a fresh label in ℒ_replica strictly greater than every label
+// observed or generated so far.
+func (g *Generator) Next() Label {
+	if g.highSeq == math.MaxUint64 {
+		panic("label: sequence space exhausted")
+	}
+	g.highSeq++
+	return Label{Seq: g.highSeq, Replica: g.replica}
+}
+
+// Map associates operation identifiers with their minimum known label,
+// mirroring the label_r : 𝓘 → ℒ ∪ {∞} state component of Fig. 7. Absent
+// identifiers implicitly map to ∞. The zero value is not usable; use NewMap.
+type Map struct {
+	m map[ops.ID]Label
+}
+
+// NewMap returns an empty label map (everything at ∞).
+func NewMap() *Map { return &Map{m: make(map[ops.ID]Label)} }
+
+// Get returns the label of id (∞ if absent).
+func (lm *Map) Get(id ops.ID) Label {
+	if l, ok := lm.m[id]; ok {
+		return l
+	}
+	return Infinity
+}
+
+// SetMin lowers the label of id to min(current, l) — the gossip merge rule
+// label_r ← min(label_r, L_m). It reports whether the entry changed.
+func (lm *Map) SetMin(id ops.ID, l Label) bool {
+	if l.inf {
+		return false
+	}
+	cur, ok := lm.m[id]
+	if ok && cur.LessEq(l) {
+		return false
+	}
+	lm.m[id] = l
+	return true
+}
+
+// Delete removes the entry for id (used by the §10.2 memory reclamation).
+func (lm *Map) Delete(id ops.ID) { delete(lm.m, id) }
+
+// Len returns the number of proper (non-∞) entries.
+func (lm *Map) Len() int { return len(lm.m) }
+
+// Snapshot returns a copy of the proper entries, for inclusion in a gossip
+// message (the L component).
+func (lm *Map) Snapshot() map[ops.ID]Label {
+	out := make(map[ops.ID]Label, len(lm.m))
+	for id, l := range lm.m {
+		out[id] = l
+	}
+	return out
+}
+
+// Range calls fn for each proper entry until fn returns false.
+func (lm *Map) Range(fn func(id ops.ID, l Label) bool) {
+	for id, l := range lm.m {
+		if !fn(id, l) {
+			return
+		}
+	}
+}
+
+// MergeMin applies SetMin for every entry of other (gossip merge). It
+// returns the identifiers whose labels changed.
+func (lm *Map) MergeMin(other map[ops.ID]Label) []ops.ID {
+	var changed []ops.ID
+	for id, l := range other {
+		if lm.SetMin(id, l) {
+			changed = append(changed, id)
+		}
+	}
+	return changed
+}
+
+// Compare orders two identifiers by their labels, yielding the local
+// constraints relation lc_r = { (id, id') : label_r(id) < label_r(id') }.
+func (lm *Map) Compare(a, b ops.ID) int {
+	la, lb := lm.Get(a), lm.Get(b)
+	switch {
+	case la.Less(lb):
+		return -1
+	case lb.Less(la):
+		return 1
+	default:
+		return 0
+	}
+}

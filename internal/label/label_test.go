@@ -1,0 +1,291 @@
+package label
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"esds/internal/ops"
+)
+
+func TestLessTotalOrder(t *testing.T) {
+	ls := []Label{
+		Make(1, 0), Make(1, 1), Make(2, 0), Infinity,
+	}
+	// Expected ascending order as listed.
+	for i := range ls {
+		for j := range ls {
+			want := i < j
+			if got := ls[i].Less(ls[j]); got != want {
+				t.Errorf("Less(%v,%v) = %v, want %v", ls[i], ls[j], got, want)
+			}
+		}
+	}
+}
+
+func TestLessEqAndMin(t *testing.T) {
+	a, b := Make(3, 1), Make(3, 2)
+	if !a.LessEq(a) || !a.LessEq(b) || b.LessEq(a) {
+		t.Error("LessEq wrong")
+	}
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Error("Min wrong")
+	}
+	if Min(a, Infinity) != a || Min(Infinity, a) != a {
+		t.Error("Min with ∞ wrong")
+	}
+	if Min(Infinity, Infinity) != Infinity {
+		t.Error("Min(∞,∞) wrong")
+	}
+}
+
+func TestInfinity(t *testing.T) {
+	if !Infinity.IsInf() || Make(0, 0).IsInf() {
+		t.Error("IsInf wrong")
+	}
+	if Infinity.String() != "∞" {
+		t.Errorf("String = %q", Infinity.String())
+	}
+	if Make(5, 2).String() != "5@r2" {
+		t.Errorf("String = %q", Make(5, 2).String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Owner of ∞ should panic")
+		}
+	}()
+	Infinity.Owner()
+}
+
+func TestOwnerPartition(t *testing.T) {
+	if Make(9, 3).Owner() != 3 {
+		t.Error("Owner wrong")
+	}
+}
+
+// Property: Less is a strict total order on proper labels (trichotomy,
+// irreflexivity, transitivity on sampled triples).
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(63))}
+	f := func(s1, s2, s3 uint8, r1, r2, r3 uint8) bool {
+		a := Make(uint64(s1), ReplicaID(r1%4))
+		b := Make(uint64(s2), ReplicaID(r2%4))
+		c := Make(uint64(s3), ReplicaID(r3%4))
+		// Trichotomy.
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		// Irreflexivity.
+		if a.Less(a) {
+			return false
+		}
+		// Transitivity.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorFreshAboveEverything(t *testing.T) {
+	g := NewGenerator(2)
+	l1 := g.Next()
+	if l1.Owner() != 2 {
+		t.Fatal("generator produced a label outside its partition")
+	}
+	g.Observe(Make(100, 0))
+	l2 := g.Next()
+	if !l1.Less(l2) {
+		t.Error("labels not increasing")
+	}
+	if !Make(100, 0).Less(l2) {
+		t.Error("fresh label not above observed label")
+	}
+	g.Observe(Infinity) // no-op
+	l3 := g.Next()
+	if !l2.Less(l3) {
+		t.Error("observe(∞) disturbed the generator")
+	}
+}
+
+// Property: any interleaving of Observe/Next yields strictly increasing
+// labels above all observations.
+func TestGeneratorMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(17))}
+	f := func(actions []uint16) bool {
+		g := NewGenerator(1)
+		prev := Label{} // zero: below everything proper from this generator
+		havePrev := false
+		maxObserved := Label{}
+		haveObserved := false
+		for _, a := range actions {
+			if a%2 == 0 {
+				l := Make(uint64(a), ReplicaID(a%3))
+				g.Observe(l)
+				if !haveObserved || maxObserved.Less(l) {
+					maxObserved, haveObserved = l, true
+				}
+			} else {
+				l := g.Next()
+				if havePrev && !prev.Less(l) {
+					return false // not strictly increasing
+				}
+				if haveObserved && !maxObserved.Less(l) {
+					return false // not above all observations so far
+				}
+				prev, havePrev = l, true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorsDisjointPartitions(t *testing.T) {
+	g1, g2 := NewGenerator(1), NewGenerator(2)
+	seen := make(map[Label]bool)
+	for i := 0; i < 100; i++ {
+		l1, l2 := g1.Next(), g2.Next()
+		if seen[l1] || seen[l2] || l1 == l2 {
+			t.Fatal("label collision across replicas")
+		}
+		seen[l1], seen[l2] = true, true
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	lm := NewMap()
+	a := ops.ID{Client: "c", Seq: 1}
+	if !lm.Get(a).IsInf() {
+		t.Fatal("absent id should map to ∞")
+	}
+	if lm.Len() != 0 {
+		t.Fatal("empty map has entries")
+	}
+	if !lm.SetMin(a, Make(5, 1)) {
+		t.Fatal("first SetMin returned false")
+	}
+	if lm.SetMin(a, Make(7, 1)) {
+		t.Fatal("SetMin raised a label")
+	}
+	if lm.Get(a) != Make(5, 1) {
+		t.Fatalf("Get = %v", lm.Get(a))
+	}
+	if !lm.SetMin(a, Make(5, 0)) {
+		t.Fatal("SetMin did not lower on replica tie-break")
+	}
+	if lm.SetMin(a, Infinity) {
+		t.Fatal("SetMin(∞) changed an entry")
+	}
+	lm.Delete(a)
+	if !lm.Get(a).IsInf() || lm.Len() != 0 {
+		t.Fatal("Delete did not remove entry")
+	}
+}
+
+func TestMapMergeMinAndSnapshot(t *testing.T) {
+	lm := NewMap()
+	a := ops.ID{Client: "c", Seq: 1}
+	b := ops.ID{Client: "c", Seq: 2}
+	lm.SetMin(a, Make(9, 1))
+	changed := lm.MergeMin(map[ops.ID]Label{
+		a: Make(3, 2), // lowers
+		b: Make(4, 1), // new
+	})
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v", changed)
+	}
+	snap := lm.Snapshot()
+	if len(snap) != 2 || snap[a] != Make(3, 2) || snap[b] != Make(4, 1) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy.
+	snap[a] = Make(1, 1)
+	if lm.Get(a) != Make(3, 2) {
+		t.Fatal("snapshot aliases the map")
+	}
+	// Second merge of the same content changes nothing.
+	if got := lm.MergeMin(snap); len(got) != 1 { // snap[a] was lowered above
+		t.Fatalf("re-merge changed %v", got)
+	}
+}
+
+// Property: MergeMin is idempotent and monotone non-increasing (Lemma 7.9's
+// engine: labels only decrease).
+func TestMergeMinMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(79))}
+	f := func(entries []uint16) bool {
+		lm := NewMap()
+		for i, e := range entries {
+			id := ops.ID{Client: "c", Seq: uint64(i % 4)}
+			before := lm.Get(id)
+			lm.SetMin(id, Make(uint64(e%32), ReplicaID(e%3)))
+			after := lm.Get(id)
+			if before.Less(after) {
+				return false // label increased
+			}
+		}
+		// Idempotence of merging a snapshot into itself.
+		snap := lm.Snapshot()
+		return len(lm.MergeMin(snap)) == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapRangeAndCompare(t *testing.T) {
+	lm := NewMap()
+	a := ops.ID{Client: "c", Seq: 1}
+	b := ops.ID{Client: "c", Seq: 2}
+	c := ops.ID{Client: "c", Seq: 3}
+	lm.SetMin(a, Make(1, 0))
+	lm.SetMin(b, Make(2, 0))
+	if lm.Compare(a, b) != -1 || lm.Compare(b, a) != 1 || lm.Compare(a, a) != 0 {
+		t.Error("Compare wrong")
+	}
+	// Unlabelled ids compare equal to each other (both ∞) and above labelled.
+	if lm.Compare(a, c) != -1 || lm.Compare(c, c) != 0 {
+		t.Error("Compare with ∞ wrong")
+	}
+	count := 0
+	lm.Range(func(ops.ID, Label) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("Range visited %d", count)
+	}
+	count = 0
+	lm.Range(func(ops.ID, Label) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Range early stop visited %d", count)
+	}
+}
+
+// Sorting ids by label must produce the replica's local total order on its
+// done set (Invariant 7.15 at the label level).
+func TestLabelSortTotalOnDistinctLabels(t *testing.T) {
+	lm := NewMap()
+	g := NewGenerator(0)
+	ids := make([]ops.ID, 20)
+	for i := range ids {
+		ids[i] = ops.ID{Client: "c", Seq: uint64(i)}
+		lm.SetMin(ids[i], g.Next())
+	}
+	shuffled := append([]ops.ID(nil), ids...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	sort.Slice(shuffled, func(i, j int) bool {
+		return lm.Get(shuffled[i]).Less(lm.Get(shuffled[j]))
+	})
+	for i := range ids {
+		if shuffled[i] != ids[i] {
+			t.Fatalf("label order broken at %d: %v != %v", i, shuffled[i], ids[i])
+		}
+	}
+}

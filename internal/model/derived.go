@@ -1,0 +1,185 @@
+package model
+
+import (
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/order"
+)
+
+// This file evaluates the derived variables of Fig. 8 on the current system
+// state: ops, minlabel, the local constraints lc_r, the message constraints
+// mc_r(m), the system constraints sc, and the system-wide partial order po.
+
+// Ops is the derived variable ops = ∪_r done_r[r]: every operation done at
+// any replica, with its descriptor.
+func (s *System) Ops() map[ops.ID]ops.Operation {
+	out := make(map[ops.ID]ops.Operation)
+	for r, rep := range s.reps {
+		for id := range rep.done[r] {
+			if x, ok := rep.rcvd[id]; ok {
+				out[id] = x
+			}
+		}
+	}
+	return out
+}
+
+// Minlabel is minlabel(id) = min over replicas of label_r(id) (∞ if no
+// replica has a label).
+func (s *System) Minlabel(id ops.ID) label.Label {
+	min := label.Infinity
+	for _, rep := range s.reps {
+		min = label.Min(min, rep.labels.Get(id))
+	}
+	return min
+}
+
+// LC is the local constraints lc_r = {(id,id') : label_r(id) < label_r(id')}
+// restricted to the given id universe.
+func (s *System) LC(r int, universe []ops.ID) *order.Relation[ops.ID] {
+	rel := order.NewRelation[ops.ID]()
+	rep := s.reps[r]
+	for _, a := range universe {
+		la := rep.labels.Get(a)
+		for _, b := range universe {
+			if a != b && la.Less(rep.labels.Get(b)) {
+				rel.Add(a, b)
+			}
+		}
+	}
+	return rel
+}
+
+// MC is the message constraints mc_r(m) for a gossip message m destined to
+// replica r: the lc_r that r would have after merging m's labels.
+func (s *System) MC(r int, m gossipMsg, universe []ops.ID) *order.Relation[ops.ID] {
+	rel := order.NewRelation[ops.ID]()
+	rep := s.reps[r]
+	merged := func(id ops.ID) label.Label {
+		l := rep.labels.Get(id)
+		if ml, ok := m.l[id]; ok {
+			l = label.Min(l, ml)
+		}
+		return l
+	}
+	for _, a := range universe {
+		la := merged(a)
+		for _, b := range universe {
+			if a != b && la.Less(merged(b)) {
+				rel.Add(a, b)
+			}
+		}
+	}
+	return rel
+}
+
+// SC is the system constraints: the intersection of every replica's local
+// constraints and of the message constraints of every gossip message in
+// transit, over the ops universe.
+func (s *System) SC() *order.Relation[ops.ID] {
+	universe := s.opsIDs()
+	if len(universe) == 0 {
+		return order.NewRelation[ops.ID]()
+	}
+	var parts []*order.Relation[ops.ID]
+	for r := range s.reps {
+		parts = append(parts, s.LC(r, universe))
+	}
+	for k, msgs := range s.chans {
+		if k.kind() != kindRR {
+			continue
+		}
+		to := k.toRep
+		for _, raw := range msgs {
+			parts = append(parts, s.MC(to, raw.(gossipMsg), universe))
+		}
+	}
+	out := parts[0].Clone()
+	for _, p := range parts[1:] {
+		filtered := order.NewRelation[ops.ID]()
+		out.Pairs(func(a, b ops.ID) bool {
+			if p.Has(a, b) {
+				filtered.Add(a, b)
+			}
+			return true
+		})
+		out = filtered
+	}
+	return out
+}
+
+// PO is the derived system-wide order: the relation induced by
+// TC(CSC(ops) ∪ sc) on ops (Fig. 8). By Invariant 7.12 it is a strict
+// partial order.
+func (s *System) PO() *order.Relation[ops.ID] {
+	all := s.Ops()
+	xs := make([]ops.Operation, 0, len(all))
+	for _, id := range sortedOpIDs(all) {
+		xs = append(xs, all[id])
+	}
+	combined := ops.CSC(xs).Union(s.SC()).TransitiveClosure()
+	idSet := make(map[ops.ID]struct{}, len(all))
+	for id := range all {
+		idSet[id] = struct{}{}
+	}
+	return combined.Induced(idSet)
+}
+
+// StableEverywhere is ∩_r stable_r[r]: the operations every replica knows
+// (of itself) to be stable — the simulation image of the spec's stabilized
+// set (Fig. 9).
+func (s *System) StableEverywhere() map[ops.ID]struct{} {
+	out := make(map[ops.ID]struct{})
+	if len(s.reps) == 0 {
+		return out
+	}
+	for id := range s.reps[0].stable[0] {
+		everywhere := true
+		for r := 1; r < s.n; r++ {
+			if _, ok := s.reps[r].stable[r][id]; !ok {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// PotentialRept is potential_rept: response messages in transit whose
+// operation is still waiting at its front end (Fig. 8).
+func (s *System) PotentialRept() map[ops.ID][]any {
+	out := make(map[ops.ID][]any)
+	for k, msgs := range s.chans {
+		if k.kind() != kindRC {
+			continue
+		}
+		fe := s.fes[k.toClient]
+		for _, raw := range msgs {
+			m := raw.(respMsg)
+			if _, inWait := fe.wait[m.x.ID]; inWait {
+				out[m.x.ID] = append(out[m.x.ID], m.v)
+			}
+		}
+	}
+	return out
+}
+
+func (s *System) opsIDs() []ops.ID {
+	return sortedOpIDs(s.Ops())
+}
+
+func sortedOpIDs(m map[ops.ID]ops.Operation) []ops.ID {
+	out := make([]ops.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Less(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

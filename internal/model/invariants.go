@@ -1,0 +1,439 @@
+package model
+
+import (
+	"fmt"
+
+	"esds/internal/ioa"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/spec"
+)
+
+// Invariants returns the §7 and §8 invariants of 𝒜 = ESDS-Alg × Users as
+// checkable predicates, numbered as in the paper. users supplies the
+// requested set for Invariants 7.6 and 7.8.
+func Invariants(s *System, users *spec.Users) []ioa.Invariant {
+	return []ioa.Invariant{
+		{Name: "Invariant 7.1 (diagonal dominates rows)", Check: s.checkInv71},
+		{Name: "Invariant 7.2 (stable = ∩ done)", Check: s.checkInv72},
+		{Name: "Invariant 7.3 (gossip not ahead of sender)", Check: s.checkInv73},
+		{Name: "Invariant 7.4 (knowledge not ahead of subject)", Check: s.checkInv74},
+		{Name: "Invariant 7.5 (labels exactly for done ops)", Check: s.checkInv75},
+		{Name: "Invariant 7.6 (everything was requested)", Check: func() error { return s.checkInv76(users) }},
+		{Name: "Invariant 7.7 (answered ops are done somewhere)", Check: s.checkInv77},
+		{Name: "Invariant 7.8 (non-waiting requests are done)", Check: func() error { return s.checkInv78(users) }},
+		{Name: "Invariant 7.10 (labels respect CSC)", Check: s.checkInv710},
+		{Name: "Invariant 7.11 (CSC ∪ lc_r acyclic)", Check: s.checkInv711},
+		{Name: "Invariant 7.12 (CSC ∪ sc acyclic)", Check: s.checkInv712},
+		{Name: "Invariant 7.15 (lc_r total on done_r[r])", Check: s.checkInv715},
+		{Name: "Invariant 7.17 (owner labels are lower bounds)", Check: s.checkInv717},
+		{Name: "Invariant 7.19 (stable ops pin smaller labels)", Check: s.checkInv719},
+		{Name: "Invariant 7.21 (stable order = minlabel order)", Check: s.checkInv721},
+		{Name: "Invariant 8.1 (po strict partial order on ops)", Check: s.checkInv81},
+		{Name: "Invariant 8.3 (stable-everywhere order by minlabel)", Check: s.checkInv83},
+	}
+}
+
+func (s *System) checkInv71() error {
+	for r, rep := range s.reps {
+		for i := 0; i < s.n; i++ {
+			for id := range rep.done[i] {
+				if _, ok := rep.done[r][id]; !ok {
+					return fmt.Errorf("replica %d: done[%d] has %v but done[%d] lacks it", r, i, id, r)
+				}
+			}
+			for id := range rep.stable[i] {
+				if _, ok := rep.stable[r][id]; !ok {
+					return fmt.Errorf("replica %d: stable[%d] has %v but stable[%d] lacks it", r, i, id, r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv72() error {
+	for r, rep := range s.reps {
+		for id := range rep.stable[r] {
+			for i := 0; i < s.n; i++ {
+				if _, ok := rep.done[i][id]; !ok {
+					return fmt.Errorf("replica %d: stable op %v not in done[%d]", r, id, i)
+				}
+			}
+		}
+		for id := range rep.done[r] {
+			everywhere := true
+			for i := 0; i < s.n; i++ {
+				if _, ok := rep.done[i][id]; !ok {
+					everywhere = false
+					break
+				}
+			}
+			if everywhere {
+				if _, ok := rep.stable[r][id]; !ok {
+					return fmt.Errorf("replica %d: %v done everywhere but not stable", r, id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv73() error {
+	for k, msgs := range s.chans {
+		if k.kind() != kindRR {
+			continue
+		}
+		from := k.fromRep
+		rep := s.reps[from]
+		for _, raw := range msgs {
+			m := raw.(gossipMsg)
+			for id := range m.r {
+				if _, ok := rep.rcvd[id]; !ok {
+					return fmt.Errorf("gossip %v: R has %v missing from sender rcvd", k, id)
+				}
+			}
+			for id := range m.d {
+				if _, ok := rep.done[from][id]; !ok {
+					return fmt.Errorf("gossip %v: D has %v missing from sender done", k, id)
+				}
+			}
+			for id, l := range m.l {
+				if l.Less(rep.labels.Get(id)) {
+					return fmt.Errorf("gossip %v: L(%v)=%v below sender's %v", k, id, l, rep.labels.Get(id))
+				}
+			}
+			for id := range m.s {
+				if _, ok := rep.stable[from][id]; !ok {
+					return fmt.Errorf("gossip %v: S has %v missing from sender stable", k, id)
+				}
+				if _, ok := m.d[id]; !ok {
+					return fmt.Errorf("gossip %v: S has %v missing from its own D", k, id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv74() error {
+	for r, rep := range s.reps {
+		for i := 0; i < s.n; i++ {
+			if i == r {
+				continue
+			}
+			for id := range rep.done[i] {
+				if _, ok := s.reps[i].done[i][id]; !ok {
+					return fmt.Errorf("replica %d thinks %v done at %d, but it is not", r, id, i)
+				}
+			}
+			for id := range rep.stable[i] {
+				if _, ok := s.reps[i].stable[i][id]; !ok {
+					return fmt.Errorf("replica %d thinks %v stable at %d, but it is not", r, id, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv75() error {
+	for r, rep := range s.reps {
+		labelled := make(map[ops.ID]struct{})
+		rep.labels.Range(func(id ops.ID, _ label.Label) bool {
+			labelled[id] = struct{}{}
+			return true
+		})
+		for id := range rep.done[r] {
+			if _, ok := labelled[id]; !ok {
+				return fmt.Errorf("replica %d: done op %v has no label", r, id)
+			}
+			delete(labelled, id)
+		}
+		if len(labelled) > 0 {
+			return fmt.Errorf("replica %d: labels exist for non-done ops %v", r, labelled)
+		}
+	}
+	for k, msgs := range s.chans {
+		if k.kind() != kindRR {
+			continue
+		}
+		for _, raw := range msgs {
+			m := raw.(gossipMsg)
+			if len(m.d) != len(m.l) {
+				return fmt.Errorf("gossip %v: |D|=%d but |L|=%d", k, len(m.d), len(m.l))
+			}
+			for id := range m.d {
+				if _, ok := m.l[id]; !ok {
+					return fmt.Errorf("gossip %v: done op %v has no label entry", k, id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv76(users *spec.Users) error {
+	requested := users.RequestedSet()
+	check := func(id ops.ID, where string) error {
+		if _, ok := requested[id]; !ok {
+			return fmt.Errorf("%s contains unrequested op %v", where, id)
+		}
+		return nil
+	}
+	for c, fe := range s.fes {
+		for id := range fe.wait {
+			if err := check(id, "wait_"+c); err != nil {
+				return err
+			}
+		}
+	}
+	for k, msgs := range s.chans {
+		if k.kind() != kindCR {
+			continue
+		}
+		for _, raw := range msgs {
+			if err := check(raw.(reqMsg).x.ID, "channel "+k.String()); err != nil {
+				return err
+			}
+		}
+	}
+	for r, rep := range s.reps {
+		for id := range rep.rcvd {
+			if err := check(id, fmt.Sprintf("rcvd_%d", r)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv77() error {
+	all := s.Ops()
+	for c, fe := range s.fes {
+		for id := range fe.rept {
+			if _, ok := all[id]; !ok {
+				return fmt.Errorf("rept_%s has %v which is done nowhere", c, id)
+			}
+		}
+	}
+	for id := range s.PotentialRept() {
+		if _, ok := all[id]; !ok {
+			return fmt.Errorf("potential_rept has %v which is done nowhere", id)
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv78(users *spec.Users) error {
+	all := s.Ops()
+	for _, x := range users.Requested() {
+		waiting := false
+		for _, fe := range s.fes {
+			if _, ok := fe.wait[x.ID]; ok {
+				waiting = true
+				break
+			}
+		}
+		if !waiting {
+			if _, ok := all[x.ID]; !ok {
+				return fmt.Errorf("requested op %v neither waiting nor done", x.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv710() error {
+	all := s.Ops()
+	xs := make([]ops.Operation, 0, len(all))
+	for _, id := range sortedOpIDs(all) {
+		xs = append(xs, all[id])
+	}
+	var bad error
+	ops.CSC(xs).Pairs(func(a, b ops.ID) bool {
+		for r, rep := range s.reps {
+			la, lb := rep.labels.Get(a), rep.labels.Get(b)
+			if lb.Less(la) {
+				bad = fmt.Errorf("replica %d: label(%v)=%v > label(%v)=%v despite CSC", r, a, la, b, lb)
+				return false
+			}
+		}
+		for k, msgs := range s.chans {
+			if k.kind() != kindRR {
+				continue
+			}
+			for _, raw := range msgs {
+				m := raw.(gossipMsg)
+				la, oka := m.l[a]
+				lb, okb := m.l[b]
+				if !oka {
+					la = label.Infinity
+				}
+				if !okb {
+					lb = label.Infinity
+				}
+				if lb.Less(la) {
+					bad = fmt.Errorf("gossip %v: L(%v)=%v > L(%v)=%v despite CSC", k, a, la, b, lb)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+func (s *System) checkInv711() error {
+	all := s.Ops()
+	xs := make([]ops.Operation, 0, len(all))
+	universe := sortedOpIDs(all)
+	for _, id := range universe {
+		xs = append(xs, all[id])
+	}
+	csc := ops.CSC(xs)
+	for r := range s.reps {
+		if !csc.Union(s.LC(r, universe)).IsAcyclic() {
+			return fmt.Errorf("CSC ∪ lc_%d is cyclic", r)
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv712() error {
+	all := s.Ops()
+	xs := make([]ops.Operation, 0, len(all))
+	for _, id := range sortedOpIDs(all) {
+		xs = append(xs, all[id])
+	}
+	if !ops.CSC(xs).Union(s.SC()).IsAcyclic() {
+		return fmt.Errorf("CSC ∪ sc is cyclic")
+	}
+	return nil
+}
+
+func (s *System) checkInv715() error {
+	for r, rep := range s.reps {
+		seen := make(map[label.Label]ops.ID)
+		for id := range rep.done[r] {
+			l := rep.labels.Get(id)
+			if l.IsInf() {
+				return fmt.Errorf("replica %d: done op %v unlabelled", r, id)
+			}
+			if other, dup := seen[l]; dup {
+				return fmt.Errorf("replica %d: ops %v and %v share label %v", r, id, other, l)
+			}
+			seen[l] = id
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv717() error {
+	// For l ∈ ℒ_r: if any replica or in-transit message carries label l for
+	// id, then label_r(id) ≤ l.
+	check := func(id ops.ID, l label.Label) error {
+		owner := int(l.Owner())
+		if owner >= s.n {
+			return fmt.Errorf("label %v owned by unknown replica", l)
+		}
+		if lr := s.reps[owner].labels.Get(id); !lr.LessEq(l) {
+			return fmt.Errorf("owner r%d has label %v for %v, above circulating %v", owner, lr, id, l)
+		}
+		return nil
+	}
+	for _, rep := range s.reps {
+		var bad error
+		rep.labels.Range(func(id ops.ID, l label.Label) bool {
+			bad = check(id, l)
+			return bad == nil
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	for k, msgs := range s.chans {
+		if k.kind() != kindRR {
+			continue
+		}
+		for _, raw := range msgs {
+			for id, l := range raw.(gossipMsg).l {
+				if err := check(id, l); err != nil {
+					return fmt.Errorf("in gossip %v: %w", k, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv719() error {
+	universe := s.opsIDs()
+	for r, rep := range s.reps {
+		for id := range rep.stable[r] {
+			ml := s.Minlabel(id)
+			for _, other := range universe {
+				mo := s.Minlabel(other)
+				if mo.LessEq(ml) {
+					if got := rep.labels.Get(other); got != mo {
+						return fmt.Errorf("replica %d: stable %v (minlabel %v) but label(%v)=%v ≠ minlabel %v",
+							r, id, ml, other, got, mo)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv721() error {
+	all := s.Ops()
+	xs := make([]ops.Operation, 0, len(all))
+	for _, id := range sortedOpIDs(all) {
+		xs = append(xs, all[id])
+	}
+	tc := ops.CSC(xs).Union(s.SC()).TransitiveClosure()
+	for id := range s.StableEverywhere() {
+		for other := range all {
+			if other == id {
+				continue
+			}
+			want := s.Minlabel(id).Less(s.Minlabel(other))
+			if got := tc.Has(id, other); got != want {
+				return fmt.Errorf("stable %v vs %v: in TC(CSC∪sc)=%v, minlabel order=%v", id, other, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv81() error {
+	po := s.PO()
+	if !po.IsAcyclic() {
+		return fmt.Errorf("po is cyclic")
+	}
+	all := s.Ops()
+	for id := range po.Span() {
+		if _, ok := all[id]; !ok {
+			return fmt.Errorf("po spans %v outside ops", id)
+		}
+	}
+	return nil
+}
+
+func (s *System) checkInv83() error {
+	po := s.PO()
+	all := s.Ops()
+	for id := range s.StableEverywhere() {
+		for other := range all {
+			if other == id {
+				continue
+			}
+			want := s.Minlabel(id).Less(s.Minlabel(other))
+			if got := po.Has(id, other); got != want {
+				return fmt.Errorf("stable %v ≺po %v is %v, minlabel order says %v", id, other, got, want)
+			}
+		}
+	}
+	return nil
+}

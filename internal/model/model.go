@@ -1,0 +1,556 @@
+// Package model is a faithful transliteration of the abstract algorithm
+// ESDS-Alg of §6 of Fekete et al. — the channel automata (Fig. 5), front
+// ends (Fig. 6), and replicas (Fig. 7) — as one explicit-state machine on
+// the internal/ioa framework.
+//
+// Unlike internal/core (the deployable implementation), this model keeps
+// the paper's state verbatim (per-channel message multisets, done_r[i] and
+// stable_r[i] arrays, the label_r functions) so that the §7 invariants and
+// the Fig. 8 derived variables (minlabel, lc_r, mc_r, sc, po) can be
+// evaluated directly, and so the §8 forward simulation into ESDS-II can be
+// checked step by step on concrete executions.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/spec"
+)
+
+// --- Messages (§6.1) ---
+
+// reqMsg is ⟨"request", x⟩.
+type reqMsg struct{ x ops.Operation }
+
+// respMsg is ⟨"response", x, v⟩.
+type respMsg struct {
+	x ops.Operation
+	v dtype.Value
+}
+
+// gossipMsg is ⟨"gossip", R, D, L, S⟩ with full state snapshots, exactly as
+// Fig. 7 sends them.
+type gossipMsg struct {
+	r map[ops.ID]ops.Operation
+	d map[ops.ID]struct{}
+	l map[ops.ID]label.Label // proper entries; absent = ∞
+	s map[ops.ID]struct{}
+}
+
+// chanKey identifies a directed channel. Front ends are addressed by client
+// name with replica = -1.
+type chanKey struct {
+	fromClient string
+	fromRep    int
+	toClient   string
+	toRep      int
+}
+
+func (k chanKey) String() string {
+	from, to := k.fromClient, k.toClient
+	if k.fromRep >= 0 {
+		from = fmt.Sprintf("r%d", k.fromRep)
+	}
+	if k.toRep >= 0 {
+		to = fmt.Sprintf("r%d", k.toRep)
+	}
+	return from + "→" + to
+}
+
+// --- Component states ---
+
+// feState is the front end of Fig. 6.
+type feState struct {
+	wait map[ops.ID]ops.Operation
+	rept map[ops.ID][]dtype.Value
+}
+
+// repState is the replica of Fig. 7.
+type repState struct {
+	pending map[ops.ID]ops.Operation
+	rcvd    map[ops.ID]ops.Operation
+	done    []map[ops.ID]struct{} // done_r[i]
+	stable  []map[ops.ID]struct{} // stable_r[i]
+	labels  *label.Map            // label_r
+}
+
+// System is ESDS-Alg: all front ends, replicas and channels, flattened into
+// a single automaton (composition is by construction; flattening gives the
+// invariants direct access to the global state, which they quantify over).
+type System struct {
+	dt      dtype.DataType
+	n       int
+	clients []string
+	fes     map[string]*feState
+	reps    []*repState
+	chans   map[chanKey][]any
+}
+
+var _ ioa.Automaton = (*System)(nil)
+
+// NewSystem builds the model with n replicas serving the given clients.
+func NewSystem(dt dtype.DataType, n int, clients []string) *System {
+	if n < 2 {
+		panic("model: the paper's algorithm assumes at least two replicas")
+	}
+	if len(clients) == 0 {
+		panic("model: no clients")
+	}
+	s := &System{
+		dt:      dt,
+		n:       n,
+		clients: append([]string(nil), clients...),
+		fes:     make(map[string]*feState, len(clients)),
+		chans:   make(map[chanKey][]any),
+	}
+	sort.Strings(s.clients)
+	for _, c := range s.clients {
+		s.fes[c] = &feState{
+			wait: make(map[ops.ID]ops.Operation),
+			rept: make(map[ops.ID][]dtype.Value),
+		}
+	}
+	s.reps = make([]*repState, n)
+	for i := range s.reps {
+		r := &repState{
+			pending: make(map[ops.ID]ops.Operation),
+			rcvd:    make(map[ops.ID]ops.Operation),
+			done:    make([]map[ops.ID]struct{}, n),
+			stable:  make([]map[ops.ID]struct{}, n),
+			labels:  label.NewMap(),
+		}
+		for j := 0; j < n; j++ {
+			r.done[j] = make(map[ops.ID]struct{})
+			r.stable[j] = make(map[ops.ID]struct{})
+		}
+		s.reps[i] = r
+	}
+	return s
+}
+
+// Name implements ioa.Automaton.
+func (s *System) Name() string { return "ESDS-Alg" }
+
+// Input implements ioa.Automaton: the system's input is request(x).
+func (s *System) Input(a ioa.Action) bool {
+	_, ok := a.(spec.RequestAction)
+	return ok
+}
+
+// --- Actions ---
+
+type sendCRAction struct {
+	c string
+	r int
+	x ops.Operation
+}
+
+func (a sendCRAction) String() string {
+	return fmt.Sprintf("send_{%s,r%d}(request %s)", a.c, a.r, a.x.ID)
+}
+func (sendCRAction) External() bool { return false }
+
+type receiveCRAction struct {
+	c   string
+	r   int
+	idx int // channel position (the multiset is unordered; idx picks a member)
+}
+
+func (a receiveCRAction) String() string {
+	return fmt.Sprintf("receive_{%s,r%d}(request #%d)", a.c, a.r, a.idx)
+}
+func (receiveCRAction) External() bool { return false }
+
+type doItAction struct {
+	r int
+	x ops.ID
+	l label.Label
+}
+
+func (a doItAction) String() string { return fmt.Sprintf("do_it_r%d(%s, %s)", a.r, a.x, a.l) }
+func (doItAction) External() bool   { return false }
+
+type sendRCAction struct {
+	r int
+	x ops.ID
+	v dtype.Value
+}
+
+func (a sendRCAction) String() string { return fmt.Sprintf("send_r%d(response %s, %v)", a.r, a.x, a.v) }
+func (sendRCAction) External() bool   { return false }
+
+type receiveRCAction struct {
+	r   int
+	c   string
+	idx int
+}
+
+func (a receiveRCAction) String() string {
+	return fmt.Sprintf("receive_{r%d,%s}(response #%d)", a.r, a.c, a.idx)
+}
+func (receiveRCAction) External() bool { return false }
+
+type sendRRAction struct {
+	from, to int
+}
+
+func (a sendRRAction) String() string { return fmt.Sprintf("send_{r%d,r%d}(gossip)", a.from, a.to) }
+func (sendRRAction) External() bool   { return false }
+
+type receiveRRAction struct {
+	from, to int
+	idx      int
+}
+
+func (a receiveRRAction) String() string {
+	return fmt.Sprintf("receive_{r%d,r%d}(gossip #%d)", a.from, a.to, a.idx)
+}
+func (receiveRRAction) External() bool { return false }
+
+// --- Enabled / Apply ---
+
+// Enabled implements ioa.Automaton. One candidate is offered per
+// (component, action class, operation) in deterministic order; multiset
+// channel deliveries sample one member per channel.
+func (s *System) Enabled(rng *rand.Rand) []ioa.Action {
+	var out []ioa.Action
+
+	// Front ends: send_cr for every waiting op, to a sampled replica.
+	for _, c := range s.clients {
+		fe := s.fes[c]
+		for _, id := range spec.SortedIDs(fe.wait) {
+			out = append(out, sendCRAction{c: c, r: rng.Intn(s.n), x: fe.wait[id]})
+		}
+		// response(x, v) for recorded answers.
+		for _, id := range spec.SortedIDs(fe.rept) {
+			if x, inWait := fe.wait[id]; inWait {
+				vs := fe.rept[id]
+				out = append(out, spec.ResponseAction{X: x, V: vs[rng.Intn(len(vs))]})
+			}
+		}
+	}
+
+	// Replicas.
+	for r, rep := range s.reps {
+		// do_it: received, not done, prevs done.
+		for _, id := range spec.SortedIDs(rep.rcvd) {
+			x := rep.rcvd[id]
+			if _, done := rep.done[r][id]; done {
+				continue
+			}
+			ready := true
+			for _, p := range x.Prev {
+				if _, ok := rep.done[r][p]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			out = append(out, doItAction{r: r, x: id, l: s.freshLabel(r, rng)})
+		}
+		// send_rc: pending ∩ done, strict gated on ∩_i stable_r[i].
+		for _, id := range spec.SortedIDs(rep.pending) {
+			x := rep.pending[id]
+			if _, done := rep.done[r][id]; !done {
+				continue
+			}
+			if x.Strict && !s.stableEverywhereAt(r, id) {
+				continue
+			}
+			out = append(out, sendRCAction{r: r, x: id, v: s.replicaValue(r, id)})
+		}
+		// send_rr to each peer.
+		for to := 0; to < s.n; to++ {
+			if to != r {
+				out = append(out, sendRRAction{from: r, to: to})
+			}
+		}
+	}
+
+	// Channel deliveries: one sampled member per nonempty channel, in
+	// deterministic channel order.
+	for _, k := range s.sortedChanKeys() {
+		msgs := s.chans[k]
+		if len(msgs) == 0 {
+			continue
+		}
+		idx := rng.Intn(len(msgs))
+		switch k.kind() {
+		case kindCR:
+			out = append(out, receiveCRAction{c: k.fromClient, r: k.toRep, idx: idx})
+		case kindRC:
+			out = append(out, receiveRCAction{r: k.fromRep, c: k.toClient, idx: idx})
+		case kindRR:
+			out = append(out, receiveRRAction{from: k.fromRep, to: k.toRep, idx: idx})
+		}
+	}
+	return out
+}
+
+type chanKind int
+
+const (
+	kindCR chanKind = iota + 1
+	kindRC
+	kindRR
+)
+
+func (k chanKey) kind() chanKind {
+	switch {
+	case k.fromClient != "" && k.toRep >= 0:
+		return kindCR
+	case k.fromRep >= 0 && k.toClient != "":
+		return kindRC
+	default:
+		return kindRR
+	}
+}
+
+func (s *System) sortedChanKeys() []chanKey {
+	keys := make([]chanKey, 0, len(s.chans))
+	for k := range s.chans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// freshLabel returns a label in ℒ_r strictly greater than every label at r,
+// with random headroom so different runs explore different relative orders.
+func (s *System) freshLabel(r int, rng *rand.Rand) label.Label {
+	var maxSeq uint64
+	s.reps[r].labels.Range(func(_ ops.ID, l label.Label) bool {
+		if l.Seq > maxSeq {
+			maxSeq = l.Seq
+		}
+		return true
+	})
+	return label.Make(maxSeq+1+uint64(rng.Intn(3)), label.ReplicaID(r))
+}
+
+// stableEverywhereAt reports x ∈ ∩_i stable_r[i].
+func (s *System) stableEverywhereAt(r int, id ops.ID) bool {
+	for i := 0; i < s.n; i++ {
+		if _, ok := s.reps[r].stable[i][id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// replicaValue computes val(x, done_r[r], lc_r): the unique valset member
+// under the replica's total local order (Invariants 7.15/7.16).
+func (s *System) replicaValue(r int, id ops.ID) dtype.Value {
+	rep := s.reps[r]
+	seq := s.doneInLabelOrder(r)
+	st := s.dt.Initial()
+	for _, did := range seq {
+		var v dtype.Value
+		st, v = s.dt.Apply(st, rep.rcvd[did].Op)
+		if did == id {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("model: replicaValue(%d, %v): not done", r, id))
+}
+
+// doneInLabelOrder returns done_r[r] sorted by label_r.
+func (s *System) doneInLabelOrder(r int) []ops.ID {
+	rep := s.reps[r]
+	seq := make([]ops.ID, 0, len(rep.done[r]))
+	for id := range rep.done[r] {
+		seq = append(seq, id)
+	}
+	sort.Slice(seq, func(i, j int) bool {
+		li, lj := rep.labels.Get(seq[i]), rep.labels.Get(seq[j])
+		if li != lj {
+			return li.Less(lj)
+		}
+		return seq[i].Less(seq[j]) // unreachable for done ops (labels unique at r)
+	})
+	return seq
+}
+
+// Apply implements ioa.Automaton.
+func (s *System) Apply(a ioa.Action) {
+	switch act := a.(type) {
+	case spec.RequestAction:
+		c := act.X.ID.Client
+		fe, ok := s.fes[c]
+		if !ok {
+			panic(fmt.Sprintf("model: request from unknown client %q", c))
+		}
+		fe.wait[act.X.ID] = act.X
+
+	case sendCRAction:
+		fe := s.fes[act.c]
+		if _, ok := fe.wait[act.x.ID]; !ok {
+			panic(fmt.Sprintf("model: send_cr of non-waiting %v", act.x.ID))
+		}
+		k := chanKey{fromClient: act.c, fromRep: -1, toRep: act.r}
+		s.chans[k] = append(s.chans[k], reqMsg{x: act.x})
+
+	case receiveCRAction:
+		k := chanKey{fromClient: act.c, fromRep: -1, toRep: act.r}
+		m := s.take(k, act.idx).(reqMsg)
+		rep := s.reps[act.r]
+		rep.pending[m.x.ID] = m.x
+		rep.rcvd[m.x.ID] = m.x
+
+	case doItAction:
+		s.applyDoIt(act)
+
+	case sendRCAction:
+		rep := s.reps[act.r]
+		x, ok := rep.pending[act.x]
+		if !ok {
+			panic(fmt.Sprintf("model: send_rc of non-pending %v", act.x))
+		}
+		c := x.ID.Client
+		k := chanKey{fromRep: act.r, toClient: c, toRep: -1}
+		s.chans[k] = append(s.chans[k], respMsg{x: x, v: act.v})
+		delete(rep.pending, act.x)
+
+	case receiveRCAction:
+		k := chanKey{fromRep: act.r, toClient: act.c, toRep: -1}
+		m := s.take(k, act.idx).(respMsg)
+		fe := s.fes[act.c]
+		if _, inWait := fe.wait[m.x.ID]; inWait {
+			fe.rept[m.x.ID] = append(fe.rept[m.x.ID], m.v)
+		}
+
+	case spec.ResponseAction:
+		fe := s.fes[act.X.ID.Client]
+		if _, inWait := fe.wait[act.X.ID]; !inWait {
+			panic(fmt.Sprintf("model: response for non-waiting %v", act.X.ID))
+		}
+		delete(fe.wait, act.X.ID)
+		delete(fe.rept, act.X.ID)
+
+	case sendRRAction:
+		s.applySendGossip(act.from, act.to)
+
+	case receiveRRAction:
+		k := chanKey{fromRep: act.from, toRep: act.to, toClient: ""}
+		m := s.take(k, act.idx).(gossipMsg)
+		s.applyReceiveGossip(act.to, act.from, m)
+
+	default:
+		panic(fmt.Sprintf("model: unknown action %T", a))
+	}
+}
+
+func (s *System) take(k chanKey, idx int) any {
+	msgs := s.chans[k]
+	if idx < 0 || idx >= len(msgs) {
+		panic(fmt.Sprintf("model: channel %v has no message #%d", k, idx))
+	}
+	m := msgs[idx]
+	s.chans[k] = append(msgs[:idx:idx], msgs[idx+1:]...)
+	return m
+}
+
+func (s *System) applyDoIt(act doItAction) {
+	rep := s.reps[act.r]
+	x, ok := rep.rcvd[act.x]
+	if !ok {
+		panic(fmt.Sprintf("model: do_it of unreceived %v", act.x))
+	}
+	if _, done := rep.done[act.r][act.x]; done {
+		panic(fmt.Sprintf("model: do_it of already done %v", act.x))
+	}
+	for _, p := range x.Prev {
+		if _, pd := rep.done[act.r][p]; !pd {
+			panic(fmt.Sprintf("model: do_it of %v with undone prev %v", act.x, p))
+		}
+	}
+	if act.l.IsInf() || act.l.Owner() != label.ReplicaID(act.r) {
+		panic(fmt.Sprintf("model: do_it label %v outside ℒ_%d", act.l, act.r))
+	}
+	for id := range rep.done[act.r] {
+		if !rep.labels.Get(id).Less(act.l) {
+			panic(fmt.Sprintf("model: do_it label %v not above done op %v", act.l, id))
+		}
+	}
+	rep.done[act.r][act.x] = struct{}{}
+	rep.labels.SetMin(act.x, act.l)
+}
+
+func (s *System) applySendGossip(from, to int) {
+	rep := s.reps[from]
+	m := gossipMsg{
+		r: make(map[ops.ID]ops.Operation, len(rep.rcvd)),
+		d: make(map[ops.ID]struct{}, len(rep.done[from])),
+		l: rep.labels.Snapshot(),
+		s: make(map[ops.ID]struct{}, len(rep.stable[from])),
+	}
+	for id, x := range rep.rcvd {
+		m.r[id] = x
+	}
+	for id := range rep.done[from] {
+		m.d[id] = struct{}{}
+	}
+	for id := range rep.stable[from] {
+		m.s[id] = struct{}{}
+	}
+	k := chanKey{fromRep: from, toRep: to, toClient: ""}
+	s.chans[k] = append(s.chans[k], m)
+}
+
+func (s *System) applyReceiveGossip(r, from int, m gossipMsg) {
+	rep := s.reps[r]
+	// rcvd_r ← rcvd_r ∪ R
+	for id, x := range m.r {
+		if _, ok := rep.rcvd[id]; !ok {
+			rep.rcvd[id] = x
+		}
+	}
+	// done_r[r'] ∪= D ∪ S; done_r[r] ∪= D ∪ S; done_r[i] ∪= S ∀i≠r,r'
+	for id := range m.d {
+		rep.done[from][id] = struct{}{}
+		rep.done[r][id] = struct{}{}
+	}
+	for id := range m.s {
+		for i := 0; i < s.n; i++ {
+			rep.done[i][id] = struct{}{}
+		}
+	}
+	// label_r ← min(label_r, L)
+	rep.labels.MergeMin(m.l)
+	// stable_r[r'] ∪= S; stable_r[r] ∪= S ∪ ∩_i done_r[i]
+	for id := range m.s {
+		rep.stable[from][id] = struct{}{}
+		rep.stable[r][id] = struct{}{}
+	}
+	for id := range rep.done[r] {
+		everywhere := true
+		for i := 0; i < s.n; i++ {
+			if _, ok := rep.done[i][id]; !ok {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			rep.stable[r][id] = struct{}{}
+		}
+	}
+}
+
+// Quiescent reports whether no messages are in flight and no replica can
+// make progress (used to detect the end of directed runs).
+func (s *System) Quiescent() bool {
+	for _, msgs := range s.chans {
+		if len(msgs) > 0 {
+			return false
+		}
+	}
+	return true
+}

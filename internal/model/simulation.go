@@ -1,0 +1,220 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/ops"
+	"esds/internal/spec"
+)
+
+// SimulationChecker validates the forward simulation F of Fig. 9 from
+// 𝒜 = ESDS-Alg × Users to 𝒮 = ESDS-II × Users on a concrete execution: it
+// mirrors every executed step of the model onto a live ESDS-II instance
+// using the step correspondence from the proof of Theorem 8.4, and checks
+// the relation F between the two states after every step.
+//
+// A correspondence or relation failure is precisely a counterexample to the
+// simulation proof, so any error here is an algorithm (or transliteration)
+// bug, surfaced with the offending step.
+type SimulationChecker struct {
+	sys *System
+	spc *spec.ESDS
+}
+
+// NewSimulationChecker builds a checker with a fresh ESDS-II instance.
+func NewSimulationChecker(sys *System, dt dtype.DataType) *SimulationChecker {
+	return &SimulationChecker{sys: sys, spc: spec.NewESDS(spec.ESDSII, dt)}
+}
+
+// Spec exposes the driven specification automaton (for end-of-run checks).
+func (c *SimulationChecker) Spec() *spec.ESDS { return c.spc }
+
+// OnStep mirrors one executed model step onto the specification and checks
+// F. It is designed to be passed to ioa.Run as the step observer: the
+// model's state is already the post-state s′ when OnStep runs, exactly what
+// the correspondence needs (enter and add-constraints use s′.po).
+func (c *SimulationChecker) OnStep(step ioa.Step) error {
+	if err := c.correspond(step.Action); err != nil {
+		return fmt.Errorf("model: correspondence failed: %w", err)
+	}
+	if err := c.CheckF(); err != nil {
+		return fmt.Errorf("model: relation F violated: %w", err)
+	}
+	return nil
+}
+
+// correspond implements the step mapping from the proof of Theorem 8.4.
+func (c *SimulationChecker) correspond(a ioa.Action) error {
+	switch act := a.(type) {
+	case spec.RequestAction:
+		// request(x) simulates request(x).
+		c.spc.ApplyRequest(act.X)
+		return nil
+
+	case doItAction:
+		// do_it_r(x, l) simulates enter(x, s′.po) if x is still waiting at
+		// some front end, and nothing otherwise.
+		x, waiting := c.waitingOp(act.x)
+		if !waiting {
+			return nil
+		}
+		return c.spc.ApplyEnter(x, c.sys.PO())
+
+	case sendRCAction:
+		// send_rc(response x, v) simulates calculate(x, v).
+		return c.spc.ApplyCalculate(act.x, act.v)
+
+	case spec.ResponseAction:
+		// response(x, v) simulates itself.
+		return c.spc.ApplyResponse(act.X.ID, act.V)
+
+	case receiveRRAction:
+		// receive_r′r(gossip) simulates add-constraints(s′.po) followed by
+		// stabilize(x) for every x newly in ∩_i stable_i[i].
+		if err := c.spc.ApplyAddConstraints(c.sys.PO()); err != nil {
+			return err
+		}
+		newly := make([]ops.ID, 0)
+		for id := range c.sys.StableEverywhere() {
+			if !c.spc.IsStabilized(id) {
+				newly = append(newly, id)
+			}
+		}
+		// Stabilize in minlabel order (any order consistent with po works in
+		// ESDS-II; minlabel order is the eventual one).
+		sort.Slice(newly, func(i, j int) bool {
+			return c.sys.Minlabel(newly[i]).Less(c.sys.Minlabel(newly[j]))
+		})
+		for _, id := range newly {
+			if err := c.spc.ApplyStabilize(id); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case sendCRAction, receiveCRAction, receiveRCAction, sendRRAction:
+		// These steps simulate the empty fragment: F must be preserved with
+		// no specification action.
+		return nil
+
+	default:
+		return fmt.Errorf("unknown action %T", a)
+	}
+}
+
+func (c *SimulationChecker) waitingOp(id ops.ID) (ops.Operation, bool) {
+	for _, fe := range c.sys.fes {
+		if x, ok := fe.wait[id]; ok {
+			return x, true
+		}
+	}
+	return ops.Operation{}, false
+}
+
+// CheckF verifies the relation F of Fig. 9 between the current model state
+// s and specification state u:
+//
+//	u.wait       = ∪_c s.wait_c
+//	u.rept       = ∪_c s.rept_c ∪ s.potential_rept   (as (id, value) sets)
+//	u.ops        = s.ops
+//	u.po         ⊆ s.po
+//	u.stabilized = ∩_r s.stable_r[r]
+func (c *SimulationChecker) CheckF() error {
+	// u.wait = ∪ wait_c.
+	implWait := make(map[ops.ID]struct{})
+	for _, fe := range c.sys.fes {
+		for id := range fe.wait {
+			implWait[id] = struct{}{}
+		}
+	}
+	specWait := c.spc.Wait()
+	if err := equalIDSets("wait", specWait, implWait); err != nil {
+		return err
+	}
+
+	// u.rept = ∪ rept_c ∪ potential_rept as (id, printed value) sets.
+	implRept := make(map[string]struct{})
+	for _, fe := range c.sys.fes {
+		for id, vs := range fe.rept {
+			for _, v := range vs {
+				implRept[id.String()+"="+fmt.Sprint(v)] = struct{}{}
+			}
+		}
+	}
+	for id, vs := range c.sys.PotentialRept() {
+		for _, v := range vs {
+			implRept[id.String()+"="+fmt.Sprint(v)] = struct{}{}
+		}
+	}
+	specRept := make(map[string]struct{})
+	for id, vs := range c.spc.Rept() {
+		for _, v := range vs {
+			specRept[id.String()+"="+fmt.Sprint(v)] = struct{}{}
+		}
+	}
+	for k := range specRept {
+		if _, ok := implRept[k]; !ok {
+			return fmt.Errorf("rept: spec has %s, impl does not", k)
+		}
+	}
+	for k := range implRept {
+		if _, ok := specRept[k]; !ok {
+			return fmt.Errorf("rept: impl has %s, spec does not", k)
+		}
+	}
+
+	// u.ops = s.ops.
+	implOps := make(map[ops.ID]struct{})
+	for id := range c.sys.Ops() {
+		implOps[id] = struct{}{}
+	}
+	if err := equalIDSets("ops", c.spc.Ops(), implOps); err != nil {
+		return err
+	}
+
+	// u.po ⊆ s.po.
+	sysPO := c.sys.PO()
+	var bad error
+	c.spc.PO().Pairs(func(a, b ops.ID) bool {
+		if !sysPO.Has(a, b) {
+			bad = fmt.Errorf("po: spec orders %v ≺ %v, derived po does not", a, b)
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+
+	// u.stabilized = ∩_r stable_r[r].
+	implStable := c.sys.StableEverywhere()
+	specStable := c.spc.Stabilized()
+	for id := range specStable {
+		if _, ok := implStable[id]; !ok {
+			return fmt.Errorf("stabilized: spec has %v, impl does not", id)
+		}
+	}
+	for id := range implStable {
+		if _, ok := specStable[id]; !ok {
+			return fmt.Errorf("stabilized: impl has %v, spec does not", id)
+		}
+	}
+	return nil
+}
+
+func equalIDSets[V any, W any](what string, a map[ops.ID]V, b map[ops.ID]W) error {
+	for id := range a {
+		if _, ok := b[id]; !ok {
+			return fmt.Errorf("%s: spec has %v, impl does not", what, id)
+		}
+	}
+	for id := range b {
+		if _, ok := a[id]; !ok {
+			return fmt.Errorf("%s: impl has %v, spec does not", what, id)
+		}
+	}
+	return nil
+}

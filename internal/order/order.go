@@ -1,0 +1,512 @@
+// Package order implements binary relations, strict partial orders,
+// transitive closures, and linear extensions over an arbitrary comparable
+// element type.
+//
+// It is a direct implementation of the order-theoretic preliminaries of
+// Section 2.1 of Fekete et al., "Eventually-Serializable Data Services"
+// (TCS 220, 1999): span, transitive closure, consistency of relations,
+// induced relations, total orders, and the predecessor sets S|≺x used by
+// the ESDS specification and its proofs.
+//
+// Relations in this package are explicit (set-of-pairs) representations.
+// They are intended for specifications, checkers, and tests, where operation
+// counts are small; the runtime replica (internal/core) never materializes a
+// relation, deriving its local order from labels instead.
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a mutable binary relation on T: a set of ordered pairs (x, y),
+// read "x precedes y". The zero value is not usable; call NewRelation.
+type Relation[T comparable] struct {
+	fwd map[T]map[T]struct{} // fwd[x] = { y : (x, y) ∈ R }
+	rev map[T]map[T]struct{} // rev[y] = { x : (x, y) ∈ R }
+	n   int                  // number of pairs
+}
+
+// NewRelation returns an empty relation.
+func NewRelation[T comparable]() *Relation[T] {
+	return &Relation[T]{
+		fwd: make(map[T]map[T]struct{}),
+		rev: make(map[T]map[T]struct{}),
+	}
+}
+
+// FromPairs builds a relation from explicit pairs.
+func FromPairs[T comparable](pairs ...[2]T) *Relation[T] {
+	r := NewRelation[T]()
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	return r
+}
+
+// Add inserts the pair (x, y) into the relation. Adding an existing pair is
+// a no-op. It reports whether the pair was newly added.
+func (r *Relation[T]) Add(x, y T) bool {
+	row, ok := r.fwd[x]
+	if !ok {
+		row = make(map[T]struct{})
+		r.fwd[x] = row
+	}
+	if _, dup := row[y]; dup {
+		return false
+	}
+	row[y] = struct{}{}
+	col, ok := r.rev[y]
+	if !ok {
+		col = make(map[T]struct{})
+		r.rev[y] = col
+	}
+	col[x] = struct{}{}
+	r.n++
+	return true
+}
+
+// Has reports whether (x, y) ∈ R.
+func (r *Relation[T]) Has(x, y T) bool {
+	row, ok := r.fwd[x]
+	if !ok {
+		return false
+	}
+	_, ok = row[y]
+	return ok
+}
+
+// HasReflexive reports whether (x, y) is in the reflexive closure of R,
+// i.e. x == y or (x, y) ∈ R. This is the ≤ relation derived from ≺.
+func (r *Relation[T]) HasReflexive(x, y T) bool {
+	return x == y || r.Has(x, y)
+}
+
+// Len returns the number of pairs in the relation.
+func (r *Relation[T]) Len() int { return r.n }
+
+// Span returns the set of elements related by R on either side:
+// span(R) = { x : ∃y. xRy ∨ yRx } (§2.1).
+func (r *Relation[T]) Span() map[T]struct{} {
+	s := make(map[T]struct{}, len(r.fwd)+len(r.rev))
+	for x, row := range r.fwd {
+		if len(row) > 0 {
+			s[x] = struct{}{}
+		}
+		for y := range row {
+			s[y] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Pairs calls fn for every pair (x, y) in the relation, stopping early if fn
+// returns false. Iteration order is unspecified.
+func (r *Relation[T]) Pairs(fn func(x, y T) bool) {
+	for x, row := range r.fwd {
+		for y := range row {
+			if !fn(x, y) {
+				return
+			}
+		}
+	}
+}
+
+// Successors returns { y : (x, y) ∈ R }. The returned map is a copy.
+func (r *Relation[T]) Successors(x T) map[T]struct{} {
+	out := make(map[T]struct{}, len(r.fwd[x]))
+	for y := range r.fwd[x] {
+		out[y] = struct{}{}
+	}
+	return out
+}
+
+// Predecessors returns { y : (y, x) ∈ R }. The returned map is a copy.
+// For a set S, the paper's S|≺x is the intersection of this with S.
+func (r *Relation[T]) Predecessors(x T) map[T]struct{} {
+	out := make(map[T]struct{}, len(r.rev[x]))
+	for y := range r.rev[x] {
+		out[y] = struct{}{}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation[T]) Clone() *Relation[T] {
+	out := NewRelation[T]()
+	r.Pairs(func(x, y T) bool {
+		out.Add(x, y)
+		return true
+	})
+	return out
+}
+
+// Union returns a new relation containing the pairs of both r and other.
+func (r *Relation[T]) Union(other *Relation[T]) *Relation[T] {
+	out := r.Clone()
+	if other != nil {
+		other.Pairs(func(x, y T) bool {
+			out.Add(x, y)
+			return true
+		})
+	}
+	return out
+}
+
+// Contains reports whether every pair of other is also in r (other ⊆ r).
+func (r *Relation[T]) Contains(other *Relation[T]) bool {
+	ok := true
+	other.Pairs(func(x, y T) bool {
+		if !r.Has(x, y) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// Equal reports whether r and other contain exactly the same pairs.
+func (r *Relation[T]) Equal(other *Relation[T]) bool {
+	return r.n == other.n && r.Contains(other)
+}
+
+// Induced returns the relation induced by R on the set S: R ∩ (S × S) (§2.1).
+func (r *Relation[T]) Induced(s map[T]struct{}) *Relation[T] {
+	out := NewRelation[T]()
+	for x := range s {
+		for y := range r.fwd[x] {
+			if _, ok := s[y]; ok {
+				out.Add(x, y)
+			}
+		}
+	}
+	return out
+}
+
+// TransitiveClosure returns TC(R), the smallest transitive relation
+// containing R (§2.1). The input is unmodified.
+func (r *Relation[T]) TransitiveClosure() *Relation[T] {
+	out := r.Clone()
+	// Breadth-first reachability from each source element. Complexity is
+	// O(V·E) on the closure, which is fine at checker scale.
+	for x := range out.fwd {
+		visited := make(map[T]struct{})
+		frontier := make([]T, 0, len(out.fwd[x]))
+		for y := range out.fwd[x] {
+			frontier = append(frontier, y)
+		}
+		for len(frontier) > 0 {
+			y := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if _, seen := visited[y]; seen {
+				continue
+			}
+			visited[y] = struct{}{}
+			for z := range out.fwd[y] {
+				if _, seen := visited[z]; !seen {
+					frontier = append(frontier, z)
+				}
+			}
+		}
+		for y := range visited {
+			out.Add(x, y)
+		}
+	}
+	return out
+}
+
+// IsTransitive reports whether xRy ∧ yRz ⇒ xRz.
+func (r *Relation[T]) IsTransitive() bool {
+	ok := true
+	r.Pairs(func(x, y T) bool {
+		for z := range r.fwd[y] {
+			if !r.Has(x, z) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// IsIrreflexive reports whether (x, x) ∉ R for all x.
+func (r *Relation[T]) IsIrreflexive() bool {
+	for x, row := range r.fwd {
+		if _, ok := row[x]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAntisymmetric reports whether xRy ∧ yRx ⇒ x = y.
+func (r *Relation[T]) IsAntisymmetric() bool {
+	ok := true
+	r.Pairs(func(x, y T) bool {
+		if x != y && r.Has(y, x) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// IsStrictPartialOrder reports whether R is transitive and irreflexive.
+// By Lemma 2.1 of the paper, such a relation is automatically antisymmetric
+// and hence a strict partial order.
+func (r *Relation[T]) IsStrictPartialOrder() bool {
+	return r.IsIrreflexive() && r.IsTransitive()
+}
+
+// IsAcyclic reports whether the directed graph of R has no cycle (equivalent
+// to TC(R) being irreflexive). It runs in O(V+E) using DFS colouring.
+func (r *Relation[T]) IsAcyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[T]int, len(r.fwd))
+	for start := range r.fwd {
+		if color[start] != white {
+			continue
+		}
+		// Iterative DFS with explicit post-processing markers.
+		type frame struct {
+			node T
+			post bool
+		}
+		fs := []frame{{node: start}}
+		for len(fs) > 0 {
+			f := fs[len(fs)-1]
+			fs = fs[:len(fs)-1]
+			if f.post {
+				color[f.node] = black
+				continue
+			}
+			if color[f.node] == black {
+				continue
+			}
+			if color[f.node] == grey {
+				// Revisit of a grey node via the stack copy; skip.
+				continue
+			}
+			color[f.node] = grey
+			fs = append(fs, frame{node: f.node, post: true})
+			for y := range r.fwd[f.node] {
+				switch color[y] {
+				case grey:
+					return false
+				case white:
+					fs = append(fs, frame{node: y})
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ConsistentWith reports whether R and R' are consistent in the sense of
+// §2.1: TC(R ∪ R') is a (strict) partial order, i.e. their union is acyclic.
+func (r *Relation[T]) ConsistentWith(other *Relation[T]) bool {
+	return r.Union(other).IsAcyclic()
+}
+
+// TotallyOrders reports whether R induces a total order on the set S:
+// for all distinct x, y in S, xRy or yRx, and the induced relation is a
+// strict partial order (§2.1).
+func (r *Relation[T]) TotallyOrders(s map[T]struct{}) bool {
+	ind := r.Induced(s)
+	if !ind.IsAcyclic() {
+		return false
+	}
+	tc := ind.TransitiveClosure()
+	if !tc.IsIrreflexive() {
+		return false
+	}
+	elems := make([]T, 0, len(s))
+	for x := range s {
+		elems = append(elems, x)
+	}
+	for i := range elems {
+		for j := i + 1; j < len(elems); j++ {
+			x, y := elems[i], elems[j]
+			if !tc.Has(x, y) && !tc.Has(y, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TopoSort returns a linear extension of R restricted to S, breaking ties
+// with less (a strict total tie-break order on T). The result is
+// deterministic given less. It returns an error if R has a cycle within S.
+func (r *Relation[T]) TopoSort(s map[T]struct{}, less func(a, b T) bool) ([]T, error) {
+	ind := r.Induced(s)
+	indeg := make(map[T]int, len(s))
+	for x := range s {
+		indeg[x] = 0
+	}
+	ind.Pairs(func(x, y T) bool {
+		indeg[y]++
+		return true
+	})
+	ready := make([]T, 0, len(s))
+	for x, d := range indeg {
+		if d == 0 {
+			ready = append(ready, x)
+		}
+	}
+	sortSlice(ready, less)
+	out := make([]T, 0, len(s))
+	for len(ready) > 0 {
+		x := ready[0]
+		ready = ready[1:]
+		out = append(out, x)
+		changed := false
+		for y := range ind.fwd[x] {
+			indeg[y]--
+			if indeg[y] == 0 {
+				ready = append(ready, y)
+				changed = true
+			}
+		}
+		if changed {
+			sortSlice(ready, less)
+		}
+	}
+	if len(out) != len(s) {
+		return nil, fmt.Errorf("order: cycle detected among %d elements (only %d sorted)", len(s), len(out))
+	}
+	return out, nil
+}
+
+// LinearExtensions enumerates linear extensions (strict total orders on S
+// consistent with R, per §2.1) and calls fn for each. Enumeration stops when
+// fn returns false or when limit extensions have been produced (limit <= 0
+// means no limit). It returns the number of extensions produced and an error
+// if R is cyclic on S.
+//
+// The slice passed to fn is reused between calls; callers must copy it if
+// they retain it.
+func (r *Relation[T]) LinearExtensions(s map[T]struct{}, limit int, fn func([]T) bool) (int, error) {
+	ind := r.Induced(s).TransitiveClosure()
+	if !ind.IsIrreflexive() {
+		return 0, fmt.Errorf("order: relation is cyclic on the given set")
+	}
+	elems := make([]T, 0, len(s))
+	for x := range s {
+		elems = append(elems, x)
+	}
+	// Deterministic base ordering keeps enumeration order stable across runs
+	// for types with a string form; otherwise map order varies but the SET of
+	// extensions produced is identical.
+	sort.Slice(elems, func(i, j int) bool {
+		return fmt.Sprint(elems[i]) < fmt.Sprint(elems[j])
+	})
+	used := make(map[T]bool, len(elems))
+	prefix := make([]T, 0, len(elems))
+	count := 0
+	stop := false
+
+	var rec func()
+	rec = func() {
+		if stop || (limit > 0 && count >= limit) {
+			stop = true
+			return
+		}
+		if len(prefix) == len(elems) {
+			count++
+			if !fn(prefix) {
+				stop = true
+			}
+			return
+		}
+		for _, x := range elems {
+			if used[x] {
+				continue
+			}
+			// x is eligible if every predecessor of x in S is already placed.
+			ok := true
+			for p := range ind.rev[x] {
+				if _, inS := s[p]; inS && !used[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[x] = true
+			prefix = append(prefix, x)
+			rec()
+			prefix = prefix[:len(prefix)-1]
+			used[x] = false
+			if stop {
+				return
+			}
+		}
+	}
+	rec()
+	return count, nil
+}
+
+// CountLinearExtensions returns the number of linear extensions of R on S,
+// up to limit (limit <= 0 counts all of them).
+func (r *Relation[T]) CountLinearExtensions(s map[T]struct{}, limit int) (int, error) {
+	return r.LinearExtensions(s, limit, func([]T) bool { return true })
+}
+
+// IsLinearExtension reports whether seq is a strict total order on exactly
+// the elements of S that is consistent with R.
+func (r *Relation[T]) IsLinearExtension(s map[T]struct{}, seq []T) bool {
+	if len(seq) != len(s) {
+		return false
+	}
+	pos := make(map[T]int, len(seq))
+	for i, x := range seq {
+		if _, inS := s[x]; !inS {
+			return false
+		}
+		if _, dup := pos[x]; dup {
+			return false
+		}
+		pos[x] = i
+	}
+	ok := true
+	r.Induced(s).Pairs(func(x, y T) bool {
+		if pos[x] >= pos[y] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// TotalOrderFromSequence builds the strict total order {(seq[i], seq[j]) : i < j}.
+func TotalOrderFromSequence[T comparable](seq []T) *Relation[T] {
+	r := NewRelation[T]()
+	for i := range seq {
+		for j := i + 1; j < len(seq); j++ {
+			r.Add(seq[i], seq[j])
+		}
+	}
+	return r
+}
+
+// SetOf builds a set from a slice.
+func SetOf[T comparable](xs ...T) map[T]struct{} {
+	s := make(map[T]struct{}, len(xs))
+	for _, x := range xs {
+		s[x] = struct{}{}
+	}
+	return s
+}
+
+func sortSlice[T comparable](xs []T, less func(a, b T) bool) {
+	sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}

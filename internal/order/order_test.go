@@ -1,0 +1,440 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasLen(t *testing.T) {
+	r := NewRelation[string]()
+	if r.Len() != 0 {
+		t.Fatalf("empty relation has Len %d", r.Len())
+	}
+	if !r.Add("a", "b") {
+		t.Fatal("first Add returned false")
+	}
+	if r.Add("a", "b") {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !r.Has("a", "b") || r.Has("b", "a") {
+		t.Fatal("Has gave wrong answers")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestHasReflexive(t *testing.T) {
+	r := FromPairs([2]string{"a", "b"})
+	if !r.HasReflexive("a", "a") {
+		t.Fatal("reflexive closure missing (a,a)")
+	}
+	if !r.HasReflexive("a", "b") {
+		t.Fatal("reflexive closure missing (a,b)")
+	}
+	if r.HasReflexive("b", "a") {
+		t.Fatal("reflexive closure wrongly contains (b,a)")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := FromPairs([2]int{1, 2}, [2]int{2, 3})
+	span := r.Span()
+	want := SetOf(1, 2, 3)
+	if len(span) != len(want) {
+		t.Fatalf("span = %v, want %v", span, want)
+	}
+	for x := range want {
+		if _, ok := span[x]; !ok {
+			t.Fatalf("span missing %d", x)
+		}
+	}
+}
+
+func TestPredecessorsSuccessors(t *testing.T) {
+	r := FromPairs([2]int{1, 3}, [2]int{2, 3}, [2]int{3, 4})
+	preds := r.Predecessors(3)
+	if len(preds) != 2 {
+		t.Fatalf("Predecessors(3) = %v", preds)
+	}
+	succs := r.Successors(3)
+	if len(succs) != 1 {
+		t.Fatalf("Successors(3) = %v", succs)
+	}
+	// Mutating the returned copies must not change the relation.
+	preds[99] = struct{}{}
+	if len(r.Predecessors(3)) != 2 {
+		t.Fatal("Predecessors returned an aliased map")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{3, 4})
+	tc := r.TransitiveClosure()
+	for _, p := range [][2]int{{1, 3}, {1, 4}, {2, 4}} {
+		if !tc.Has(p[0], p[1]) {
+			t.Errorf("TC missing (%d,%d)", p[0], p[1])
+		}
+	}
+	if tc.Has(4, 1) {
+		t.Error("TC contains a reversed pair")
+	}
+	if !tc.IsTransitive() {
+		t.Error("TC is not transitive")
+	}
+	// The closure must not mutate the original.
+	if r.Has(1, 3) {
+		t.Error("TransitiveClosure mutated receiver")
+	}
+}
+
+func TestTransitiveClosureIdempotent(t *testing.T) {
+	r := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{5, 6}, [2]int{6, 1})
+	tc := r.TransitiveClosure()
+	tc2 := tc.TransitiveClosure()
+	if !tc.Equal(tc2) {
+		t.Error("TC(TC(R)) != TC(R)")
+	}
+}
+
+func TestStrictPartialOrderPredicates(t *testing.T) {
+	spo := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{1, 3})
+	if !spo.IsStrictPartialOrder() {
+		t.Error("a chain should be a strict partial order")
+	}
+	reflexive := FromPairs([2]int{1, 1})
+	if reflexive.IsIrreflexive() {
+		t.Error("(1,1) should not be irreflexive")
+	}
+	nontrans := FromPairs([2]int{1, 2}, [2]int{2, 3})
+	if nontrans.IsTransitive() {
+		t.Error("missing (1,3) should not be transitive")
+	}
+	sym := FromPairs([2]int{1, 2}, [2]int{2, 1})
+	if sym.IsAntisymmetric() {
+		t.Error("(1,2),(2,1) should not be antisymmetric")
+	}
+}
+
+// Lemma 2.1: any irreflexive and transitive relation is a strict partial
+// order (in particular antisymmetric).
+func TestLemma21(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(21))}
+	f := func(pairs [][2]uint8) bool {
+		r := NewRelation[uint8]()
+		for _, p := range pairs {
+			r.Add(p[0]%6, p[1]%6)
+		}
+		tc := r.TransitiveClosure()
+		if !tc.IsIrreflexive() {
+			return true // cyclic input: lemma hypothesis fails, skip
+		}
+		return tc.IsAntisymmetric()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	dag := FromPairs([2]int{1, 2}, [2]int{1, 3}, [2]int{2, 4}, [2]int{3, 4})
+	if !dag.IsAcyclic() {
+		t.Error("DAG reported cyclic")
+	}
+	cyc := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{3, 1})
+	if cyc.IsAcyclic() {
+		t.Error("3-cycle reported acyclic")
+	}
+	self := FromPairs([2]int{7, 7})
+	if self.IsAcyclic() {
+		t.Error("self-loop reported acyclic")
+	}
+	if NewRelation[int]().IsAcyclic() != true {
+		t.Error("empty relation should be acyclic")
+	}
+}
+
+func TestConsistentWith(t *testing.T) {
+	a := FromPairs([2]int{1, 2})
+	b := FromPairs([2]int{2, 3})
+	if !a.ConsistentWith(b) {
+		t.Error("compatible relations reported inconsistent")
+	}
+	c := FromPairs([2]int{2, 1})
+	if a.ConsistentWith(c) {
+		t.Error("contradictory relations reported consistent")
+	}
+}
+
+func TestInduced(t *testing.T) {
+	r := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{3, 4})
+	ind := r.Induced(SetOf(1, 2, 4))
+	if ind.Len() != 1 || !ind.Has(1, 2) {
+		t.Errorf("induced relation = %v pairs, want exactly {(1,2)}", ind.Len())
+	}
+}
+
+// Lemma 2.2: the relation induced by a partial order on any set is also a
+// partial order.
+func TestLemma22(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(22))}
+	f := func(pairs [][2]uint8, members []uint8) bool {
+		r := NewRelation[uint8]()
+		for _, p := range pairs {
+			r.Add(p[0]%6, p[1]%6)
+		}
+		tc := r.TransitiveClosure()
+		if !tc.IsIrreflexive() {
+			return true
+		}
+		s := make(map[uint8]struct{})
+		for _, m := range members {
+			s[m%6] = struct{}{}
+		}
+		return tc.Induced(s).IsStrictPartialOrder()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotallyOrders(t *testing.T) {
+	chain := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{1, 3})
+	if !chain.TotallyOrders(SetOf(1, 2, 3)) {
+		t.Error("chain should totally order {1,2,3}")
+	}
+	if chain.TotallyOrders(SetOf(1, 2, 3, 4)) {
+		t.Error("4 is unrelated; should not be a total order")
+	}
+	// A non-transitive chain still totally orders via its closure.
+	sparse := FromPairs([2]int{1, 2}, [2]int{2, 3})
+	if !sparse.TotallyOrders(SetOf(1, 2, 3)) {
+		t.Error("sparse chain should totally order via TC")
+	}
+	cyc := FromPairs([2]int{1, 2}, [2]int{2, 1})
+	if cyc.TotallyOrders(SetOf(1, 2)) {
+		t.Error("cycle must not be a total order")
+	}
+	if !chain.TotallyOrders(map[int]struct{}{}) {
+		t.Error("any relation totally orders the empty set")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	r := FromPairs([2]int{3, 1}, [2]int{3, 2}, [2]int{1, 4}, [2]int{2, 4})
+	s := SetOf(1, 2, 3, 4)
+	got, err := r.TopoSort(s, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopoSort = %v, want %v", got, want)
+		}
+	}
+	cyc := FromPairs([2]int{1, 2}, [2]int{2, 1})
+	if _, err := cyc.TopoSort(SetOf(1, 2), func(a, b int) bool { return a < b }); err == nil {
+		t.Fatal("TopoSort on a cycle should fail")
+	}
+}
+
+func TestTopoSortRespectsOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}
+	f := func(pairs [][2]uint8) bool {
+		r := NewRelation[uint8]()
+		s := make(map[uint8]struct{})
+		for _, p := range pairs {
+			x, y := p[0]%8, p[1]%8
+			if x == y {
+				continue
+			}
+			// Only add pairs that keep the relation acyclic so TopoSort exists.
+			r.Add(x, y)
+			if !r.IsAcyclic() {
+				// remove by rebuilding without the pair is costly; instead just
+				// bail out of this sample.
+				return true
+			}
+			s[x], s[y] = struct{}{}, struct{}{}
+		}
+		seq, err := r.TopoSort(s, func(a, b uint8) bool { return a < b })
+		if err != nil {
+			return false
+		}
+		return r.IsLinearExtension(s, seq)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearExtensionsEnumeration(t *testing.T) {
+	// Diamond: 1 < {2,3} < 4 has exactly two linear extensions.
+	r := FromPairs([2]int{1, 2}, [2]int{1, 3}, [2]int{2, 4}, [2]int{3, 4})
+	s := SetOf(1, 2, 3, 4)
+	var got [][]int
+	n, err := r.LinearExtensions(s, 0, func(seq []int) bool {
+		cp := make([]int, len(seq))
+		copy(cp, seq)
+		got = append(got, cp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("diamond has %d extensions, want 2 (%v)", n, got)
+	}
+	for _, seq := range got {
+		if !r.IsLinearExtension(s, seq) {
+			t.Errorf("%v is not a linear extension", seq)
+		}
+	}
+}
+
+func TestLinearExtensionsLimitAndStop(t *testing.T) {
+	r := NewRelation[int]()
+	s := SetOf(1, 2, 3, 4) // antichain: 24 extensions
+	n, err := r.LinearExtensions(s, 5, func([]int) bool { return true })
+	if err != nil || n != 5 {
+		t.Fatalf("limit: n=%d err=%v, want 5 nil", n, err)
+	}
+	n, err = r.LinearExtensions(s, 0, func([]int) bool { return false })
+	if err != nil || n != 1 {
+		t.Fatalf("early stop: n=%d err=%v, want 1 nil", n, err)
+	}
+	n, err = r.CountLinearExtensions(s, 0)
+	if err != nil || n != 24 {
+		t.Fatalf("antichain of 4: n=%d err=%v, want 24 nil", n, err)
+	}
+}
+
+func TestLinearExtensionsCycleErrors(t *testing.T) {
+	r := FromPairs([2]int{1, 2}, [2]int{2, 1})
+	if _, err := r.CountLinearExtensions(SetOf(1, 2), 0); err == nil {
+		t.Fatal("cyclic relation should yield an error")
+	}
+}
+
+func TestLinearExtensionsEmptySet(t *testing.T) {
+	r := NewRelation[int]()
+	n, err := r.CountLinearExtensions(map[int]struct{}{}, 0)
+	if err != nil || n != 1 {
+		t.Fatalf("empty set should have exactly the empty extension: n=%d err=%v", n, err)
+	}
+}
+
+// Lemma 2.5: if ≺ is a partial order on X then valset is nonempty — at the
+// order level, every acyclic relation on a finite set has at least one
+// linear extension.
+func TestLemma25EveryDAGHasExtension(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(25))}
+	f := func(pairs [][2]uint8) bool {
+		r := NewRelation[uint8]()
+		s := make(map[uint8]struct{})
+		for _, p := range pairs {
+			x, y := p[0]%7, p[1]%7
+			s[x], s[y] = struct{}{}, struct{}{}
+			if x != y {
+				r.Add(x, y)
+			}
+		}
+		if !r.Induced(s).IsAcyclic() {
+			return true
+		}
+		n, err := r.CountLinearExtensions(s, 1)
+		return err == nil && n == 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsLinearExtensionRejects(t *testing.T) {
+	r := FromPairs([2]int{1, 2})
+	s := SetOf(1, 2, 3)
+	if r.IsLinearExtension(s, []int{2, 1, 3}) {
+		t.Error("accepted a sequence violating (1,2)")
+	}
+	if r.IsLinearExtension(s, []int{1, 2}) {
+		t.Error("accepted a short sequence")
+	}
+	if r.IsLinearExtension(s, []int{1, 2, 2}) {
+		t.Error("accepted a duplicate element")
+	}
+	if r.IsLinearExtension(s, []int{1, 2, 4}) {
+		t.Error("accepted an element outside the set")
+	}
+}
+
+func TestTotalOrderFromSequence(t *testing.T) {
+	r := TotalOrderFromSequence([]string{"a", "b", "c"})
+	if !r.Has("a", "b") || !r.Has("a", "c") || !r.Has("b", "c") {
+		t.Error("missing pairs")
+	}
+	if r.Has("b", "a") {
+		t.Error("has reversed pair")
+	}
+	if !r.TotallyOrders(SetOf("a", "b", "c")) {
+		t.Error("sequence order should be total")
+	}
+}
+
+func TestUnionCloneEqualContains(t *testing.T) {
+	a := FromPairs([2]int{1, 2})
+	b := FromPairs([2]int{2, 3})
+	u := a.Union(b)
+	if !u.Has(1, 2) || !u.Has(2, 3) || u.Len() != 2 {
+		t.Error("union wrong")
+	}
+	if a.Has(2, 3) {
+		t.Error("union mutated receiver")
+	}
+	c := a.Clone()
+	c.Add(9, 9)
+	if a.Has(9, 9) {
+		t.Error("clone aliased receiver")
+	}
+	if !u.Contains(a) || a.Contains(u) {
+		t.Error("Contains wrong")
+	}
+	if !a.Equal(FromPairs([2]int{1, 2})) {
+		t.Error("Equal wrong")
+	}
+	if a.Equal(b) {
+		t.Error("unequal relations reported Equal")
+	}
+	// Union with nil should be a clone.
+	if !a.Union(nil).Equal(a) {
+		t.Error("Union(nil) should equal receiver")
+	}
+}
+
+func TestPairsEarlyStop(t *testing.T) {
+	r := FromPairs([2]int{1, 2}, [2]int{2, 3}, [2]int{3, 4})
+	count := 0
+	r.Pairs(func(x, y int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("Pairs visited %d pairs after stop, want 1", count)
+	}
+}
+
+// Property: TC(R) is acyclic iff R is acyclic.
+func TestAcyclicAgreesWithClosure(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(99))}
+	f := func(pairs [][2]uint8) bool {
+		r := NewRelation[uint8]()
+		for _, p := range pairs {
+			r.Add(p[0]%6, p[1]%6)
+		}
+		return r.IsAcyclic() == r.TransitiveClosure().IsIrreflexive()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

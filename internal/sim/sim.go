@@ -1,0 +1,233 @@
+// Package sim is a deterministic discrete-event simulator with a virtual
+// clock. It is the substrate for the timed executions of §9 of Fekete et
+// al.: events are annotated with times, time advances to infinity, and the
+// timing assumptions (message delivery within d, gossip every g) become
+// scheduled events.
+//
+// Determinism: events at equal times fire in scheduling order (a strictly
+// increasing sequence number breaks ties), and all randomness is injected
+// via explicit seeds, so a run is a pure function of its inputs. This is
+// what lets the experiment harness reproduce every table from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant in microseconds since the start of the run.
+type Time int64
+
+// Duration is a virtual duration in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000
+	Second      Duration = 1000 * 1000
+)
+
+// FromStd converts a time.Duration to a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Microseconds()) }
+
+// Std converts a virtual Duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Microsecond }
+
+// String renders a Duration using the standard library formatting.
+func (d Duration) String() string { return d.Std().String() }
+
+// Add offsets a Time by a Duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the Duration between two Times.
+func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
+
+// String renders a Time as an offset from the run start.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+	idx  int // heap index
+	dead bool
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use:
+// all event handlers run sequentially on the caller's goroutine, which is
+// precisely what makes runs deterministic.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	nextID uint64
+	rng    *rand.Rand
+	events uint64 // total events executed
+}
+
+// New returns a simulator with its clock at zero, seeded for any
+// rng-consuming components built on top.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// EventsExecuted returns the number of events run so far.
+func (s *Sim) EventsExecuted() uint64 { return s.events }
+
+// Pending returns the number of events currently scheduled.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Handle allows a scheduled event to be cancelled.
+type Handle struct{ e *event }
+
+// Cancel prevents the event from firing. Cancelling a fired or already
+// cancelled event is a no-op. It reports whether the event was live.
+func (h Handle) Cancel() bool {
+	if h.e == nil || h.e.dead {
+		return false
+	}
+	h.e.dead = true
+	h.e.fn = nil
+	return true
+}
+
+// Schedule runs fn at now+delay. A negative delay panics: the virtual clock
+// never goes backwards.
+func (s *Sim) Schedule(delay Duration, fn func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &event{at: s.now.Add(delay), seq: s.nextID, fn: fn}
+	s.nextID++
+	heap.Push(&s.queue, e)
+	return Handle{e: e}
+}
+
+// ScheduleAt runs fn at the absolute virtual time at (>= Now).
+func (s *Sim) ScheduleAt(at Time, fn func()) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) is in the past (now %v)", at, s.now))
+	}
+	return s.Schedule(at.Sub(s.now), fn)
+}
+
+// Every schedules fn at now+period, now+2·period, ... until the returned
+// stop function is called. The period must be positive. This implements the
+// paper's gossip timing assumption: at least one send every g.
+func (s *Sim) Every(period Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			s.Schedule(period, tick)
+		}
+	}
+	s.Schedule(period, tick)
+	return func() { stopped = true }
+}
+
+// Step executes the next event, advancing the clock to its time. It reports
+// whether an event was executed (false when the queue is empty).
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		s.events++
+		e.dead = true
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or maxEvents events have run
+// (maxEvents <= 0: unlimited). It returns the number of events executed.
+func (s *Sim) Run(maxEvents uint64) uint64 {
+	start := s.events
+	for maxEvents == 0 || s.events-start < maxEvents {
+		if !s.Step() {
+			break
+		}
+	}
+	return s.events - start
+}
+
+// RunUntil executes events with time ≤ deadline. Events scheduled at
+// exactly the deadline do fire; the clock finishes at min(deadline, last
+// event time) and is then advanced to deadline.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		// Peek without popping.
+		next := s.queue[0]
+		if next.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for a virtual duration from the current time.
+func (s *Sim) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }

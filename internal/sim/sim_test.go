@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*Millisecond, func() { got = append(got, 2) })
+	s.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v", got)
+	}
+	if s.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*Millisecond, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.Schedule(time10(), func() {
+		times = append(times, s.Now())
+		s.Schedule(time10(), func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run(0)
+	if len(times) != 2 || times[0] != Time(10*Millisecond) || times[1] != Time(20*Millisecond) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func time10() Duration { return 10 * Millisecond }
+
+func TestScheduleAt(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.ScheduleAt(Time(7*Millisecond), func() { fired = true })
+	s.Run(0)
+	if !fired || s.Now() != Time(7*Millisecond) {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleAt in the past should panic")
+		}
+	}()
+	s.ScheduleAt(Time(1*Millisecond), func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestNilFnPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn should panic")
+		}
+	}()
+	s.Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	h := s.Schedule(5*Millisecond, func() { fired = true })
+	if !h.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	s.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling after firing is a no-op returning false.
+	h2 := s.Schedule(1*Millisecond, func() {})
+	s.Run(0)
+	if h2.Cancel() {
+		t.Fatal("Cancel after firing returned true")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	count := 0
+	stop := s.Every(10*Millisecond, func() { count++ })
+	s.RunUntil(Time(55 * Millisecond))
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	stop()
+	s.RunUntil(Time(200 * Millisecond))
+	if count != 5 {
+		t.Fatalf("ticks after stop = %d", count)
+	}
+	if s.Now() != Time(200*Millisecond) {
+		t.Fatalf("RunUntil did not advance clock: %v", s.Now())
+	}
+}
+
+func TestEveryStopFromWithinTick(t *testing.T) {
+	s := New(1)
+	count := 0
+	var stop func()
+	stop = s.Every(Millisecond, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	s.Run(0)
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestEveryInvalidPeriodPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive period should panic")
+		}
+	}()
+	s.Every(0, func() {})
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		s.Schedule(Duration(i)*Millisecond, func() {})
+	}
+	if n := s.Run(4); n != 4 {
+		t.Fatalf("Run(4) executed %d", n)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	if n := s.Run(0); n != 6 {
+		t.Fatalf("Run(0) executed %d", n)
+	}
+	if s.EventsExecuted() != 10 {
+		t.Fatalf("total = %d", s.EventsExecuted())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Schedule(10*Millisecond, func() { fired++ })
+	s.Schedule(10*Millisecond+1, func() { fired++ })
+	s.RunUntil(Time(10 * Millisecond))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (deadline inclusive)", fired)
+	}
+	s.Run(0)
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	s := New(1)
+	s.RunFor(5 * Millisecond)
+	s.RunFor(5 * Millisecond)
+	if s.Now() != Time(10*Millisecond) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int {
+		s := New(seed)
+		var out []int
+		for i := 0; i < 50; i++ {
+			i := i
+			d := Duration(s.Rand().Intn(100)) * Millisecond
+			s.Schedule(d, func() { out = append(out, i) })
+		}
+		s.Run(0)
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if FromStd(3*time.Millisecond) != 3*Millisecond {
+		t.Error("FromStd wrong")
+	}
+	if (2 * Second).Std() != 2*time.Second {
+		t.Error("Std wrong")
+	}
+	if (1500 * Microsecond).String() != "1.5ms" {
+		t.Errorf("String = %q", (1500 * Microsecond).String())
+	}
+	tm := Time(0).Add(5 * Millisecond)
+	if tm.Sub(Time(2*Millisecond)) != 3*Millisecond {
+		t.Error("Sub wrong")
+	}
+}

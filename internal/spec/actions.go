@@ -1,0 +1,79 @@
+// Package spec contains the formal specification side of Fekete et al.:
+// the well-formed client automaton Users (§4, Fig. 1), the
+// eventually-serializable data service specifications ESDS-I and ESDS-II
+// (§5, Figs. 2–3), their invariants (Invariants 4.1–5.6), and executable
+// checkers for the trace theorems (Theorems 5.7–5.9).
+//
+// The automata run on the internal/ioa framework for randomized
+// exploration, and expose typed action methods (ApplyEnter, ApplyStabilize,
+// ...) so internal/model can drive ESDS-II directly in the §8 simulation
+// proof check.
+package spec
+
+import (
+	"fmt"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/order"
+)
+
+// RequestAction is the external input action request(x).
+type RequestAction struct{ X ops.Operation }
+
+func (a RequestAction) String() string { return fmt.Sprintf("request(%s)", a.X.ID) }
+
+// External implements ioa.Action.
+func (RequestAction) External() bool { return true }
+
+// ResponseAction is the external output action response(x, v).
+type ResponseAction struct {
+	X ops.Operation
+	V dtype.Value
+}
+
+func (a ResponseAction) String() string { return fmt.Sprintf("response(%s, %v)", a.X.ID, a.V) }
+
+// External implements ioa.Action.
+func (ResponseAction) External() bool { return true }
+
+// EnterAction is the internal action enter(x, new-po). NewPO is carried as
+// an explicit relation on identifiers.
+type EnterAction struct {
+	X     ops.Operation
+	NewPO *order.Relation[ops.ID]
+}
+
+func (a EnterAction) String() string { return fmt.Sprintf("enter(%s)", a.X.ID) }
+
+// External implements ioa.Action.
+func (EnterAction) External() bool { return false }
+
+// StabilizeAction is the internal action stabilize(x).
+type StabilizeAction struct{ X ops.ID }
+
+func (a StabilizeAction) String() string { return fmt.Sprintf("stabilize(%s)", a.X) }
+
+// External implements ioa.Action.
+func (StabilizeAction) External() bool { return false }
+
+// CalculateAction is the internal action calculate(x, v).
+type CalculateAction struct {
+	X ops.ID
+	V dtype.Value
+}
+
+func (a CalculateAction) String() string { return fmt.Sprintf("calculate(%s, %v)", a.X, a.V) }
+
+// External implements ioa.Action.
+func (CalculateAction) External() bool { return false }
+
+// AddConstraintsAction is the internal action add-constraints(new-po).
+type AddConstraintsAction struct{ NewPO *order.Relation[ops.ID] }
+
+func (a AddConstraintsAction) String() string {
+	return fmt.Sprintf("add-constraints(%d pairs)", a.NewPO.Len())
+}
+
+// External implements ioa.Action.
+func (AddConstraintsAction) External() bool { return false }

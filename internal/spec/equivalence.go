@@ -1,0 +1,164 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/ops"
+)
+
+// GChecker validates the §5.3 equivalence direction that needs a proof:
+// ESDS-II implements ESDS-I via the forward simulation G of Fig. 4
+// (u ∈ G[s] iff wait, rept, ops, and po agree and u.stabilized ⊇
+// s.stabilized). It drives a live ESDS-I instance alongside an explored
+// ESDS-II execution: every action simulates itself except stabilize(x),
+// which simulates the sequence of ESDS-I stabilize actions for
+// ops|≺x − stabilized followed by x — ESDS-I "fills in the gaps".
+//
+// (The other direction needs no machinery: every ESDS-I execution is an
+// ESDS-II execution, since ESDS-I's preconditions are strictly stronger.)
+type GChecker struct {
+	ii *ESDS // the explored automaton (ESDS-II)
+	i  *ESDS // the driven specification (ESDS-I)
+}
+
+// NewGChecker builds the checker for an explored ESDS-II instance.
+func NewGChecker(ii *ESDS, dt dtype.DataType) *GChecker {
+	if ii.variant != ESDSII {
+		panic("spec: GChecker explores an ESDS-II instance")
+	}
+	return &GChecker{ii: ii, i: NewESDS(ESDSI, dt)}
+}
+
+// SpecI exposes the driven ESDS-I instance.
+func (g *GChecker) SpecI() *ESDS { return g.i }
+
+// OnStep mirrors one executed ESDS-II (or Users) action onto ESDS-I and
+// checks G. Pass it to ioa.Run as the step observer.
+func (g *GChecker) OnStep(step ioa.Step) error {
+	if err := g.correspond(step.Action); err != nil {
+		return fmt.Errorf("spec: G correspondence failed: %w", err)
+	}
+	if err := g.CheckG(); err != nil {
+		return fmt.Errorf("spec: relation G violated: %w", err)
+	}
+	return nil
+}
+
+func (g *GChecker) correspond(a ioa.Action) error {
+	switch act := a.(type) {
+	case RequestAction:
+		g.i.ApplyRequest(act.X)
+		return nil
+	case EnterAction:
+		// The mirrored new-po is the transitive closure: ESDS-I's stabilized
+		// set can exceed ESDS-II's by gap-filled ops, whose required pairs
+		// (y, x) exist only transitively (via the stable op they precede).
+		newPO := act.NewPO.TransitiveClosure()
+		if _, entered := g.i.opsSet[act.X.ID]; entered {
+			// A repeated ESDS-II enter is equivalent to add-constraints
+			// (§5.3's first minor difference).
+			return g.i.ApplyAddConstraints(newPO)
+		}
+		return g.i.ApplyEnter(act.X, newPO)
+	case StabilizeAction:
+		return g.stabilizeWithPrefix(act.X)
+	case CalculateAction:
+		return g.i.ApplyCalculate(act.X, act.V)
+	case AddConstraintsAction:
+		return g.i.ApplyAddConstraints(act.NewPO)
+	case ResponseAction:
+		return g.i.ApplyResponse(act.X.ID, act.V)
+	default:
+		return fmt.Errorf("unknown action %T", a)
+	}
+}
+
+// stabilizeWithPrefix performs the Fig. 4 stabilize correspondence: the
+// unstable prefix of x first (in ≺po order — total by the Fig. 3
+// precondition), then x itself. Ops already stable in ESDS-I are skipped
+// (ESDS-I forbids re-stabilizing).
+func (g *GChecker) stabilizeWithPrefix(x ops.ID) error {
+	var pending []ops.ID
+	for y := range g.i.opsSet {
+		if g.i.po.Has(y, x) && !g.i.IsStabilized(y) {
+			pending = append(pending, y)
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool {
+		if g.i.po.Has(pending[a], pending[b]) {
+			return true
+		}
+		if g.i.po.Has(pending[b], pending[a]) {
+			return false
+		}
+		return pending[a].Less(pending[b])
+	})
+	for _, y := range pending {
+		if err := g.i.ApplyStabilize(y); err != nil {
+			return fmt.Errorf("gap-fill stabilize(%v) before %v: %w", y, x, err)
+		}
+	}
+	if g.i.IsStabilized(x) {
+		return nil // already filled in by an earlier gap
+	}
+	return g.i.ApplyStabilize(x)
+}
+
+// CheckG verifies the relation G of Fig. 4 between the ESDS-II state s and
+// the ESDS-I state u.
+func (g *GChecker) CheckG() error {
+	if err := equalOpMaps("wait", g.i.wait, g.ii.wait); err != nil {
+		return err
+	}
+	if err := equalOpMaps("ops", g.i.opsSet, g.ii.opsSet); err != nil {
+		return err
+	}
+	// rept as (id, value) sets.
+	reptSet := func(e *ESDS) map[string]struct{} {
+		out := make(map[string]struct{})
+		for id, vs := range e.rept {
+			for _, v := range vs {
+				out[id.String()+"="+fmt.Sprint(v)] = struct{}{}
+			}
+		}
+		return out
+	}
+	ri, rii := reptSet(g.i), reptSet(g.ii)
+	for k := range rii {
+		if _, ok := ri[k]; !ok {
+			return fmt.Errorf("rept: ESDS-II has %s, ESDS-I does not", k)
+		}
+	}
+	for k := range ri {
+		if _, ok := rii[k]; !ok {
+			return fmt.Errorf("rept: ESDS-I has %s, ESDS-II does not", k)
+		}
+	}
+	if !g.i.po.Equal(g.ii.po) {
+		return fmt.Errorf("po differs: ESDS-I has %d pairs, ESDS-II has %d", g.i.po.Len(), g.ii.po.Len())
+	}
+	// u.stabilized ⊇ s.stabilized.
+	for id := range g.ii.stabilized {
+		if _, ok := g.i.stabilized[id]; !ok {
+			return fmt.Errorf("stabilized: ESDS-II has %v, ESDS-I does not", id)
+		}
+	}
+	return nil
+}
+
+func equalOpMaps(what string, a, b map[ops.ID]ops.Operation) error {
+	for id := range a {
+		if _, ok := b[id]; !ok {
+			return fmt.Errorf("%s: ESDS-I has %v, ESDS-II does not", what, id)
+		}
+	}
+	for id := range b {
+		if _, ok := a[id]; !ok {
+			return fmt.Errorf("%s: ESDS-II has %v, ESDS-I does not", what, id)
+		}
+	}
+	return nil
+}

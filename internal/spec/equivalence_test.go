@@ -1,0 +1,152 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/ops"
+)
+
+// TestGSimulationESDSIIImplementsESDSI is the §5.3 equivalence check:
+// random ESDS-II executions are mirrored into ESDS-I via the Fig. 4
+// correspondence with the relation G checked after every step, and the
+// ESDS-I invariants (including the strictly stronger Invariant 5.5) armed
+// on the driven instance.
+func TestGSimulationESDSIIImplementsESDSI(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ii := NewESDS(ESDSII, dtype.Counter{})
+		u := NewUsers(counterWorkload(5, 0.3))
+		checker := NewGChecker(ii, dtype.Counter{})
+		comp := ioa.Compose(u, ii)
+		if _, err := ioa.Run(comp, 400, rng, Invariants(ii, u), checker.OnStep); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The driven ESDS-I satisfies its own invariants at the end.
+		for _, inv := range Invariants(checker.SpecI(), u) {
+			if err := inv.Check(); err != nil {
+				t.Fatalf("seed %d: driven ESDS-I violates %s: %v", seed, inv.Name, err)
+			}
+		}
+	}
+}
+
+// TestESDSIIGapStabilizeMirrored is the directed Fig. 4 scenario: ESDS-II
+// stabilizes an op whose (totally ordered) prefix is unstable, and the
+// mirror must gap-fill in ESDS-I.
+func TestESDSIIGapStabilizeMirrored(t *testing.T) {
+	ii := NewESDS(ESDSII, dtype.Counter{})
+	checker := NewGChecker(ii, dtype.Counter{})
+	a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	b := reqCtr("c", 1, dtype.CtrDouble{}, []ops.ID{a.ID}, false)
+	c := reqCtr("c", 2, dtype.CtrRead{}, []ops.ID{b.ID}, false)
+	for _, x := range []ops.Operation{a, b, c} {
+		ii.ApplyRequest(x)
+		checker.SpecI().ApplyRequest(x)
+		po := ii.PO()
+		for _, p := range x.Prev {
+			po.Add(p, x.ID)
+		}
+		if err := ii.ApplyEnter(x, po); err != nil {
+			t.Fatal(err)
+		}
+		if err := checker.OnStep(ioa.Step{Action: EnterAction{X: x, NewPO: po}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ESDS-II stabilizes c directly (a ≺ b ≺ c: prefix totally ordered,
+	// nothing stable yet — the "gap").
+	if err := ii.ApplyStabilize(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker.OnStep(ioa.Step{Action: StabilizeAction{X: c.ID}}); err != nil {
+		t.Fatal(err)
+	}
+	// ESDS-I must now have all three stable (gap filled).
+	for _, id := range []ops.ID{a.ID, b.ID, c.ID} {
+		if !checker.SpecI().IsStabilized(id) {
+			t.Fatalf("ESDS-I did not gap-fill %v", id)
+		}
+	}
+}
+
+// TestESDSIIStabilizeNeedsTotallyOrderedPrefix checks the Fig. 3 clause
+// this reproduction initially missed: x comparable to everything is NOT
+// enough — ops|≺x must itself be totally ordered.
+func TestESDSIIStabilizeNeedsTotallyOrderedPrefix(t *testing.T) {
+	ii := NewESDS(ESDSII, dtype.Counter{})
+	y := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	z := reqCtr("c", 1, dtype.CtrDouble{}, nil, false)
+	x := reqCtr("c", 2, dtype.CtrRead{}, []ops.ID{y.ID, z.ID}, false)
+	for _, op := range []ops.Operation{y, z, x} {
+		ii.ApplyRequest(op)
+		po := ii.PO()
+		for _, p := range op.Prev {
+			po.Add(p, op.ID)
+		}
+		if err := ii.ApplyEnter(op, po); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// x is comparable to everything (y ≺ x, z ≺ x) but y and z are
+	// incomparable: stabilize(x) must be rejected.
+	if err := ii.ApplyStabilize(x.ID); err == nil {
+		t.Fatal("stabilize with incomparable prefix accepted")
+	}
+	// Ordering y and z fixes it.
+	po := ii.PO()
+	po.Add(y.ID, z.ID)
+	if err := ii.ApplyAddConstraints(po); err != nil {
+		t.Fatal(err)
+	}
+	if err := ii.ApplyStabilize(x.ID); err != nil {
+		t.Fatalf("stabilize rejected after ordering prefix: %v", err)
+	}
+}
+
+// TestGCheckerRejectsWrongVariant guards the constructor.
+func TestGCheckerRejectsWrongVariant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGChecker(NewESDS(ESDSI, dtype.Counter{}), dtype.Counter{})
+}
+
+// TestEveryESDSIExecutionIsESDSII checks the easy equivalence direction on
+// random executions: replaying an explored ESDS-I action sequence on an
+// ESDS-II instance always succeeds.
+func TestEveryESDSIExecutionIsESDSII(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		i := NewESDS(ESDSI, dtype.Counter{})
+		ii := NewESDS(ESDSII, dtype.Counter{})
+		u := NewUsers(counterWorkload(5, 0.3))
+		comp := ioa.Compose(u, i)
+		replay := func(step ioa.Step) error {
+			switch act := step.Action.(type) {
+			case RequestAction:
+				ii.ApplyRequest(act.X)
+				return nil
+			case EnterAction:
+				return ii.ApplyEnter(act.X, act.NewPO)
+			case StabilizeAction:
+				return ii.ApplyStabilize(act.X)
+			case CalculateAction:
+				return ii.ApplyCalculate(act.X, act.V)
+			case AddConstraintsAction:
+				return ii.ApplyAddConstraints(act.NewPO)
+			case ResponseAction:
+				return ii.ApplyResponse(act.X.ID, act.V)
+			default:
+				return nil
+			}
+		}
+		if _, err := ioa.Run(comp, 300, rng, nil, replay); err != nil {
+			t.Fatalf("seed %d: ESDS-I step not accepted by ESDS-II: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/ops"
+	"esds/internal/order"
+)
+
+// Variant selects which specification automaton to run.
+type Variant int
+
+// The two specifications of §5. They are equivalent (§5.3); ESDS-I is the
+// simpler one, ESDS-II the more nondeterministic one used as the simulation
+// target.
+const (
+	ESDSI Variant = iota + 1
+	ESDSII
+)
+
+func (v Variant) String() string {
+	switch v {
+	case ESDSI:
+		return "ESDS-I"
+	case ESDSII:
+		return "ESDS-II"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ESDS is the eventually-serializable data service specification automaton
+// (Fig. 2 for ESDS-I; Fig. 3 replaces enter/stabilize for ESDS-II). All
+// state components carry the paper's names.
+type ESDS struct {
+	variant Variant
+	dt      dtype.DataType
+
+	wait       map[ops.ID]ops.Operation // requested but not yet responded
+	rept       map[ops.ID][]dtype.Value // calculated responses, per op
+	opsSet     map[ops.ID]ops.Operation // ops: entered operations
+	po         *order.Relation[ops.ID]  // strict partial order, kept transitively closed
+	stabilized map[ops.ID]struct{}
+
+	// valsetCap bounds linear-extension enumeration in exploration sampling.
+	valsetCap int
+}
+
+var _ ioa.Automaton = (*ESDS)(nil)
+
+// NewESDS builds a specification automaton.
+func NewESDS(variant Variant, dt dtype.DataType) *ESDS {
+	if variant != ESDSI && variant != ESDSII {
+		panic(fmt.Sprintf("spec: unknown variant %d", variant))
+	}
+	if dt == nil {
+		panic("spec: nil data type")
+	}
+	return &ESDS{
+		variant:    variant,
+		dt:         dt,
+		wait:       make(map[ops.ID]ops.Operation),
+		rept:       make(map[ops.ID][]dtype.Value),
+		opsSet:     make(map[ops.ID]ops.Operation),
+		po:         order.NewRelation[ops.ID](),
+		stabilized: make(map[ops.ID]struct{}),
+		valsetCap:  5000,
+	}
+}
+
+// Name implements ioa.Automaton.
+func (e *ESDS) Name() string { return e.variant.String() }
+
+// --- State accessors (used by the simulation relation F, Fig. 9) ---
+
+// Wait returns the ids in wait.
+func (e *ESDS) Wait() map[ops.ID]ops.Operation {
+	out := make(map[ops.ID]ops.Operation, len(e.wait))
+	for id, x := range e.wait {
+		out[id] = x
+	}
+	return out
+}
+
+// Rept returns the calculated responses per operation.
+func (e *ESDS) Rept() map[ops.ID][]dtype.Value {
+	out := make(map[ops.ID][]dtype.Value, len(e.rept))
+	for id, vs := range e.rept {
+		out[id] = append([]dtype.Value(nil), vs...)
+	}
+	return out
+}
+
+// Ops returns the entered operations.
+func (e *ESDS) Ops() map[ops.ID]ops.Operation {
+	out := make(map[ops.ID]ops.Operation, len(e.opsSet))
+	for id, x := range e.opsSet {
+		out[id] = x
+	}
+	return out
+}
+
+// PO returns a copy of the partial order po.
+func (e *ESDS) PO() *order.Relation[ops.ID] { return e.po.Clone() }
+
+// Stabilized returns the stable set.
+func (e *ESDS) Stabilized() map[ops.ID]struct{} {
+	out := make(map[ops.ID]struct{}, len(e.stabilized))
+	for id := range e.stabilized {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+// IsStabilized reports membership in stabilized.
+func (e *ESDS) IsStabilized(id ops.ID) bool {
+	_, ok := e.stabilized[id]
+	return ok
+}
+
+// --- Typed transition functions (preconditions return errors) ---
+
+// ApplyRequest is the input action request(x): wait ← wait ∪ {x}.
+func (e *ESDS) ApplyRequest(x ops.Operation) {
+	e.wait[x.ID] = x
+}
+
+// ApplyEnter is enter(x, new-po) (Fig. 2 / Fig. 3). The precondition
+// differs per variant: ESDS-I additionally requires x ∉ ops.
+func (e *ESDS) ApplyEnter(x ops.Operation, newPO *order.Relation[ops.ID]) error {
+	if _, inWait := e.wait[x.ID]; !inWait {
+		return fmt.Errorf("enter(%v): not in wait", x.ID)
+	}
+	if e.variant == ESDSI {
+		if _, entered := e.opsSet[x.ID]; entered {
+			return fmt.Errorf("enter(%v): already in ops (ESDS-I)", x.ID)
+		}
+	}
+	for _, p := range x.Prev {
+		if _, ok := e.opsSet[p]; !ok {
+			return fmt.Errorf("enter(%v): prev %v not in ops", x.ID, p)
+		}
+	}
+	// span(new-po) ⊆ ops.id ∪ {x.id}
+	for id := range newPO.Span() {
+		if _, ok := e.opsSet[id]; !ok && id != x.ID {
+			return fmt.Errorf("enter(%v): new-po spans foreign id %v", x.ID, id)
+		}
+	}
+	if !newPO.Contains(e.po) {
+		return fmt.Errorf("enter(%v): new-po does not contain po", x.ID)
+	}
+	for _, p := range x.Prev {
+		if !newPO.Has(p, x.ID) {
+			return fmt.Errorf("enter(%v): new-po misses CSC pair (%v, %v)", x.ID, p, x.ID)
+		}
+	}
+	for y := range e.stabilized {
+		if y != x.ID && !newPO.Has(y, x.ID) {
+			return fmt.Errorf("enter(%v): new-po misses stabilized pair (%v, %v)", x.ID, y, x.ID)
+		}
+	}
+	tc := newPO.TransitiveClosure()
+	if !tc.IsIrreflexive() {
+		return fmt.Errorf("enter(%v): new-po is cyclic", x.ID)
+	}
+	e.opsSet[x.ID] = x
+	e.po = tc
+	return nil
+}
+
+// ApplyStabilize is stabilize(x). Both variants require x to be comparable
+// to every entered operation. ESDS-I additionally requires the full prefix
+// ops|≺x to be stable already; ESDS-II instead requires ≺po to totally
+// order ops|≺x (Fig. 3), allowing "gaps" of totally-ordered-but-unstable
+// predecessors — exactly the weakening that keeps the Fig. 4 simulation
+// into ESDS-I sound (the simulated execution stabilizes the gap first).
+func (e *ESDS) ApplyStabilize(id ops.ID) error {
+	if _, ok := e.opsSet[id]; !ok {
+		return fmt.Errorf("stabilize(%v): not in ops", id)
+	}
+	if e.variant == ESDSI {
+		if _, ok := e.stabilized[id]; ok {
+			return fmt.Errorf("stabilize(%v): already stabilized (ESDS-I)", id)
+		}
+	}
+	for y := range e.opsSet {
+		if y == id {
+			continue
+		}
+		if !e.po.Has(y, id) && !e.po.Has(id, y) {
+			return fmt.Errorf("stabilize(%v): incomparable to %v", id, y)
+		}
+	}
+	switch e.variant {
+	case ESDSI:
+		for y := range e.opsSet {
+			if e.po.Has(y, id) {
+				if _, st := e.stabilized[y]; !st {
+					return fmt.Errorf("stabilize(%v): predecessor %v not stabilized (ESDS-I)", id, y)
+				}
+			}
+		}
+	case ESDSII:
+		if err := e.prefixTotallyOrdered(id); err != nil {
+			return err
+		}
+	}
+	e.stabilized[id] = struct{}{}
+	return nil
+}
+
+// prefixTotallyOrdered checks the Fig. 3 clause: ≺po totally orders ops|≺x.
+func (e *ESDS) prefixTotallyOrdered(id ops.ID) error {
+	var prefix []ops.ID
+	for y := range e.opsSet {
+		if e.po.Has(y, id) {
+			prefix = append(prefix, y)
+		}
+	}
+	for i := range prefix {
+		for j := i + 1; j < len(prefix); j++ {
+			a, b := prefix[i], prefix[j]
+			if !e.po.Has(a, b) && !e.po.Has(b, a) {
+				return fmt.Errorf("stabilize(%v): prefix ops %v and %v incomparable (ESDS-II)", id, a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyCalculate is calculate(x, v): v must be in valset(x, ops, ≺po), and
+// strict operations must be stabilized first. If x ∈ wait the value joins
+// rept.
+func (e *ESDS) ApplyCalculate(id ops.ID, v dtype.Value) error {
+	x, ok := e.opsSet[id]
+	if !ok {
+		return fmt.Errorf("calculate(%v): not in ops", id)
+	}
+	if x.Strict {
+		if _, st := e.stabilized[id]; !st {
+			return fmt.Errorf("calculate(%v): strict but not stabilized", id)
+		}
+	}
+	all := e.opsSlice()
+	vs, err := ops.ValSet(e.dt, e.dt.Initial(), x, all, e.po, e.valsetCap)
+	if err != nil {
+		return fmt.Errorf("calculate(%v): %w", id, err)
+	}
+	if _, member := vs[fmt.Sprint(v)]; !member {
+		return fmt.Errorf("calculate(%v): value %v not in valset %v", id, v, keys(vs))
+	}
+	if _, inWait := e.wait[id]; inWait {
+		e.rept[id] = append(e.rept[id], v)
+	}
+	return nil
+}
+
+// ApplyAddConstraints is add-constraints(new-po).
+func (e *ESDS) ApplyAddConstraints(newPO *order.Relation[ops.ID]) error {
+	for id := range newPO.Span() {
+		if _, ok := e.opsSet[id]; !ok {
+			return fmt.Errorf("add-constraints: spans foreign id %v", id)
+		}
+	}
+	if !newPO.Contains(e.po) {
+		return fmt.Errorf("add-constraints: new-po does not contain po")
+	}
+	tc := newPO.TransitiveClosure()
+	if !tc.IsIrreflexive() {
+		return fmt.Errorf("add-constraints: new-po is cyclic")
+	}
+	e.po = tc
+	return nil
+}
+
+// ApplyResponse is the output action response(x, v): x leaves wait and all
+// its rept entries are dropped.
+func (e *ESDS) ApplyResponse(id ops.ID, v dtype.Value) error {
+	if _, inWait := e.wait[id]; !inWait {
+		return fmt.Errorf("response(%v): not in wait", id)
+	}
+	found := false
+	for _, rv := range e.rept[id] {
+		if fmt.Sprint(rv) == fmt.Sprint(v) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("response(%v): value %v not in rept", id, v)
+	}
+	delete(e.wait, id)
+	delete(e.rept, id)
+	return nil
+}
+
+// --- ioa.Automaton plumbing ---
+
+// Input implements ioa.Automaton: the service's input is request(x).
+func (e *ESDS) Input(a ioa.Action) bool {
+	_, ok := a.(RequestAction)
+	return ok
+}
+
+// Apply implements ioa.Automaton by dispatching to the typed transitions;
+// preconditions failing on harness-chosen actions are harness bugs, so they
+// panic.
+func (e *ESDS) Apply(a ioa.Action) {
+	var err error
+	switch act := a.(type) {
+	case RequestAction:
+		e.ApplyRequest(act.X)
+	case EnterAction:
+		err = e.ApplyEnter(act.X, act.NewPO)
+	case StabilizeAction:
+		err = e.ApplyStabilize(act.X)
+	case CalculateAction:
+		err = e.ApplyCalculate(act.X, act.V)
+	case AddConstraintsAction:
+		err = e.ApplyAddConstraints(act.NewPO)
+	case ResponseAction:
+		err = e.ApplyResponse(act.X.ID, act.V)
+	default:
+		panic(fmt.Sprintf("spec: %s cannot apply %T", e.Name(), a))
+	}
+	if err != nil {
+		panic(fmt.Sprintf("spec: %s: non-enabled action applied: %v", e.Name(), err))
+	}
+}
+
+// Enabled implements ioa.Automaton: it samples one candidate per action
+// class, in a deterministic order.
+func (e *ESDS) Enabled(rng *rand.Rand) []ioa.Action {
+	var out []ioa.Action
+
+	// enter: waiting ops, not yet entered, prevs entered. new-po is the
+	// minimal choice: po ∪ CSC({x}) ∪ (stabilized × {x}).
+	for _, id := range SortedIDs(e.wait) {
+		x := e.wait[id]
+		if _, entered := e.opsSet[id]; entered {
+			continue
+		}
+		ready := true
+		for _, p := range x.Prev {
+			if _, ok := e.opsSet[p]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		newPO := e.po.Clone()
+		for _, p := range x.Prev {
+			newPO.Add(p, id)
+		}
+		for y := range e.stabilized {
+			newPO.Add(y, id)
+		}
+		// new-po is a partial order in the paper's signature, i.e.
+		// transitively closed — the closure matters when this action is
+		// mirrored into ESDS-I, whose stabilized set may be larger.
+		out = append(out, EnterAction{X: x, NewPO: newPO.TransitiveClosure()})
+	}
+
+	// stabilize: entered ops meeting the variant's precondition. Already
+	// stable ops are skipped in both variants (for ESDS-II re-stabilizing is
+	// legal but a no-op, so it only wastes exploration steps).
+	for _, id := range SortedIDs(e.opsSet) {
+		if _, st := e.stabilized[id]; st {
+			continue
+		}
+		if e.stabilizeEnabled(id) {
+			out = append(out, StabilizeAction{X: id})
+		}
+	}
+
+	// calculate: waiting entered ops (strict ⇒ stabilized), with a value
+	// sampled from the valset via a random linear extension.
+	for _, id := range SortedIDs(e.wait) {
+		x, entered := e.opsSet[id]
+		if !entered {
+			continue
+		}
+		if x.Strict {
+			if _, st := e.stabilized[id]; !st {
+				continue
+			}
+		}
+		if v, err := e.SampleValue(id, rng); err == nil {
+			out = append(out, CalculateAction{X: id, V: v})
+		}
+	}
+
+	// response: calculated waiting ops.
+	for _, id := range SortedIDs(e.rept) {
+		if _, inWait := e.wait[id]; !inWait {
+			continue
+		}
+		vs := e.rept[id]
+		if len(vs) > 0 {
+			out = append(out, ResponseAction{X: e.opsSet[id], V: vs[rng.Intn(len(vs))]})
+		}
+	}
+
+	// add-constraints: order one random incomparable entered pair.
+	if pair, ok := e.sampleIncomparable(rng); ok {
+		newPO := e.po.Clone()
+		newPO.Add(pair[0], pair[1])
+		out = append(out, AddConstraintsAction{NewPO: newPO.TransitiveClosure()})
+	}
+	return out
+}
+
+func (e *ESDS) stabilizeEnabled(id ops.ID) bool {
+	for y := range e.opsSet {
+		if y == id {
+			continue
+		}
+		if !e.po.Has(y, id) && !e.po.Has(id, y) {
+			return false
+		}
+	}
+	switch e.variant {
+	case ESDSI:
+		for y := range e.opsSet {
+			if e.po.Has(y, id) {
+				if _, st := e.stabilized[y]; !st {
+					return false
+				}
+			}
+		}
+	case ESDSII:
+		if e.prefixTotallyOrdered(id) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleValue returns one member of valset(x, ops, ≺po): the value of x in
+// a random linear extension of po.
+func (e *ESDS) SampleValue(id ops.ID, rng *rand.Rand) (dtype.Value, error) {
+	x, ok := e.opsSet[id]
+	if !ok {
+		return nil, fmt.Errorf("spec: SampleValue(%v): not entered", id)
+	}
+	seq, err := RandomLinearExtension(e.opsSlice(), e.po, rng)
+	if err != nil {
+		return nil, err
+	}
+	return ops.Val(e.dt, e.dt.Initial(), x, seq), nil
+}
+
+func (e *ESDS) opsSlice() []ops.Operation {
+	out := make([]ops.Operation, 0, len(e.opsSet))
+	for _, id := range SortedIDs(e.opsSet) {
+		out = append(out, e.opsSet[id])
+	}
+	return out
+}
+
+func (e *ESDS) sampleIncomparable(rng *rand.Rand) ([2]ops.ID, bool) {
+	ids := SortedIDs(e.opsSet)
+	var candidates [][2]ops.ID
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := ids[i], ids[j]
+			if !e.po.Has(a, b) && !e.po.Has(b, a) {
+				candidates = append(candidates, [2]ops.ID{a, b})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return [2]ops.ID{}, false
+	}
+	pair := candidates[rng.Intn(len(candidates))]
+	if rng.Intn(2) == 1 {
+		pair[0], pair[1] = pair[1], pair[0]
+	}
+	return pair, true
+}
+
+// RandomLinearExtension produces a uniform-ish random linear extension of
+// po on xs by repeatedly picking a random minimal element.
+func RandomLinearExtension(xs []ops.Operation, po *order.Relation[ops.ID], rng *rand.Rand) ([]ops.Operation, error) {
+	byID := make(map[ops.ID]ops.Operation, len(xs))
+	idSet := make(map[ops.ID]struct{}, len(xs))
+	for _, x := range xs {
+		byID[x.ID] = x
+		idSet[x.ID] = struct{}{}
+	}
+	ind := po.Induced(idSet)
+	indeg := make(map[ops.ID]int, len(xs))
+	for id := range idSet {
+		indeg[id] = 0
+	}
+	ind.Pairs(func(a, b ops.ID) bool {
+		indeg[b]++
+		return true
+	})
+	ready := make([]ops.ID, 0, len(xs))
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sortIDs(ready)
+	out := make([]ops.Operation, 0, len(xs))
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		id := ready[i]
+		ready = append(ready[:i], ready[i+1:]...)
+		out = append(out, byID[id])
+		var newly []ops.ID
+		for succ := range ind.Successors(id) {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				newly = append(newly, succ)
+			}
+		}
+		sortIDs(newly)
+		ready = append(ready, newly...)
+	}
+	if len(out) != len(xs) {
+		return nil, fmt.Errorf("spec: po is cyclic on the operation set")
+	}
+	return out, nil
+}
+
+func sortIDs(ids []ops.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func keys(m map[string]dtype.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"fmt"
+
+	"esds/internal/ioa"
+	"esds/internal/ops"
+)
+
+// Invariants returns the §5.2 invariants of ESDS × Users as checkable
+// predicates, numbered as in the paper. Invariant 5.5 (stable prefixes are
+// downward closed) holds only for ESDS-I and is included only for that
+// variant.
+func Invariants(e *ESDS, u *Users) []ioa.Invariant {
+	invs := []ioa.Invariant{
+		{Name: "Invariant 4.1/4.2 (well-formed clients)", Check: u.CheckWellFormed},
+		{Name: "Invariant 5.2 (po spans ops and contains CSC)", Check: func() error {
+			return checkInv52(e)
+		}},
+		{Name: "Invariant 5.3 (stable ops comparable to all ops)", Check: func() error {
+			return checkInv53(e)
+		}},
+		{Name: "Invariant 5.4 (stabilized totally ordered)", Check: func() error {
+			return checkInv54(e)
+		}},
+		{Name: "Invariant 5.6 (stable ops have singleton valsets)", Check: func() error {
+			return checkInv56(e)
+		}},
+		{Name: "po is a strict partial order", Check: func() error {
+			if !e.po.IsStrictPartialOrder() {
+				return fmt.Errorf("po is not a strict partial order")
+			}
+			return nil
+		}},
+	}
+	if e.variant == ESDSI {
+		invs = append(invs, ioa.Invariant{
+			Name: "Invariant 5.5 (stabilized downward closed, ESDS-I)",
+			Check: func() error {
+				return checkInv55(e)
+			},
+		})
+	}
+	return invs
+}
+
+// checkInv52: span(po) ⊆ ops.id ∧ CSC(ops) ⊆ po.
+func checkInv52(e *ESDS) error {
+	for id := range e.po.Span() {
+		if _, ok := e.opsSet[id]; !ok {
+			return fmt.Errorf("po spans %v which is not in ops", id)
+		}
+	}
+	csc := ops.CSC(e.opsSlice())
+	ok := true
+	var missing [2]ops.ID
+	csc.Pairs(func(a, b ops.ID) bool {
+		if !e.po.Has(a, b) {
+			ok, missing = false, [2]ops.ID{a, b}
+		}
+		return ok
+	})
+	if !ok {
+		return fmt.Errorf("CSC pair (%v, %v) missing from po", missing[0], missing[1])
+	}
+	return nil
+}
+
+// checkInv53: ∀x ∈ stabilized, y ∈ ops: y ≺po x ∨ x ⪯po y.
+func checkInv53(e *ESDS) error {
+	for x := range e.stabilized {
+		for y := range e.opsSet {
+			if y == x {
+				continue
+			}
+			if !e.po.Has(y, x) && !e.po.Has(x, y) {
+				return fmt.Errorf("stable %v incomparable to %v", x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// checkInv54: stabilized is totally ordered by ≺po.
+func checkInv54(e *ESDS) error {
+	stable := make(map[ops.ID]struct{}, len(e.stabilized))
+	for id := range e.stabilized {
+		stable[id] = struct{}{}
+	}
+	if !e.po.TotallyOrders(stable) {
+		return fmt.Errorf("stabilized not totally ordered (%d ops)", len(stable))
+	}
+	return nil
+}
+
+// checkInv55 (ESDS-I only): x ∈ stabilized ⇒ ops|≺x ⊆ stabilized.
+func checkInv55(e *ESDS) error {
+	for x := range e.stabilized {
+		for y := range e.opsSet {
+			if e.po.Has(y, x) {
+				if _, st := e.stabilized[y]; !st {
+					return fmt.Errorf("stable %v has unstable predecessor %v", x, y)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkInv56: stable ops have singleton valsets. Exact enumeration is
+// exponential, so the check is skipped above 7 entered ops (directed tests
+// cover the small cases exhaustively).
+func checkInv56(e *ESDS) error {
+	if len(e.opsSet) > 7 {
+		return nil
+	}
+	all := e.opsSlice()
+	for x := range e.stabilized {
+		vs, err := ops.ValSet(e.dt, e.dt.Initial(), e.opsSet[x], all, e.po, 0)
+		if err != nil {
+			return fmt.Errorf("valset(%v): %w", x, err)
+		}
+		if len(vs) != 1 {
+			return fmt.Errorf("stable %v has valset of size %d", x, len(vs))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,450 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/ops"
+	"esds/internal/order"
+)
+
+func counterWorkload(maxReq int, strictProb float64) Workload {
+	return Workload{
+		Operators:   []dtype.Operator{dtype.CtrAdd{N: 1}, dtype.CtrDouble{}, dtype.CtrRead{}},
+		Clients:     []string{"a", "b"},
+		MaxRequests: maxReq,
+		StrictProb:  strictProb,
+		PrevProb:    0.25,
+	}
+}
+
+// explore runs variant × Users for several seeds with all invariants armed.
+func explore(t *testing.T, variant Variant, seeds int, maxReq int, strictProb float64) {
+	t.Helper()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewESDS(variant, dtype.Counter{})
+		u := NewUsers(counterWorkload(maxReq, strictProb))
+		comp := ioa.Compose(u, e)
+		res, err := ioa.Run(comp, 400, rng, Invariants(e, u), nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckResponseUniqueness(u.Responses()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Theorem 5.8 at the end of the run.
+		eto, err := EventualOrderFromPO(u.Requested(), e.Ops(), e.PO())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ExplainStrictResponses(dtype.Counter{}, u.Requested(), eto, u.StrictResponses()); err != nil {
+			t.Fatalf("seed %d after %d steps: %v", seed, res.Steps, err)
+		}
+	}
+}
+
+func TestESDSIExploration(t *testing.T)  { explore(t, ESDSI, 25, 5, 0.3) }
+func TestESDSIIExploration(t *testing.T) { explore(t, ESDSII, 25, 5, 0.3) }
+
+func TestESDSIAllStrictExploration(t *testing.T) {
+	// Corollary 5.9: all-strict executions look atomic.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewESDS(ESDSI, dtype.Counter{})
+		u := NewUsers(counterWorkload(5, 1.0))
+		comp := ioa.Compose(u, e)
+		if _, err := ioa.Run(comp, 400, rng, Invariants(e, u), nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eto, err := EventualOrderFromPO(u.Requested(), e.Ops(), e.PO())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckAllStrictSerializable(dtype.Counter{}, u.Requested(), eto, u.Responses()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// Directed transition tests.
+
+func reqCtr(c string, seq uint64, op dtype.Operator, prev []ops.ID, strict bool) ops.Operation {
+	return ops.New(op, ops.ID{Client: c, Seq: seq}, prev, strict)
+}
+
+func TestEnterPreconditions(t *testing.T) {
+	e := NewESDS(ESDSI, dtype.Counter{})
+	x := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	empty := order.NewRelation[ops.ID]()
+
+	if err := e.ApplyEnter(x, empty); err == nil {
+		t.Fatal("enter before request accepted")
+	}
+	e.ApplyRequest(x)
+	if err := e.ApplyEnter(x, empty); err != nil {
+		t.Fatalf("minimal enter rejected: %v", err)
+	}
+	// ESDS-I: re-enter rejected.
+	if err := e.ApplyEnter(x, empty); err == nil {
+		t.Fatal("ESDS-I re-enter accepted")
+	}
+
+	// prev not entered.
+	y := reqCtr("c", 1, dtype.CtrRead{}, []ops.ID{{Client: "z", Seq: 9}}, false)
+	e.ApplyRequest(y)
+	if err := e.ApplyEnter(y, empty); err == nil {
+		t.Fatal("enter with unentered prev accepted")
+	}
+
+	// new-po must contain CSC({x}).
+	z := reqCtr("c", 2, dtype.CtrRead{}, []ops.ID{x.ID}, false)
+	e.ApplyRequest(z)
+	if err := e.ApplyEnter(z, e.PO()); err == nil {
+		t.Fatal("enter without CSC pair accepted")
+	}
+	good := e.PO()
+	good.Add(x.ID, z.ID)
+	if err := e.ApplyEnter(z, good); err != nil {
+		t.Fatalf("valid enter rejected: %v", err)
+	}
+
+	// new-po spanning foreign ids rejected.
+	w := reqCtr("c", 3, dtype.CtrRead{}, nil, false)
+	e.ApplyRequest(w)
+	foreign := e.PO()
+	foreign.Add(ops.ID{Client: "ghost", Seq: 1}, w.ID)
+	if err := e.ApplyEnter(w, foreign); err == nil {
+		t.Fatal("enter with foreign span accepted")
+	}
+}
+
+func TestEnterMustFollowStabilized(t *testing.T) {
+	e := NewESDS(ESDSII, dtype.Counter{})
+	x := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	e.ApplyRequest(x)
+	if err := e.ApplyEnter(x, order.NewRelation[ops.ID]()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyStabilize(x.ID); err != nil {
+		t.Fatal(err)
+	}
+	y := reqCtr("c", 1, dtype.CtrRead{}, nil, false)
+	e.ApplyRequest(y)
+	// new-po without (x, y) violates the stabilized clause.
+	if err := e.ApplyEnter(y, e.PO()); err == nil {
+		t.Fatal("enter ignoring stabilized prefix accepted")
+	}
+	withStable := e.PO()
+	withStable.Add(x.ID, y.ID)
+	if err := e.ApplyEnter(y, withStable); err != nil {
+		t.Fatalf("valid enter rejected: %v", err)
+	}
+}
+
+func TestStabilizePreconditions(t *testing.T) {
+	for _, variant := range []Variant{ESDSI, ESDSII} {
+		t.Run(variant.String(), func(t *testing.T) {
+			e := NewESDS(variant, dtype.Counter{})
+			a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+			b := reqCtr("c", 1, dtype.CtrDouble{}, nil, false)
+			e.ApplyRequest(a)
+			e.ApplyRequest(b)
+			if err := e.ApplyStabilize(a.ID); err == nil {
+				t.Fatal("stabilize before enter accepted")
+			}
+			if err := e.ApplyEnter(a, order.NewRelation[ops.ID]()); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.ApplyEnter(b, e.PO()); err != nil {
+				t.Fatal(err)
+			}
+			// a and b incomparable: stabilize must fail in both variants.
+			if err := e.ApplyStabilize(a.ID); err == nil {
+				t.Fatal("stabilize of incomparable op accepted")
+			}
+			po := e.PO()
+			po.Add(a.ID, b.ID)
+			if err := e.ApplyAddConstraints(po); err != nil {
+				t.Fatal(err)
+			}
+			if variant == ESDSI {
+				// b's predecessor a is not stable yet.
+				if err := e.ApplyStabilize(b.ID); err == nil {
+					t.Fatal("ESDS-I gap stabilize accepted")
+				}
+				if err := e.ApplyStabilize(a.ID); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.ApplyStabilize(b.ID); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// ESDS-II allows the gap: stabilize b first.
+				if err := e.ApplyStabilize(b.ID); err != nil {
+					t.Fatalf("ESDS-II gap stabilize rejected: %v", err)
+				}
+				if err := e.ApplyStabilize(a.ID); err != nil {
+					t.Fatal(err)
+				}
+				// Re-stabilize is legal in ESDS-II.
+				if err := e.ApplyStabilize(a.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestCalculateRespectsValsetAndStrictness(t *testing.T) {
+	e := NewESDS(ESDSII, dtype.Counter{})
+	add := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	dbl := reqCtr("c", 1, dtype.CtrDouble{}, nil, false)
+	read := reqCtr("c", 2, dtype.CtrRead{}, []ops.ID{add.ID, dbl.ID}, true)
+	for _, x := range []ops.Operation{add, dbl, read} {
+		e.ApplyRequest(x)
+		po := e.PO()
+		for _, p := range x.Prev {
+			po.Add(p, x.ID)
+		}
+		if err := e.ApplyEnter(x, po); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strict read must be stabilized before calculate.
+	if err := e.ApplyCalculate(read.ID, int64(2)); err == nil {
+		t.Fatal("strict calculate before stabilize accepted")
+	}
+	// Non-strict adds can calculate immediately; "ok" is their only value.
+	if err := e.ApplyCalculate(add.ID, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyCalculate(add.ID, "bogus"); err == nil {
+		t.Fatal("out-of-valset value accepted")
+	}
+	// Order everything, stabilize, and check the strict value: with
+	// add ≺ dbl ≺ read the unique value is 2.
+	po := e.PO()
+	po.Add(add.ID, dbl.ID)
+	if err := e.ApplyAddConstraints(po); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []ops.ID{add.ID, dbl.ID, read.ID} {
+		if err := e.ApplyStabilize(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.ApplyCalculate(read.ID, int64(1)); err == nil {
+		t.Fatal("value inconsistent with eventual order accepted")
+	}
+	if err := e.ApplyCalculate(read.ID, int64(2)); err != nil {
+		t.Fatalf("correct strict value rejected: %v", err)
+	}
+	// Response consumes the rept entry.
+	if err := e.ApplyResponse(read.ID, int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyResponse(read.ID, int64(2)); err == nil {
+		t.Fatal("double response accepted")
+	}
+	// Response with a value never calculated is rejected.
+	if err := e.ApplyCalculate(dbl.ID, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyResponse(dbl.ID, "different"); err == nil {
+		t.Fatal("response with uncalculated value accepted")
+	}
+}
+
+func TestAddConstraintsValidation(t *testing.T) {
+	e := NewESDS(ESDSII, dtype.Counter{})
+	a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	b := reqCtr("c", 1, dtype.CtrDouble{}, nil, false)
+	for _, x := range []ops.Operation{a, b} {
+		e.ApplyRequest(x)
+		if err := e.ApplyEnter(x, e.PO()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cyc := e.PO()
+	cyc.Add(a.ID, b.ID)
+	cyc.Add(b.ID, a.ID)
+	if err := e.ApplyAddConstraints(cyc); err == nil {
+		t.Fatal("cyclic constraints accepted")
+	}
+	foreign := e.PO()
+	foreign.Add(a.ID, ops.ID{Client: "ghost", Seq: 0})
+	if err := e.ApplyAddConstraints(foreign); err == nil {
+		t.Fatal("foreign constraints accepted")
+	}
+	good := e.PO()
+	good.Add(a.ID, b.ID)
+	if err := e.ApplyAddConstraints(good); err != nil {
+		t.Fatal(err)
+	}
+	// Constraints are never revoked: a new po missing (a,b) is rejected.
+	if err := e.ApplyAddConstraints(order.NewRelation[ops.ID]()); err == nil {
+		t.Fatal("constraint revocation accepted")
+	}
+}
+
+func TestLemma51Monotonicity(t *testing.T) {
+	// stabilized, ops, po only grow along any execution.
+	rng := rand.New(rand.NewSource(77))
+	e := NewESDS(ESDSII, dtype.Counter{})
+	u := NewUsers(counterWorkload(5, 0.4))
+	comp := ioa.Compose(u, e)
+	prevOps, prevStable, prevPO := 0, 0, e.PO()
+	inv := ioa.Invariant{Name: "Lemma 5.1", Check: func() error {
+		if len(e.opsSet) < prevOps || len(e.stabilized) < prevStable {
+			return fmt.Errorf("ops or stabilized shrank")
+		}
+		if !e.po.Contains(prevPO) {
+			return fmt.Errorf("po lost constraints")
+		}
+		prevOps, prevStable, prevPO = len(e.opsSet), len(e.stabilized), e.PO()
+		return nil
+	}}
+	if _, err := ioa.Run(comp, 300, rng, []ioa.Invariant{inv}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScriptedUsers(t *testing.T) {
+	a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	b := reqCtr("c", 1, dtype.CtrRead{}, []ops.ID{a.ID}, true)
+	su := NewScriptedUsers([]ops.Operation{a, b})
+	rng := rand.New(rand.NewSource(1))
+	acts := su.Enabled(rng)
+	if len(acts) != 1 || acts[0].(RequestAction).X.ID != a.ID {
+		t.Fatalf("enabled = %v", acts)
+	}
+	su.Apply(acts[0])
+	acts = su.Enabled(rng)
+	if len(acts) != 1 || acts[0].(RequestAction).X.ID != b.ID {
+		t.Fatalf("enabled = %v", acts)
+	}
+	su.Apply(acts[0])
+	if len(su.Enabled(rng)) != 0 {
+		t.Fatal("script should be exhausted")
+	}
+	if len(su.Requested()) != 2 {
+		t.Fatal("requested history wrong")
+	}
+}
+
+func TestScriptedUsersRejectsIllFormed(t *testing.T) {
+	b := reqCtr("c", 1, dtype.CtrRead{}, []ops.ID{{Client: "c", Seq: 0}}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for forward reference")
+		}
+	}()
+	NewScriptedUsers([]ops.Operation{b})
+}
+
+func TestExplainStrictResponsesRejections(t *testing.T) {
+	dt := dtype.Counter{}
+	a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	r := reqCtr("c", 1, dtype.CtrRead{}, []ops.ID{a.ID}, true)
+	reqs := []ops.Operation{a, r}
+
+	// Wrong length.
+	if err := ExplainStrictResponses(dt, reqs, []ops.ID{a.ID}, nil); err == nil {
+		t.Fatal("short eto accepted")
+	}
+	// Unknown op.
+	if err := ExplainStrictResponses(dt, reqs, []ops.ID{a.ID, {Client: "g", Seq: 0}}, nil); err == nil {
+		t.Fatal("foreign eto accepted")
+	}
+	// Repeated op.
+	if err := ExplainStrictResponses(dt, reqs, []ops.ID{a.ID, a.ID}, nil); err == nil {
+		t.Fatal("repeating eto accepted")
+	}
+	// CSC violation: r before a.
+	if err := ExplainStrictResponses(dt, reqs, []ops.ID{r.ID, a.ID}, nil); err == nil {
+		t.Fatal("CSC-violating eto accepted")
+	}
+	// Wrong strict value.
+	bad := map[ops.ID]dtype.Value{r.ID: int64(99)}
+	if err := ExplainStrictResponses(dt, reqs, []ops.ID{a.ID, r.ID}, bad); err == nil {
+		t.Fatal("wrong strict value accepted")
+	}
+	// Correct.
+	good := map[ops.ID]dtype.Value{r.ID: int64(1)}
+	if err := ExplainStrictResponses(dt, reqs, []ops.ID{a.ID, r.ID}, good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomLinearExtensionRespectsOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	b := reqCtr("c", 1, dtype.CtrAdd{N: 2}, nil, false)
+	c := reqCtr("c", 2, dtype.CtrRead{}, nil, false)
+	po := order.FromPairs([2]ops.ID{a.ID, c.ID}, [2]ops.ID{b.ID, c.ID})
+	for i := 0; i < 50; i++ {
+		seq, err := RandomLinearExtension([]ops.Operation{a, b, c}, po, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq[2].ID != c.ID {
+			t.Fatalf("extension %v puts c before a predecessor", seq)
+		}
+	}
+	cyc := order.FromPairs([2]ops.ID{a.ID, b.ID}, [2]ops.ID{b.ID, a.ID})
+	if _, err := RandomLinearExtension([]ops.Operation{a, b}, cyc, rng); err == nil {
+		t.Fatal("cyclic po accepted")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	a := reqCtr("c", 0, dtype.CtrAdd{N: 1}, nil, false)
+	for _, tc := range []struct {
+		act  fmt.Stringer
+		want string
+	}{
+		{RequestAction{X: a}, "request(c:0)"},
+		{ResponseAction{X: a, V: "ok"}, "response(c:0, ok)"},
+		{EnterAction{X: a, NewPO: order.NewRelation[ops.ID]()}, "enter(c:0)"},
+		{StabilizeAction{X: a.ID}, "stabilize(c:0)"},
+		{CalculateAction{X: a.ID, V: 7}, "calculate(c:0, 7)"},
+	} {
+		if got := tc.act.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+	ac := AddConstraintsAction{NewPO: order.FromPairs([2]ops.ID{a.ID, {Client: "d", Seq: 1}})}
+	if !strings.Contains(ac.String(), "1 pairs") {
+		t.Errorf("String = %q", ac.String())
+	}
+}
+
+func TestUsersValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty operator pool")
+		}
+	}()
+	NewUsers(Workload{})
+}
+
+func TestESDSValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad variant": func() { NewESDS(Variant(9), dtype.Counter{}) },
+		"nil dt":      func() { NewESDS(ESDSI, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"fmt"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/order"
+)
+
+// ExplainStrictResponses checks Theorem 5.8 on a finished execution: there
+// is a total order eto on the requested operations, consistent with the
+// client-specified constraints, explaining every strict response.
+//
+// eto is given by the caller (a linear extension of the service's final po,
+// or a live cluster's converged label order, with unentered requests
+// appended). The function verifies (a) eto covers all requested ops,
+// (b) eto is consistent with CSC(requested), and (c) every strict response
+// value equals val(x, requested, eto).
+func ExplainStrictResponses(dt dtype.DataType, requested []ops.Operation,
+	eto []ops.ID, strictResponses map[ops.ID]dtype.Value) error {
+
+	if len(eto) != len(requested) {
+		return fmt.Errorf("spec: eto has %d ops, requested %d", len(eto), len(requested))
+	}
+	byID := make(map[ops.ID]ops.Operation, len(requested))
+	for _, x := range requested {
+		byID[x.ID] = x
+	}
+	seq := make([]ops.Operation, len(eto))
+	seen := make(map[ops.ID]struct{}, len(eto))
+	for i, id := range eto {
+		x, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("spec: eto contains unrequested op %v", id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("spec: eto repeats op %v", id)
+		}
+		seen[id] = struct{}{}
+		seq[i] = x
+	}
+
+	// Consistency with CSC: eto as a total order must contain every CSC pair
+	// in the forward direction.
+	pos := make(map[ops.ID]int, len(eto))
+	for i, id := range eto {
+		pos[id] = i
+	}
+	csc := ops.CSC(requested)
+	var bad error
+	csc.Pairs(func(a, b ops.ID) bool {
+		if pos[a] >= pos[b] {
+			bad = fmt.Errorf("spec: eto violates client constraint %v ≺ %v", a, b)
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+
+	// Replay and compare strict responses.
+	st := dt.Initial()
+	for _, x := range seq {
+		var v dtype.Value
+		st, v = dt.Apply(st, x.Op)
+		if want, isStrict := strictResponses[x.ID]; isStrict {
+			if fmt.Sprint(v) != fmt.Sprint(want) {
+				return fmt.Errorf("spec: strict response for %v was %v, eventual order gives %v",
+					x.ID, want, v)
+			}
+		}
+	}
+	return nil
+}
+
+// EventualOrderFromPO builds an eto candidate for ExplainStrictResponses
+// from a specification state: a deterministic linear extension of po over
+// the entered ops, with never-entered requests appended in issue order
+// (matching the construction in the proofs of Theorems 5.7/5.8).
+func EventualOrderFromPO(requested []ops.Operation, entered map[ops.ID]ops.Operation,
+	po *order.Relation[ops.ID]) ([]ops.ID, error) {
+
+	enteredSet := make(map[ops.ID]struct{}, len(entered))
+	for id := range entered {
+		enteredSet[id] = struct{}{}
+	}
+	prefix, err := po.TopoSort(enteredSet, func(a, b ops.ID) bool { return a.Less(b) })
+	if err != nil {
+		return nil, fmt.Errorf("spec: po is cyclic: %w", err)
+	}
+	out := prefix
+	for _, x := range requested {
+		if _, ok := enteredSet[x.ID]; !ok {
+			out = append(out, x.ID)
+		}
+	}
+	return out, nil
+}
+
+// CheckResponseUniqueness verifies that the service answered each request
+// at most once (the Users automaton records every response event).
+func CheckResponseUniqueness(responses []ResponseAction) error {
+	seen := make(map[ops.ID]struct{}, len(responses))
+	for _, r := range responses {
+		if _, dup := seen[r.X.ID]; dup {
+			return fmt.Errorf("spec: duplicate response for %v", r.X.ID)
+		}
+		seen[r.X.ID] = struct{}{}
+	}
+	return nil
+}
+
+// CheckAllStrictSerializable is the Corollary 5.9 check: when every request
+// is strict, one total order must explain every response (not only the
+// strict ones — which is all of them).
+func CheckAllStrictSerializable(dt dtype.DataType, requested []ops.Operation,
+	eto []ops.ID, responses []ResponseAction) error {
+
+	all := make(map[ops.ID]dtype.Value, len(responses))
+	for _, r := range responses {
+		if !r.X.Strict {
+			return fmt.Errorf("spec: CheckAllStrictSerializable on non-strict op %v", r.X.ID)
+		}
+		all[r.X.ID] = r.V
+	}
+	return ExplainStrictResponses(dt, requested, eto, all)
+}

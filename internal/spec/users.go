@@ -1,0 +1,204 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"esds/internal/dtype"
+	"esds/internal/ioa"
+	"esds/internal/ops"
+)
+
+// Workload parameterizes the random well-formed clients: which operators
+// they may request, how often they set the strict flag, and how often they
+// attach prev constraints.
+type Workload struct {
+	// Operators is the pool the generator draws from (uniformly).
+	Operators []dtype.Operator
+	// Clients are the client names issuing requests.
+	Clients []string
+	// MaxRequests bounds the total number of requests.
+	MaxRequests int
+	// StrictProb is the probability a request is strict.
+	StrictProb float64
+	// PrevProb is the probability each earlier operation joins the prev set
+	// of a new request (sampled independently per earlier op, capped at 3).
+	PrevProb float64
+}
+
+// Users is the well-formed clients automaton of Fig. 1: it issues requests
+// with unique identifiers and prev sets referencing only earlier requests,
+// and records every response for the trace theorems. One automaton stands
+// for all clients, exactly as in the paper.
+type Users struct {
+	w         Workload
+	requested map[ops.ID]ops.Operation
+	reqOrder  []ops.Operation
+	nextSeq   map[string]uint64
+	responses []ResponseAction
+}
+
+var _ ioa.Automaton = (*Users)(nil)
+
+// NewUsers builds the clients automaton.
+func NewUsers(w Workload) *Users {
+	if len(w.Operators) == 0 {
+		panic("spec: workload needs operators")
+	}
+	if len(w.Clients) == 0 {
+		w.Clients = []string{"c"}
+	}
+	return &Users{
+		w:         w,
+		requested: make(map[ops.ID]ops.Operation),
+		nextSeq:   make(map[string]uint64),
+	}
+}
+
+// Name implements ioa.Automaton.
+func (u *Users) Name() string { return "Users" }
+
+// Enabled implements ioa.Automaton: while under the request budget, one
+// freshly sampled request(x) is enabled.
+func (u *Users) Enabled(rng *rand.Rand) []ioa.Action {
+	if len(u.reqOrder) >= u.w.MaxRequests {
+		return nil
+	}
+	client := u.w.Clients[rng.Intn(len(u.w.Clients))]
+	op := u.w.Operators[rng.Intn(len(u.w.Operators))]
+	id := ops.ID{Client: client, Seq: u.nextSeq[client]}
+	var prev []ops.ID
+	for _, earlier := range u.reqOrder {
+		if len(prev) >= 3 {
+			break
+		}
+		if rng.Float64() < u.w.PrevProb {
+			prev = append(prev, earlier.ID)
+		}
+	}
+	strict := rng.Float64() < u.w.StrictProb
+	x := ops.New(op, id, prev, strict)
+	return []ioa.Action{RequestAction{X: x}}
+}
+
+// Input implements ioa.Automaton: Users accepts responses.
+func (u *Users) Input(a ioa.Action) bool {
+	_, ok := a.(ResponseAction)
+	return ok
+}
+
+// Apply implements ioa.Automaton.
+func (u *Users) Apply(a ioa.Action) {
+	switch act := a.(type) {
+	case RequestAction:
+		x := act.X
+		if _, dup := u.requested[x.ID]; dup {
+			panic(fmt.Sprintf("spec: Users issued duplicate id %v", x.ID))
+		}
+		for _, p := range x.Prev {
+			if _, ok := u.requested[p]; !ok {
+				panic(fmt.Sprintf("spec: Users referenced unknown prev %v", p))
+			}
+		}
+		u.requested[x.ID] = x
+		u.reqOrder = append(u.reqOrder, x)
+		u.nextSeq[x.ID.Client] = x.ID.Seq + 1
+	case ResponseAction:
+		u.responses = append(u.responses, act)
+	default:
+		panic(fmt.Sprintf("spec: Users cannot apply %T", a))
+	}
+}
+
+// Requested returns the request history in issue order.
+func (u *Users) Requested() []ops.Operation {
+	return append([]ops.Operation(nil), u.reqOrder...)
+}
+
+// RequestedSet returns the requested operations keyed by id.
+func (u *Users) RequestedSet() map[ops.ID]ops.Operation {
+	out := make(map[ops.ID]ops.Operation, len(u.requested))
+	for id, x := range u.requested {
+		out[id] = x
+	}
+	return out
+}
+
+// Responses returns all observed response events, in order.
+func (u *Users) Responses() []ResponseAction {
+	return append([]ResponseAction(nil), u.responses...)
+}
+
+// StrictResponses returns the responses whose operation was strict, keyed
+// by id (each op receives at most one response from a correct service).
+func (u *Users) StrictResponses() map[ops.ID]dtype.Value {
+	out := make(map[ops.ID]dtype.Value)
+	for _, r := range u.responses {
+		if r.X.Strict {
+			out[r.X.ID] = r.V
+		}
+	}
+	return out
+}
+
+// CheckWellFormed re-verifies Invariants 4.1 and 4.2 over the issued
+// history (unique ids; CSC acyclic). The automaton enforces these by
+// construction; this check guards the harness itself.
+func (u *Users) CheckWellFormed() error {
+	if err := ops.WellFormed(u.reqOrder); err != nil {
+		return err
+	}
+	tc := ops.CSC(u.reqOrder).TransitiveClosure()
+	if !tc.IsIrreflexive() {
+		return fmt.Errorf("spec: Invariant 4.2 violated: CSC(requested) is cyclic")
+	}
+	return nil
+}
+
+// ScriptedUsers is a Users variant that issues a fixed, pre-written request
+// sequence (used by directed tests and the simulation harness).
+type ScriptedUsers struct {
+	*Users
+	script []ops.Operation
+	next   int
+}
+
+// NewScriptedUsers wraps a fixed script. The script must be well-formed.
+func NewScriptedUsers(script []ops.Operation) *ScriptedUsers {
+	if err := ops.WellFormed(script); err != nil {
+		panic(fmt.Sprintf("spec: scripted history is not well-formed: %v", err))
+	}
+	u := NewUsers(Workload{Operators: []dtype.Operator{struct{}{}}, MaxRequests: len(script)})
+	return &ScriptedUsers{Users: u, script: script}
+}
+
+// Enabled implements ioa.Automaton: the next scripted request.
+func (su *ScriptedUsers) Enabled(*rand.Rand) []ioa.Action {
+	if su.next >= len(su.script) {
+		return nil
+	}
+	return []ioa.Action{RequestAction{X: su.script[su.next]}}
+}
+
+// Apply implements ioa.Automaton.
+func (su *ScriptedUsers) Apply(a ioa.Action) {
+	if req, ok := a.(RequestAction); ok {
+		if su.next >= len(su.script) || req.X.ID != su.script[su.next].ID {
+			panic(fmt.Sprintf("spec: scripted users got unexpected request %v", req.X.ID))
+		}
+		su.next++
+	}
+	su.Users.Apply(a)
+}
+
+// SortedIDs returns the ids of a set in deterministic order — shared helper
+// for building deterministic Enabled slices.
+func SortedIDs[V any](m map[ops.ID]V) []ops.ID {
+	out := make([]ops.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || !almostEq(s.Mean, 2.5) || !almostEq(s.Min, 1) || !almostEq(s.Max, 4) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEq(s.P50, 2.5) {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	wantStd := math.Sqrt(1.25)
+	if !almostEq(s.StdDev, wantStd) {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, wantStd)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15}, {-1, 10}, {2, 50},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); !almostEq(got, tc.want) {
+			t.Errorf("P%.3f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile wrong")
+	}
+}
+
+func TestFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := Fit(x, y)
+	if !almostEq(f.Slope, 2) || !almostEq(f.Intercept, 3) || !almostEq(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestFitNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 3*xi+10+rng.NormFloat64())
+	}
+	f := Fit(x, y)
+	if math.Abs(f.Slope-3) > 0.05 {
+		t.Fatalf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R² = %v", f.R2)
+	}
+}
+
+func TestFitPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatch":   func() { Fit([]float64{1}, []float64{1, 2}) },
+		"too few":    func() { Fit([]float64{1}, []float64{1}) },
+		"constant x": func() { Fit([]float64{2, 2}, []float64{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		a := float64(p1%101) / 100
+		b := float64(p2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		sorted := append([]float64(nil), xs...)
+		sortFloats(sorted)
+		pa, pb := Percentile(sorted, a), Percentile(sorted, b)
+		return pa <= pb && pa >= s.Min && pb <= s.Max
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 20)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	// Column alignment: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1.5") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2.0:    "2",
+		0.1234: "0.123",
+		-3.10:  "-3.1",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package transport provides point-to-point message channels in the sense
+// of Fig. 5 of Fekete et al.: reliable (by default), unordered delivery
+// between named nodes. Two implementations are provided:
+//
+//   - SimNet: a deterministic network on the discrete-event simulator, with
+//     configurable per-link latency and injectable faults (loss, duplication,
+//     reordering, partitions) for the §9 performance and fault-tolerance
+//     experiments. Channels are NOT FIFO, matching the paper's assumption.
+//
+//   - LiveNet: an in-process goroutine transport for running real clusters
+//     (the examples), with unbounded mailboxes and clean shutdown.
+//
+// The paper substitutes: Cheiner's implementation ran on a workstation
+// network over MPI; these transports exercise the same code paths
+// (asynchronous, non-FIFO, bounded-delay point-to-point messaging) without
+// the hardware.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"esds/internal/sim"
+)
+
+// NodeID names an endpoint (a replica or a front end).
+type NodeID string
+
+// Message is a payload in transit between two nodes.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// Handler consumes a delivered message.
+type Handler func(Message)
+
+// Network is the channel service: nodes register a handler and send
+// payloads to other nodes.
+type Network interface {
+	// Register installs the delivery handler for a node. It must be called
+	// before any message is sent to that node, and at most once per node.
+	Register(id NodeID, h Handler)
+	// Send enqueues a message. Delivery is asynchronous and unordered.
+	Send(from, to NodeID, payload any)
+}
+
+// Stats are cumulative message counters, used by the communication
+// experiments (E8).
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64 // deliveries caused by duplication faults
+	Bytes      uint64 // estimated payload bytes sent (via the Sizer)
+}
+
+// --- SimNet ---
+
+// SimNetConfig configures the simulated network.
+type SimNetConfig struct {
+	// Latency returns the delivery delay for a message. It must be
+	// deterministic given its inputs and the provided rng. If nil, a fixed
+	// 1ms latency is used. The paper's d_f and d_g bounds are produced by
+	// supplying a latency function bounded by those values.
+	Latency func(from, to NodeID, rng interface{ Intn(int) int }) sim.Duration
+	// DropProb is the probability a message is lost (fault injection).
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// Sizer estimates the payload size in bytes for the Bytes counter.
+	// If nil, every payload counts as 1.
+	Sizer func(payload any) int
+}
+
+// SimNet is a simulated network. All methods must be called from the
+// simulator's goroutine (i.e. from within event handlers or before Run).
+type SimNet struct {
+	s        *sim.Sim
+	cfg      SimNetConfig
+	handlers map[NodeID]Handler
+	stats    Stats
+	downNode map[NodeID]bool
+	downLink map[[2]NodeID]bool
+}
+
+var _ Network = (*SimNet)(nil)
+
+// NewSimNet creates a simulated network on s.
+func NewSimNet(s *sim.Sim, cfg SimNetConfig) *SimNet {
+	if cfg.Latency == nil {
+		cfg.Latency = func(NodeID, NodeID, interface{ Intn(int) int }) sim.Duration {
+			return sim.Millisecond
+		}
+	}
+	if cfg.Sizer == nil {
+		cfg.Sizer = func(any) int { return 1 }
+	}
+	return &SimNet{
+		s:        s,
+		cfg:      cfg,
+		handlers: make(map[NodeID]Handler),
+		downNode: make(map[NodeID]bool),
+		downLink: make(map[[2]NodeID]bool),
+	}
+}
+
+// Register implements Network.
+func (n *SimNet) Register(id NodeID, h Handler) {
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	n.handlers[id] = h
+}
+
+// Send implements Network. The message is delivered after the configured
+// latency unless a fault (drop, partition, node down) intervenes. Faults are
+// evaluated at SEND time for drops and at DELIVERY time for partitions and
+// node-down, approximating messages lost in flight.
+func (n *SimNet) Send(from, to NodeID, payload any) {
+	n.stats.Sent++
+	n.stats.Bytes += uint64(n.cfg.Sizer(payload))
+	rng := n.s.Rand()
+	if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
+		n.stats.Dropped++
+		return
+	}
+	deliver := func() {
+		if n.downNode[from] || n.downNode[to] || n.downLink[[2]NodeID{from, to}] {
+			n.stats.Dropped++
+			return
+		}
+		h, ok := n.handlers[to]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		h(Message{From: from, To: to, Payload: payload})
+	}
+	n.s.Schedule(n.cfg.Latency(from, to, rng), deliver)
+	if n.cfg.DupProb > 0 && rng.Float64() < n.cfg.DupProb {
+		n.stats.Duplicated++
+		n.s.Schedule(n.cfg.Latency(from, to, rng), deliver)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *SimNet) Stats() Stats { return n.stats }
+
+// SetNodeDown marks a node crashed (messages to/from it are dropped at
+// delivery time) or back up. Used by the §9.3 fault experiments.
+func (n *SimNet) SetNodeDown(id NodeID, down bool) { n.downNode[id] = down }
+
+// SetLinkDown partitions (or heals) the directed link from→to.
+func (n *SimNet) SetLinkDown(from, to NodeID, down bool) {
+	n.downLink[[2]NodeID{from, to}] = down
+}
+
+// PartitionBetween partitions every link between the two node groups in
+// both directions (heal=false) or heals them (heal=true).
+func (n *SimNet) PartitionBetween(a, b []NodeID, heal bool) {
+	for _, x := range a {
+		for _, y := range b {
+			n.downLink[[2]NodeID{x, y}] = !heal
+			n.downLink[[2]NodeID{y, x}] = !heal
+		}
+	}
+}
+
+// SetDropProb adjusts the loss probability mid-run (fault windows).
+func (n *SimNet) SetDropProb(p float64) { n.cfg.DropProb = p }
+
+// FixedLatency returns a deterministic latency function: d between two
+// distinct nodes, regardless of direction.
+func FixedLatency(d sim.Duration) func(NodeID, NodeID, interface{ Intn(int) int }) sim.Duration {
+	return func(NodeID, NodeID, interface{ Intn(int) int }) sim.Duration { return d }
+}
+
+// UniformLatency returns a latency function uniform in [min, max]. The
+// maximum is the paper's delivery bound d; the minimum models the fastest
+// path.
+func UniformLatency(min, max sim.Duration) func(NodeID, NodeID, interface{ Intn(int) int }) sim.Duration {
+	if min > max || min < 0 {
+		panic(fmt.Sprintf("transport: invalid latency range [%v, %v]", min, max))
+	}
+	return func(_, _ NodeID, rng interface{ Intn(int) int }) sim.Duration {
+		if min == max {
+			return min
+		}
+		return min + sim.Duration(rng.Intn(int(max-min)+1))
+	}
+}
+
+// ClassLatency dispatches on node classes: gossip links (both endpoints
+// satisfy isReplica) get dg, all other links get df. This realizes the
+// paper's distinction between front-end↔replica delay d_f and
+// replica↔replica delay d_g.
+func ClassLatency(isReplica func(NodeID) bool, df, dg func(NodeID, NodeID, interface{ Intn(int) int }) sim.Duration) func(NodeID, NodeID, interface{ Intn(int) int }) sim.Duration {
+	return func(from, to NodeID, rng interface{ Intn(int) int }) sim.Duration {
+		if isReplica(from) && isReplica(to) {
+			return dg(from, to, rng)
+		}
+		return df(from, to, rng)
+	}
+}
+
+// --- LiveNet ---
+
+// LiveNet is a goroutine-based in-process transport. Each node has an
+// unbounded mailbox drained by a dedicated goroutine, so Send never blocks
+// and cyclic communication between nodes cannot deadlock.
+type LiveNet struct {
+	mu     sync.Mutex
+	nodes  map[NodeID]*mailbox
+	closed bool
+	wg     sync.WaitGroup
+	stats  Stats
+}
+
+var _ Network = (*LiveNet)(nil)
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	handler Handler
+	closed  bool
+}
+
+// NewLiveNet returns an empty live transport.
+func NewLiveNet() *LiveNet {
+	return &LiveNet{nodes: make(map[NodeID]*mailbox)}
+}
+
+// Register implements Network. It starts the node's delivery goroutine.
+func (n *LiveNet) Register(id NodeID, h Handler) {
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("transport: Register on closed LiveNet")
+	}
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	mb := &mailbox{handler: h}
+	mb.cond = sync.NewCond(&mb.mu)
+	n.nodes[id] = mb
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		mb.run()
+	}()
+}
+
+func (mb *mailbox) run() {
+	for {
+		mb.mu.Lock()
+		for len(mb.queue) == 0 && !mb.closed {
+			mb.cond.Wait()
+		}
+		if len(mb.queue) == 0 && mb.closed {
+			mb.mu.Unlock()
+			return
+		}
+		m := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.mu.Unlock()
+		mb.handler(m)
+	}
+}
+
+// Send implements Network. Messages to unregistered nodes are dropped
+// (matching a network that discards undeliverable datagrams).
+func (n *LiveNet) Send(from, to NodeID, payload any) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Sent++
+	mb, ok := n.nodes[to]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	mb.mu.Lock()
+	if !mb.closed {
+		mb.queue = append(mb.queue, m(from, to, payload))
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+		mb.cond.Signal()
+	}
+	mb.mu.Unlock()
+}
+
+func m(from, to NodeID, payload any) Message {
+	return Message{From: from, To: to, Payload: payload}
+}
+
+// Close stops delivery: queued messages still drain, then the node
+// goroutines exit. Close blocks until all handlers have finished.
+func (n *LiveNet) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	nodes := make([]*mailbox, 0, len(n.nodes))
+	for _, mb := range n.nodes {
+		nodes = append(nodes, mb)
+	}
+	n.mu.Unlock()
+	for _, mb := range nodes {
+		mb.mu.Lock()
+		mb.closed = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	n.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (n *LiveNet) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
