@@ -1,0 +1,37 @@
+# Targets mirror .github/workflows/ci.yml: `make ci` runs exactly what CI
+# runs, so a green local run means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/core ./internal/transport ./cmd/esds-server
+
+# Every E1–E9 benchmark body runs exactly once: a harness smoke test, not a
+# measurement. For real numbers drop -benchtime or raise it.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt test race bench
+
+clean:
+	$(GO) clean
+	rm -f *.test *.prof cpu.out mem.out

@@ -1,0 +1,310 @@
+// Command esds-server runs one member of a multi-process ESDS cluster over
+// TCP: either a single replica (the default) or an interactive front end
+// (-client). Every process is given the same ordered list of replica
+// addresses; replica i binds the i-th entry.
+//
+// A three-replica counter cluster on loopback:
+//
+//	esds-server -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	esds-server -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	esds-server -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	esds-server -client alice -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// The front end reads one operation per line from stdin (see parseOp for
+// the per-data-type syntax), submits it with the previous operation's id as
+// its prev set (read-your-writes), and prints the reported value. A
+// trailing "!" makes the operation strict: the response is withheld until
+// the operation's position in the eventual total order is fixed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// config is the parsed command line.
+type config struct {
+	id        int
+	peers     []string
+	listen    string
+	advertise string
+	dtName    string
+	gossip    time.Duration
+	client    string
+	verbose   bool
+	opts      core.Options
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("esds-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var peers string
+	fs.IntVar(&cfg.id, "id", -1, "replica id (index into -peers); required unless -client is set")
+	fs.StringVar(&peers, "peers", "", "comma-separated replica addresses, indexed by replica id (required)")
+	fs.StringVar(&cfg.listen, "listen", "", "bind address (default: the -peers entry for -id; 127.0.0.1:0 for -client)")
+	fs.StringVar(&cfg.advertise, "advertise", "",
+		"address other processes dial to reach this one (default: the bound address; required when -listen binds a wildcard address like 0.0.0.0)")
+	fs.StringVar(&cfg.dtName, "type", "counter", "data type: "+strings.Join(dtype.Names(), "|"))
+	fs.DurationVar(&cfg.gossip, "gossip", 100*time.Millisecond, "gossip period")
+	fs.StringVar(&cfg.client, "client", "", "run a front end for this client name instead of a replica")
+	fs.BoolVar(&cfg.verbose, "verbose", false, "log transport diagnostics to stderr")
+	fs.BoolVar(&cfg.opts.Memoize, "memoize", true, "memoize the solid prefix (§10.1)")
+	fs.BoolVar(&cfg.opts.Prune, "prune", true, "prune descriptors of memoized stable operations (§10.2)")
+	fs.BoolVar(&cfg.opts.Commute, "commute", false, "answer non-strict operations from the current state (§10.3)")
+	fs.BoolVar(&cfg.opts.IncrementalGossip, "incremental", false,
+		"send gossip deltas instead of full state (§10.4; requires reliable FIFO channels — a TCP reconnect loses deltas, so leave this off unless the network is trusted)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if peers == "" {
+		return cfg, fmt.Errorf("-peers is required")
+	}
+	cfg.peers = strings.Split(peers, ",")
+	for i, p := range cfg.peers {
+		cfg.peers[i] = strings.TrimSpace(p)
+		if cfg.peers[i] == "" {
+			return cfg, fmt.Errorf("-peers entry %d is empty", i)
+		}
+	}
+	if _, ok := dtype.ByName(cfg.dtName); !ok {
+		return cfg, fmt.Errorf("unknown data type %q (have %s)", cfg.dtName, strings.Join(dtype.Names(), ", "))
+	}
+	if cfg.client == "" {
+		if cfg.id < 0 || cfg.id >= len(cfg.peers) {
+			return cfg, fmt.Errorf("-id %d out of range for %d peers", cfg.id, len(cfg.peers))
+		}
+		if cfg.listen == "" {
+			cfg.listen = cfg.peers[cfg.id]
+		}
+	} else if cfg.listen == "" {
+		cfg.listen = "127.0.0.1:0"
+	}
+	return cfg, nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "esds-server: %v\n", err)
+		return 2
+	}
+	core.RegisterWire()
+	dt, _ := dtype.ByName(cfg.dtName)
+
+	peerTable := make(map[transport.NodeID]string, len(cfg.peers))
+	for i, addr := range cfg.peers {
+		if cfg.client == "" && i == cfg.id {
+			continue
+		}
+		peerTable[core.ReplicaNode(label.ReplicaID(i))] = addr
+	}
+	logf := func(string, ...any) {}
+	if cfg.verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	net, err := transport.NewTCPNet(transport.TCPConfig{
+		Listen:    cfg.listen,
+		Advertise: cfg.advertise,
+		Peers:     peerTable,
+		Logf:      logf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "esds-server: %v\n", err)
+		return 1
+	}
+	defer net.Close()
+
+	local := []int{}
+	if cfg.client == "" {
+		local = []int{cfg.id}
+	}
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas:      len(cfg.peers),
+		DataType:      dt,
+		Network:       net,
+		Options:       cfg.opts,
+		LocalReplicas: local,
+	})
+	defer cluster.Close()
+	net.Start()
+
+	if cfg.client != "" {
+		return runClient(cfg, cluster, stdin, stdout, stderr)
+	}
+
+	cluster.StartLiveGossip(cfg.gossip)
+	// READY tells wrappers (and the integration test) that the replica is
+	// registered and accepting connections on the printed address.
+	fmt.Fprintf(stdout, "READY replica=%d addr=%s type=%s\n", cfg.id, net.Addr(), cfg.dtName)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	return 0
+}
+
+// runClient reads operations from stdin and submits them through a front
+// end, chaining each operation's id into the next one's prev set.
+func runClient(cfg config, cluster *core.Cluster, stdin io.Reader, stdout, stderr io.Writer) int {
+	fe := cluster.FrontEnd(cfg.client)
+	fmt.Fprintf(stdout, "READY client=%s type=%s\n", cfg.client, cfg.dtName)
+	scanner := bufio.NewScanner(stdin)
+	var prev []ops.ID
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		strict := strings.HasSuffix(line, "!")
+		op, err := parseOp(cfg.dtName, strings.TrimSuffix(line, "!"))
+		if err != nil {
+			fmt.Fprintf(stderr, "esds-server: %v\n", err)
+			continue
+		}
+		x, v, err := submitWithRetry(fe, op, prev, strict, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(stderr, "esds-server: %v\n", err)
+			return 1
+		}
+		prev = []ops.ID{x.ID}
+		fmt.Fprintf(stdout, "%v = %v\n", x.ID, v)
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(stderr, "esds-server: reading stdin: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// submitWithRetry submits one operation and waits for its response,
+// periodically retransmitting to other replicas — the paper's liveness
+// mechanism against message loss and crashed replicas.
+func submitWithRetry(fe *core.FrontEnd, op dtype.Operator, prev []ops.ID, strict bool, timeout time.Duration) (ops.Operation, dtype.Value, error) {
+	ch := make(chan core.Response, 1)
+	x := fe.Submit(op, prev, strict, func(r core.Response) { ch <- r })
+	retry := time.NewTicker(250 * time.Millisecond)
+	defer retry.Stop()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case r := <-ch:
+			return x, r.Value, nil
+		case <-retry.C:
+			fe.Retransmit()
+		case <-deadline.C:
+			return x, nil, fmt.Errorf("operation %v timed out after %v", x.ID, timeout)
+		}
+	}
+}
+
+// parseOp parses one operation line for the named data type:
+//
+//	counter:   add N | double | read
+//	register:  write V | read
+//	set:       add E | remove E | contains E | size
+//	log:       append E | read | len
+//	bank:      deposit ACCT N | withdraw ACCT N | balance ACCT
+//	directory: bind NAME | unbind NAME | setattr NAME KEY VAL |
+//	           getattr NAME KEY | lookup NAME | list
+func parseOp(dtName, line string) (dtype.Operator, error) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return nil, fmt.Errorf("empty operation")
+	}
+	bad := func() (dtype.Operator, error) {
+		return nil, fmt.Errorf("bad %s operation %q", dtName, line)
+	}
+	num := func(s string) (int64, bool) {
+		n, err := strconv.ParseInt(s, 10, 64)
+		return n, err == nil
+	}
+	switch dtName {
+	case "counter":
+		switch {
+		case f[0] == "add" && len(f) == 2:
+			if n, ok := num(f[1]); ok {
+				return dtype.CtrAdd{N: n}, nil
+			}
+		case f[0] == "double" && len(f) == 1:
+			return dtype.CtrDouble{}, nil
+		case f[0] == "read" && len(f) == 1:
+			return dtype.CtrRead{}, nil
+		}
+	case "register":
+		switch {
+		case f[0] == "write" && len(f) == 2:
+			return dtype.RegWrite{Val: f[1]}, nil
+		case f[0] == "read" && len(f) == 1:
+			return dtype.RegRead{}, nil
+		}
+	case "set":
+		switch {
+		case f[0] == "add" && len(f) == 2:
+			return dtype.SetAdd{Elem: f[1]}, nil
+		case f[0] == "remove" && len(f) == 2:
+			return dtype.SetRemove{Elem: f[1]}, nil
+		case f[0] == "contains" && len(f) == 2:
+			return dtype.SetContains{Elem: f[1]}, nil
+		case f[0] == "size" && len(f) == 1:
+			return dtype.SetSize{}, nil
+		}
+	case "log":
+		switch {
+		case f[0] == "append" && len(f) == 2:
+			return dtype.LogAppend{Entry: f[1]}, nil
+		case f[0] == "read" && len(f) == 1:
+			return dtype.LogRead{}, nil
+		case f[0] == "len" && len(f) == 1:
+			return dtype.LogLen{}, nil
+		}
+	case "bank":
+		switch {
+		case f[0] == "deposit" && len(f) == 3:
+			if n, ok := num(f[2]); ok {
+				return dtype.BankDeposit{Account: f[1], Amount: n}, nil
+			}
+		case f[0] == "withdraw" && len(f) == 3:
+			if n, ok := num(f[2]); ok {
+				return dtype.BankWithdraw{Account: f[1], Amount: n}, nil
+			}
+		case f[0] == "balance" && len(f) == 2:
+			return dtype.BankBalance{Account: f[1]}, nil
+		}
+	case "directory":
+		switch {
+		case f[0] == "bind" && len(f) == 2:
+			return dtype.DirBind{Name: f[1]}, nil
+		case f[0] == "unbind" && len(f) == 2:
+			return dtype.DirUnbind{Name: f[1]}, nil
+		case f[0] == "setattr" && len(f) == 4:
+			return dtype.DirSetAttr{Name: f[1], Key: f[2], Val: f[3]}, nil
+		case f[0] == "getattr" && len(f) == 3:
+			return dtype.DirGetAttr{Name: f[1], Key: f[2]}, nil
+		case f[0] == "lookup" && len(f) == 2:
+			return dtype.DirLookup{Name: f[1]}, nil
+		case f[0] == "list" && len(f) == 1:
+			return dtype.DirList{}, nil
+		}
+	}
+	return bad()
+}

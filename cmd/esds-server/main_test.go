@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// TestHelperProcess is not a test: it is the body of a child process
+// spawned by the multi-process tests. It runs the real server entry point
+// on the arguments after "--".
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("ESDS_SERVER_HELPER") != "1" {
+		t.Skip("helper process entry point")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Exit(run(args, os.Stdin, os.Stdout, os.Stderr))
+}
+
+// spawnReplica starts one replica as a separate OS process and waits for
+// its READY line.
+func spawnReplica(t *testing.T, id int, peers []string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := []string{"-test.run=TestHelperProcess", "--",
+		"-id", fmt.Sprint(id), "-peers", strings.Join(peers, ","), "-gossip", "20ms"}
+	args = append(args, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "ESDS_SERVER_HELPER=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	ready := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(out)
+		for scanner.Scan() {
+			if strings.HasPrefix(scanner.Text(), "READY") {
+				ready <- scanner.Text()
+				return
+			}
+		}
+		close(ready)
+	}()
+	select {
+	case line, ok := <-ready:
+		if !ok {
+			t.Fatalf("replica %d exited before READY", id)
+		}
+		t.Logf("replica %d: %s", id, line)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("replica %d did not become ready", id)
+	}
+	return cmd
+}
+
+// reservePorts binds and immediately releases n loopback ports, returning
+// their addresses for the cluster's static peer list.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestThreeProcessCluster is the end-to-end deployment test: three replica
+// processes on loopback TCP, driven by a front end in this process. A
+// non-strict and a strict operation must both complete, and the strict
+// read must observe the causally preceding write.
+func TestThreeProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	core.RegisterWire()
+	peers := reservePorts(t, 3)
+	for i := 0; i < 3; i++ {
+		spawnReplica(t, i, peers)
+	}
+
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feNet.Close()
+	for i, addr := range peers {
+		feNet.SetPeer(core.ReplicaNode(label.ReplicaID(i)), addr)
+	}
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas:      3,
+		DataType:      dtype.Counter{},
+		Network:       feNet,
+		LocalReplicas: []int{},
+	})
+	defer cluster.Close()
+	feNet.Start()
+	fe := cluster.FrontEnd("itest")
+
+	add, v, err := submitWithRetry(fe, dtype.CtrAdd{N: 7}, nil, false, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "ok" {
+		t.Fatalf("non-strict add returned %v", v)
+	}
+	_, v, err = submitWithRetry(fe, dtype.CtrRead{}, []ops.ID{add.ID}, true, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(7) {
+		t.Fatalf("strict read returned %v, want 7", v)
+	}
+}
+
+// TestClientModeAgainstCluster drives the -client stdin/stdout interface
+// against a real multi-process cluster.
+func TestClientModeAgainstCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	peers := reservePorts(t, 3)
+	for i := 0; i < 3; i++ {
+		spawnReplica(t, i, peers)
+	}
+
+	var stdout strings.Builder
+	script := strings.NewReader("add 2\nadd 3\nread!\n")
+	code := run([]string{"-client", "cli", "-peers", strings.Join(peers, ",")}, script, &stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("client mode exited %d\noutput:\n%s", code, stdout.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 4 { // READY + three responses
+		t.Fatalf("client printed %d lines:\n%s", len(lines), stdout.String())
+	}
+	// The strict read is causally after both adds (prev chaining), so it
+	// must observe 5.
+	if !strings.HasSuffix(lines[3], "= 5") {
+		t.Fatalf("strict read line = %q, want suffix %q", lines[3], "= 5")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	good := []struct {
+		dt, line string
+		want     dtype.Operator
+	}{
+		{"counter", "add 5", dtype.CtrAdd{N: 5}},
+		{"counter", "double", dtype.CtrDouble{}},
+		{"counter", "read", dtype.CtrRead{}},
+		{"register", "write hello", dtype.RegWrite{Val: "hello"}},
+		{"register", "read", dtype.RegRead{}},
+		{"set", "add x", dtype.SetAdd{Elem: "x"}},
+		{"set", "contains x", dtype.SetContains{Elem: "x"}},
+		{"log", "append e1", dtype.LogAppend{Entry: "e1"}},
+		{"log", "len", dtype.LogLen{}},
+		{"bank", "deposit acct 100", dtype.BankDeposit{Account: "acct", Amount: 100}},
+		{"bank", "balance acct", dtype.BankBalance{Account: "acct"}},
+		{"directory", "setattr a k v", dtype.DirSetAttr{Name: "a", Key: "k", Val: "v"}},
+		{"directory", "list", dtype.DirList{}},
+	}
+	for _, tc := range good {
+		got, err := parseOp(tc.dt, tc.line)
+		if err != nil {
+			t.Errorf("parseOp(%q, %q): %v", tc.dt, tc.line, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseOp(%q, %q) = %#v, want %#v", tc.dt, tc.line, got, tc.want)
+		}
+	}
+	bad := []struct{ dt, line string }{
+		{"counter", "add"},
+		{"counter", "add five"},
+		{"counter", "frobnicate"},
+		{"register", "write"},
+		{"bank", "deposit acct"},
+		{"nosuch", "read"},
+	}
+	for _, tc := range bad {
+		if op, err := parseOp(tc.dt, tc.line); err == nil {
+			t.Errorf("parseOp(%q, %q) = %#v, want error", tc.dt, tc.line, op)
+		}
+	}
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{}, "-peers is required"},
+		{[]string{"-peers", "a:1,b:2"}, "-id -1 out of range"},
+		{[]string{"-peers", "a:1,b:2", "-id", "5"}, "-id 5 out of range"},
+		{[]string{"-peers", "a:1,,b:2", "-id", "0"}, "entry 1 is empty"},
+		{[]string{"-peers", "a:1", "-id", "0", "-type", "nosuch"}, "unknown data type"},
+	}
+	for _, tc := range cases {
+		_, err := parseFlags(tc.args, os.Stderr)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseFlags(%v) err = %v, want containing %q", tc.args, err, tc.wantErr)
+		}
+	}
+	cfg, err := parseFlags([]string{"-peers", "a:1,b:2,c:3", "-id", "1"}, os.Stderr)
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if cfg.listen != "b:2" {
+		t.Errorf("listen defaulted to %q, want the replica's own peers entry", cfg.listen)
+	}
+}

@@ -1,0 +1,3 @@
+module esds
+
+go 1.24

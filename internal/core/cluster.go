@@ -43,6 +43,14 @@ type ClusterConfig struct {
 	// Stores, if non-nil, supplies a per-replica stable store for the §9.3
 	// crash-recovery protocol (indexed by replica id; nil entries allowed).
 	Stores []StableStore
+	// LocalReplicas, if non-nil, lists the replica ids instantiated in this
+	// process. The remaining replicas are assumed to run in other processes
+	// reachable through the same Network (a transport.TCPNet whose peer
+	// table maps their ReplicaNode addresses). Nil means all replicas are
+	// local — the single-process configuration of SimNet and LiveNet. An
+	// empty (non-nil) slice builds a front-end-only member: no replica runs
+	// here, but FrontEnd still works against the remote cluster.
+	LocalReplicas []int
 }
 
 // NewCluster builds the replicas and registers them on the network. Gossip
@@ -69,8 +77,24 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		nodes:  nodes,
 		fronts: make(map[string]*FrontEnd),
 	}
+	local := make([]bool, cfg.Replicas)
+	if cfg.LocalReplicas == nil {
+		for i := range local {
+			local[i] = true
+		}
+	} else {
+		for _, i := range cfg.LocalReplicas {
+			if i < 0 || i >= cfg.Replicas {
+				panic(fmt.Sprintf("core: local replica id %d out of range [0, %d)", i, cfg.Replicas))
+			}
+			local[i] = true
+		}
+	}
 	c.replicas = make([]*Replica, cfg.Replicas)
 	for i := range c.replicas {
+		if !local[i] {
+			continue
+		}
 		var store StableStore
 		if i < len(cfg.Stores) {
 			store = cfg.Stores[i]
@@ -87,11 +111,23 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	return c
 }
 
-// NumReplicas returns the replica count.
+// NumReplicas returns the total replica count, local and remote.
 func (c *Cluster) NumReplicas() int { return len(c.replicas) }
 
-// Replica returns replica i.
+// Replica returns replica i, or nil when replica i lives in another
+// process (see ClusterConfig.LocalReplicas).
 func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
+
+// LocalReplicas returns the replicas instantiated in this process.
+func (c *Cluster) LocalReplicas() []*Replica {
+	out := make([]*Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // Nodes returns the replica transport addresses.
 func (c *Cluster) Nodes() []transport.NodeID {
@@ -111,10 +147,12 @@ func (c *Cluster) FrontEnd(client string) *FrontEnd {
 	return fe
 }
 
-// GossipAll runs one gossip round: every replica sends to every peer.
+// GossipAll runs one gossip round: every local replica sends to every peer.
 func (c *Cluster) GossipAll() {
 	for _, r := range c.replicas {
-		r.SendGossip()
+		if r != nil {
+			r.SendGossip()
+		}
 	}
 }
 
@@ -126,6 +164,9 @@ func (c *Cluster) StartSimGossip(s *sim.Sim, period sim.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, r := range c.replicas {
+		if r == nil {
+			continue
+		}
 		r := r
 		c.stops = append(c.stops, s.Every(period, r.SendGossip))
 	}
@@ -143,6 +184,9 @@ func (c *Cluster) StartLiveGossip(period time.Duration) {
 		panic("core: StartLiveGossip on closed cluster")
 	}
 	for _, r := range c.replicas {
+		if r == nil {
+			continue
+		}
 		r := r
 		ticker := time.NewTicker(period)
 		done := make(chan struct{})
@@ -180,10 +224,13 @@ func (c *Cluster) Close() {
 	}
 }
 
-// TotalMetrics sums the metrics of all replicas.
+// TotalMetrics sums the metrics of all local replicas.
 func (c *Cluster) TotalMetrics() ReplicaMetrics {
 	var total ReplicaMetrics
 	for _, r := range c.replicas {
+		if r == nil {
+			continue
+		}
 		m := r.Metrics()
 		total.RequestsReceived += m.RequestsReceived
 		total.DoItCount += m.DoItCount
@@ -217,6 +264,11 @@ type Convergence struct {
 func (c *Cluster) CheckConvergence() Convergence {
 	snaps := make([]DebugSnapshot, len(c.replicas))
 	for i, r := range c.replicas {
+		if r == nil {
+			// Remote replicas cannot be inspected from this process; a
+			// cluster-wide convergence check needs an all-local cluster.
+			return Convergence{Reason: fmt.Sprintf("replica %d is remote", i)}
+		}
 		snaps[i] = r.Snapshot()
 	}
 	base := snaps[0]

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// tcpSubmit submits one operation and waits for its response, periodically
+// retransmitting — over a real network a frame can always be lost, and
+// retransmission is the paper's liveness mechanism.
+func tcpSubmit(t *testing.T, fe *FrontEnd, op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value) {
+	t.Helper()
+	ch := make(chan Response, 1)
+	x := fe.Submit(op, prev, strict, func(r Response) { ch <- r })
+	retry := time.NewTicker(100 * time.Millisecond)
+	defer retry.Stop()
+	deadline := time.NewTimer(15 * time.Second)
+	defer deadline.Stop()
+	for {
+		select {
+		case r := <-ch:
+			return x, r.Value
+		case <-retry.C:
+			fe.Retransmit()
+		case <-deadline.C:
+			t.Fatalf("operation %v timed out", x.ID)
+		}
+	}
+}
+
+// TestTCPClusterEndToEnd assembles a 3-replica cluster whose members each
+// live on their own TCPNet — the in-process equivalent of three OS
+// processes — plus a front-end-only member, and checks the behavior the
+// SimNet tests check: a non-strict operation completes immediately, a
+// strict operation completes once stable, and the replicas converge to
+// identical done sets and labels.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	RegisterWire()
+	const n = 3
+
+	// Bind the three replica listeners first so every peer table can be
+	// fully populated before any traffic flows.
+	nets := make([]*transport.TCPNet, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		net, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0", Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		defer net.Close()
+		nets[i] = net
+		addrs[i] = net.Addr().String()
+	}
+	clusters := make([]*Cluster, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i {
+				nets[i].SetPeer(ReplicaNode(label.ReplicaID(j)), addrs[j])
+			}
+		}
+		clusters[i] = NewCluster(ClusterConfig{
+			Replicas:      n,
+			DataType:      dtype.Counter{},
+			Network:       nets[i],
+			Options:       DefaultOptions(),
+			LocalReplicas: []int{i},
+		})
+		defer clusters[i].Close()
+		nets[i].Start()
+	}
+	for i := 0; i < n; i++ {
+		clusters[i].StartLiveGossip(5 * time.Millisecond)
+	}
+
+	// The front end runs on a fourth transport, as a separate client
+	// process would. Replicas learn its address from its first request.
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feNet.Close()
+	for j := 0; j < n; j++ {
+		feNet.SetPeer(ReplicaNode(label.ReplicaID(j)), addrs[j])
+	}
+	feCluster := NewCluster(ClusterConfig{
+		Replicas:      n,
+		DataType:      dtype.Counter{},
+		Network:       feNet,
+		Options:       DefaultOptions(),
+		LocalReplicas: []int{}, // front-end-only member
+	})
+	defer feCluster.Close()
+	feNet.Start()
+	fe := feCluster.FrontEnd("alice")
+
+	// Non-strict operation: answered from the serving replica's local view.
+	add, v := tcpSubmit(t, fe, dtype.CtrAdd{N: 5}, nil, false)
+	if v != "ok" {
+		t.Fatalf("non-strict add returned %v", v)
+	}
+
+	// Strict operation, causally after the add: the response is withheld
+	// until the read's position in the total order is fixed, so it must
+	// observe the add.
+	_, v = tcpSubmit(t, fe, dtype.CtrRead{}, []ops.ID{add.ID}, true)
+	if v != int64(5) {
+		t.Fatalf("strict read returned %v, want 5", v)
+	}
+
+	// Stabilization: every replica eventually reports both operations
+	// stable everywhere, and all replicas agree on done sets and labels —
+	// the cross-replica convergence the SimNet tests assert via
+	// CheckConvergence.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if tcpClusterConverged(clusters) == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas did not converge: %s", tcpClusterConverged(clusters))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// tcpClusterConverged compares the per-process replicas' snapshots; it
+// returns "" on agreement or a description of the first mismatch.
+func tcpClusterConverged(clusters []*Cluster) string {
+	base := clusters[0].Replica(0).Snapshot()
+	if len(base.Done) != 2 {
+		return fmt.Sprintf("replica 0 has %d done ops, want 2", len(base.Done))
+	}
+	for i := 0; i < len(clusters); i++ {
+		// Stability knowledge keeps spreading after labels agree: replica i
+		// learns that an op is stable at every replica only from later
+		// gossip carrying the others' S sets.
+		if got := clusters[i].Replica(i).StableEverywhereCount(); got != 2 {
+			return fmt.Sprintf("replica %d: %d ops stable everywhere, want 2", i, got)
+		}
+	}
+	for i := 1; i < len(clusters); i++ {
+		snap := clusters[i].Replica(i).Snapshot()
+		if len(snap.Done) != len(base.Done) {
+			return fmt.Sprintf("replica %d has %d done ops, replica 0 has %d", i, len(snap.Done), len(base.Done))
+		}
+		for id, l := range base.Labels {
+			if got := snap.Labels[id]; got != l {
+				return fmt.Sprintf("label of %v: replica 0 has %v, replica %d has %v", id, l, i, got)
+			}
+		}
+		if len(snap.Labels) != len(base.Labels) {
+			return fmt.Sprintf("replica %d knows %d labels, replica 0 knows %d", i, len(snap.Labels), len(base.Labels))
+		}
+	}
+	return ""
+}

@@ -8,6 +8,7 @@
 package label
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -69,6 +70,37 @@ func Min(a, b Label) Label {
 		return b
 	}
 	return a
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler so labels survive wire
+// codecs (encoding/gob skips unexported fields, which would silently decode
+// ∞ as the proper label (0, 0)). Layout: 1 flag byte (1 = ∞), 8-byte
+// big-endian Seq, 4-byte big-endian Replica.
+func (l Label) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 13)
+	if l.inf {
+		b[0] = 1
+		return b, nil
+	}
+	binary.BigEndian.PutUint64(b[1:9], l.Seq)
+	binary.BigEndian.PutUint32(b[9:13], uint32(l.Replica))
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (l *Label) UnmarshalBinary(data []byte) error {
+	if len(data) != 13 {
+		return fmt.Errorf("label: invalid binary label of %d bytes", len(data))
+	}
+	if data[0] != 0 {
+		*l = Infinity
+		return nil
+	}
+	*l = Label{
+		Seq:     binary.BigEndian.Uint64(data[1:9]),
+		Replica: ReplicaID(binary.BigEndian.Uint32(data[9:13])),
+	}
+	return nil
 }
 
 // String renders the label for diagnostics.

@@ -1,0 +1,531 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNet carries messages over real TCP sockets, so a cluster's nodes can
+// live in different OS processes (or different machines). It implements the
+// same Network contract as SimNet and LiveNet: asynchronous sends, no FIFO
+// or reliability guarantee across reconnects, and undeliverable messages
+// silently dropped — the algorithm's front-end retransmission restores
+// liveness, exactly as over a lossy datagram network.
+//
+// # Wire format
+//
+// Each message is one self-contained frame:
+//
+//	uint32 big-endian length | gob(tcpFrame)
+//
+// where tcpFrame carries (From, To, ReplyTo, Payload). Frames are encoded
+// independently (a fresh gob stream per frame), so a dropped connection
+// never corrupts the decoder state of later frames. Payloads are carried in
+// an interface field: every concrete payload type crossing the wire must be
+// registered with encoding/gob (see core.RegisterWire).
+//
+// # Addressing
+//
+// Outbound routing uses a NodeID → "host:port" table seeded from
+// TCPConfig.Peers and extended dynamically: every frame advertises the
+// sender process's listen address (ReplyTo), and the receiver records it
+// for the sending node. A front end therefore needs no static entry in the
+// replicas' peer tables — its first request teaches each replica where to
+// send the response.
+//
+// # Connection management
+//
+// One sender goroutine per remote address owns an outbound connection,
+// dialing lazily and redialing after failures with a backoff window during
+// which frames are counted Dropped without blocking the caller. Send never
+// blocks on the network. Inbound connections are read by per-connection
+// goroutines; a malformed frame (oversized, truncated, or undecodable)
+// closes that one connection without disturbing the listener or other
+// connections.
+type TCPNet struct {
+	mu       sync.Mutex
+	cfg      TCPConfig
+	ln       net.Listener
+	started  bool
+	closed   bool
+	handlers map[NodeID]*mailbox
+	peers    map[NodeID]string // node → dial address (seeded + learned)
+	// static marks peers entries set by configuration (TCPConfig.Peers or
+	// SetPeer). A frame's advertised ReplyTo never overrides them: a
+	// statically configured address is the operator's knowledge of the
+	// topology, while an advertised one may be wrong for this process
+	// (e.g. a peer bound to a wildcard address).
+	static  map[NodeID]bool
+	senders map[string]*tcpSend // dial address → sender goroutine state
+	inbound map[net.Conn]struct{}
+	stats   Stats
+	wg      sync.WaitGroup
+}
+
+var _ Network = (*TCPNet)(nil)
+
+// TCPConfig configures a TCPNet.
+type TCPConfig struct {
+	// Listen is the TCP address to bind for inbound frames, e.g.
+	// "127.0.0.1:7001" or "127.0.0.1:0" (kernel-assigned port). Required:
+	// even client-only processes listen, because replicas dial back to
+	// deliver responses.
+	Listen string
+	// Advertise is the address other processes should dial to reach this
+	// one, carried in every frame's ReplyTo. Defaults to the bound listen
+	// address (correct on loopback and flat networks).
+	Advertise string
+	// Peers seeds the node → address table. Entries for nodes registered
+	// locally are ignored (local delivery bypasses the network).
+	Peers map[NodeID]string
+	// MaxFrame caps the encoded size of a single message in bytes. Larger
+	// outbound messages are dropped; larger inbound length headers are
+	// treated as stream corruption and close the connection. Default 16 MiB.
+	MaxFrame int
+	// DialTimeout bounds each connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// RedialBackoff is how long a peer address is considered down after a
+	// failed dial or write; frames sent to it inside the window are dropped
+	// immediately. Default 100ms.
+	RedialBackoff time.Duration
+	// Logf receives diagnostic messages (connection errors, dropped
+	// frames). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+type tcpFrame struct {
+	From    NodeID
+	To      NodeID
+	ReplyTo string
+	Payload any
+}
+
+// tcpSend owns the outbound connection to one remote address. The queue is
+// unbounded so Send never blocks; the sender goroutine drains it, dialing
+// on demand. When the address is down (dial or write failed), frames are
+// dropped until the backoff window elapses.
+type tcpSend struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     [][]byte
+	conn      net.Conn
+	downUntil time.Time
+	closed    bool
+}
+
+const defaultMaxFrame = 16 << 20
+
+// NewTCPNet binds the listen address and returns the transport. Nodes must
+// be registered and Start called before inbound frames are accepted;
+// frames arriving for unregistered nodes are dropped.
+func NewTCPNet(cfg TCPConfig) (*TCPNet, error) {
+	if cfg.Listen == "" {
+		return nil, fmt.Errorf("transport: TCPConfig.Listen is required")
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = defaultMaxFrame
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	if cfg.Advertise == "" {
+		cfg.Advertise = ln.Addr().String()
+	}
+	n := &TCPNet{
+		cfg:      cfg,
+		ln:       ln,
+		handlers: make(map[NodeID]*mailbox),
+		peers:    make(map[NodeID]string),
+		static:   make(map[NodeID]bool),
+		senders:  make(map[string]*tcpSend),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	for id, addr := range cfg.Peers {
+		n.peers[id] = addr
+		n.static[id] = true
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with Listen ":0").
+func (n *TCPNet) Addr() net.Addr { return n.ln.Addr() }
+
+// Register implements Network. As in LiveNet, each node gets an unbounded
+// mailbox drained by its own goroutine, so handlers never run on (and never
+// block) a connection's reader goroutine.
+func (n *TCPNet) Register(id NodeID, h Handler) {
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("transport: Register on closed TCPNet")
+	}
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	mb := &mailbox{handler: h}
+	mb.cond = sync.NewCond(&mb.mu)
+	n.handlers[id] = mb
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		mb.run()
+	}()
+}
+
+// Start begins accepting inbound connections. Call it after registering the
+// local nodes so no early frame is dropped for want of a handler.
+func (n *TCPNet) Start() {
+	n.mu.Lock()
+	if n.started || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop()
+}
+
+func (n *TCPNet) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection until EOF or a
+// malformed frame. Errors close only this connection: the listener and all
+// other connections keep running, and the remote sender will redial.
+func (n *TCPNet) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if err != io.EOF {
+				n.cfg.Logf("transport: tcp read header from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > uint32(n.cfg.MaxFrame) {
+			// The length prefix is the only framing; an absurd value means
+			// the stream is garbage, so drop the connection rather than
+			// trust it to resynchronize.
+			n.cfg.Logf("transport: tcp frame of %d bytes from %s exceeds limit %d, closing connection",
+				size, conn.RemoteAddr(), n.cfg.MaxFrame)
+			n.bumpDropped()
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			n.cfg.Logf("transport: tcp truncated frame from %s: %v", conn.RemoteAddr(), err)
+			n.bumpDropped()
+			return
+		}
+		var f tcpFrame
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
+			n.cfg.Logf("transport: tcp undecodable frame from %s: %v", conn.RemoteAddr(), err)
+			n.bumpDropped()
+			return
+		}
+		n.deliver(f)
+	}
+}
+
+// deliver routes a decoded frame to the local mailbox for f.To, learning
+// the sender's advertised address on the way. Statically configured
+// addresses are never overridden, and an advertisement whose host is
+// unspecified (a peer that bound a wildcard address without setting
+// Advertise) is unusable for dialing and is ignored.
+func (n *TCPNet) deliver(f tcpFrame) {
+	n.mu.Lock()
+	if f.ReplyTo != "" && dialable(f.ReplyTo) && !n.static[f.From] {
+		if _, local := n.handlers[f.From]; !local {
+			n.peers[f.From] = f.ReplyTo
+		}
+	}
+	mb, ok := n.handlers[f.To]
+	if !ok {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		n.cfg.Logf("transport: tcp frame for unregistered node %q dropped", f.To)
+		return
+	}
+	n.mu.Unlock()
+	if mb.enqueue(Message{From: f.From, To: f.To, Payload: f.Payload}) {
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+	}
+}
+
+// dialable reports whether addr names a host another process could dial:
+// a wildcard or empty host ("0.0.0.0", "[::]", ":7000") is not one.
+func dialable(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		return false
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		return false
+	}
+	return true
+}
+
+// Send implements Network. Local destinations are delivered through their
+// mailbox without touching a socket; remote destinations are encoded and
+// handed to the peer's sender goroutine. Send never blocks on the network
+// and never delivers synchronously, so callers may hold locks.
+func (n *TCPNet) Send(from, to NodeID, payload any) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Sent++
+	if mb, ok := n.handlers[to]; ok {
+		n.mu.Unlock()
+		if mb.enqueue(Message{From: from, To: to, Payload: payload}) {
+			n.mu.Lock()
+			n.stats.Delivered++
+			n.mu.Unlock()
+		}
+		return
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		n.cfg.Logf("transport: tcp no address for node %q, message dropped", to)
+		return
+	}
+	n.mu.Unlock()
+
+	frame, err := encodeFrame(tcpFrame{From: from, To: to, ReplyTo: n.cfg.Advertise, Payload: payload})
+	if err != nil {
+		n.bumpDropped()
+		n.cfg.Logf("transport: tcp encode %T for %q: %v", payload, to, err)
+		return
+	}
+	if len(frame) > n.cfg.MaxFrame+4 {
+		n.bumpDropped()
+		n.cfg.Logf("transport: tcp message of %d bytes for %q exceeds MaxFrame %d, dropped",
+			len(frame)-4, to, n.cfg.MaxFrame)
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Bytes += uint64(len(frame))
+	s, ok := n.senders[addr]
+	if !ok {
+		s = &tcpSend{}
+		s.cond = sync.NewCond(&s.mu)
+		n.senders[addr] = s
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.sendLoop(addr, s)
+		}()
+	}
+	n.mu.Unlock()
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, frame)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func encodeFrame(f tcpFrame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b, nil
+}
+
+// sendLoop drains the queue for one remote address. A failed dial or write
+// marks the address down for RedialBackoff; frames dequeued while it is
+// down are dropped (the transport is lossy by contract — retransmission is
+// the front end's job). The in-hand frame is dropped on write error too:
+// the connection state is unknown, so resending could duplicate, and
+// duplication is the one fault the algorithm does NOT need the transport
+// to add.
+func (n *TCPNet) sendLoop(addr string, s *tcpSend) {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			if s.conn != nil {
+				s.conn.Close()
+				s.conn = nil
+			}
+			s.mu.Unlock()
+			return
+		}
+		frame := s.queue[0]
+		s.queue = s.queue[1:]
+		if time.Now().Before(s.downUntil) {
+			s.mu.Unlock()
+			n.bumpDropped()
+			continue
+		}
+		conn := s.conn
+		s.mu.Unlock()
+
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+			if err != nil {
+				n.cfg.Logf("transport: tcp dial %s: %v", addr, err)
+				n.bumpDropped()
+				s.mu.Lock()
+				s.downUntil = time.Now().Add(n.cfg.RedialBackoff)
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				c.Close()
+				return
+			}
+			s.conn = c
+			conn = c
+			s.mu.Unlock()
+		}
+		if _, err := conn.Write(frame); err != nil {
+			n.cfg.Logf("transport: tcp write %s: %v", addr, err)
+			n.bumpDropped()
+			conn.Close()
+			s.mu.Lock()
+			s.conn = nil
+			s.downUntil = time.Now().Add(n.cfg.RedialBackoff)
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (n *TCPNet) bumpDropped() {
+	n.mu.Lock()
+	n.stats.Dropped++
+	n.mu.Unlock()
+}
+
+// SetPeer adds or replaces the dial address for a node at runtime. Like
+// TCPConfig.Peers entries, the address is static: it is never overridden
+// by a frame's advertised reply address.
+func (n *TCPNet) SetPeer(id NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+	n.static[id] = true
+}
+
+// Stats returns a snapshot of the counters. Bytes counts the encoded size
+// (including the 4-byte length prefix) of frames handed to the network —
+// real wire bytes, unlike SimNet's Sizer estimate. Locally delivered
+// messages are never encoded and count zero bytes.
+func (n *TCPNet) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the transport down: the listener stops, all connections
+// close, queued outbound frames are discarded, and queued inbound messages
+// drain to their handlers. Close blocks until every goroutine has exited.
+// Close is idempotent.
+func (n *TCPNet) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	senders := make([]*tcpSend, 0, len(n.senders))
+	for _, s := range n.senders {
+		senders = append(senders, s)
+	}
+	conns := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		conns = append(conns, c)
+	}
+	mailboxes := make([]*mailbox, 0, len(n.handlers))
+	for _, mb := range n.handlers {
+		mailboxes = append(mailboxes, mb)
+	}
+	n.mu.Unlock()
+
+	n.ln.Close()
+	for _, s := range senders {
+		s.mu.Lock()
+		s.closed = true
+		s.queue = nil
+		if s.conn != nil {
+			// Closing the connection here (not just flagging closed)
+			// unblocks a sender stuck in conn.Write on a peer that stopped
+			// reading; otherwise wg.Wait below would hang forever.
+			s.conn.Close()
+			s.conn = nil
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, mb := range mailboxes {
+		mb.mu.Lock()
+		mb.closed = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	n.wg.Wait()
+}

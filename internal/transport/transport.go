@@ -1,6 +1,6 @@
 // Package transport provides point-to-point message channels in the sense
 // of Fig. 5 of Fekete et al.: reliable (by default), unordered delivery
-// between named nodes. Two implementations are provided:
+// between named nodes. Three implementations are provided:
 //
 //   - SimNet: a deterministic network on the discrete-event simulator, with
 //     configurable per-link latency and injectable faults (loss, duplication,
@@ -10,10 +10,17 @@
 //   - LiveNet: an in-process goroutine transport for running real clusters
 //     (the examples), with unbounded mailboxes and clean shutdown.
 //
-// The paper substitutes: Cheiner's implementation ran on a workstation
-// network over MPI; these transports exercise the same code paths
-// (asynchronous, non-FIFO, bounded-delay point-to-point messaging) without
-// the hardware.
+//   - TCPNet: a real-socket transport for clusters whose nodes live in
+//     different OS processes or machines (cmd/esds-server). Messages are
+//     length-prefixed gob frames; payload types must be registered via
+//     core.RegisterWire. Connections are dialed lazily and redialed after
+//     failures; messages that cannot be delivered are dropped, and Stats
+//     counts real wire bytes rather than Sizer estimates.
+//
+// Cheiner's original implementation ran on a workstation network over MPI;
+// SimNet and LiveNet exercise the same code paths (asynchronous, non-FIFO,
+// bounded-delay point-to-point messaging) without the hardware, and TCPNet
+// restores the real-network deployment the paper assumed.
 package transport
 
 import (
@@ -260,6 +267,19 @@ func (n *LiveNet) Register(id NodeID, h Handler) {
 	}()
 }
 
+// enqueue appends a message for the node's delivery goroutine. It reports
+// whether the message was accepted (false once the mailbox is closed).
+func (mb *mailbox) enqueue(msg Message) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return false
+	}
+	mb.queue = append(mb.queue, msg)
+	mb.cond.Signal()
+	return true
+}
+
 func (mb *mailbox) run() {
 	for {
 		mb.mu.Lock()
@@ -291,19 +311,11 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 	if !ok {
 		return
 	}
-	mb.mu.Lock()
-	if !mb.closed {
-		mb.queue = append(mb.queue, m(from, to, payload))
+	if mb.enqueue(Message{From: from, To: to, Payload: payload}) {
 		n.mu.Lock()
 		n.stats.Delivered++
 		n.mu.Unlock()
-		mb.cond.Signal()
 	}
-	mb.mu.Unlock()
-}
-
-func m(from, to NodeID, payload any) Message {
-	return Message{From: from, To: to, Payload: payload}
 }
 
 // Close stops delivery: queued messages still drain, then the node
