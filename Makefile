@@ -2,6 +2,7 @@
 # runs, so a green local run means a green pipeline.
 
 GO ?= go
+SHELL := /bin/bash
 
 .PHONY: build test race bench fmt vet ci clean
 
@@ -12,12 +13,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/core ./internal/transport ./cmd/esds-server
+	$(GO) test -race -count=1 . ./internal/core ./internal/transport ./cmd/esds-server
 
-# Every E1–E9 benchmark body runs exactly once: a harness smoke test, not a
-# measurement. For real numbers drop -benchtime or raise it.
+# Every E1–E10 benchmark body runs exactly once: a harness smoke test, not
+# a measurement (E10's sharded sweep runs its full workload even at 1x).
+# benchjson tees the output and captures every metric — including the E10
+# sharding speedup — into the BENCH_results.json trajectory artifact.
+# For real numbers drop -benchtime or raise it.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output into a JSON metrics
+// artifact while echoing its input unchanged (a tee), so a single pipeline
+// both shows the run and captures it:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchjson -o BENCH_results.json
+//
+// Every benchmark line ("BenchmarkName-P  N  value unit  value unit ...")
+// becomes a record with its iteration count and metric map — including
+// custom b.ReportMetric units like speedup or resp/s — which is what the
+// performance trajectory across PRs tracks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "BENCH_results.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	results, sawFail, err := parse(stdin, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if sawFail {
+		fmt.Fprintf(stderr, "benchjson: input contains a test failure; not writing %s\n", *out)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(stderr, "benchjson: no benchmark lines in input; not writing %s\n", *out)
+		return 1
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchjson: wrote %d benchmark records to %s\n", len(results), *out)
+	return 0
+}
+
+// parse tees every input line to out and collects benchmark records.
+func parse(in io.Reader, out io.Writer) ([]Result, bool, error) {
+	var (
+		results []Result
+		sawFail bool
+	)
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		line := scanner.Text()
+		fmt.Fprintln(out, line)
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			sawFail = true
+		}
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	return results, sawFail, scanner.Err()
+}
+
+// parseLine decodes one "BenchmarkX-8  1  123 ns/op  4.5 speedup" line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       trimProcsSuffix(fields[0]),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	// Remaining fields come in "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// trimProcsSuffix removes the trailing -P GOMAXPROCS marker Go appends to
+// benchmark names when P > 1, so the same benchmark keys identically in
+// the trajectory regardless of the runner's core count. Only the CURRENT
+// process's P is trimmed (benchjson runs in the same pipeline as the
+// bench): a name that merely ends in digits — e.g. a "/shards-4" sweep
+// point under GOMAXPROCS=1, where Go appends nothing — is left intact.
+func trimProcsSuffix(name string) string {
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 {
+		return name
+	}
+	return strings.TrimSuffix(name, fmt.Sprintf("-%d", p))
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sample builds go-test bench output the way the current process would
+// produce it: Go appends the -P GOMAXPROCS suffix only when P > 1.
+func sample() string {
+	suffix := ""
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		suffix = fmt.Sprintf("-%d", p)
+	}
+	return fmt.Sprintf(`goos: linux
+goarch: amd64
+pkg: esds
+BenchmarkE1ThroughputVsReplicas%[1]s   	       1	  12345678 ns/op	         0.9990 R2	       245.1 resp/s/replica
+BenchmarkE10ShardedThroughput%[1]s     	       1	9999 ns/op	      1910 ops/s-baseline	      4452 ops/s-sharded	         2.330 speedup
+BenchmarkDataTypeApply/counter%[1]s    	       1	        25.00 ns/op
+PASS
+ok  	esds	4.2s
+`, suffix)
+}
+
+func TestParseAndWrite(t *testing.T) {
+	in := sample()
+	outPath := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var tee strings.Builder
+	code := run([]string{"-o", outPath}, strings.NewReader(in), &tee, os.Stderr)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if tee.String() != in {
+		t.Fatal("input was not tee'd verbatim")
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(results))
+	}
+	e10 := results[1]
+	// The GOMAXPROCS suffix must be stripped, so trajectory keys are
+	// machine-independent.
+	if e10.Name != "BenchmarkE10ShardedThroughput" || e10.Iterations != 1 {
+		t.Fatalf("e10 record = %+v", e10)
+	}
+	if e10.Metrics["speedup"] != 2.33 || e10.Metrics["ops/s-sharded"] != 4452 {
+		t.Fatalf("e10 metrics = %v", e10.Metrics)
+	}
+	if results[2].Name != "BenchmarkDataTypeApply/counter" || results[2].Metrics["ns/op"] != 25 {
+		t.Fatalf("sub-benchmark record = %+v", results[2])
+	}
+}
+
+// TestKeepsDigitTailWithoutSuffix pins the trimming rule: a name whose
+// own tail looks numeric (a "/shards-4" sweep point) must survive when Go
+// appended no GOMAXPROCS marker.
+func TestKeepsDigitTailWithoutSuffix(t *testing.T) {
+	if p := runtime.GOMAXPROCS(0); p == 4 {
+		t.Skip("ambiguous on exactly 4 procs by construction")
+	}
+	r, ok := parseLine("BenchmarkE10/shards-4 	 1 	 10 ns/op")
+	if !ok || r.Name != "BenchmarkE10/shards-4" {
+		t.Fatalf("record = %+v, ok=%v", r, ok)
+	}
+}
+
+func TestRefusesFailuresAndEmptyInput(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var tee strings.Builder
+	if code := run([]string{"-o", outPath}, strings.NewReader("PASS\nok esds 1s\n"), &tee, &strings.Builder{}); code == 0 {
+		t.Fatal("accepted input without benchmarks")
+	}
+	failing := "BenchmarkX-8 1 10 ns/op\n--- FAIL: TestY\nFAIL\n"
+	if code := run([]string{"-o", outPath}, strings.NewReader(failing), &tee, &strings.Builder{}); code == 0 {
+		t.Fatal("accepted failing input")
+	}
+	if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+		t.Fatal("artifact written despite failure")
+	}
+}

@@ -1,5 +1,5 @@
-// Command esds-bench regenerates the paper's evaluation: every table and
-// figure of the reproduction (E1–E9, see DESIGN.md §3 and EXPERIMENTS.md).
+// Command esds-bench regenerates the evaluation: every table and figure
+// of the reproduction (E1–E10, see the experiment index in DESIGN.md §3).
 //
 // Usage:
 //
@@ -26,7 +26,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("esds-bench", flag.ContinueOnError)
-	which := fs.String("exp", "all", "experiment id (e1..e9) or 'all'")
+	which := fs.String("exp", "all", "experiment id (e1..e10) or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2

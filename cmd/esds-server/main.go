@@ -15,6 +15,22 @@
 // its prev set (read-your-writes), and prints the reported value. A
 // trailing "!" makes the operation strict: the response is withheld until
 // the operation's position in the eventual total order is fixed.
+//
+// With -shards N (N > 1) the member serves a sharded multi-object keyspace
+// instead of one object: process i hosts replica i of every shard over its
+// single listener, and each named object routes to a shard by consistent
+// hash. Every member must be started with the same -shards value. The
+// interactive front end then expects an object name as the first token of
+// every line:
+//
+//	esds-server -id 0 -shards 4 -peers ... &
+//	esds-server -id 1 -shards 4 -peers ... &
+//	esds-server -id 2 -shards 4 -peers ... &
+//	esds-server -client alice -shards 4 -peers ...
+//	> cart:42 add 5
+//	> cart:42 read !
+//
+// Causal chaining (prev) is per object; constraints cannot span shards.
 package main
 
 import (
@@ -47,6 +63,7 @@ type config struct {
 	listen    string
 	advertise string
 	dtName    string
+	shards    int
 	gossip    time.Duration
 	client    string
 	verbose   bool
@@ -64,6 +81,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.advertise, "advertise", "",
 		"address other processes dial to reach this one (default: the bound address; required when -listen binds a wildcard address like 0.0.0.0)")
 	fs.StringVar(&cfg.dtName, "type", "counter", "data type: "+strings.Join(dtype.Names(), "|"))
+	fs.IntVar(&cfg.shards, "shards", 1,
+		"shard the service into a multi-object keyspace of this many independent clusters; every member must agree")
 	fs.DurationVar(&cfg.gossip, "gossip", 100*time.Millisecond, "gossip period")
 	fs.StringVar(&cfg.client, "client", "", "run a front end for this client name instead of a replica")
 	fs.BoolVar(&cfg.verbose, "verbose", false, "log transport diagnostics to stderr")
@@ -88,6 +107,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	if _, ok := dtype.ByName(cfg.dtName); !ok {
 		return cfg, fmt.Errorf("unknown data type %q (have %s)", cfg.dtName, strings.Join(dtype.Names(), ", "))
 	}
+	if cfg.shards < 1 {
+		return cfg, fmt.Errorf("-shards %d must be at least 1", cfg.shards)
+	}
 	if cfg.client == "" {
 		if cfg.id < 0 || cfg.id >= len(cfg.peers) {
 			return cfg, fmt.Errorf("-id %d out of range for %d peers", cfg.id, len(cfg.peers))
@@ -110,12 +132,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	core.RegisterWire()
 	dt, _ := dtype.ByName(cfg.dtName)
 
-	peerTable := make(map[transport.NodeID]string, len(cfg.peers))
+	// Every shard's replica i lives behind the same member address: shards
+	// share each process's single listener, kept apart by shard-qualified
+	// node names.
+	peerTable := make(map[transport.NodeID]string, len(cfg.peers)*cfg.shards)
 	for i, addr := range cfg.peers {
 		if cfg.client == "" && i == cfg.id {
 			continue
 		}
-		peerTable[core.ReplicaNode(label.ReplicaID(i))] = addr
+		for s := 0; s < cfg.shards; s++ {
+			peerTable[core.ReplicaNodeIn(s, label.ReplicaID(i))] = addr
+		}
 	}
 	logf := func(string, ...any) {}
 	if cfg.verbose {
@@ -137,6 +164,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if cfg.client == "" {
 		local = []int{cfg.id}
 	}
+	if cfg.shards > 1 {
+		return runSharded(cfg, dt, net, local, stdin, stdout, stderr)
+	}
 	cluster := core.NewCluster(core.ClusterConfig{
 		Replicas:      len(cfg.peers),
 		DataType:      dt,
@@ -148,6 +178,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	net.Start()
 
 	if cfg.client != "" {
+		// The retransmission ticker is the liveness mechanism against frames
+		// lost on the real network (§6.2); without it a lost request or
+		// response would strand its operation until the deadline.
+		cluster.StartLiveRetransmit(250 * time.Millisecond)
 		return runClient(cfg, cluster, stdin, stdout, stderr)
 	}
 
@@ -159,6 +193,74 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
+	return 0
+}
+
+// runSharded is the -shards N > 1 path: the member hosts its replica id in
+// every shard of a multi-object keyspace (or a keyspace front end, with
+// -client).
+func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []int, stdin io.Reader, stdout, stderr io.Writer) int {
+	ks := core.NewKeyspace(core.KeyspaceConfig{
+		Shards:        cfg.shards,
+		Replicas:      len(cfg.peers),
+		DataType:      dt,
+		Network:       net,
+		Options:       cfg.opts,
+		LocalReplicas: local,
+	})
+	defer ks.Close()
+	net.Start()
+
+	if cfg.client != "" {
+		ks.StartLiveRetransmit(250 * time.Millisecond)
+		return runShardedClient(cfg, ks, stdin, stdout, stderr)
+	}
+
+	ks.StartLiveGossip(cfg.gossip)
+	fmt.Fprintf(stdout, "READY replica=%d shards=%d addr=%s type=%s\n", cfg.id, cfg.shards, net.Addr(), cfg.dtName)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	return 0
+}
+
+// runShardedClient reads "OBJECT op args... [!]" lines and submits each
+// operation to the shard owning OBJECT, chaining prev per object.
+func runShardedClient(cfg config, ks *core.Keyspace, stdin io.Reader, stdout, stderr io.Writer) int {
+	fmt.Fprintf(stdout, "READY client=%s shards=%d type=%s\n", cfg.client, cfg.shards, cfg.dtName)
+	scanner := bufio.NewScanner(stdin)
+	prev := make(map[string][]ops.ID)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		strict := strings.HasSuffix(line, "!")
+		fields := strings.Fields(strings.TrimSuffix(line, "!"))
+		if len(fields) < 2 {
+			fmt.Fprintf(stderr, "esds-server: want \"OBJECT op args...\", got %q\n", line)
+			continue
+		}
+		object := fields[0]
+		op, err := parseOp(cfg.dtName, strings.Join(fields[1:], " "))
+		if err != nil {
+			fmt.Fprintf(stderr, "esds-server: %v\n", err)
+			continue
+		}
+		fe := ks.FrontEnd(object, cfg.client)
+		x, v, err := submitWithDeadline(fe, ks.WrapOp(object, op), prev[object], strict, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(stderr, "esds-server: %v\n", err)
+			return 1
+		}
+		prev[object] = []ops.ID{x.ID}
+		fmt.Fprintf(stdout, "%s@%d %v = %v\n", object, ks.ShardOf(object), x.ID, v)
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(stderr, "esds-server: reading stdin: %v\n", err)
+		return 1
+	}
 	return 0
 }
 
@@ -180,7 +282,7 @@ func runClient(cfg config, cluster *core.Cluster, stdin io.Reader, stdout, stder
 			fmt.Fprintf(stderr, "esds-server: %v\n", err)
 			continue
 		}
-		x, v, err := submitWithRetry(fe, op, prev, strict, 10*time.Second)
+		x, v, err := submitWithDeadline(fe, op, prev, strict, 10*time.Second)
 		if err != nil {
 			fmt.Fprintf(stderr, "esds-server: %v\n", err)
 			return 1
@@ -195,25 +297,20 @@ func runClient(cfg config, cluster *core.Cluster, stdin io.Reader, stdout, stder
 	return 0
 }
 
-// submitWithRetry submits one operation and waits for its response,
-// periodically retransmitting to other replicas — the paper's liveness
-// mechanism against message loss and crashed replicas.
-func submitWithRetry(fe *core.FrontEnd, op dtype.Operator, prev []ops.ID, strict bool, timeout time.Duration) (ops.Operation, dtype.Value, error) {
+// submitWithDeadline submits one operation and waits for its response or
+// the deadline. Retransmission against message loss is handled by the
+// cluster-level ticker (StartLiveRetransmit), so the only terminal
+// outcomes are a response, a close error, or the timeout.
+func submitWithDeadline(fe *core.FrontEnd, op dtype.Operator, prev []ops.ID, strict bool, timeout time.Duration) (ops.Operation, dtype.Value, error) {
 	ch := make(chan core.Response, 1)
 	x := fe.Submit(op, prev, strict, func(r core.Response) { ch <- r })
-	retry := time.NewTicker(250 * time.Millisecond)
-	defer retry.Stop()
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
-	for {
-		select {
-		case r := <-ch:
-			return x, r.Value, nil
-		case <-retry.C:
-			fe.Retransmit()
-		case <-deadline.C:
-			return x, nil, fmt.Errorf("operation %v timed out after %v", x.ID, timeout)
-		}
+	select {
+	case r := <-ch:
+		return x, r.Value, r.Err
+	case <-deadline.C:
+		return x, nil, fmt.Errorf("operation %v timed out after %v", x.ID, timeout)
 	}
 }
 

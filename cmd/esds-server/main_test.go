@@ -126,15 +126,16 @@ func TestThreeProcessCluster(t *testing.T) {
 	defer cluster.Close()
 	feNet.Start()
 	fe := cluster.FrontEnd("itest")
+	cluster.StartLiveRetransmit(250 * time.Millisecond)
 
-	add, v, err := submitWithRetry(fe, dtype.CtrAdd{N: 7}, nil, false, 15*time.Second)
+	add, v, err := submitWithDeadline(fe, dtype.CtrAdd{N: 7}, nil, false, 15*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != "ok" {
 		t.Fatalf("non-strict add returned %v", v)
 	}
-	_, v, err = submitWithRetry(fe, dtype.CtrRead{}, []ops.ID{add.ID}, true, 15*time.Second)
+	_, v, err = submitWithDeadline(fe, dtype.CtrRead{}, []ops.ID{add.ID}, true, 15*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,5 +239,46 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if cfg.listen != "b:2" {
 		t.Errorf("listen defaulted to %q, want the replica's own peers entry", cfg.listen)
+	}
+}
+
+// TestShardedClientModeAgainstCluster drives the -shards keyspace variant
+// end to end: three member processes each hosting their replica of every
+// shard, and a keyspace front end routing named objects by consistent
+// hash. Strict reads carry per-object prev chains, so each must observe
+// exactly its own object's writes.
+func TestShardedClientModeAgainstCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	peers := reservePorts(t, 3)
+	for i := 0; i < 3; i++ {
+		spawnReplica(t, i, peers, "-shards", "4")
+	}
+
+	var stdout strings.Builder
+	script := strings.NewReader("cart:1 add 2\ncart:1 add 3\ncart:2 add 10\ncart:1 read!\ncart:2 read!\n")
+	code := run([]string{"-client", "cli", "-shards", "4", "-peers", strings.Join(peers, ",")}, script, &stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("sharded client mode exited %d\noutput:\n%s", code, stdout.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 6 { // READY + five responses
+		t.Fatalf("client printed %d lines:\n%s", len(lines), stdout.String())
+	}
+	if !strings.HasPrefix(lines[0], "READY client=cli shards=4") {
+		t.Fatalf("READY line = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[4], "= 5") {
+		t.Fatalf("strict read of cart:1 = %q, want suffix %q", lines[4], "= 5")
+	}
+	if !strings.HasSuffix(lines[5], "= 10") {
+		t.Fatalf("strict read of cart:2 = %q, want suffix %q", lines[5], "= 10")
+	}
+	// Object lines carry the owning shard; the two objects' shard
+	// assignments must be consistent between front end and replicas (the
+	// responses proved routing worked — this checks the printed form).
+	if !strings.HasPrefix(lines[4], "cart:1@") || !strings.HasPrefix(lines[5], "cart:2@") {
+		t.Fatalf("response lines lack object@shard prefixes:\n%s", stdout.String())
 	}
 }

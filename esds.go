@@ -27,12 +27,16 @@
 //	service, _ := esds.New(esds.Config{Replicas: 3, DataType: esds.Counter()})
 //	defer service.Close()
 //	client := service.Client("alice")
-//	client.Apply(esds.Add(5))                   // non-strict write
-//	v, _ := client.ApplyStrict(esds.ReadCounter()) // serialized read
+//	client.Apply(esds.Add(5))                         // non-strict write
+//	v, _, _ := client.ApplyStrict(esds.ReadCounter()) // serialized read
 //
 // Per-client sessions provide causal chaining (read-your-writes) by
 // threading each operation's id into the next one's prev set; see
 // Session.
+//
+// For many independent named objects served by one deployment, see
+// Keyspace: it shards the object namespace across independent clusters by
+// consistent hash (DESIGN.md describes the architecture).
 package esds
 
 import (
@@ -82,9 +86,19 @@ type Config struct {
 	// GossipInterval is the anti-entropy period (the paper's g). Default:
 	// 10ms.
 	GossipInterval time.Duration
+	// RetransmitInterval is the period of the front-end retransmission
+	// ticker (the paper's §6.2 liveness mechanism): every pending request
+	// is periodically re-sent, rotating replicas, so a lost request or
+	// response cannot block a caller forever. Default: 250ms. Negative
+	// disables retransmission (only safe on lossless transports).
+	RetransmitInterval time.Duration
 	// Options selects optimizations. Default: DefaultOptions().
 	Options *Options
 }
+
+// ErrClosed is returned by operations submitted to a closed Service or
+// Keyspace, and delivered to operations still pending when Close runs.
+var ErrClosed = core.ErrClosed
 
 // Service is a running eventually-serializable data service over the
 // in-process transport. For simulated deployments with controlled timing
@@ -109,6 +123,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.GossipInterval == 0 {
 		cfg.GossipInterval = 10 * time.Millisecond
 	}
+	if cfg.RetransmitInterval == 0 {
+		cfg.RetransmitInterval = 250 * time.Millisecond
+	}
 	opt := core.DefaultOptions()
 	if cfg.Options != nil {
 		opt = *cfg.Options
@@ -121,12 +138,16 @@ func New(cfg Config) (*Service, error) {
 		Options:  opt,
 	})
 	cluster.StartLiveGossip(cfg.GossipInterval)
+	if cfg.RetransmitInterval > 0 {
+		cluster.StartLiveRetransmit(cfg.RetransmitInterval)
+	}
 	return &Service{net: net, cluster: cluster}, nil
 }
 
-// Close stops gossip and the transport. Outstanding ApplyAsync callbacks
-// for undelivered responses will not fire after Close. Close is idempotent
-// and safe for concurrent use.
+// Close stops gossip, fails every operation still awaiting a response with
+// ErrClosed (blocked Apply calls return, ApplyAsync callbacks fire with
+// Response.Err set), and shuts the transport down. Close is idempotent and
+// safe for concurrent use.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.cluster.Close()
@@ -147,49 +168,68 @@ func (s *Service) Client(name string) *Client {
 	return &Client{fe: s.cluster.FrontEnd(name)}
 }
 
-// Client submits operations on behalf of one named client.
+// Client submits operations on behalf of one named client. A Client from
+// Service.Client addresses the service's single object; a Client from
+// Object.Client addresses one named object of a Keyspace (wrap routes each
+// operator to that object).
 type Client struct {
-	fe *core.FrontEnd
+	fe   *core.FrontEnd
+	wrap func(Operator) Operator // nil for single-object services
 }
 
-// Response is a completed operation.
+// Response is a completed operation. Err is non-nil when the service was
+// closed before a response arrived (the operation's outcome is unknown);
+// Value is then meaningless.
 type Response struct {
 	ID    ID
 	Value Value
+	Err   error
+}
+
+func (c *Client) op(op Operator) Operator {
+	if c.wrap != nil {
+		return c.wrap(op)
+	}
+	return op
 }
 
 // Apply submits a non-strict operation with no ordering constraints and
 // waits for the response. The returned value reflects some subset of
 // previously requested operations and may be reordered later; use
-// ApplyStrict or prev constraints for stronger guarantees.
-func (c *Client) Apply(op Operator) (Value, ID) {
-	x, v := c.fe.SubmitWait(op, nil, false)
-	return v, x.ID
+// ApplyStrict or prev constraints for stronger guarantees. A non-nil error
+// (ErrClosed) means the service was closed before a response arrived.
+func (c *Client) Apply(op Operator) (Value, ID, error) {
+	x, v, err := c.fe.SubmitWait(c.op(op), nil, false)
+	return v, x.ID, err
 }
 
 // ApplyStrict submits a strict operation: the response is computed at its
 // final position in the eventual total order and will never be
 // invalidated.
-func (c *Client) ApplyStrict(op Operator) (Value, ID) {
-	x, v := c.fe.SubmitWait(op, nil, true)
-	return v, x.ID
+func (c *Client) ApplyStrict(op Operator) (Value, ID, error) {
+	x, v, err := c.fe.SubmitWait(c.op(op), nil, true)
+	return v, x.ID, err
 }
 
 // ApplyAfter submits an operation constrained to follow every operation in
-// prev (the paper's client-specified constraints).
-func (c *Client) ApplyAfter(op Operator, strict bool, prev ...ID) (Value, ID) {
-	x, v := c.fe.SubmitWait(op, prev, strict)
-	return v, x.ID
+// prev (the paper's client-specified constraints). Every id in prev must
+// come from this client's object (for a Keyspace, constraints cannot span
+// shards: an id from another shard's order never becomes done here, so the
+// operation would never complete).
+func (c *Client) ApplyAfter(op Operator, strict bool, prev ...ID) (Value, ID, error) {
+	x, v, err := c.fe.SubmitWait(c.op(op), prev, strict)
+	return v, x.ID, err
 }
 
-// ApplyAsync submits without waiting; cb fires once when the response
-// arrives. It returns the operation's id immediately.
+// ApplyAsync submits without waiting; cb fires exactly once — when the
+// response arrives, or with Response.Err set if the service is closed
+// first. It returns the operation's id immediately.
 func (c *Client) ApplyAsync(op Operator, strict bool, prev []ID, cb func(Response)) ID {
 	var wrapped func(core.Response)
 	if cb != nil {
-		wrapped = func(r core.Response) { cb(Response{ID: r.ID, Value: r.Value}) }
+		wrapped = func(r core.Response) { cb(Response{ID: r.ID, Value: r.Value, Err: r.Err}) }
 	}
-	x := c.fe.Submit(op, prev, strict, wrapped)
+	x := c.fe.Submit(c.op(op), prev, strict, wrapped)
 	return x.ID
 }
 
@@ -206,24 +246,26 @@ type Session struct {
 }
 
 // Apply submits an operation ordered after the session's previous one.
-func (s *Session) Apply(op Operator) (Value, ID) {
+func (s *Session) Apply(op Operator) (Value, ID, error) {
 	return s.apply(op, false)
 }
 
 // ApplyStrict submits a strict operation ordered after the session's
 // previous one.
-func (s *Session) ApplyStrict(op Operator) (Value, ID) {
+func (s *Session) ApplyStrict(op Operator) (Value, ID, error) {
 	return s.apply(op, true)
 }
 
-func (s *Session) apply(op Operator, strict bool) (Value, ID) {
+func (s *Session) apply(op Operator, strict bool) (Value, ID, error) {
 	var prev []ID
 	if s.last != nil {
 		prev = []ID{*s.last}
 	}
-	v, id := s.client.ApplyAfter(op, strict, prev...)
-	s.last = &id
-	return v, id
+	v, id, err := s.client.ApplyAfter(op, strict, prev...)
+	if err == nil {
+		s.last = &id
+	}
+	return v, id, err
 }
 
 // Last returns the id of the session's most recent operation.

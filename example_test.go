@@ -18,9 +18,9 @@ func Example() {
 	defer svc.Close()
 
 	client := svc.Client("alice")
-	_, id1 := client.Apply(esds.Add(5))
-	_, id2 := client.Apply(esds.Add(7))
-	v, _ := client.ApplyAfter(esds.ReadCounter(), true, id1, id2)
+	_, id1, _ := client.Apply(esds.Add(5))
+	_, id2, _ := client.Apply(esds.Add(7))
+	v, _, _ := client.ApplyAfter(esds.ReadCounter(), true, id1, id2)
 	fmt.Println(v)
 	// Output: 12
 }
@@ -37,7 +37,7 @@ func ExampleSession() {
 
 	sess := svc.Client("bob").Session()
 	sess.Apply(esds.Write("v1"))
-	v, _ := sess.Apply(esds.Read())
+	v, _, _ := sess.Apply(esds.Read())
 	fmt.Println(v)
 	// Output: v1
 }
@@ -57,10 +57,10 @@ func ExampleClient_ApplyAfter() {
 	defer svc.Close()
 
 	admin := svc.Client("admin")
-	_, bindID := admin.Apply(esds.Bind("printer"))
-	v, setID := admin.ApplyAfter(esds.SetAttr("printer", "host", "10.0.0.7"), false, bindID)
+	_, bindID, _ := admin.Apply(esds.Bind("printer"))
+	v, setID, _ := admin.ApplyAfter(esds.SetAttr("printer", "host", "10.0.0.7"), false, bindID)
 	fmt.Println(v)
-	host, _ := admin.ApplyAfter(esds.GetAttr("printer", "host"), true, setID)
+	host, _, _ := admin.ApplyAfter(esds.GetAttr("printer", "host"), true, setID)
 	fmt.Println(host)
 	// Output:
 	// ok

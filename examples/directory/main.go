@@ -41,9 +41,9 @@ func main() {
 	}
 	var lastAttr []esds.ID
 	for name, attrs := range services {
-		_, bindID := admin.Apply(esds.Bind(name))
+		_, bindID, _ := admin.Apply(esds.Bind(name))
 		for k, v := range attrs {
-			_, attrID := admin.ApplyAfter(esds.SetAttr(name, k, v), false, bindID)
+			_, attrID, _ := admin.ApplyAfter(esds.SetAttr(name, k, v), false, bindID)
 			lastAttr = append(lastAttr, attrID)
 		}
 		fmt.Printf("registered %q with %d attributes\n", name, len(attrs))
@@ -62,7 +62,7 @@ func main() {
 			client := svc.Client(fmt.Sprintf("resolver%d", c))
 			for i := 0; i < 20; i++ {
 				for name := range services {
-					if ok, _ := client.Apply(esds.Lookup(name)); ok == true {
+					if ok, _, _ := client.Apply(esds.Lookup(name)); ok == true {
 						mu.Lock()
 						hits++
 						mu.Unlock()
@@ -77,10 +77,13 @@ func main() {
 	// An auditor wants an authoritative snapshot: a strict read ordered
 	// after every registration write — guaranteed final.
 	auditor := svc.Client("auditor")
-	names, _ := auditor.ApplyAfter(esds.ListNames(), true, lastAttr...)
+	names, _, err := auditor.ApplyAfter(esds.ListNames(), true, lastAttr...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("authoritative name list: %v\n", names)
 	for _, name := range names.([]string) {
-		host, _ := auditor.ApplyAfter(esds.GetAttr(name, "host"), true, lastAttr...)
+		host, _, _ := auditor.ApplyAfter(esds.GetAttr(name, "host"), true, lastAttr...)
 		fmt.Printf("  %-8s host=%v\n", name, host)
 	}
 }

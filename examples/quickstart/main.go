@@ -35,7 +35,10 @@ func main() {
 	alice := svc.Client("alice")
 	var ids []esds.ID
 	for i := 0; i < 5; i++ {
-		v, id := alice.Apply(esds.Add(10))
+		v, id, err := alice.Apply(esds.Add(10))
+		if err != nil {
+			log.Fatal(err)
+		}
 		ids = append(ids, id)
 		fmt.Printf("alice add(10) #%d -> %v\n", i+1, v)
 	}
@@ -43,7 +46,7 @@ func main() {
 	// A concurrent non-commuting operation from another client — ESDS will
 	// serialize it against the adds without any coordination from us.
 	bob := svc.Client("bob")
-	_, dblID := bob.Apply(esds.Double())
+	_, dblID, _ := bob.Apply(esds.Double())
 	ids = append(ids, dblID)
 	fmt.Println("bob double() -> submitted concurrently")
 
@@ -51,13 +54,16 @@ func main() {
 	// previous one, so the read is guaranteed to see the write.
 	sess := svc.Client("carol").Session()
 	sess.Apply(esds.Add(1))
-	v, _ := sess.Apply(esds.ReadCounter())
+	v, _, _ := sess.Apply(esds.ReadCounter())
 	fmt.Printf("carol session read-your-write -> %v\n", v)
 
 	// 3. A strict read ordered after everything above: its value is final —
 	// it reflects the single eventual serialization of all those operations
 	// and will never be contradicted.
-	final, _ := alice.ApplyAfter(esds.ReadCounter(), true, ids...)
+	final, _, err := alice.ApplyAfter(esds.ReadCounter(), true, ids...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("strict read (final value) -> %v\n", final)
 
 	m := svc.Metrics()

@@ -63,7 +63,7 @@ func main() {
 				iface := fmt.Sprintf("IDL:acme/Svc%d:%d.0", p, v)
 				sess.Apply(esds.Bind(iface))
 				sess.Apply(esds.SetAttr(iface, "impl", fmt.Sprintf("lib/svc%d_v%d.so", p, v)))
-				_, id := sess.Apply(esds.SetAttr(iface, "status", "published"))
+				_, id, _ := sess.Apply(esds.SetAttr(iface, "status", "published"))
 				mu.Lock()
 				published = append(published, id)
 				mu.Unlock()
@@ -79,7 +79,7 @@ func main() {
 	found := 0
 	for p := 0; p < 3; p++ {
 		iface := fmt.Sprintf("IDL:acme/Svc%d:2.0", p)
-		if impl, _ := dispatch.Apply(esds.GetAttr(iface, "impl")); impl != "" {
+		if impl, _, _ := dispatch.Apply(esds.GetAttr(iface, "impl")); impl != "" {
 			found++
 		}
 	}
@@ -90,18 +90,21 @@ func main() {
 	// serialized by the ledger, so overshoot is impossible even if several
 	// deployers race.
 	deployer := repo.Client("deployer")
-	snapshot, _ := deployer.ApplyAfter(esds.ListNames(), true, published...)
+	snapshot, _, err := deployer.ApplyAfter(esds.ListNames(), true, published...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	names := snapshot.([]string)
 	fmt.Printf("strict snapshot: %d interfaces registered\n", len(names))
 
 	ledger := quota.Client("deployer").Session()
 	activated := 0
 	for _, iface := range names {
-		if v, _ := ledger.Apply(esds.Withdraw("slots", 1)); v == "ok" {
+		if v, _, _ := ledger.Apply(esds.Withdraw("slots", 1)); v == "ok" {
 			deployer.Apply(esds.SetAttr(iface, "status", "active"))
 			activated++
 		}
 	}
-	remaining, _ := ledger.ApplyStrict(esds.Balance("slots"))
+	remaining, _, _ := ledger.ApplyStrict(esds.Balance("slots"))
 	fmt.Printf("activated %d interfaces (quota 3); slots remaining: %v\n", activated, remaining)
 }

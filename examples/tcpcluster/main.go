@@ -83,15 +83,25 @@ func main() {
 	feNet.Start()
 	fe := feMember.FrontEnd("alice")
 
+	// Over real sockets a frame can always be lost; the retransmission
+	// ticker is the paper's §6.2 liveness mechanism against that.
+	feMember.StartLiveRetransmit(100 * time.Millisecond)
+
 	// A non-strict increment: answered from one replica's local view after
 	// a single request/response over TCP.
-	add, v := fe.SubmitWait(dtype.CtrAdd{N: 42}, nil, false)
+	add, v, err := fe.SubmitWait(dtype.CtrAdd{N: 42}, nil, false)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("non-strict add(42) -> %v\n", v)
 
 	// A strict read causally after the add: the response is withheld until
 	// the read's position in the eventual total order is fixed, which
 	// takes a few gossip rounds across the sockets.
-	_, v = fe.SubmitWait(dtype.CtrRead{}, []ops.ID{add.ID}, true)
+	_, v, err = fe.SubmitWait(dtype.CtrRead{}, []ops.ID{add.ID}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("strict read -> %v (final: serialized after the add on every replica)\n", v)
 
 	stats := feNet.Stats()

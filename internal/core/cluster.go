@@ -22,6 +22,7 @@ type Cluster struct {
 	dt       dtype.DataType
 	net      transport.Network
 	opt      Options
+	shard    int
 	replicas []*Replica
 	nodes    []transport.NodeID
 	fronts   map[string]*FrontEnd
@@ -51,6 +52,12 @@ type ClusterConfig struct {
 	// empty (non-nil) slice builds a front-end-only member: no replica runs
 	// here, but FrontEnd still works against the remote cluster.
 	LocalReplicas []int
+	// Shard places the cluster in a keyspace: all transport names (replica
+	// and front-end nodes) are qualified by the shard index, so several
+	// independent clusters can share one Network (see Keyspace). Shard 0 —
+	// the default, and the only shard of an unsharded deployment — keeps
+	// the legacy names.
+	Shard int
 }
 
 // NewCluster builds the replicas and registers them on the network. Gossip
@@ -66,14 +73,18 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Network == nil {
 		panic("core: nil network")
 	}
+	if cfg.Shard < 0 {
+		panic(fmt.Sprintf("core: invalid shard index %d", cfg.Shard))
+	}
 	nodes := make([]transport.NodeID, cfg.Replicas)
 	for i := range nodes {
-		nodes[i] = ReplicaNode(label.ReplicaID(i))
+		nodes[i] = ReplicaNodeIn(cfg.Shard, label.ReplicaID(i))
 	}
 	c := &Cluster{
 		dt:     cfg.DataType,
 		net:    cfg.Network,
 		opt:    cfg.Options,
+		shard:  cfg.Shard,
 		nodes:  nodes,
 		fronts: make(map[string]*FrontEnd),
 	}
@@ -106,6 +117,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Network:  cfg.Network,
 			Options:  cfg.Options,
 			Store:    store,
+			Shard:    cfg.Shard,
 		})
 	}
 	return c
@@ -135,16 +147,78 @@ func (c *Cluster) Nodes() []transport.NodeID {
 }
 
 // FrontEnd returns the front end for the named client, creating and
-// registering it on first use.
+// registering it on first use. After Close it returns an already-closed
+// front end whose operations fail immediately with ErrClosed, so a late
+// caller cannot block forever.
 func (c *Cluster) FrontEnd(client string) *FrontEnd {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if fe, ok := c.fronts[client]; ok {
 		return fe
 	}
-	fe := NewFrontEnd(FrontEndConfig{Client: client, Replicas: c.nodes, Network: c.net})
+	cfg := FrontEndConfig{Client: client, Replicas: c.nodes, Network: c.net, Shard: c.shard}
+	if c.closed {
+		fe := newFrontEnd(cfg, false) // the transport may be closed too
+		fe.Close(ErrClosed)
+		c.fronts[client] = fe
+		return fe
+	}
+	fe := NewFrontEnd(cfg)
 	c.fronts[client] = fe
 	return fe
+}
+
+// RetransmitAll re-sends every pending request of every front end this
+// cluster has created, and returns the number of requests re-sent. It is
+// the cluster-wide form of FrontEnd.Retransmit — the paper's §6.2 liveness
+// mechanism against message loss and crashed replicas.
+func (c *Cluster) RetransmitAll() int {
+	c.mu.Lock()
+	fes := make([]*FrontEnd, 0, len(c.fronts))
+	for _, fe := range c.fronts {
+		fes = append(fes, fe)
+	}
+	c.mu.Unlock()
+	total := 0
+	for _, fe := range fes {
+		total += fe.Retransmit()
+	}
+	return total
+}
+
+// StartLiveRetransmit starts a wall-clock ticker that retransmits every
+// pending request each period. Without it, a request or response lost by
+// the transport leaves its SubmitWait caller blocked until Close. Call
+// Close to stop the ticker.
+func (c *Cluster) StartLiveRetransmit(period time.Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: invalid retransmit period %v", period))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		panic("core: StartLiveRetransmit on closed cluster")
+	}
+	ticker := time.NewTicker(period)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				c.RetransmitAll()
+			case <-done:
+				return
+			}
+		}
+	}()
+	c.stops = append(c.stops, func() {
+		ticker.Stop()
+		close(done)
+		wg.Wait()
+	})
 }
 
 // GossipAll runs one gossip round: every local replica sends to every peer.
@@ -211,16 +285,26 @@ func (c *Cluster) StartLiveGossip(period time.Duration) {
 	}
 }
 
-// Close stops all gossip schedulers. It does not close the transport (the
-// caller owns it). Close is idempotent.
+// Close stops all gossip and retransmit schedulers, then fails every
+// outstanding front-end waiter with ErrClosed — a SubmitWait blocked on a
+// response that will never come returns instead of leaking its goroutine.
+// It does not close the transport (the caller owns it). Close is
+// idempotent.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	stops := c.stops
 	c.stops = nil
 	c.closed = true
+	fes := make([]*FrontEnd, 0, len(c.fronts))
+	for _, fe := range c.fronts {
+		fes = append(fes, fe)
+	}
 	c.mu.Unlock()
 	for _, stop := range stops {
 		stop()
+	}
+	for _, fe := range fes {
+		fe.Close(ErrClosed)
 	}
 }
 
@@ -228,23 +312,9 @@ func (c *Cluster) Close() {
 func (c *Cluster) TotalMetrics() ReplicaMetrics {
 	var total ReplicaMetrics
 	for _, r := range c.replicas {
-		if r == nil {
-			continue
+		if r != nil {
+			total.Add(r.Metrics())
 		}
-		m := r.Metrics()
-		total.RequestsReceived += m.RequestsReceived
-		total.DoItCount += m.DoItCount
-		total.GossipSent += m.GossipSent
-		total.GossipReceived += m.GossipReceived
-		total.ResponsesSent += m.ResponsesSent
-		total.AppliesForResponse += m.AppliesForResponse
-		total.AppliesForMemoize += m.AppliesForMemoize
-		total.AppliesForCurrentState += m.AppliesForCurrentState
-		total.DoneOps += m.DoneOps
-		total.StableOps += m.StableOps
-		total.MemoizedOps += m.MemoizedOps
-		total.PendingOps += m.PendingOps
-		total.RetainedOps += m.RetainedOps
 	}
 	return total
 }
@@ -272,10 +342,23 @@ func (c *Cluster) CheckConvergence() Convergence {
 		snaps[i] = r.Snapshot()
 	}
 	base := snaps[0]
+	// Done sets must agree element-wise: two replicas can hold equal-size
+	// but different done sets (each did its own clients' operations), so a
+	// length comparison alone is a false positive.
+	baseDone := make(map[ops.ID]struct{}, len(base.Done))
+	for _, id := range base.Done {
+		baseDone[id] = struct{}{}
+	}
 	for i := 1; i < len(snaps); i++ {
 		if len(snaps[i].Done) != len(base.Done) {
 			return Convergence{Reason: fmt.Sprintf("replica %d has %d done ops, replica 0 has %d",
 				i, len(snaps[i].Done), len(base.Done))}
+		}
+		for _, id := range snaps[i].Done {
+			if _, ok := baseDone[id]; !ok {
+				return Convergence{Reason: fmt.Sprintf("replica %d has %v done, replica 0 does not",
+					i, id)}
+			}
 		}
 	}
 	// Labels must agree on the union of ids.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -9,10 +10,19 @@ import (
 	"esds/internal/transport"
 )
 
+// ErrClosed is the error delivered to every outstanding (and future)
+// operation of a closed front end: the service shut down before a replica's
+// response arrived, so the operation's outcome is unknown — it may or may
+// not enter the eventual total order.
+var ErrClosed = errors.New("core: front end closed")
+
 // Response pairs an operation with the value the service returned for it.
+// Err is non-nil when no value will ever arrive (the front end was closed
+// while the operation was pending); Value is then meaningless.
 type Response struct {
 	ID    ops.ID
 	Value dtype.Value
+	Err   error
 }
 
 // FrontEnd is the per-client front end of Fig. 6: it relays requests to
@@ -36,6 +46,7 @@ type FrontEnd struct {
 	sentTo   map[ops.ID]transport.NodeID
 	onResult map[ops.ID]func(Response)
 	history  []ops.ID // issue order, for auto-causality helpers
+	closed   error    // non-nil once Close ran; delivered to all waiters
 
 	responses uint64
 	requests  uint64
@@ -46,11 +57,22 @@ type FrontEndConfig struct {
 	Client   string
 	Replicas []transport.NodeID
 	Network  transport.Network
+	// Shard selects the keyspace shard this front end belongs to. Shard 0
+	// (the default, and the only shard of an unsharded cluster) keeps the
+	// legacy transport names.
+	Shard int
 }
 
 // NewFrontEnd constructs a front end and registers it on the network under
 // the FrontEndNode convention.
 func NewFrontEnd(cfg FrontEndConfig) *FrontEnd {
+	return newFrontEnd(cfg, true)
+}
+
+// newFrontEnd optionally skips network registration — used by Cluster to
+// hand out already-closed front ends after Close, when the transport no
+// longer accepts registrations.
+func newFrontEnd(cfg FrontEndConfig, register bool) *FrontEnd {
 	if cfg.Client == "" {
 		panic("core: empty client name")
 	}
@@ -59,14 +81,16 @@ func NewFrontEnd(cfg FrontEndConfig) *FrontEnd {
 	}
 	fe := &FrontEnd{
 		client:   cfg.Client,
-		node:     FrontEndNode(cfg.Client),
+		node:     FrontEndNodeIn(cfg.Shard, cfg.Client),
 		net:      cfg.Network,
 		replicas: append([]transport.NodeID(nil), cfg.Replicas...),
 		wait:     make(map[ops.ID]ops.Operation),
 		sentTo:   make(map[ops.ID]transport.NodeID),
 		onResult: make(map[ops.ID]func(Response)),
 	}
-	cfg.Network.Register(fe.node, fe.handleMessage)
+	if register {
+		cfg.Network.Register(fe.node, fe.handleMessage)
+	}
 	return fe
 }
 
@@ -78,14 +102,22 @@ func (fe *FrontEnd) Node() transport.NodeID { return fe.node }
 
 // Submit issues a request (the request(x) input action): it allocates the
 // next operation identifier for this client, records the operation in
-// wait_c, and relays it to one replica. The callback fires exactly once,
-// when the first response for the operation arrives. It returns the
-// operation descriptor (whose ID the client may use in later prev sets).
+// wait_c, and relays it to one replica. The callback fires exactly once —
+// when the first response for the operation arrives, or with Response.Err
+// set if the front end is (or gets) closed first. It returns the operation
+// descriptor (whose ID the client may use in later prev sets).
 func (fe *FrontEnd) Submit(op dtype.Operator, prev []ops.ID, strict bool, cb func(Response)) ops.Operation {
 	fe.mu.Lock()
 	id := ops.ID{Client: fe.client, Seq: fe.nextSeq}
 	fe.nextSeq++
 	x := ops.New(op, id, prev, strict)
+	if err := fe.closed; err != nil {
+		fe.mu.Unlock()
+		if cb != nil {
+			cb(Response{ID: id, Err: err})
+		}
+		return x
+	}
 	fe.wait[id] = x
 	if cb != nil {
 		fe.onResult[id] = cb
@@ -101,14 +133,53 @@ func (fe *FrontEnd) Submit(op dtype.Operator, prev []ops.ID, strict bool, cb fun
 	return x
 }
 
-// SubmitWait issues a request and blocks until the response arrives. Only
-// meaningful on the live transport (on the simulated network the caller IS
-// the delivering goroutine, so use Submit with a callback instead).
-func (fe *FrontEnd) SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value) {
+// SubmitWait issues a request and blocks until the response arrives or the
+// front end is closed (then the error is ErrClosed and the value is nil).
+// It never blocks forever: message loss is healed by Retransmit — wire a
+// ticker with Cluster.StartLiveRetransmit — and shutdown fails all waiters.
+// Only meaningful on the live transports (on the simulated network the
+// caller IS the delivering goroutine, so use Submit with a callback
+// instead).
+func (fe *FrontEnd) SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error) {
 	ch := make(chan Response, 1)
 	x := fe.Submit(op, prev, strict, func(resp Response) { ch <- resp })
 	resp := <-ch
-	return x, resp.Value
+	return x, resp.Value, resp.Err
+}
+
+// Close fails every outstanding waiter with err (ErrClosed when nil) and
+// makes all future Submits fail immediately. It is idempotent and safe to
+// call while operations are in flight: each pending callback fires exactly
+// once, with Response.Err set.
+func (fe *FrontEnd) Close(err error) {
+	if err == nil {
+		err = ErrClosed
+	}
+	fe.mu.Lock()
+	if fe.closed != nil {
+		fe.mu.Unlock()
+		return
+	}
+	fe.closed = err
+	failed := make(map[ops.ID]func(Response), len(fe.onResult))
+	for id, cb := range fe.onResult {
+		failed[id] = cb
+	}
+	fe.wait = make(map[ops.ID]ops.Operation)
+	fe.sentTo = make(map[ops.ID]transport.NodeID)
+	fe.onResult = make(map[ops.ID]func(Response))
+	fe.mu.Unlock()
+	for id, cb := range failed {
+		cb(Response{ID: id, Err: err})
+	}
+}
+
+// Closed returns the error the front end was closed with, or nil while it
+// is still accepting operations.
+func (fe *FrontEnd) Closed() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.closed
 }
 
 // Retransmit re-sends every pending request, rotating to a different
@@ -117,6 +188,10 @@ func (fe *FrontEnd) SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (o
 // liveness after message loss or a replica crash.
 func (fe *FrontEnd) Retransmit() int {
 	fe.mu.Lock()
+	if fe.closed != nil {
+		fe.mu.Unlock()
+		return 0
+	}
 	type outMsg struct {
 		to  transport.NodeID
 		msg RequestMsg

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"esds/internal/dtype"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+// Keyspace shards a namespace of independent objects across N independent
+// ESDS clusters sharing one transport. Each shard replicates the keyed
+// lift of the inner data type (dtype.Keyed): many named objects, one
+// eventual total order per shard. Objects are routed to shards by a
+// consistent-hash ring, so growing the shard count later remaps only
+// ~1/N of the namespace.
+//
+// The paper's algorithm — and all its guarantees — applies per shard;
+// cross-shard operations have no ordering relationship, which is exactly
+// the independence the keyed data type exposes (§10.3 terms: operations
+// on distinct objects commute and are mutually oblivious).
+type Keyspace struct {
+	inner  dtype.DataType
+	shards []*Cluster
+	ring   hashRing
+}
+
+// KeyspaceConfig assembles a keyspace.
+type KeyspaceConfig struct {
+	// Shards is the number of independent ESDS clusters (≥ 1).
+	Shards int
+	// Replicas is the number of data replicas per shard.
+	Replicas int
+	// DataType is the serial type of each named object; every shard
+	// replicates dtype.NewKeyed(DataType).
+	DataType dtype.DataType
+	// Network carries all shards' messages (shard-qualified node names keep
+	// them apart).
+	Network transport.Network
+	// Options selects the §10 optimizations, applied to every shard.
+	Options Options
+	// LocalReplicas lists the replica ids this process hosts, for every
+	// shard (see ClusterConfig.LocalReplicas). Nil means all replicas of
+	// all shards are local.
+	LocalReplicas []int
+}
+
+// NewKeyspace builds one cluster per shard over the shared network.
+func NewKeyspace(cfg KeyspaceConfig) *Keyspace {
+	if cfg.Shards < 1 {
+		panic(fmt.Sprintf("core: invalid shard count %d", cfg.Shards))
+	}
+	if cfg.DataType == nil {
+		panic("core: nil data type")
+	}
+	k := &Keyspace{
+		inner:  cfg.DataType,
+		shards: make([]*Cluster, cfg.Shards),
+		ring:   newHashRing(cfg.Shards, ringVnodes),
+	}
+	for s := range k.shards {
+		k.shards[s] = NewCluster(ClusterConfig{
+			Replicas:      cfg.Replicas,
+			DataType:      dtype.NewKeyed(cfg.DataType),
+			Network:       cfg.Network,
+			Options:       cfg.Options,
+			LocalReplicas: cfg.LocalReplicas,
+			Shard:         s,
+		})
+	}
+	return k
+}
+
+// NumShards returns the shard count.
+func (k *Keyspace) NumShards() int { return len(k.shards) }
+
+// Shard returns shard s's cluster.
+func (k *Keyspace) Shard(s int) *Cluster { return k.shards[s] }
+
+// ShardOf routes an object name to its shard on the consistent-hash ring.
+func (k *Keyspace) ShardOf(object string) int { return k.ring.shardOf(object) }
+
+// FrontEnd returns the front end for the named client on the shard that
+// owns the named object. Submit operators wrapped as
+// dtype.KeyedOp{Key: object} through it; WrapOp does this.
+func (k *Keyspace) FrontEnd(object, client string) *FrontEnd {
+	return k.shards[k.ShardOf(object)].FrontEnd(client)
+}
+
+// WrapOp addresses an inner operator to a named object.
+func (k *Keyspace) WrapOp(object string, op dtype.Operator) dtype.Operator {
+	return dtype.KeyedOp{Key: object, Op: op}
+}
+
+// GossipAll runs one gossip round on every shard.
+func (k *Keyspace) GossipAll() {
+	for _, c := range k.shards {
+		c.GossipAll()
+	}
+}
+
+// StartSimGossip schedules gossip for every shard on the simulator.
+func (k *Keyspace) StartSimGossip(s *sim.Sim, period sim.Duration) {
+	for _, c := range k.shards {
+		c.StartSimGossip(s, period)
+	}
+}
+
+// StartLiveGossip starts wall-clock gossip tickers on every shard.
+func (k *Keyspace) StartLiveGossip(period time.Duration) {
+	for _, c := range k.shards {
+		c.StartLiveGossip(period)
+	}
+}
+
+// StartLiveRetransmit starts wall-clock retransmission tickers on every
+// shard (see Cluster.StartLiveRetransmit).
+func (k *Keyspace) StartLiveRetransmit(period time.Duration) {
+	for _, c := range k.shards {
+		c.StartLiveRetransmit(period)
+	}
+}
+
+// RetransmitAll re-sends every pending request on every shard.
+func (k *Keyspace) RetransmitAll() int {
+	total := 0
+	for _, c := range k.shards {
+		total += c.RetransmitAll()
+	}
+	return total
+}
+
+// Close closes every shard: schedulers stop and outstanding waiters fail
+// with ErrClosed.
+func (k *Keyspace) Close() {
+	for _, c := range k.shards {
+		c.Close()
+	}
+}
+
+// TotalMetrics sums the metrics of all local replicas across all shards —
+// the keyspace-wide aggregate.
+func (k *Keyspace) TotalMetrics() ReplicaMetrics {
+	var total ReplicaMetrics
+	for _, c := range k.shards {
+		total.Add(c.TotalMetrics())
+	}
+	return total
+}
+
+// CheckConvergence checks every shard (meaningful only at quiescence, like
+// Cluster.CheckConvergence). The keyspace is converged when every shard is.
+func (k *Keyspace) CheckConvergence() Convergence {
+	for s, c := range k.shards {
+		conv := c.CheckConvergence()
+		if !conv.Converged {
+			conv.Reason = fmt.Sprintf("shard %d: %s", s, conv.Reason)
+			return conv
+		}
+	}
+	return Convergence{Converged: true}
+}
+
+// --- consistent-hash ring ---
+
+// ringVnodes is the number of virtual nodes per shard. Load skew across
+// shards shrinks roughly with 1/√vnodes; 512 keeps every shard within a
+// few percent of uniform for realistic shard counts, and the ring (shards ×
+// 512 points, built once at startup) stays negligible.
+const ringVnodes = 512
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// hashRing maps object names to shards with the classic consistent-hashing
+// construction: every shard owns vnode points on a 64-bit ring and an
+// object belongs to the first point clockwise from its hash. Adding a
+// shard moves only the keys that fall into the new shard's arcs (~1/N of
+// the namespace), which is what makes future resharding incremental.
+type hashRing struct {
+	points []ringPoint
+}
+
+func newHashRing(shards, vnodes int) hashRing {
+	points := make([]ringPoint, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, ringPoint{
+				hash:  ringHash(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].shard < points[j].shard // deterministic on (absurdly unlikely) collisions
+	})
+	return hashRing{points: points}
+}
+
+func (r hashRing) shardOf(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the first point owns the arc
+	}
+	return r.points[i].shard
+}
+
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	// FNV-1a mixes the last bytes of short strings weakly into the high
+	// bits, and the ring is ordered by the FULL value — finish with a
+	// splitmix64 round so sequential names spread uniformly.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/sim"
+	"esds/internal/transport"
+)
+
+// TestKeyspaceShardsAreIndependent runs two shards over ONE simulated
+// network: operations route by object, shards converge independently, and
+// a client name used against both shards gets two distinct front ends
+// (shard-qualified transport names).
+func TestKeyspaceShardsAreIndependent(t *testing.T) {
+	s := sim.New(1)
+	net := transport.NewSimNet(s, transport.SimNetConfig{})
+	ks := NewKeyspace(KeyspaceConfig{
+		Shards:   2,
+		Replicas: 2,
+		DataType: dtype.Counter{},
+		Network:  net,
+		Options:  DefaultOptions(),
+	})
+
+	// Find two objects on different shards.
+	objA, objB := "", ""
+	for i := 0; objB == ""; i++ {
+		name := fmt.Sprintf("obj%d", i)
+		switch ks.ShardOf(name) {
+		case 0:
+			if objA == "" {
+				objA = name
+			}
+		case 1:
+			objB = name
+		}
+		if i > 10000 {
+			t.Fatal("ring never produced both shards")
+		}
+	}
+
+	type got struct{ v dtype.Value }
+	submit := func(obj string, op dtype.Operator) *got {
+		g := &got{}
+		fe := ks.FrontEnd(obj, "alice")
+		fe.Submit(ks.WrapOp(obj, op), nil, false, func(r Response) { g.v = r.Value })
+		return g
+	}
+	submit(objA, dtype.CtrAdd{N: 5})
+	submit(objB, dtype.CtrAdd{N: 7})
+	s.Run(0)
+	for i := 0; i < 6; i++ {
+		ks.GossipAll()
+		s.Run(0)
+	}
+	ra := submit(objA, dtype.CtrRead{})
+	rb := submit(objB, dtype.CtrRead{})
+	s.Run(0)
+	if ra.v != int64(5) || rb.v != int64(7) {
+		t.Fatalf("reads = %v / %v, want 5 / 7 (objects leaked across shards?)", ra.v, rb.v)
+	}
+	for i := 0; i < 6; i++ { // re-quiesce: spread the reads' labels too
+		ks.GossipAll()
+		s.Run(0)
+	}
+
+	// Same client name, two shards, two distinct front ends on one network.
+	feA, feB := ks.FrontEnd(objA, "alice"), ks.FrontEnd(objB, "alice")
+	if feA == feB || feA.Node() == feB.Node() {
+		t.Fatalf("front ends collide across shards: %q vs %q", feA.Node(), feB.Node())
+	}
+
+	if conv := ks.CheckConvergence(); !conv.Converged {
+		t.Fatalf("keyspace not converged: %s", conv.Reason)
+	}
+
+	// Aggregate metrics must count both shards' work.
+	m := ks.TotalMetrics()
+	if m.RequestsReceived < 4 || m.DoItCount < 4 {
+		t.Fatalf("aggregate metrics = %+v", m)
+	}
+	if s0, s1 := ks.Shard(0).TotalMetrics(), ks.Shard(1).TotalMetrics(); s0.DoItCount == 0 || s1.DoItCount == 0 {
+		t.Fatalf("per-shard metrics: shard0 %d doits, shard1 %d doits", s0.DoItCount, s1.DoItCount)
+	}
+}
+
+// TestKeyspaceValidation checks the constructor's panics.
+func TestKeyspaceValidation(t *testing.T) {
+	net := transport.NewLiveNet()
+	defer net.Close()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero shards", func() {
+		NewKeyspace(KeyspaceConfig{Shards: 0, Replicas: 1, DataType: dtype.Counter{}, Network: net})
+	})
+	mustPanic("nil data type", func() {
+		NewKeyspace(KeyspaceConfig{Shards: 1, Replicas: 1, Network: net})
+	})
+	mustPanic("negative shard index", func() {
+		NewCluster(ClusterConfig{Replicas: 1, DataType: dtype.Counter{}, Network: net, Shard: -1})
+	})
+}
+
+// TestShardNodeNames pins the transport naming conventions: shard 0 keeps
+// the legacy names (wire compatibility with unsharded deployments), higher
+// shards are qualified.
+func TestShardNodeNames(t *testing.T) {
+	if ReplicaNodeIn(0, 2) != ReplicaNode(2) {
+		t.Error("shard 0 replica name not legacy")
+	}
+	if FrontEndNodeIn(0, "alice") != FrontEndNode("alice") {
+		t.Error("shard 0 front-end name not legacy")
+	}
+	if ReplicaNodeIn(3, 2) == ReplicaNode(2) {
+		t.Error("shard 3 replica name collides with legacy")
+	}
+	if FrontEndNodeIn(1, "alice") == FrontEndNodeIn(2, "alice") {
+		t.Error("front-end names collide across shards")
+	}
+}
+
+// TestHashRing checks determinism, full coverage, rough balance, and the
+// consistency property (adding a shard remaps only a fraction of keys).
+func TestHashRing(t *testing.T) {
+	const keys = 10000
+	r4 := newHashRing(4, ringVnodes)
+	counts := make([]int, 4)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s := r4.shardOf(k)
+		if s != r4.shardOf(k) {
+			t.Fatal("routing not deterministic")
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		// Each shard should own roughly keys/4; vnodes keep the skew modest.
+		if c < keys/8 || c > keys/2 {
+			t.Fatalf("shard %d owns %d of %d keys — ring badly unbalanced %v", s, c, keys, counts)
+		}
+	}
+
+	r5 := newHashRing(5, ringVnodes)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r4.shardOf(k) != r5.shardOf(k) {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/5 of the keys when growing 4 → 5; a
+	// modulo hash would move ~4/5. Assert well under half.
+	if moved > keys*2/5 {
+		t.Fatalf("adding a shard moved %d of %d keys — not consistent", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("adding a shard moved nothing — ring ignored")
+	}
+}

@@ -36,7 +36,11 @@ func TestLiveClusterEndToEnd(t *testing.T) {
 		go func(fe *FrontEnd) {
 			defer wg.Done()
 			for i := 0; i < opsPerClient; i++ {
-				_, v := fe.SubmitWait(dtype.CtrAdd{N: 1}, nil, false)
+				_, v, err := fe.SubmitWait(dtype.CtrAdd{N: 1}, nil, false)
+				if err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
 				if v != "ok" {
 					t.Errorf("add returned %v", v)
 					return
@@ -51,7 +55,7 @@ func TestLiveClusterEndToEnd(t *testing.T) {
 	fe := cluster.FrontEnd("reader")
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		_, v := fe.SubmitWait(dtype.CtrRead{}, nil, true)
+		_, v, _ := fe.SubmitWait(dtype.CtrRead{}, nil, true)
 		if v == int64(clients*opsPerClient) {
 			break
 		}
@@ -82,11 +86,11 @@ func TestLiveClusterCausalChain(t *testing.T) {
 	fe := cluster.FrontEnd("writer")
 	for i := 0; i < 20; i++ {
 		want := fmt.Sprintf("v%d", i)
-		w, v := fe.SubmitWait(dtype.RegWrite{Val: want}, nil, false)
+		w, v, _ := fe.SubmitWait(dtype.RegWrite{Val: want}, nil, false)
 		if v != "ok" {
 			t.Fatalf("write %d returned %v", i, v)
 		}
-		_, got := fe.SubmitWait(dtype.RegRead{}, []ops.ID{w.ID}, false)
+		_, got, _ := fe.SubmitWait(dtype.RegRead{}, []ops.ID{w.ID}, false)
 		if got != want {
 			t.Fatalf("read-your-write %d: got %v, want %q", i, got, want)
 		}

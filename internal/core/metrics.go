@@ -11,6 +11,9 @@ type ReplicaMetrics struct {
 	// GossipSent / GossipReceived count gossip messages.
 	GossipSent     uint64
 	GossipReceived uint64
+	// GossipSuppressed counts gossip rounds to a peer skipped because the
+	// incremental delta was empty (§10.4): idle clusters send nothing.
+	GossipSuppressed uint64
 	// ResponsesSent counts ⟨response⟩ messages.
 	ResponsesSent uint64
 	// AppliesForResponse counts data type Apply calls made while computing
@@ -31,4 +34,24 @@ type ReplicaMetrics struct {
 	MemoizedOps int
 	PendingOps  int
 	RetainedOps int
+}
+
+// Add accumulates o into m field-by-field — the single place aggregate
+// metrics (Cluster.TotalMetrics, Keyspace.TotalMetrics) sum from, so a new
+// counter cannot be forgotten in one of several hand-written loops.
+func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
+	m.RequestsReceived += o.RequestsReceived
+	m.DoItCount += o.DoItCount
+	m.GossipSent += o.GossipSent
+	m.GossipReceived += o.GossipReceived
+	m.GossipSuppressed += o.GossipSuppressed
+	m.ResponsesSent += o.ResponsesSent
+	m.AppliesForResponse += o.AppliesForResponse
+	m.AppliesForMemoize += o.AppliesForMemoize
+	m.AppliesForCurrentState += o.AppliesForCurrentState
+	m.DoneOps += o.DoneOps
+	m.StableOps += o.StableOps
+	m.MemoizedOps += o.MemoizedOps
+	m.PendingOps += o.PendingOps
+	m.RetainedOps += o.RetainedOps
 }

@@ -21,6 +21,7 @@ type Replica struct {
 
 	id    label.ReplicaID
 	n     int // number of replicas
+	shard int // keyspace shard this replica serves (0 when unsharded)
 	dt    dtype.DataType
 	net   transport.Network
 	node  transport.NodeID
@@ -105,6 +106,10 @@ type ReplicaConfig struct {
 	// followed by Recover is only safe if the replica's labels had been
 	// gossiped before the crash.
 	Store StableStore
+	// Shard is the keyspace shard this replica serves: responses are
+	// addressed to the front ends of the same shard. Zero for unsharded
+	// clusters.
+	Shard int
 }
 
 // NewReplica constructs a replica and registers it on the network. The
@@ -122,6 +127,7 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	r := &Replica{
 		id:          cfg.ID,
 		n:           n,
+		shard:       cfg.Shard,
 		dt:          cfg.DataType,
 		net:         cfg.Network,
 		node:        cfg.Peers[cfg.ID],
@@ -621,7 +627,7 @@ func (r *Replica) respondPending() {
 		v := r.valueFor(id, strict)
 		delete(r.pendingSet, id)
 		r.metrics.ResponsesSent++
-		outbox = append(outbox, outMsg{to: FrontEndNode(id.Client), msg: ResponseMsg{ID: id, Value: v}})
+		outbox = append(outbox, outMsg{to: FrontEndNodeIn(r.shard, id.Client), msg: ResponseMsg{ID: id, Value: v}})
 	}
 	r.pendingQueue = append([]ops.ID(nil), remaining...)
 	// Send outside the per-op loop but still under the mutex: on the sim
@@ -697,6 +703,19 @@ func (r *Replica) SendGossip() {
 		if i == int(r.id) {
 			continue
 		}
+		if r.opt.IncrementalGossip && r.deltaEmpty(i) {
+			// §10.4: an empty delta carries no information — every change
+			// since the last send was already enqueued for this peer, so
+			// nothing was missed. Suppressing it removes the n² idle wire
+			// traffic while keeping the §9.1 liveness assumption intact:
+			// whenever this replica HAS news for a peer, the next tick still
+			// sends within g. Full gossip is never suppressed (each round
+			// re-sends complete state, which is what makes loss tolerable),
+			// and the §9.3 recovery handshake answers through its own path
+			// (handleRecoveryRequest), which always sends.
+			r.metrics.GossipSuppressed++
+			continue
+		}
 		msg := r.buildGossip(i)
 		r.metrics.GossipSent++
 		outbox = append(outbox, outMsg{to: r.peers[i], msg: msg})
@@ -745,6 +764,13 @@ func (r *Replica) buildGossip(i int) GossipMsg {
 		}
 	}
 	return msg
+}
+
+// deltaEmpty reports whether the accumulated delta for peer i carries
+// nothing: no new descriptors, done/stable ids, or changed labels.
+func (r *Replica) deltaEmpty(i int) bool {
+	return len(r.pendR[i]) == 0 && len(r.pendD[i]) == 0 &&
+		len(r.pendS[i]) == 0 && len(r.pendL[i]) == 0
 }
 
 // buildDelta drains the pending delta queues for peer i (§10.4). Cost is
@@ -870,10 +896,29 @@ func (r *Replica) StableEverywhereCount() int {
 // replica derives the response destination from client(x.id), exactly as
 // the paper's send_rc uses c = client(x.id).
 func FrontEndNode(client string) transport.NodeID {
-	return transport.NodeID("fe:" + client)
+	return FrontEndNodeIn(0, client)
+}
+
+// FrontEndNodeIn is the shard-qualified form of FrontEndNode: every
+// keyspace shard owns an independent transport namespace, so the same
+// client name can hold a front end per shard on one shared network. Shard
+// 0 keeps the legacy unqualified names (an unsharded cluster IS shard 0).
+func FrontEndNodeIn(shard int, client string) transport.NodeID {
+	if shard == 0 {
+		return transport.NodeID("fe:" + client)
+	}
+	return transport.NodeID(fmt.Sprintf("s%d/fe:%s", shard, client))
 }
 
 // ReplicaNode is the transport address convention for replicas.
 func ReplicaNode(id label.ReplicaID) transport.NodeID {
-	return transport.NodeID(fmt.Sprintf("replica:%d", id))
+	return ReplicaNodeIn(0, id)
+}
+
+// ReplicaNodeIn is the shard-qualified form of ReplicaNode.
+func ReplicaNodeIn(shard int, id label.ReplicaID) transport.NodeID {
+	if shard == 0 {
+		return transport.NodeID(fmt.Sprintf("replica:%d", id))
+	}
+	return transport.NodeID(fmt.Sprintf("s%d/replica:%d", shard, id))
 }

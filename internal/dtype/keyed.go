@@ -1,0 +1,115 @@
+package dtype
+
+import "fmt"
+
+// Keyed lifts an inner serial data type to a keyspace of independent named
+// objects: the state is a map from object name to an inner state, every
+// operator addresses one object (KeyedOp), and the reportable value is the
+// inner operator's value unchanged. A Keyed object is still ONE serial
+// data type — all objects bound to it share a single eventual total order —
+// which is exactly what a keyspace shard replicates: many small objects,
+// one ESDS cluster. Operations on distinct objects are independent (they
+// commute and are mutually oblivious), so nothing is lost by sharing the
+// order.
+type Keyed struct {
+	Inner DataType
+}
+
+var (
+	_ DataType         = Keyed{}
+	_ Commuter         = Keyed{}
+	_ ObliviousChecker = Keyed{}
+)
+
+// NewKeyed returns the keyed lift of inner.
+func NewKeyed(inner DataType) Keyed {
+	if inner == nil {
+		panic("dtype: nil inner data type")
+	}
+	if _, nested := inner.(Keyed); nested {
+		panic("dtype: nested keyed data type")
+	}
+	return Keyed{Inner: inner}
+}
+
+// KeyedOp applies Op of the inner data type to the object named Key.
+// Objects spring into existence at the inner type's initial state on first
+// use.
+type KeyedOp struct {
+	Key string
+	Op  Operator
+}
+
+func (o KeyedOp) String() string { return fmt.Sprintf("%s/%v", o.Key, o.Op) }
+
+// KeyedState is the state of a Keyed object: object name → inner state.
+// It is treated as immutable; Apply copies it (copy-on-write at map
+// granularity), which keeps per-shard states cheap when the keyspace is
+// partitioned across many shards.
+type KeyedState map[string]State
+
+// Name implements DataType.
+func (k Keyed) Name() string { return "keyed:" + k.Inner.Name() }
+
+// Initial implements DataType: an empty keyspace.
+func (k Keyed) Initial() State { return KeyedState(nil) }
+
+// Apply implements DataType: it applies the inner operator to the named
+// object's state and reports the inner value.
+func (k Keyed) Apply(s State, op Operator) (State, Value) {
+	cur, ok := s.(KeyedState)
+	if !ok {
+		panic(fmt.Sprintf("dtype: keyed state has type %T, want KeyedState", s))
+	}
+	o, ok := op.(KeyedOp)
+	if !ok {
+		panic(fmt.Sprintf("dtype: keyed data type does not support operator %T", op))
+	}
+	inner, ok := cur[o.Key]
+	if !ok {
+		inner = k.Inner.Initial()
+	}
+	next, v := k.Inner.Apply(inner, o.Op)
+	out := make(KeyedState, len(cur)+1)
+	for name, st := range cur {
+		out[name] = st
+	}
+	out[o.Key] = next
+	return out, v
+}
+
+// Commute implements Commuter: operators on distinct objects always
+// commute; operators on the same object commute iff the inner type says
+// so (false when it cannot tell — the conservative answer).
+func (k Keyed) Commute(op1, op2 Operator) bool {
+	o1, ok1 := op1.(KeyedOp)
+	o2, ok2 := op2.(KeyedOp)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if o1.Key != o2.Key {
+		return true
+	}
+	if c, ok := k.Inner.(Commuter); ok {
+		return c.Commute(o1.Op, o2.Op)
+	}
+	return false
+}
+
+// Oblivious implements ObliviousChecker: an operator's value cannot depend
+// on operators addressing other objects; same-object pairs delegate to the
+// inner type.
+func (k Keyed) Oblivious(op1, op2 Operator) bool {
+	o1, ok1 := op1.(KeyedOp)
+	o2, ok2 := op2.(KeyedOp)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if o1.Key != o2.Key {
+		return true
+	}
+	if c, ok := k.Inner.(ObliviousChecker); ok {
+		return c.Oblivious(o1.Op, o2.Op)
+	}
+	return false
+}

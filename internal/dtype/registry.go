@@ -50,6 +50,7 @@ func RegisterWire() {
 			DirBind{}, DirUnbind{}, DirSetAttr{}, DirGetAttr{}, DirLookup{}, DirList{},
 			LogAppend{}, LogRead{}, LogLen{},
 			BankDeposit{}, BankWithdraw{}, BankBalance{},
+			KeyedOp{},
 		} {
 			gob.Register(op)
 		}

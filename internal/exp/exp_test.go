@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
+	if len(all) != 10 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -217,4 +217,20 @@ func fmtOp(op any) string {
 		return s.String()
 	}
 	return ""
+}
+
+func TestE10ShardedSmoke(t *testing.T) {
+	// Structural smoke of the sharded-throughput experiment: tiny workload,
+	// no speedup assertion (wall-clock speedups are machine-dependent; the
+	// headline run is `esds-bench -exp e10` / BenchmarkE10ShardedThroughput).
+	p := SmokeShardedParams()
+	r := RunSharded(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	for _, row := range r.Rows {
+		if row.Ops != p.Workers*p.OpsPerWorker {
+			t.Fatalf("row %+v incomplete", row)
+		}
+	}
 }

@@ -11,8 +11,7 @@ type Experiment struct {
 }
 
 // All returns the registry in experiment order. Every entry corresponds to
-// a row of the per-experiment index in DESIGN.md and a record in
-// EXPERIMENTS.md.
+// a row of the experiment index in DESIGN.md §3.
 func All() []Experiment {
 	return []Experiment{
 		{
@@ -76,6 +75,14 @@ func All() []Experiment {
 			Run: func() (string, error) {
 				r := RunE9(DefaultE9Params())
 				return r.Table(), r.Verify()
+			},
+		},
+		{
+			ID: "e10", Title: "Sharded keyspace throughput", PaperRef: "DESIGN.md §4 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultShardedParams()
+				r := RunSharded(p)
+				return r.Table(), r.Verify(p)
 			},
 		},
 	}

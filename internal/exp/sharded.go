@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/stats"
+	"esds/internal/transport"
+)
+
+// E10: sharded-keyspace throughput. Unlike E1–E9 this experiment is NOT a
+// virtual-time simulation: it runs real clusters on the live in-process
+// transport and measures wall-clock throughput, because the effect under
+// test — aggregate throughput growing as the keyspace is split into
+// independent shards — is a property of real execution cost (per-shard
+// state, history, and gossip load all shrink with 1/shards, and shard
+// mailboxes drain in parallel), not of the paper's timing model. Results
+// are therefore machine-dependent; Verify checks the qualitative claim.
+
+// ShardedParams configures the sharded-throughput experiment.
+type ShardedParams struct {
+	// ShardCounts are the keyspace sizes to sweep; the first entry is the
+	// baseline the speedup is computed against.
+	ShardCounts []int
+	// Replicas per shard.
+	Replicas int
+	// Objects in the keyspace (counters), spread over the shards by the
+	// consistent-hash ring.
+	Objects int
+	// Workers are concurrent clients; each owns Objects/Workers objects and
+	// round-robins its operations over them.
+	Workers int
+	// OpsPerWorker is the number of non-strict increments each worker
+	// submits (synchronously, one at a time).
+	OpsPerWorker int
+	// GossipInterval is the per-shard anti-entropy period.
+	GossipInterval time.Duration
+	// MinSpeedup makes Verify fail when the largest sweep point's
+	// throughput is below MinSpeedup × the baseline's. ≤ 0 disables the
+	// check (for smoke runs on arbitrary machines).
+	MinSpeedup float64
+}
+
+// DefaultShardedParams is the headline configuration: 1 vs 2 vs 4 shards
+// on the same 2048-object, 8-worker increment workload. The object count
+// is deliberately large: the cost a shard pays per operation grows with
+// the number of objects it co-serializes (the keyed state is copied per
+// apply), so partitioning the namespace is exactly what removes that
+// cost — the effect this experiment isolates.
+func DefaultShardedParams() ShardedParams {
+	return ShardedParams{
+		ShardCounts:    []int{1, 2, 4},
+		Replicas:       3,
+		Objects:        2048,
+		Workers:        8,
+		OpsPerWorker:   400,
+		GossipInterval: 2 * time.Millisecond,
+		MinSpeedup:     2.0,
+	}
+}
+
+// SmokeShardedParams is a fast structural check (CI-friendly): tiny
+// workload, no speedup assertion.
+func SmokeShardedParams() ShardedParams {
+	return ShardedParams{
+		ShardCounts:    []int{1, 2},
+		Replicas:       2,
+		Objects:        8,
+		Workers:        2,
+		OpsPerWorker:   50,
+		GossipInterval: time.Millisecond,
+	}
+}
+
+// ShardedRow is one sweep point.
+type ShardedRow struct {
+	Shards     int
+	Ops        int     // operations completed
+	Seconds    float64 // wall-clock time to complete them
+	Throughput float64 // ops/s
+	FinalSum   int64   // strict cross-object read-back (must equal Ops)
+}
+
+// ShardedResult is the regenerated table.
+type ShardedResult struct {
+	Rows    []ShardedRow
+	Speedup float64 // last row's throughput / first row's
+	Err     error   // first execution error, if any (fails Verify)
+}
+
+// RunSharded executes the sweep.
+func RunSharded(p ShardedParams) ShardedResult {
+	var res ShardedResult
+	for _, shards := range p.ShardCounts {
+		row, err := runShardedPoint(p, shards)
+		if err != nil && res.Err == nil {
+			res.Err = fmt.Errorf("exp: E10 %d shards: %w", shards, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(res.Rows) >= 2 {
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		if first.Throughput > 0 {
+			res.Speedup = last.Throughput / first.Throughput
+		}
+	}
+	return res
+}
+
+func runShardedPoint(p ShardedParams, shards int) (ShardedRow, error) {
+	// Production defaults plus the §10.3 commute mode: the workload —
+	// concurrent increments on independent counters, with only strict
+	// reads at the end — satisfies the SafeUsers discipline (all
+	// concurrent operator pairs commute under dtype.Keyed), so non-strict
+	// responses come from the current state in O(1). Both arms of the
+	// comparison run the identical configuration.
+	opt := core.DefaultOptions()
+	opt.Commute = true
+	net := transport.NewLiveNet()
+	ks := core.NewKeyspace(core.KeyspaceConfig{
+		Shards:   shards,
+		Replicas: p.Replicas,
+		DataType: dtype.Counter{},
+		Network:  net,
+		Options:  opt,
+	})
+	defer func() {
+		ks.Close()
+		net.Close()
+	}()
+	ks.StartLiveGossip(p.GossipInterval)
+	ks.StartLiveRetransmit(250 * time.Millisecond)
+
+	objects := make([]string, p.Objects)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("obj-%03d", i)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	// Each worker drives its own disjoint slice of the namespace, touching
+	// a different object each op (the many-small-objects pattern a keyspace
+	// exists for), and records its operation ids per object so the final
+	// strict reads can carry them as prev constraints.
+	written := make([]map[string][]ops.ID, p.Workers)
+	start := time.Now()
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		written[w] = make(map[string][]ops.ID)
+		go func(w int) {
+			defer wg.Done()
+			client := fmt.Sprintf("w%d", w)
+			var owned []string
+			for i := w; i < len(objects); i += p.Workers {
+				owned = append(owned, objects[i])
+			}
+			for i := 0; i < p.OpsPerWorker; i++ {
+				obj := owned[i%len(owned)]
+				fe := ks.FrontEnd(obj, client)
+				x, v, err := fe.SubmitWait(ks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, false)
+				if err == nil && v != "ok" {
+					err = fmt.Errorf("add returned %v", v)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d op %d on %s: %w", w, i, obj, err)
+					}
+					mu.Unlock()
+					return
+				}
+				written[w][obj] = append(written[w][obj], x.ID)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ShardedRow{Shards: shards}, firstErr
+	}
+	wrote := make(map[string][]ops.ID, len(objects))
+	for _, m := range written {
+		for obj, ids := range m {
+			wrote[obj] = ids // object sets are disjoint across workers
+		}
+	}
+
+	// Read back every object strictly — each read constrained (prev) to
+	// follow every increment on its object, the paper's client-specified-
+	// constraints idiom — and sum: proves all increments were serialized
+	// (liveness AND safety of the measured run), outside the timed window.
+	// The reads are submitted asynchronously — strict operations stabilize
+	// together across shared gossip rounds, so waiting for them one at a
+	// time would serialize p.Objects stability delays.
+	var (
+		sum     int64
+		readErr error
+		readWG  sync.WaitGroup
+	)
+	for _, obj := range objects {
+		fe := ks.FrontEnd(obj, "reader")
+		readWG.Add(1)
+		fe.Submit(ks.WrapOp(obj, dtype.CtrRead{}), wrote[obj], true, func(r core.Response) {
+			mu.Lock()
+			if r.Err != nil && readErr == nil {
+				readErr = r.Err
+			} else if r.Err == nil {
+				sum += r.Value.(int64)
+			}
+			mu.Unlock()
+			readWG.Done()
+		})
+	}
+	readWG.Wait()
+	if readErr != nil {
+		return ShardedRow{Shards: shards}, fmt.Errorf("strict read-back: %w", readErr)
+	}
+	total := p.Workers * p.OpsPerWorker
+	if sum != int64(total) {
+		return ShardedRow{Shards: shards}, fmt.Errorf("strict read-back sum = %d, want %d", sum, total)
+	}
+	return ShardedRow{
+		Shards:     shards,
+		Ops:        total,
+		Seconds:    elapsed.Seconds(),
+		Throughput: float64(total) / elapsed.Seconds(),
+		FinalSum:   sum,
+	}, nil
+}
+
+// Table renders the sweep. Wall-clock numbers are machine-dependent and
+// not bit-reproducible (unlike E1–E9).
+func (r ShardedResult) Table() string {
+	t := stats.NewTable("shards", "ops", "seconds", "throughput ops/s")
+	for _, row := range r.Rows {
+		t.AddRow(row.Shards, row.Ops, row.Seconds, row.Throughput)
+	}
+	return t.String() + fmt.Sprintf("aggregate speedup (max shards vs baseline) = %.2f×\n", r.Speedup)
+}
+
+// Verify checks the qualitative sharding claim: every point completed and
+// read back exactly its writes, and — when a threshold is configured —
+// the sharded keyspace outperformed the single-cluster baseline by at
+// least MinSpeedup.
+func (r ShardedResult) Verify(p ShardedParams) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if len(r.Rows) < 2 {
+		return fmt.Errorf("exp: E10 needs at least two sweep points")
+	}
+	for _, row := range r.Rows {
+		if row.Throughput <= 0 {
+			return fmt.Errorf("exp: E10 %d shards: no throughput", row.Shards)
+		}
+		if row.FinalSum != int64(row.Ops) {
+			return fmt.Errorf("exp: E10 %d shards: read back %d of %d ops", row.Shards, row.FinalSum, row.Ops)
+		}
+	}
+	if p.MinSpeedup > 0 && r.Speedup < p.MinSpeedup {
+		return fmt.Errorf("exp: E10 speedup %.2f× below required %.2f×", r.Speedup, p.MinSpeedup)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package esds
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/transport"
+)
+
+// Keyspace is a sharded multi-object data service: a namespace of
+// independent named objects, each replicated by the ESDS algorithm,
+// partitioned across N independent clusters ("shards") that share one
+// transport. Object names are routed to shards by consistent hash, so all
+// of the paper's guarantees — eventual serializability per object, strict
+// operations, prev constraints — hold within each object, while aggregate
+// throughput scales with the shard count (per-shard state and history
+// shrink as the keyspace is split; see the E10 experiment).
+//
+//	ks, _ := esds.NewKeyspace(esds.KeyspaceConfig{
+//		Shards: 4, Replicas: 3, DataType: esds.Counter(),
+//	})
+//	defer ks.Close()
+//	cart := ks.Object("cart:42").Client("alice")
+//	cart.Apply(esds.Add(5))
+//	v, _, _ := cart.ApplyStrict(esds.ReadCounter())
+//
+// Ordering constraints (prev sets, sessions) apply within one object's
+// shard; they cannot span objects that live on different shards.
+type Keyspace struct {
+	net       *transport.LiveNet
+	ks        *core.Keyspace
+	closeOnce sync.Once
+}
+
+// KeyspaceConfig assembles a Keyspace.
+type KeyspaceConfig struct {
+	// Shards is the number of independent ESDS clusters the namespace is
+	// partitioned into. Default: 1.
+	Shards int
+	// Replicas is the number of data replicas per shard (≥ 1).
+	Replicas int
+	// DataType is the serial type of every named object.
+	DataType DataType
+	// GossipInterval is the per-shard anti-entropy period. Default: 10ms.
+	GossipInterval time.Duration
+	// RetransmitInterval is the front-end retransmission period (see
+	// Config.RetransmitInterval). Default: 250ms; negative disables.
+	RetransmitInterval time.Duration
+	// Options selects optimizations for every shard. Default:
+	// DefaultOptions().
+	Options *Options
+}
+
+// NewKeyspace starts a sharded service: Shards independent clusters of
+// Replicas replicas each, gossip and retransmission tickers, one shared
+// in-process transport.
+func NewKeyspace(cfg KeyspaceConfig) (*Keyspace, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("esds: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("esds: invalid replica count %d", cfg.Replicas)
+	}
+	if cfg.DataType == nil {
+		return nil, errors.New("esds: nil data type")
+	}
+	if cfg.GossipInterval < 0 {
+		return nil, fmt.Errorf("esds: negative gossip interval %v", cfg.GossipInterval)
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 10 * time.Millisecond
+	}
+	if cfg.RetransmitInterval == 0 {
+		cfg.RetransmitInterval = 250 * time.Millisecond
+	}
+	opt := core.DefaultOptions()
+	if cfg.Options != nil {
+		opt = *cfg.Options
+	}
+	net := transport.NewLiveNet()
+	ks := core.NewKeyspace(core.KeyspaceConfig{
+		Shards:   cfg.Shards,
+		Replicas: cfg.Replicas,
+		DataType: cfg.DataType,
+		Network:  net,
+		Options:  opt,
+	})
+	ks.StartLiveGossip(cfg.GossipInterval)
+	if cfg.RetransmitInterval > 0 {
+		ks.StartLiveRetransmit(cfg.RetransmitInterval)
+	}
+	return &Keyspace{net: net, ks: ks}, nil
+}
+
+// Close stops every shard, fails all pending operations with ErrClosed,
+// and shuts the transport down. Close is idempotent and safe for
+// concurrent use.
+func (k *Keyspace) Close() {
+	k.closeOnce.Do(func() {
+		k.ks.Close()
+		k.net.Close()
+	})
+}
+
+// NumShards returns the shard count.
+func (k *Keyspace) NumShards() int { return k.ks.NumShards() }
+
+// ShardOf reports which shard serves the named object.
+func (k *Keyspace) ShardOf(object string) int { return k.ks.ShardOf(object) }
+
+// Object returns a handle on the named object, routed to its shard. Two
+// handles with the same name address the same replicated object.
+func (k *Keyspace) Object(name string) *Object {
+	return &Object{ks: k.ks, name: name, shard: k.ks.ShardOf(name)}
+}
+
+// Metrics returns operation counters aggregated across every shard.
+func (k *Keyspace) Metrics() core.ReplicaMetrics { return k.ks.TotalMetrics() }
+
+// ShardMetrics returns the counters of one shard.
+func (k *Keyspace) ShardMetrics(shard int) core.ReplicaMetrics {
+	return k.ks.Shard(shard).TotalMetrics()
+}
+
+// Object is one named object of a Keyspace.
+type Object struct {
+	ks    *core.Keyspace
+	name  string
+	shard int
+}
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.name }
+
+// Shard returns the shard serving this object.
+func (o *Object) Shard() int { return o.shard }
+
+// Client returns a handle submitting operations on this object for the
+// named client. The same client name may drive many objects; ids chain in
+// prev sets only among objects on the same shard (Session stays within one
+// object and is always safe).
+func (o *Object) Client(name string) *Client {
+	return &Client{
+		fe:   o.ks.FrontEnd(o.name, name),
+		wrap: func(op Operator) Operator { return o.ks.WrapOp(o.name, op) },
+	}
+}
