@@ -2,10 +2,14 @@
 // exploration of the transliterated algorithm (internal/model) against the
 // ESDS-II specification (internal/spec), checking every §7 invariant and
 // the §8 forward simulation relation F on every step, across many seeds.
+// It then sweeps the snapshot-install equivalence obligation (the soundness
+// of §9.3 + §10.2 composition): for every snapshottable data type and every
+// cut of random histories, installing the canonical state snapshot of the
+// prefix must be indistinguishable from replaying the prefix's descriptors.
 //
 // Usage:
 //
-//	esds-check -runs 50 -steps 300 -replicas 3 -strict 0.3
+//	esds-check -runs 50 -steps 300 -replicas 3 -strict 0.3 -snapshot-runs 25
 //
 // Exit status 0 means every run passed; any invariant or simulation
 // violation prints a counterexample trace position and exits 1.
@@ -20,6 +24,7 @@ import (
 	"esds/internal/dtype"
 	"esds/internal/ioa"
 	"esds/internal/model"
+	"esds/internal/ops"
 	"esds/internal/spec"
 )
 
@@ -35,6 +40,9 @@ func run(args []string) int {
 	requests := fs.Int("requests", 5, "requests per execution (valset checks are exponential; keep small)")
 	strictProb := fs.Float64("strict", 0.3, "probability a request is strict")
 	seed := fs.Int64("seed", 1, "base seed")
+	snapshotRuns := fs.Int("snapshot-runs", 25,
+		"random histories per data type for the snapshot-install equivalence sweep (0 disables)")
+	snapshotLen := fs.Int("snapshot-len", 24, "operations per history in the snapshot sweep")
 	quiet := fs.Bool("q", false, "only print failures and the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,8 +79,55 @@ func run(args []string) int {
 	}
 	fmt.Printf("\nesds-check: %d/%d runs passed (%d total steps); §7 invariants + simulation F checked every step\n",
 		*runs-failures, *runs, totalSteps)
-	if failures > 0 {
+
+	snapFailures, snapChecks := snapshotSweep(*snapshotRuns, *snapshotLen, *seed, *quiet)
+	if *snapshotRuns > 0 {
+		fmt.Printf("esds-check: snapshot-install equivalence: %d/%d cut checks passed\n",
+			snapChecks-snapFailures, snapChecks)
+	}
+
+	if failures+snapFailures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// snapshotSweep checks CheckSnapshotInstallEquivalence for every
+// snapshottable data type (each built-in and its keyed lift) over random
+// histories, at every cut of every history. It returns (failures, checks).
+func snapshotSweep(runs, histLen int, seed int64, quiet bool) (failures, checks int) {
+	if runs <= 0 {
+		return 0, 0
+	}
+	var dts []dtype.DataType
+	for _, name := range dtype.Names() {
+		dt, _ := dtype.ByName(name)
+		dts = append(dts, dt, dtype.NewKeyed(dt))
+	}
+	for _, dt := range dts {
+		if !dtype.CanSnapshot(dt) {
+			fmt.Printf("snapshot sweep: %s: FAIL: no snapshot encoding\n", dt.Name())
+			failures++
+			checks++
+			continue
+		}
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(seed + int64(run)))
+			seq := make([]ops.Operation, histLen)
+			for i := range seq {
+				seq[i] = ops.New(dtype.RandomOp(rng, dt), ops.ID{Client: "chk", Seq: uint64(i)}, nil, false)
+			}
+			for cut := 0; cut <= len(seq); cut++ {
+				checks++
+				if err := spec.CheckSnapshotInstallEquivalence(dt, seq, cut); err != nil {
+					failures++
+					fmt.Printf("snapshot sweep: %s (seed %d, cut %d): FAIL: %v\n", dt.Name(), seed+int64(run), cut, err)
+				}
+			}
+		}
+		if !quiet {
+			fmt.Printf("snapshot sweep: %s: ok — %d histories × all cuts\n", dt.Name(), runs)
+		}
+	}
+	return failures, checks
 }

@@ -40,6 +40,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -66,6 +67,8 @@ type config struct {
 	shards    int
 	gossip    time.Duration
 	client    string
+	storeDir  string
+	recover   bool
 	verbose   bool
 	opts      core.Options
 }
@@ -85,9 +88,15 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		"shard the service into a multi-object keyspace of this many independent clusters; every member must agree")
 	fs.DurationVar(&cfg.gossip, "gossip", 100*time.Millisecond, "gossip period")
 	fs.StringVar(&cfg.client, "client", "", "run a front end for this client name instead of a replica")
+	fs.StringVar(&cfg.storeDir, "store", "",
+		"directory for the §9.3 stable store (locally generated labels); required for correct crash recovery with -recover")
+	fs.BoolVar(&cfg.recover, "recover", false,
+		"start in §9.3 recovery: ask every peer for fresh state (and a snapshot, with -snapshot) before serving; use when restarting a crashed replica")
 	fs.BoolVar(&cfg.verbose, "verbose", false, "log transport diagnostics to stderr")
 	fs.BoolVar(&cfg.opts.Memoize, "memoize", true, "memoize the solid prefix (§10.1)")
 	fs.BoolVar(&cfg.opts.Prune, "prune", true, "prune descriptors of memoized stable operations (§10.2)")
+	fs.BoolVar(&cfg.opts.Snapshot, "snapshot", true,
+		"answer recovery requests with a state snapshot of the memoized prefix (makes -prune composable with -recover); every member must agree — a -prune member that refuses snapshots strands recovering peers")
 	fs.BoolVar(&cfg.opts.Commute, "commute", false, "answer non-strict operations from the current state (§10.3)")
 	fs.BoolVar(&cfg.opts.IncrementalGossip, "incremental", false,
 		"send gossip deltas instead of full state (§10.4; requires reliable FIFO channels — a TCP reconnect loses deltas, so leave this off unless the network is trusted)")
@@ -109,6 +118,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.shards < 1 {
 		return cfg, fmt.Errorf("-shards %d must be at least 1", cfg.shards)
+	}
+	if cfg.client != "" && (cfg.recover || cfg.storeDir != "") {
+		return cfg, fmt.Errorf("-recover and -store apply to replicas, not -client front ends")
+	}
+	if cfg.recover && cfg.storeDir == "" {
+		return cfg, fmt.Errorf("-recover requires -store: without persisted labels a recovered replica can re-issue a pre-crash label and split the total order (§9.3)")
 	}
 	if cfg.client == "" {
 		if cfg.id < 0 || cfg.id >= len(cfg.peers) {
@@ -167,11 +182,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if cfg.shards > 1 {
 		return runSharded(cfg, dt, net, local, stdin, stdout, stderr)
 	}
+	var stores []core.StableStore
+	var fileStores []*core.FileStableStore
+	if cfg.storeDir != "" {
+		st, err := openStore(cfg.storeDir, 0, cfg.id)
+		if err != nil {
+			fmt.Fprintf(stderr, "esds-server: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		stores = make([]core.StableStore, len(cfg.peers))
+		stores[cfg.id] = st
+		fileStores = append(fileStores, st)
+	}
 	cluster := core.NewCluster(core.ClusterConfig{
 		Replicas:      len(cfg.peers),
 		DataType:      dt,
 		Network:       net,
 		Options:       cfg.opts,
+		Stores:        stores,
 		LocalReplicas: local,
 	})
 	defer cluster.Close()
@@ -186,20 +215,128 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	cluster.StartLiveGossip(cfg.gossip)
+	if cfg.recover {
+		startRecovery(cluster.LocalReplicas(), cfg.gossip, stdout)
+	}
 	// READY tells wrappers (and the integration test) that the replica is
 	// registered and accepting connections on the printed address.
 	fmt.Fprintf(stdout, "READY replica=%d addr=%s type=%s\n", cfg.id, net.Addr(), cfg.dtName)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	<-sigc
-	return 0
+	select {
+	case <-sigc:
+		return 0
+	case err := <-storeFailure(fileStores):
+		fmt.Fprintf(stderr, "esds-server: stable store failed: %v; shutting down — the replica can no longer recover safely\n", err)
+		return 1
+	}
+}
+
+// openStore opens the file stable store for one (shard, replica) pair
+// under dir, creating dir if needed.
+func openStore(dir string, shard, id int) (*core.FileStableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating -store directory: %w", err)
+	}
+	return core.OpenFileStableStore(filepath.Join(dir, fmt.Sprintf("s%d-replica-%d.labels", shard, id)))
+}
+
+// startRecovery begins the §9.3 handshake on every local replica and keeps
+// re-issuing it until it completes: the initial recovery requests race the
+// peers' listeners (and, on a lossy network, can simply be dropped), and a
+// request lost before any ack arrives would otherwise strand the replica
+// in recovery forever. Retries go through RetryRecovery, which keeps the
+// acks already collected and no-ops once the handshake is done. When every
+// local replica has recovered, a RECOVERED status line reports how the
+// history came back (snapshots installed, operations seeded from them,
+// descriptors retained) — wrappers and the multi-process tests read it to
+// confirm the snapshot path actually ran.
+func startRecovery(replicas []*core.Replica, period time.Duration, stdout io.Writer) {
+	for _, r := range replicas {
+		r.Recover()
+	}
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	go func() {
+		ticker := time.NewTicker(2 * period)
+		defer ticker.Stop()
+		for range ticker.C {
+			waiting := false
+			for _, r := range replicas {
+				if r.Recovering() {
+					waiting = true
+					r.RetryRecovery()
+				}
+			}
+			if !waiting {
+				var m core.ReplicaMetrics
+				for _, r := range replicas {
+					m.Add(r.Metrics())
+				}
+				fmt.Fprintf(stdout, "RECOVERED replicas=%d snapshots=%d seeded=%d retained=%d\n",
+					len(replicas), m.SnapshotsInstalled, m.SnapshotOpsSeeded, m.RetainedOps)
+				return
+			}
+		}
+	}()
+}
+
+// storeFailure watches the stable stores and yields the first write error:
+// a replica that cannot persist its labels must fail-stop — continuing
+// would advertise recoverability the §9.3 protocol can no longer deliver
+// (a label lost from the store can be re-issued after a crash, splitting
+// the total order).
+func storeFailure(stores []*core.FileStableStore) <-chan error {
+	if len(stores) == 0 {
+		return nil
+	}
+	ch := make(chan error, 1)
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for range ticker.C {
+			for _, st := range stores {
+				if err := st.Err(); err != nil {
+					ch <- err
+					return
+				}
+			}
+		}
+	}()
+	return ch
 }
 
 // runSharded is the -shards N > 1 path: the member hosts its replica id in
 // every shard of a multi-object keyspace (or a keyspace front end, with
 // -client).
 func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []int, stdin io.Reader, stdout, stderr io.Writer) int {
+	var storeFor func(shard, replica int) core.StableStore
+	var storeErr error
+	var stores []*core.FileStableStore
+	// Registered before the keyspace exists (and before defer ks.Close), so
+	// the LIFO order closes the store files only after every replica has
+	// stopped writing labels.
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	if cfg.storeDir != "" && cfg.client == "" {
+		storeFor = func(shard, replica int) core.StableStore {
+			if replica != cfg.id || storeErr != nil {
+				return nil
+			}
+			st, err := openStore(cfg.storeDir, shard, replica)
+			if err != nil {
+				storeErr = err
+				return nil
+			}
+			stores = append(stores, st)
+			return st
+		}
+	}
 	ks := core.NewKeyspace(core.KeyspaceConfig{
 		Shards:        cfg.shards,
 		Replicas:      len(cfg.peers),
@@ -207,8 +344,13 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []in
 		Network:       net,
 		Options:       cfg.opts,
 		LocalReplicas: local,
+		StoreFor:      storeFor,
 	})
 	defer ks.Close()
+	if storeErr != nil {
+		fmt.Fprintf(stderr, "esds-server: %v\n", storeErr)
+		return 1
+	}
 	net.Start()
 
 	if cfg.client != "" {
@@ -217,12 +359,24 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []in
 	}
 
 	ks.StartLiveGossip(cfg.gossip)
+	if cfg.recover {
+		var all []*core.Replica
+		for s := 0; s < ks.NumShards(); s++ {
+			all = append(all, ks.Shard(s).LocalReplicas()...)
+		}
+		startRecovery(all, cfg.gossip, stdout)
+	}
 	fmt.Fprintf(stdout, "READY replica=%d shards=%d addr=%s type=%s\n", cfg.id, cfg.shards, net.Addr(), cfg.dtName)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	<-sigc
-	return 0
+	select {
+	case <-sigc:
+		return 0
+	case err := <-storeFailure(stores):
+		fmt.Fprintf(stderr, "esds-server: stable store failed: %v; shutting down — the replica can no longer recover safely\n", err)
+		return 1
+	}
 }
 
 // runShardedClient reads "OBJECT op args... [!]" lines and submits each

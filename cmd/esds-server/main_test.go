@@ -8,6 +8,8 @@ import (
 	"os/exec"
 	"reflect"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -39,6 +41,15 @@ func TestHelperProcess(t *testing.T) {
 // its READY line.
 func spawnReplica(t *testing.T, id int, peers []string, extra ...string) *exec.Cmd {
 	t.Helper()
+	cmd, _ := spawnReplicaWatch(t, id, peers, extra...)
+	return cmd
+}
+
+// spawnReplicaWatch is spawnReplica plus a getter over everything the
+// replica has printed so far (the recovery test reads the RECOVERED status
+// line from it).
+func spawnReplicaWatch(t *testing.T, id int, peers []string, extra ...string) (*exec.Cmd, func() string) {
+	t.Helper()
 	args := []string{"-test.run=TestHelperProcess", "--",
 		"-id", fmt.Sprint(id), "-peers", strings.Join(peers, ","), "-gossip", "20ms"}
 	args = append(args, extra...)
@@ -56,16 +67,26 @@ func spawnReplica(t *testing.T, id int, peers []string, extra ...string) *exec.C
 		cmd.Process.Kill()
 		cmd.Wait()
 	})
+	var mu sync.Mutex
+	var captured strings.Builder
 	ready := make(chan string, 1)
 	go func() {
 		scanner := bufio.NewScanner(out)
+		sawReady := false
 		for scanner.Scan() {
-			if strings.HasPrefix(scanner.Text(), "READY") {
-				ready <- scanner.Text()
-				return
+			line := scanner.Text()
+			mu.Lock()
+			captured.WriteString(line)
+			captured.WriteByte('\n')
+			mu.Unlock()
+			if !sawReady && strings.HasPrefix(line, "READY") {
+				sawReady = true
+				ready <- line
 			}
 		}
-		close(ready)
+		if !sawReady {
+			close(ready)
+		}
 	}()
 	select {
 	case line, ok := <-ready:
@@ -76,7 +97,11 @@ func spawnReplica(t *testing.T, id int, peers []string, extra ...string) *exec.C
 	case <-time.After(10 * time.Second):
 		t.Fatalf("replica %d did not become ready", id)
 	}
-	return cmd
+	return cmd, func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return captured.String()
+	}
 }
 
 // reservePorts binds and immediately releases n loopback ports, returning
@@ -172,6 +197,141 @@ func TestClientModeAgainstCluster(t *testing.T) {
 	}
 }
 
+// TestKillNineRecoveryWithPruning is the multi-process crash-recovery
+// test: a replica process is SIGKILLed mid-load with pruning ON, then
+// restarted with -recover against the same stable store. By restart time
+// the survivors have pruned the early descriptors, so the rejoined replica
+// can only catch up through the §9.3 snapshot transfer. The proof of
+// convergence is a strict read pinned to the restarted replica and
+// causally ordered after the whole write chain: its value is computed from
+// the restarted replica's own history, so it is correct iff the snapshot
+// restored every pruned operation.
+func TestKillNineRecoveryWithPruning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	core.RegisterWire()
+	peers := reservePorts(t, 3)
+	storeDir := t.TempDir()
+	procs := make([]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		procs[i] = spawnReplica(t, i, peers, "-store", storeDir)
+	}
+
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feNet.Close()
+	for i, addr := range peers {
+		feNet.SetPeer(core.ReplicaNode(label.ReplicaID(i)), addr)
+	}
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas:      3,
+		DataType:      dtype.Counter{},
+		Network:       feNet,
+		LocalReplicas: []int{},
+	})
+	defer cluster.Close()
+	feNet.Start()
+	cluster.StartLiveRetransmit(250 * time.Millisecond)
+	fe := cluster.FrontEnd("load")
+
+	// Causally chained adds: each op's prev is its predecessor, so a read
+	// ordered after the last add is ordered after ALL of them.
+	const preCrash, postCrash = 12, 8
+	total := 0
+	var last ops.ID
+	add := func(n int) {
+		x, v, err := submitWithDeadline(fe, dtype.CtrAdd{N: int64(n)}, prevOf(last), false, 15*time.Second)
+		if err != nil {
+			t.Fatalf("add %d: %v", n, err)
+		}
+		if v != "ok" {
+			t.Fatalf("add %d returned %v", n, v)
+		}
+		last = x.ID
+		total += n
+	}
+	for i := 1; i <= preCrash; i++ {
+		add(i)
+	}
+	// Let the pre-crash history stabilize and prune at every replica (the
+	// gossip period is 20ms; a second is dozens of rounds).
+	time.Sleep(1 * time.Second)
+
+	// kill -9: no shutdown path runs; only the stable store survives.
+	if err := procs[0].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	procs[0].Wait()
+
+	// Load continues against the survivors (retransmission skips the dead
+	// member).
+	for i := preCrash + 1; i <= preCrash+postCrash; i++ {
+		add(i)
+	}
+
+	// Restart replica 0 on the same address with the same store, in
+	// recovery mode.
+	_, output := spawnReplicaWatch(t, 0, peers, "-store", storeDir, "-recover")
+
+	// A strict read pinned to the restarted replica, ordered after the full
+	// chain: answered only once replica 0 has rejoined, and correct only if
+	// the snapshot restored the pruned prefix.
+	reader := cluster.FrontEnd("reader")
+	reader.StickTo(core.ReplicaNode(0))
+	_, v, err := submitWithDeadline(reader, dtype.CtrRead{}, prevOf(last), true, 30*time.Second)
+	if err != nil {
+		t.Fatalf("strict read after restart: %v", err)
+	}
+	if v != int64(total) {
+		t.Fatalf("strict read at restarted replica = %v, want %d: snapshot recovery lost pruned history", v, total)
+	}
+
+	// The RECOVERED status line proves the history came back through the
+	// snapshot path, not descriptor replay: every pre-crash op was seeded
+	// from a snapshot, and the survivors really had pruned the prefix
+	// (otherwise the recovery gossip would have re-delivered the
+	// descriptors and `retained` would cover the whole history).
+	deadline := time.Now().Add(10 * time.Second)
+	var recovered string
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(output(), "\n") {
+			if strings.HasPrefix(line, "RECOVERED") {
+				recovered = line
+				break
+			}
+		}
+		if recovered != "" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if recovered == "" {
+		t.Fatalf("restarted replica never printed RECOVERED:\n%s", output())
+	}
+	var nReplicas, snapshots, seeded, retained int
+	if _, err := fmt.Sscanf(recovered, "RECOVERED replicas=%d snapshots=%d seeded=%d retained=%d",
+		&nReplicas, &snapshots, &seeded, &retained); err != nil {
+		t.Fatalf("malformed status line %q: %v", recovered, err)
+	}
+	if snapshots == 0 || seeded < preCrash {
+		t.Fatalf("%s: expected the full pre-crash history (%d ops) seeded via snapshot", recovered, preCrash)
+	}
+	if retained >= preCrash {
+		t.Fatalf("%s: restarted replica re-learned %d descriptors — survivors had not pruned, the test no longer exercises snapshot-only recovery", recovered, retained)
+	}
+}
+
+// prevOf wraps a possibly-zero id as a prev set.
+func prevOf(id ops.ID) []ops.ID {
+	if id == (ops.ID{}) {
+		return nil
+	}
+	return []ops.ID{id}
+}
+
 func TestParseOp(t *testing.T) {
 	good := []struct {
 		dt, line string
@@ -226,6 +386,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{[]string{"-peers", "a:1,b:2", "-id", "5"}, "-id 5 out of range"},
 		{[]string{"-peers", "a:1,,b:2", "-id", "0"}, "entry 1 is empty"},
 		{[]string{"-peers", "a:1", "-id", "0", "-type", "nosuch"}, "unknown data type"},
+		{[]string{"-peers", "a:1,b:2", "-client", "c", "-recover"}, "apply to replicas"},
+		{[]string{"-peers", "a:1,b:2", "-client", "c", "-store", "/tmp/x"}, "apply to replicas"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-recover"}, "-recover requires -store"},
 	}
 	for _, tc := range cases {
 		_, err := parseFlags(tc.args, os.Stderr)

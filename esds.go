@@ -161,6 +161,13 @@ func (s *Service) Replicas() int { return s.cluster.NumReplicas() }
 // Metrics returns cluster-wide operation counters.
 func (s *Service) Metrics() core.ReplicaMetrics { return s.cluster.TotalMetrics() }
 
+// Faults returns the typed faults recorded by the service's replicas:
+// inputs rejected because accepting them would violate an algorithm
+// invariant (corrupted or hostile messages). A healthy deployment keeps
+// this empty; operators should alert on growth (see also
+// Metrics().Faults, which keeps counting past the bounded log).
+func (s *Service) Faults() []error { return s.cluster.Faults() }
+
 // Client returns a handle for the named client. Each client name owns an
 // independent identifier space; calling Client twice with the same name
 // returns handles backed by the same front end.

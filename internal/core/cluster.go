@@ -308,6 +308,20 @@ func (c *Cluster) Close() {
 	}
 }
 
+// Faults aggregates the typed faults recorded by every local replica:
+// inputs rejected because accepting them would violate an algorithm
+// invariant (see FaultCode). An operator alerting on a non-empty Faults is
+// the production posture; tests assert it stays empty under honest chaos.
+func (c *Cluster) Faults() []error {
+	var out []error
+	for _, r := range c.replicas {
+		if r != nil {
+			out = append(out, r.Faults()...)
+		}
+	}
+	return out
+}
+
 // TotalMetrics sums the metrics of all local replicas.
 func (c *Cluster) TotalMetrics() ReplicaMetrics {
 	var total ReplicaMetrics

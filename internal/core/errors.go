@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"esds/internal/label"
+	"esds/internal/ops"
+)
+
+// FaultCode classifies a replica fault: a condition that the abstract
+// algorithm's invariants rule out, but that hostile or corrupted messages
+// (and, historically, implementation bugs) can still present to a running
+// replica. The seed implementation panicked at these sites; a production
+// replica must instead reject the offending input, record the fault, and
+// keep serving — a single bad frame on the wire must not take a replica
+// down. Faults are surfaced through Replica.Faults / Cluster.Faults and
+// counted in ReplicaMetrics.Faults.
+type FaultCode int
+
+const (
+	// FaultMemoLabelChange: gossip tried to lower the label of a memoized
+	// operation. Solid labels are final (Lemma 10.2); the lowering is
+	// refused.
+	FaultMemoLabelChange FaultCode = iota
+	// FaultMemoOrderViolation: the next operation due for memoization
+	// carries a label below the memoized frontier — it would insert into
+	// the solid prefix. Memoization stops short of it.
+	FaultMemoOrderViolation
+	// FaultMemoizePruned: the next operation due for memoization has no
+	// retained descriptor and no snapshot-seeded value. Memoization stops
+	// short of it.
+	FaultMemoizePruned
+	// FaultApplyPruned: commute mode was asked to apply an operation whose
+	// descriptor is missing. The apply is skipped (the slow response path
+	// does not depend on it).
+	FaultApplyPruned
+	// FaultValuePruned: a response value required replaying an unsolid
+	// operation whose descriptor is missing. The response is withheld.
+	FaultValuePruned
+	// FaultValueNotDone: a response value was requested for an operation
+	// absent from the local total order. The response is withheld.
+	FaultValueNotDone
+	// FaultBadSnapshot: a snapshot message failed validation (wrong data
+	// type, non-canonical state bytes, inconsistent prefix, ∞ labels) and
+	// was rejected.
+	FaultBadSnapshot
+	// FaultStoreFailed: the stable store could not persist a locally
+	// generated label. The replica stops labeling new operations — using a
+	// label a restart would forget can split the total order (§9.3).
+	FaultStoreFailed
+	// FaultLabelsExhausted: the label sequence space is used up, so no
+	// fresh label can sort above everything seen. Reachable remotely (a
+	// hostile peer can gossip a near-maximal label Seq); the replica stops
+	// labeling instead of crashing.
+	FaultLabelsExhausted
+)
+
+// String renders the code for diagnostics.
+func (c FaultCode) String() string {
+	switch c {
+	case FaultMemoLabelChange:
+		return "memo-label-change"
+	case FaultMemoOrderViolation:
+		return "memo-order-violation"
+	case FaultMemoizePruned:
+		return "memoize-pruned"
+	case FaultApplyPruned:
+		return "apply-pruned"
+	case FaultValuePruned:
+		return "value-pruned"
+	case FaultValueNotDone:
+		return "value-not-done"
+	case FaultBadSnapshot:
+		return "bad-snapshot"
+	case FaultStoreFailed:
+		return "store-failed"
+	case FaultLabelsExhausted:
+		return "labels-exhausted"
+	default:
+		return fmt.Sprintf("fault(%d)", int(c))
+	}
+}
+
+// ReplicaFault is the typed error recorded when a replica rejects input
+// that would violate an algorithm invariant.
+type ReplicaFault struct {
+	Replica label.ReplicaID
+	Code    FaultCode
+	ID      ops.ID // the operation involved (zero when not applicable)
+	Detail  string
+}
+
+// Error implements error.
+func (f *ReplicaFault) Error() string {
+	return fmt.Sprintf("core: replica %d: %s: op %v: %s", f.Replica, f.Code, f.ID, f.Detail)
+}
+
+// maxRecordedFaults bounds the per-replica fault log; the metrics counter
+// keeps counting past it.
+const maxRecordedFaults = 64
+
+// fault records a ReplicaFault (mutex held).
+func (r *Replica) fault(code FaultCode, id ops.ID, format string, args ...any) {
+	r.metrics.Faults++
+	if len(r.faults) >= maxRecordedFaults {
+		return
+	}
+	r.faults = append(r.faults, &ReplicaFault{
+		Replica: r.id,
+		Code:    code,
+		ID:      id,
+		Detail:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Faults returns the faults recorded so far (bounded; see
+// ReplicaMetrics.Faults for the full count).
+func (r *Replica) Faults() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]error, len(r.faults))
+	for i, f := range r.faults {
+		out[i] = f
+	}
+	return out
+}

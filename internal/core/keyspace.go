@@ -46,6 +46,12 @@ type KeyspaceConfig struct {
 	// shard (see ClusterConfig.LocalReplicas). Nil means all replicas of
 	// all shards are local.
 	LocalReplicas []int
+	// StoreFor, if non-nil, supplies the stable store for a given (shard,
+	// replica) pair — recovery state is per shard because operation
+	// identifiers are only unique within one (clients count sequence
+	// numbers per object's shard). Returning nil leaves that replica
+	// without a store.
+	StoreFor func(shard, replica int) StableStore
 }
 
 // NewKeyspace builds one cluster per shard over the shared network.
@@ -62,11 +68,19 @@ func NewKeyspace(cfg KeyspaceConfig) *Keyspace {
 		ring:   newHashRing(cfg.Shards, ringVnodes),
 	}
 	for s := range k.shards {
+		var stores []StableStore
+		if cfg.StoreFor != nil {
+			stores = make([]StableStore, cfg.Replicas)
+			for i := range stores {
+				stores[i] = cfg.StoreFor(s, i)
+			}
+		}
 		k.shards[s] = NewCluster(ClusterConfig{
 			Replicas:      cfg.Replicas,
 			DataType:      dtype.NewKeyed(cfg.DataType),
 			Network:       cfg.Network,
 			Options:       cfg.Options,
+			Stores:        stores,
 			LocalReplicas: cfg.LocalReplicas,
 			Shard:         s,
 		})
@@ -139,6 +153,15 @@ func (k *Keyspace) Close() {
 	for _, c := range k.shards {
 		c.Close()
 	}
+}
+
+// Faults aggregates the typed faults of every shard's local replicas.
+func (k *Keyspace) Faults() []error {
+	var out []error
+	for _, c := range k.shards {
+		out = append(out, c.Faults()...)
+	}
+	return out
 }
 
 // TotalMetrics sums the metrics of all local replicas across all shards —

@@ -16,6 +16,22 @@ type ReplicaMetrics struct {
 	GossipSuppressed uint64
 	// ResponsesSent counts ⟨response⟩ messages.
 	ResponsesSent uint64
+	// SnapshotsSent / SnapshotsReceived count SnapshotMsg traffic (the
+	// §9.3 recovery-handshake state transfer).
+	SnapshotsSent     uint64
+	SnapshotsReceived uint64
+	// SnapshotsInstalled counts snapshots that extended the local memoized
+	// prefix; SnapshotsIgnored counts duplicates and stale snapshots
+	// (no longer than what is already installed or memoized locally).
+	SnapshotsInstalled uint64
+	SnapshotsIgnored   uint64
+	// SnapshotOpsSeeded counts operations that became locally done through
+	// snapshot installation rather than descriptor replay.
+	SnapshotOpsSeeded uint64
+	// Faults counts rejected-input faults (see FaultCode): conditions the
+	// algorithm's invariants rule out for honest senders, refused instead
+	// of crashing the replica.
+	Faults uint64
 	// AppliesForResponse counts data type Apply calls made while computing
 	// response values. Without memoization this grows quadratically with
 	// history length; with it, only the unstable suffix is recomputed.
@@ -46,6 +62,12 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.GossipReceived += o.GossipReceived
 	m.GossipSuppressed += o.GossipSuppressed
 	m.ResponsesSent += o.ResponsesSent
+	m.SnapshotsSent += o.SnapshotsSent
+	m.SnapshotsReceived += o.SnapshotsReceived
+	m.SnapshotsInstalled += o.SnapshotsInstalled
+	m.SnapshotsIgnored += o.SnapshotsIgnored
+	m.SnapshotOpsSeeded += o.SnapshotOpsSeeded
+	m.Faults += o.Faults
 	m.AppliesForResponse += o.AppliesForResponse
 	m.AppliesForMemoize += o.AppliesForMemoize
 	m.AppliesForCurrentState += o.AppliesForCurrentState

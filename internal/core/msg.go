@@ -49,6 +49,45 @@ type GossipMsg struct {
 	// RecoveryRequestMsg (§9.3): the recovering replica counts one ack per
 	// peer before resuming.
 	RecoveryAck bool
+	// RecoverySnapshotLen, on a RecoveryAck, is the length of the
+	// SnapshotMsg the peer sent just before this ack (0 when it sent none).
+	// A snapshot-enabled recovering replica counts the ack only once its
+	// installed prefix has reached that length: the ack and the snapshot
+	// are separate, individually losable messages, and completing recovery
+	// on the ack alone would strand the replica without the pruned prefix
+	// forever (no later gossip can carry it).
+	RecoverySnapshotLen int
+}
+
+// SnapOp is one entry of a replica snapshot (SnapshotMsg): an operation of
+// the sender's memoized solid prefix, reduced to what a recovering replica
+// needs when the full descriptor may have been pruned everywhere — its
+// identity, its final label (solid labels never change, Lemma 10.2), its
+// memoized value, whether the sender had it stable, and its strict flag
+// (so a retransmitted request for it is still answered under the strict
+// discipline).
+type SnapOp struct {
+	ID     ops.ID
+	Label  label.Label
+	Value  dtype.Value
+	Stable bool
+	Strict bool
+}
+
+// SnapshotMsg is a replica snapshot: the sender's memoized solid prefix in
+// final label order, the serial state after that prefix in the data type's
+// canonical encoding (dtype.Snapshotter), and the sender's label watermark.
+// It is the SnapshotReply of the §9.3 recovery handshake extension — a peer
+// answering a RecoveryRequestMsg sends its snapshot before the recovery-ack
+// gossip, so a recovering replica seeds the memoized prefix before replaying
+// descriptors. Without it, §10.2 pruning and crash recovery do not compose:
+// a descriptor pruned at every replica can never be re-learned.
+type SnapshotMsg struct {
+	From      label.ReplicaID
+	DataType  string // DataType.Name() of the sender; must match the receiver
+	Ops       []SnapOp
+	State     []byte // canonical encoding of the state after Ops
+	Watermark uint64 // highest label Seq the sender has observed (§9.3 freshness)
 }
 
 // EstimateSize approximates the wire size in bytes of a core message, for
@@ -75,6 +114,9 @@ func EstimateSize(payload any) int {
 		size += (idBytes + labelBytes) * len(m.L)
 		size += idBytes * len(m.S)
 		return size
+	case SnapshotMsg:
+		// Per snapshot op: id + label + value + two flags.
+		return headerSize + len(m.Ops)*(idBytes+labelBytes+16+2) + len(m.State)
 	default:
 		return headerSize
 	}

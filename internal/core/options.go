@@ -23,6 +23,24 @@ type Options struct {
 	// order all non-commuting operations via prev sets.
 	Commute bool
 
+	// Snapshot enables snapshot-based state transfer during the §9.3
+	// recovery handshake: a peer answering a recovery request first sends
+	// its memoized solid prefix as a SnapshotMsg (ids, final labels,
+	// memoized values, and the canonically encoded serial state), which the
+	// recovering replica installs before descriptor replay. This is what
+	// makes Prune composable with crash recovery — a descriptor pruned at
+	// every replica can never be re-learned from gossip, but its effect is
+	// contained in the snapshot. Requires the data type to implement
+	// dtype.Snapshotter (all built-in types and their Keyed lifts do);
+	// otherwise no snapshot is sent and recovery degrades to pure
+	// descriptor replay — which, with Prune also on, permanently loses any
+	// operation whose descriptor every peer has pruned (the data-loss gap
+	// the snapshot closes; TestPruneRecoveryDataLossWithoutSnapshot pins
+	// it). Every replica of a cluster should agree on this option: a
+	// recovering replica can only receive snapshots from peers that have
+	// it on.
+	Snapshot bool
+
 	// IncrementalGossip enables the §10.4 communication reduction: each
 	// replica remembers what it has sent to each peer and gossips only new
 	// operations, newly done/stable identifiers, and lowered labels.
@@ -34,8 +52,9 @@ type Options struct {
 }
 
 // DefaultOptions is the configuration a production deployment would run:
-// memoization and pruning on, incremental gossip on, commute mode off
+// memoization and pruning on, snapshot recovery on (pruning without it
+// forfeits crash recovery), incremental gossip on, commute mode off
 // (commute mode needs the SafeUsers client discipline).
 func DefaultOptions() Options {
-	return Options{Memoize: true, Prune: true, IncrementalGossip: true}
+	return Options{Memoize: true, Prune: true, Snapshot: true, IncrementalGossip: true}
 }

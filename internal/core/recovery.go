@@ -37,8 +37,13 @@ type RecoveryRequestMsg struct {
 // must retain writes made before a crash; they are the replica's only
 // non-volatile state.
 type StableStore interface {
-	// PersistLabel records that the replica assigned l to id.
-	PersistLabel(id ops.ID, l label.Label)
+	// PersistLabel records that the replica assigned l to id. A non-nil
+	// error means the label is NOT durable; the replica then refuses to use
+	// it (and stops labeling new operations): §9.3's safety rests on every
+	// locally generated label surviving a crash, and a label used but lost
+	// could be re-issued to a different operation after recovery, splitting
+	// the total order.
+	PersistLabel(id ops.ID, l label.Label) error
 	// Labels returns all persisted assignments.
 	Labels() map[ops.ID]label.Label
 }
@@ -57,11 +62,12 @@ func NewMemStableStore() *MemStableStore {
 	return &MemStableStore{m: make(map[ops.ID]label.Label)}
 }
 
-// PersistLabel implements StableStore.
-func (s *MemStableStore) PersistLabel(id ops.ID, l label.Label) {
+// PersistLabel implements StableStore; memory writes cannot fail.
+func (s *MemStableStore) PersistLabel(id ops.ID, l label.Label) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[id] = l
+	return nil
 }
 
 // Labels implements StableStore.
@@ -116,6 +122,8 @@ func (r *Replica) Crash() {
 		r.pendS[i] = nil
 		r.pendL[i] = make(map[ops.ID]struct{})
 	}
+	r.strictGhost = make(map[ops.ID]struct{})
+	r.storeFailed = false // re-latches on the next failed write
 	r.crashed = true
 	r.recovering = false
 	r.recoveryAcks = nil
@@ -156,16 +164,50 @@ func (r *Replica) Recovering() bool {
 	return r.recovering
 }
 
+// RetryRecovery re-sends recovery requests to the peers that have not yet
+// acked, keeping the acks already collected — the periodic retry against
+// lost requests or acks. It is a no-op unless the replica is currently
+// recovering (decided under the lock, so a handshake that just completed
+// is never restarted; contrast Recover, which always begins a fresh round).
+func (r *Replica) RetryRecovery() {
+	r.mu.Lock()
+	if r.crashed || !r.recovering {
+		r.mu.Unlock()
+		return
+	}
+	var missing []transport.NodeID
+	for i := 0; i < r.n; i++ {
+		if i == int(r.id) {
+			continue
+		}
+		if _, acked := r.recoveryAcks[label.ReplicaID(i)]; !acked {
+			missing = append(missing, r.peers[i])
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range missing {
+		r.net.Send(r.node, p, RecoveryRequestMsg{From: r.id})
+	}
+}
+
 // handleRecoveryRequest serves a peer's recovery: the requester lost
 // everything previously sent, so the peer's delta queues are re-primed
-// with a full snapshot, which is then sent as one gossip message flagged
-// as a recovery ack.
+// with a full view of its state, which is then sent as one gossip message
+// flagged as a recovery ack. With Options.Snapshot, a state snapshot of
+// the memoized solid prefix is sent FIRST (on FIFO transports it installs
+// before the descriptor replay the ack gossip triggers): it stands in for
+// the descriptors §10.2 pruning discarded, which no gossip R can carry any
+// more.
 func (r *Replica) handleRecoveryRequest(msg RecoveryRequestMsg) {
 	from := int(msg.From)
 	r.mu.Lock()
 	if from < 0 || from >= r.n || from == int(r.id) || r.crashed {
 		r.mu.Unlock()
 		return
+	}
+	snap, haveSnap := r.buildSnapshot()
+	if haveSnap {
+		r.metrics.SnapshotsSent++
 	}
 	var out GossipMsg
 	if r.opt.IncrementalGossip {
@@ -188,8 +230,14 @@ func (r *Replica) handleRecoveryRequest(msg RecoveryRequestMsg) {
 		out = r.buildGossip(from)
 	}
 	out.RecoveryAck = true
+	if haveSnap {
+		out.RecoverySnapshotLen = len(snap.Ops)
+	}
 	r.metrics.GossipSent++
 	to := r.peers[from]
 	r.mu.Unlock()
+	if haveSnap {
+		r.net.Send(r.node, to, snap)
+	}
 	r.net.Send(r.node, to, out)
 }

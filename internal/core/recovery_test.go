@@ -159,15 +159,24 @@ func TestRecoveringReplicaDoesNotAnswer(t *testing.T) {
 		t.Fatal("recovering replica answered a request")
 	}
 
-	// Peer returns: handshake completes, request drains.
+	// Peer returns: handshake completes, request drains. RetryRecovery
+	// re-asks only the peer whose ack is missing, keeping node2's ack.
 	e.net.SetNodeDown(nodes[1], false)
-	r0.Recover() // re-issue requests (the first ack from node1 was lost)
+	r0.RetryRecovery()
 	e.s.RunFor(300 * sim.Millisecond)
 	if r0.Recovering() {
 		t.Fatal("recovery stuck after peer healed")
 	}
 	if !answered {
 		t.Fatal("request not answered after recovery")
+	}
+
+	// Once recovered, further retries are no-ops: no new recovery round
+	// starts, the replica keeps serving.
+	r0.RetryRecovery()
+	e.s.RunFor(100 * sim.Millisecond)
+	if r0.Recovering() {
+		t.Fatal("RetryRecovery restarted a completed handshake")
 	}
 }
 
@@ -235,6 +244,69 @@ func TestStrictSafetyAcrossCrashRecovery(t *testing.T) {
 	}
 	if err := spec.ExplainStrictResponses(dtype.Log{}, requested, conv.Order, strictResponses); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failingStore is a StableStore whose writes fail on demand.
+type failingStore struct {
+	MemStableStore
+	fail bool
+}
+
+func (s *failingStore) PersistLabel(id ops.ID, l label.Label) error {
+	if s.fail {
+		return fmt.Errorf("disk full")
+	}
+	return s.MemStableStore.PersistLabel(id, l)
+}
+
+// TestStoreFailureStopsLabelingNotService: when the stable store cannot
+// persist a label, the replica must stop labeling (an unpersisted label
+// could be re-issued after a crash, splitting the order) but keep merging
+// gossip — and the cluster keeps serving through its healthy replicas via
+// front-end retransmission.
+func TestStoreFailureStopsLabelingNotService(t *testing.T) {
+	s := sim.New(1)
+	isReplica := func(id transport.NodeID) bool {
+		return len(id) > 8 && id[:8] == "replica:"
+	}
+	net := transport.NewSimNet(s, transport.SimNetConfig{
+		Latency: transport.ClassLatency(isReplica,
+			transport.FixedLatency(1*sim.Millisecond), transport.FixedLatency(2*sim.Millisecond)),
+		Sizer: EstimateSize,
+	})
+	broken := &failingStore{fail: true}
+	broken.MemStableStore = *NewMemStableStore()
+	cluster := NewCluster(ClusterConfig{
+		Replicas: 3,
+		DataType: dtype.Log{},
+		Network:  net,
+		Options:  Options{Memoize: true},
+		Stores:   []StableStore{broken, NewMemStableStore(), NewMemStableStore()},
+	})
+	cluster.StartSimGossip(s, 5*sim.Millisecond)
+	defer cluster.Close()
+
+	fe := cluster.FrontEnd("c") // round-robin starts at replica 0 (broken store)
+	s.Every(40*sim.Millisecond, func() { fe.Retransmit() })
+	var answered bool
+	fe.Submit(dtype.LogAppend{Entry: "x"}, nil, false, func(Response) { answered = true })
+	s.RunUntil(sim.Time(1 * sim.Second))
+
+	if !answered {
+		t.Fatal("operation never answered: retransmission did not route around the store-failed replica")
+	}
+	r0 := cluster.Replica(0)
+	var rf *ReplicaFault
+	if !errorsAsAny(r0.Faults(), &rf) || rf.Code != FaultStoreFailed {
+		t.Fatalf("faults = %v, want FaultStoreFailed", r0.Faults())
+	}
+	// The op was labeled elsewhere; r0 still merged it through gossip.
+	if got := len(r0.Snapshot().Done); got != 1 {
+		t.Fatalf("store-failed replica done = %d, want 1 (gossip merge must keep working)", got)
+	}
+	if conv := cluster.CheckConvergence(); !conv.Converged {
+		t.Fatalf("no convergence: %s", conv.Reason)
 	}
 }
 

@@ -91,6 +91,20 @@ type Replica struct {
 	recovering   bool
 	recoveryAcks map[label.ReplicaID]struct{}
 
+	// storeFailed latches after a StableStore write error: the replica
+	// stops labeling new operations (see tryDoIt) because an unpersisted
+	// label violates the §9.3 safety condition.
+	storeFailed bool
+
+	// strictGhost records the strict flags of snapshot-seeded operations
+	// whose descriptors were pruned everywhere: the flag must survive so a
+	// retransmitted request for such an operation still honours the strict
+	// response discipline.
+	strictGhost map[ops.ID]struct{}
+
+	// faults is the bounded log of rejected-input faults (see errors.go).
+	faults []*ReplicaFault
+
 	metrics ReplicaMetrics
 }
 
@@ -153,6 +167,7 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 		pendS:       make([][]ops.ID, n),
 		pendL:       make([]map[ops.ID]struct{}, n),
 		store:       cfg.Store,
+		strictGhost: make(map[ops.ID]struct{}),
 	}
 	for i := 0; i < n; i++ {
 		r.doneAt[i] = make(map[ops.ID]struct{})
@@ -191,6 +206,8 @@ func (r *Replica) handleMessage(m transport.Message) {
 		r.handleGossip(p)
 	case RecoveryRequestMsg:
 		r.handleRecoveryRequest(p)
+	case SnapshotMsg:
+		r.handleSnapshot(p)
 	default:
 		// Unknown payloads are ignored: a replica must tolerate garbage on
 		// the wire without violating safety.
@@ -242,11 +259,19 @@ func (r *Replica) handleGossip(msg GossipMsg) {
 		return // malformed or self gossip: ignore
 	}
 	if msg.RecoveryAck && r.recovering {
-		r.recoveryAcks[msg.From] = struct{}{}
-		if len(r.recoveryAcks) == r.n-1 {
-			// Every peer has answered: resume the algorithm (§9.3) after
-			// merging this final message below.
-			r.recovering = false
+		// With snapshots on, an ack is complete only once the snapshot it
+		// was paired with (or a longer one) has installed: the two are
+		// separate, individually losable messages, and resuming on the ack
+		// alone would leave the pruned prefix permanently missing. An
+		// uncounted ack keeps its peer in RetryRecovery's missing set, so
+		// the pair is simply requested again.
+		if !r.opt.Snapshot || msg.RecoverySnapshotLen <= r.memoized {
+			r.recoveryAcks[msg.From] = struct{}{}
+			if len(r.recoveryAcks) == r.n-1 {
+				// Every peer has answered: resume the algorithm (§9.3) after
+				// merging this final message below.
+				r.recovering = false
+			}
 		}
 	}
 
@@ -288,19 +313,22 @@ func (r *Replica) handleGossip(msg GossipMsg) {
 }
 
 // setLabelMin merges one label entry, keeping the generator's freshness
-// invariant and asserting that solid labels never change (Lemma 10.2).
+// invariant and enforcing that solid labels never change (Lemma 10.2): a
+// message that tries to lower a memoized operation's label is rejected and
+// recorded as a fault — honest replicas never send one, so accepting it
+// could only corrupt the solid prefix.
 func (r *Replica) setLabelMin(id ops.ID, l label.Label) {
 	r.gen.Observe(l)
+	if _, memoed := r.memoVals[id]; memoed {
+		if cur := r.labels.Get(id); !cur.IsInf() && l.Less(cur) {
+			r.fault(FaultMemoLabelChange, id, "label %v below solid label %v", l, cur)
+			return
+		}
+	}
 	if !r.labels.SetMin(id, l) {
 		return
 	}
 	r.enqueueL(id)
-	if _, memoed := r.memoVals[id]; memoed && r.opt.Memoize {
-		// A memoized operation's label changed: the solid-prefix reasoning
-		// (Invariant 7.19 / Lemma 10.2) has been violated — this is an
-		// algorithm bug, not a recoverable condition.
-		panic(fmt.Sprintf("core: replica %d: label of memoized op %v changed to %v", r.id, id, l))
-	}
 	if _, done := r.doneAt[r.id][id]; done {
 		r.seqDirty = true
 	}
@@ -399,8 +427,11 @@ func (r *Replica) applyCurrent(id ops.ID) {
 	x, ok := r.retained[id]
 	if !ok {
 		// Descriptor pruned: only possible for memoized (stable-everywhere)
-		// ops, which were applied when first done — unreachable here.
-		panic(fmt.Sprintf("core: replica %d: commute apply of pruned op %v", r.id, id))
+		// ops, which were applied when first done — reaching this means a
+		// hostile interleaving or a bug. Skip the apply: the op's value (if
+		// ever requested) falls back to the memoized/replay paths.
+		r.fault(FaultApplyPruned, id, "commute apply of pruned op")
+		return
 	}
 	var v dtype.Value
 	r.curState, v = r.dt.Apply(r.curState, x.Op)
@@ -476,11 +507,34 @@ func (r *Replica) tryDoIt() {
 				remaining = append(remaining, id)
 				continue
 			}
+			if r.storeFailed {
+				// The stable store lost a write: no further labels may be
+				// issued (they would not survive a crash). The operation
+				// stays received; front-end retransmission routes it to a
+				// healthy replica.
+				remaining = append(remaining, id)
+				continue
+			}
+			if r.gen.Exhausted() {
+				// The label sequence space is used up — reachable remotely,
+				// since a hostile peer can gossip (or snapshot) a
+				// near-maximal label Seq. Fail soft like a store failure:
+				// stop labeling, keep merging, let healthy replicas serve.
+				r.fault(FaultLabelsExhausted, id, "label sequence space exhausted")
+				remaining = append(remaining, id)
+				continue
+			}
 			l := r.gen.Next()
 			if r.store != nil {
 				// §9.3: locally generated labels are the only state that
-				// must survive a crash.
-				r.store.PersistLabel(id, l)
+				// must survive a crash — a label that could not be persisted
+				// must never be used.
+				if err := r.store.PersistLabel(id, l); err != nil {
+					r.fault(FaultStoreFailed, id, "persisting label %v: %v", l, err)
+					r.storeFailed = true
+					remaining = append(remaining, id)
+					continue
+				}
 			}
 			r.labels.SetMin(id, l)
 			r.enqueueL(id)
@@ -542,8 +596,17 @@ func (r *Replica) ensureSorted() {
 // label is ≤ the largest stable label are solid — their position in the
 // eventual total order is fixed — so their value and the state after them
 // are computed once and cached.
+//
+// The prefix never advances while deferred completions are outstanding: a
+// deferred id is an operation done somewhere whose label or descriptor this
+// replica is missing, and it may belong below the stable frontier — exactly
+// the situation after a crash when peers gossip done-ids whose descriptors
+// §10.2 pruning discarded. Memoizing past it would fix a wrong prefix and
+// make the incoming snapshot uninstallable. Deferrals are transient in
+// normal operation (incremental-gossip reordering), so the gate costs
+// nothing outside recovery windows.
 func (r *Replica) advanceMemo() {
-	if !r.opt.Memoize || r.maxStable.IsInf() {
+	if !r.opt.Memoize || r.maxStable.IsInf() || len(r.deferredSet) > 0 {
 		return
 	}
 	r.ensureSorted()
@@ -554,11 +617,17 @@ func (r *Replica) advanceMemo() {
 			break
 		}
 		if l.Less(r.lastMemoLabel) {
-			panic(fmt.Sprintf("core: replica %d: memoization order violated: %v < %v", r.id, l, r.lastMemoLabel))
+			// An operation sorted into the solid prefix: only hostile input
+			// can produce this (solid positions are final). Stop advancing —
+			// the prefix stays uncorrupted, unstable ops keep answering via
+			// replay.
+			r.fault(FaultMemoOrderViolation, id, "label %v below memoized frontier %v", l, r.lastMemoLabel)
+			return
 		}
 		x, ok := r.retained[id]
 		if !ok {
-			panic(fmt.Sprintf("core: replica %d: memoizing pruned op %v", r.id, id))
+			r.fault(FaultMemoizePruned, id, "memoizing op with no retained descriptor")
+			return
 		}
 		var v dtype.Value
 		r.memoState, v = r.dt.Apply(r.memoState, x.Op)
@@ -624,7 +693,17 @@ func (r *Replica) respondPending() {
 				continue
 			}
 		}
-		v := r.valueFor(id, strict)
+		v, err := r.valueFor(id, strict)
+		if err != nil {
+			// The value is uncomputable (fault recorded by valueFor). Drop
+			// the op from pending rather than retrying on every message: a
+			// front-end retransmission re-adds it (so a transient fault —
+			// e.g. a snapshot still in flight — heals at the retransmit
+			// cadence), and a permanent one neither burns the replay path
+			// nor floods the fault counter per message.
+			delete(r.pendingSet, id)
+			continue
+		}
 		delete(r.pendingSet, id)
 		r.metrics.ResponsesSent++
 		outbox = append(outbox, outMsg{to: FrontEndNodeIn(r.shard, id.Client), msg: ResponseMsg{ID: id, Value: v}})
@@ -639,15 +718,16 @@ func (r *Replica) respondPending() {
 }
 
 // isStrict reports the strict flag of a done operation. For pruned
-// descriptors the answer is reconstructed from the pending bookkeeping:
-// pruning only affects memoized ops, whose strictness no longer matters for
-// ordering — a pruned pending op must have been answered already, so this
-// path defaults to non-strict.
+// descriptors the flag survives in strictGhost when the op arrived via a
+// snapshot; otherwise pruning only affects memoized-stable ops, whose
+// strictness no longer matters for ordering — a pruned pending op must have
+// been answered already, so the fallback is non-strict.
 func (r *Replica) isStrict(id ops.ID) bool {
 	if x, ok := r.retained[id]; ok {
 		return x.Strict
 	}
-	return false
+	_, ghost := r.strictGhost[id]
+	return ghost
 }
 
 // valueFor computes the response value for a locally done operation: its
@@ -655,34 +735,38 @@ func (r *Replica) isStrict(id ops.ID) bool {
 // element of valset(x, done_r[r], lc_r)).
 //
 // Fast paths: commute mode answers non-strict ops from the value recorded
-// when the op was applied to cs_r (Fig. 11, Lemma 10.6); memoization
-// answers solid ops from the cached prefix (Fig. 10).
-func (r *Replica) valueFor(id ops.ID, strict bool) dtype.Value {
+// when the op was applied to cs_r (Fig. 11, Lemma 10.6); memoized (or
+// snapshot-seeded) solid ops answer from the cached prefix (Fig. 10) — the
+// memoVals check is unconditional because snapshot installation seeds
+// values even when Memoize is off, and a seeded op has no descriptor to
+// replay. Uncomputable values (hostile interleavings) return an error with
+// the fault recorded.
+func (r *Replica) valueFor(id ops.ID, strict bool) (dtype.Value, error) {
 	if r.opt.Commute && !strict {
 		if v, ok := r.curVals[id]; ok {
-			return v
+			return v, nil
 		}
 	}
-	if r.opt.Memoize {
-		if v, ok := r.memoVals[id]; ok {
-			return v
-		}
+	if v, ok := r.memoVals[id]; ok {
+		return v, nil
 	}
 	r.ensureSorted()
 	st := r.memoState // initial state when nothing is memoized
 	for _, seqID := range r.doneSeq[r.memoized:] {
 		x, ok := r.retained[seqID]
 		if !ok {
-			panic(fmt.Sprintf("core: replica %d: unsolid op %v was pruned", r.id, seqID))
+			r.fault(FaultValuePruned, id, "replay needs pruned unsolid op %v", seqID)
+			return nil, &ReplicaFault{Replica: r.id, Code: FaultValuePruned, ID: id}
 		}
 		var v dtype.Value
 		st, v = r.dt.Apply(st, x.Op)
 		r.metrics.AppliesForResponse++
 		if seqID == id {
-			return v
+			return v, nil
 		}
 	}
-	panic(fmt.Sprintf("core: replica %d: valueFor(%v): op not in doneSeq", r.id, id))
+	r.fault(FaultValueNotDone, id, "op not in local total order")
+	return nil, &ReplicaFault{Replica: r.id, Code: FaultValueNotDone, ID: id}
 }
 
 // SendGossip performs one gossip round: send_rr'(⟨"gossip", ...⟩) of Fig. 7

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+)
+
+// This file implements snapshot-based state transfer: the extension of the
+// §9.3 recovery handshake that makes §10.2 pruning composable with crash
+// recovery. The protocol is one message: a peer answering a
+// RecoveryRequestMsg sends a SnapshotMsg of its memoized solid prefix
+// before the recovery-ack gossip. Correctness rests on the solid-prefix
+// invariants the memoization optimization already maintains:
+//
+//   - The memoized prefix is a prefix of the eventual total order and its
+//     labels are final (Lemma 10.2), so two replicas' snapshots never
+//     conflict — one is a prefix of the other. Installation is therefore
+//     idempotent and merge-monotone: duplicate and stale snapshots are
+//     ignored, longer ones extend the installed prefix.
+//   - Every operation outside the sender's memoized prefix has a final
+//     label above the sender's memoized frontier, so locally known
+//     operations not covered by the snapshot always sort after it; the
+//     receiver keeps them as the unsolid suffix.
+//   - The §9.3 label condition (post-recovery label ≤ pre-crash label)
+//     holds because snapshot labels ARE the final minima, and the snapshot
+//     watermark plus per-op labels are Observed by the generator before any
+//     new label is issued.
+//
+// Installation seeds rcvd/done/stable/label state, the memoized prefix
+// (state, values, frontier), and — in commute mode — rebuilds the current
+// state, all without descriptors. Descriptors still retained anywhere
+// continue to travel in gossip R exactly as before; the snapshot only has
+// to stand in for the ones pruning has made unrecoverable.
+
+// buildSnapshot assembles this replica's snapshot, or reports false when it
+// has nothing to transfer (no memoized prefix, snapshots disabled, or a
+// data type without a canonical encoding). Mutex held.
+func (r *Replica) buildSnapshot() (SnapshotMsg, bool) {
+	if !r.opt.Snapshot || r.memoized == 0 || !dtype.CanSnapshot(r.dt) {
+		return SnapshotMsg{}, false
+	}
+	sn := r.dt.(dtype.Snapshotter)
+	enc, err := sn.EncodeState(r.memoState)
+	if err != nil {
+		// A state the type cannot encode is an implementation bug of the
+		// data type; record and skip the snapshot (recovery degrades to
+		// descriptor replay).
+		r.fault(FaultBadSnapshot, ops.ID{}, "encoding local state: %v", err)
+		return SnapshotMsg{}, false
+	}
+	msg := SnapshotMsg{
+		From:      r.id,
+		DataType:  r.dt.Name(),
+		Ops:       make([]SnapOp, r.memoized),
+		State:     enc,
+		Watermark: r.gen.HighSeq(),
+	}
+	for i := 0; i < r.memoized; i++ {
+		id := r.doneSeq[i]
+		_, stable := r.stableAt[r.id][id]
+		msg.Ops[i] = SnapOp{
+			ID:     id,
+			Label:  r.labels.Get(id),
+			Value:  r.memoVals[id],
+			Stable: stable,
+			Strict: r.isStrict(id),
+		}
+	}
+	return msg, true
+}
+
+// handleSnapshot validates and installs a received snapshot, then lets the
+// algorithm resume (deferred completions first — ids gossiped as done whose
+// descriptors were pruned resolve against the installed prefix).
+func (r *Replica) handleSnapshot(msg SnapshotMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed || !r.opt.Snapshot {
+		return
+	}
+	from := int(msg.From)
+	if from < 0 || from >= r.n || from == int(r.id) {
+		return // malformed or self snapshot: ignore
+	}
+	r.metrics.SnapshotsReceived++
+	if r.installSnapshot(msg) {
+		r.metrics.SnapshotsInstalled++
+	}
+	r.process()
+}
+
+// installSnapshot merges a validated snapshot into the replica state and
+// reports whether anything was installed. Mutex held.
+func (r *Replica) installSnapshot(msg SnapshotMsg) bool {
+	from := int(msg.From)
+
+	// A snapshot no longer than the locally memoized prefix adds nothing:
+	// by the solid-prefix invariant the two prefixes are identical on the
+	// shared length.
+	if len(msg.Ops) <= r.memoized {
+		r.metrics.SnapshotsIgnored++
+		return false
+	}
+	if msg.DataType != r.dt.Name() {
+		r.fault(FaultBadSnapshot, ops.ID{}, "data type %q, local %q", msg.DataType, r.dt.Name())
+		return false
+	}
+	sn, ok := r.dt.(dtype.Snapshotter)
+	if !ok {
+		r.fault(FaultBadSnapshot, ops.ID{}, "local data type %q has no snapshot decoding", r.dt.Name())
+		return false
+	}
+	// Labels must be proper and strictly ascending (the prefix is in final
+	// label order), ids unique, and the shared prefix must match what this
+	// replica has already memoized — ids AND labels, since solid labels are
+	// final: a snapshot that "re-labels" the solid prefix is exactly the
+	// corruption setLabelMin refuses when it arrives as gossip.
+	prev := label.Label{}
+	seen := make(map[ops.ID]struct{}, len(msg.Ops))
+	for i, so := range msg.Ops {
+		if _, dup := seen[so.ID]; dup {
+			r.fault(FaultBadSnapshot, so.ID, "snapshot repeats op at %d", i)
+			return false
+		}
+		seen[so.ID] = struct{}{}
+		if so.Label.IsInf() {
+			r.fault(FaultBadSnapshot, so.ID, "snapshot op %d has no label", i)
+			return false
+		}
+		if i > 0 && !prev.Less(so.Label) {
+			r.fault(FaultBadSnapshot, so.ID, "snapshot labels not ascending at %d (%v after %v)", i, so.Label, prev)
+			return false
+		}
+		prev = so.Label
+		if i < r.memoized {
+			if r.doneSeq[i] != so.ID {
+				r.fault(FaultBadSnapshot, so.ID, "snapshot prefix diverges at %d: local %v", i, r.doneSeq[i])
+				return false
+			}
+			if got := r.labels.Get(so.ID); got != so.Label {
+				r.fault(FaultBadSnapshot, so.ID, "snapshot label %v differs from solid label %v", so.Label, got)
+				return false
+			}
+		}
+	}
+	state, err := sn.DecodeState(msg.State)
+	if err != nil {
+		r.fault(FaultBadSnapshot, ops.ID{}, "decoding state: %v", err)
+		return false
+	}
+
+	// Labels and freshness first: every subsequent mark can rely on proper
+	// labels, and every label this replica generates from now on sorts
+	// above everything the sender had seen (§9.3).
+	r.gen.ObserveSeq(msg.Watermark)
+	for _, so := range msg.Ops {
+		r.gen.Observe(so.Label)
+		r.labels.SetMin(so.ID, so.Label)
+	}
+
+	// Rebuild the local total order: the snapshot prefix, then every
+	// locally done operation not covered by it (their labels are above the
+	// snapshot frontier by the solid-prefix invariant).
+	snapSet := make(map[ops.ID]struct{}, len(msg.Ops))
+	newSeq := make([]ops.ID, 0, len(msg.Ops)+len(r.doneSeq))
+	for _, so := range msg.Ops {
+		snapSet[so.ID] = struct{}{}
+		newSeq = append(newSeq, so.ID)
+	}
+	var suffix []ops.ID
+	for _, id := range r.doneSeq {
+		if _, covered := snapSet[id]; !covered {
+			suffix = append(suffix, id)
+		}
+	}
+	newSeq = append(newSeq, suffix...)
+
+	// Per-operation marks: received, locally done, done/stable at peers.
+	// Stable snapshot ops get the full gossip-S treatment (stable at the
+	// sender ⇒ done at every replica); unstable ones only what the sender
+	// itself vouches for.
+	for _, so := range msg.Ops {
+		id := so.ID
+		r.rcvdIDs[id] = struct{}{}
+		if so.Strict {
+			if _, retained := r.retained[id]; !retained {
+				r.strictGhost[id] = struct{}{}
+			}
+		}
+		// Never overwrite a value this replica already holds: memoized
+		// values are final, and honest senders agree on them anyway.
+		if _, has := r.memoVals[id]; !has {
+			r.memoVals[id] = so.Value
+		}
+		if _, done := r.doneAt[r.id][id]; !done {
+			r.doneAt[r.id][id] = struct{}{}
+			r.doneCount[id]++
+			r.enqueueD(id)
+			r.enqueueL(id)
+			r.metrics.SnapshotOpsSeeded++
+		}
+		if so.Stable {
+			for i := 0; i < r.n; i++ {
+				if i != int(r.id) {
+					r.markDoneAt(i, id)
+				}
+			}
+			r.markStableAt(from, id)
+			r.markStableLocal(id)
+		} else {
+			r.markDoneAt(from, id)
+		}
+		if r.doneCount[id] == r.n {
+			r.markStableLocal(id)
+		}
+	}
+
+	// Adopt the prefix: order, state, values, frontier.
+	r.doneSeq = newSeq
+	r.memoized = len(msg.Ops)
+	r.seqDirty = true // the suffix may need re-sorting against new labels
+	r.memoState = state
+	r.lastMemoLabel = msg.Ops[len(msg.Ops)-1].Label
+
+	// Commute mode: cs_r is the state after all locally done operations;
+	// rebuild it as snapshot state + the unsolid suffix (whose descriptors
+	// are retained — only solid operations are ever pruned). Values already
+	// recorded at first apply are kept; snapshot ops answer from their
+	// memoized values.
+	if r.opt.Commute {
+		st := state
+		for _, id := range suffix {
+			x, retained := r.retained[id]
+			if !retained {
+				r.fault(FaultApplyPruned, id, "rebuilding current state after snapshot")
+				continue
+			}
+			var v dtype.Value
+			st, v = r.dt.Apply(st, x.Op)
+			r.metrics.AppliesForCurrentState++
+			if _, seen := r.curVals[id]; !seen {
+				r.curVals[id] = v
+			}
+		}
+		r.curState = st
+		for _, so := range msg.Ops {
+			if _, seen := r.curVals[so.ID]; !seen {
+				r.curVals[so.ID] = so.Value
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+
+	"esds/internal/label"
+	"esds/internal/ops"
+)
+
+// FileStableStore is a StableStore backed by an append-only file, for
+// multi-process deployments (cmd/esds-server -store): the §9.3 protocol
+// requires locally generated labels to survive the process, and a killed
+// replica process restarts with whatever this file holds. Records are
+// plain text, one assignment per line; later records for the same id win
+// (matching MemStableStore's overwrite semantics). Appends go through the
+// OS page cache, which survives process death (kill -9); surviving power
+// loss would additionally need a Sync per write, which this store trades
+// away for write latency, exactly like production write-ahead logs with
+// relaxed durability.
+type FileStableStore struct {
+	mu      sync.Mutex
+	f       *os.File
+	m       map[ops.ID]label.Label
+	lastErr error
+}
+
+var _ StableStore = (*FileStableStore)(nil)
+
+// OpenFileStableStore opens (creating if needed) the store at path and
+// loads every persisted assignment.
+func OpenFileStableStore(path string) (*FileStableStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening stable store: %w", err)
+	}
+	s := &FileStableStore{f: f, m: make(map[ops.ID]label.Label)}
+	scanner := bufio.NewScanner(f)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		if text == "" {
+			continue
+		}
+		var client string
+		var seq, lseq uint64
+		var lrep int32
+		if _, err := fmt.Sscanf(text, "%q %d %d %d", &client, &seq, &lseq, &lrep); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: stable store %s line %d: %w", path, line, err)
+		}
+		s.m[ops.ID{Client: client, Seq: seq}] = label.Make(lseq, label.ReplicaID(lrep))
+	}
+	if err := scanner.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: reading stable store %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// PersistLabel implements StableStore. On a write error the label is NOT
+// recorded as durable and the error is returned (and retained for Err) —
+// the replica fail-stops its labeling rather than answer with a label a
+// restart would forget.
+func (s *FileStableStore) PersistLabel(id ops.ID, l label.Label) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := fmt.Fprintf(s.f, "%q %d %d %d\n", id.Client, id.Seq, l.Seq, int32(l.Owner())); err != nil {
+		if s.lastErr == nil {
+			s.lastErr = err
+		}
+		return err
+	}
+	s.m[id] = l
+	return nil
+}
+
+// Labels implements StableStore.
+func (s *FileStableStore) Labels() map[ops.ID]label.Label {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ops.ID]label.Label, len(s.m))
+	for id, l := range s.m {
+		out[id] = l
+	}
+	return out
+}
+
+// Err returns the first write error, if any: a deployment that cannot
+// persist labels should not advertise itself as recoverable.
+func (s *FileStableStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Close closes the backing file.
+func (s *FileStableStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

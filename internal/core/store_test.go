@@ -1,0 +1,60 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"esds/internal/label"
+	"esds/internal/ops"
+)
+
+func TestFileStableStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r0.labels")
+	st, err := OpenFileStableStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA := ops.ID{Client: "alice smith", Seq: 1} // client names may contain spaces: %q quoting handles them
+	idB := ops.ID{Client: "bob", Seq: 2}
+	st.PersistLabel(idA, label.Make(5, 0))
+	st.PersistLabel(idB, label.Make(9, 1))
+	st.PersistLabel(idA, label.Make(3, 0)) // overwrite: last record wins
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen — the restart path of a killed replica process.
+	st2, err := OpenFileStableStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Labels()
+	if len(got) != 2 || got[idA] != label.Make(3, 0) || got[idB] != label.Make(9, 1) {
+		t.Fatalf("reloaded labels = %v", got)
+	}
+	// Returned map is a copy.
+	got[idA] = label.Make(99, 0)
+	if st2.Labels()[idA] != label.Make(3, 0) {
+		t.Fatal("Labels aliases internal state")
+	}
+	// Appending after reopen keeps earlier records.
+	st2.PersistLabel(ops.ID{Client: "c", Seq: 3}, label.Make(11, 2))
+	if n := len(st2.Labels()); n != 3 {
+		t.Fatalf("labels after append = %d, want 3", n)
+	}
+}
+
+func TestFileStableStoreRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.labels")
+	if err := os.WriteFile(path, []byte("not a record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStableStore(path); err == nil {
+		t.Fatal("corrupt store opened without error")
+	}
+}

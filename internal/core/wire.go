@@ -26,6 +26,7 @@ func RegisterWire() {
 		gob.Register(ResponseMsg{})
 		gob.Register(GossipMsg{})
 		gob.Register(RecoveryRequestMsg{})
+		gob.Register(SnapshotMsg{})
 		dtype.RegisterWire()
 	})
 }

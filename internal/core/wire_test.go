@@ -57,6 +57,16 @@ func TestWireRoundTrip(t *testing.T) {
 			RecoveryAck: true,
 		},
 		RecoveryRequestMsg{From: 1},
+		SnapshotMsg{
+			From:     2,
+			DataType: "log",
+			Ops: []SnapOp{
+				{ID: id1, Label: label.Make(1, 0), Value: 1, Stable: true, Strict: true},
+				{ID: id2, Label: label.Make(4, 2), Value: 2},
+			},
+			State:     []byte("a|b"),
+			Watermark: 9,
+		},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, msg)

@@ -1,0 +1,81 @@
+package dtype
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomOp draws a random operator valid for dt, over a small closed value
+// domain so random sequences collide and interact. It is the workload
+// generator behind the snapshot round-trip property tests and the
+// esds-check equivalence sweeps; it panics on a data type it does not know
+// (checkers should fail loudly on an unhandled type, not silently skip it).
+func RandomOp(rng *rand.Rand, dt DataType) Operator {
+	switch d := dt.(type) {
+	case Counter:
+		switch rng.Intn(3) {
+		case 0:
+			return CtrAdd{N: int64(rng.Intn(7)) - 3}
+		case 1:
+			return CtrDouble{}
+		default:
+			return CtrRead{}
+		}
+	case Register:
+		if rng.Intn(2) == 0 {
+			return RegWrite{Val: fmt.Sprintf("v%d", rng.Intn(4))}
+		}
+		return RegRead{}
+	case Set:
+		elem := fmt.Sprintf("e%d", rng.Intn(4))
+		switch rng.Intn(4) {
+		case 0:
+			return SetAdd{Elem: elem}
+		case 1:
+			return SetRemove{Elem: elem}
+		case 2:
+			return SetContains{Elem: elem}
+		default:
+			return SetSize{}
+		}
+	case Log:
+		switch rng.Intn(3) {
+		case 0:
+			return LogAppend{Entry: fmt.Sprintf("x%d", rng.Intn(8))}
+		case 1:
+			return LogRead{}
+		default:
+			return LogLen{}
+		}
+	case Bank:
+		acct := fmt.Sprintf("a%d", rng.Intn(3))
+		switch rng.Intn(3) {
+		case 0:
+			return BankDeposit{Account: acct, Amount: int64(rng.Intn(20) + 1)}
+		case 1:
+			return BankWithdraw{Account: acct, Amount: int64(rng.Intn(20) + 1)}
+		default:
+			return BankBalance{Account: acct}
+		}
+	case Directory:
+		name := fmt.Sprintf("n%d", rng.Intn(3))
+		switch rng.Intn(6) {
+		case 0:
+			return DirBind{Name: name}
+		case 1:
+			return DirUnbind{Name: name}
+		case 2:
+			return DirSetAttr{Name: name, Key: fmt.Sprintf("k%d", rng.Intn(2)), Val: fmt.Sprintf("v%d", rng.Intn(3))}
+		case 3:
+			return DirGetAttr{Name: name, Key: fmt.Sprintf("k%d", rng.Intn(2))}
+		case 4:
+			return DirLookup{Name: name}
+		default:
+			return DirList{}
+		}
+	case Keyed:
+		return KeyedOp{Key: fmt.Sprintf("obj%d", rng.Intn(3)), Op: RandomOp(rng, d.Inner)}
+	default:
+		panic(fmt.Sprintf("dtype: RandomOp has no generator for %T", dt))
+	}
+}

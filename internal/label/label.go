@@ -134,6 +134,24 @@ func (g *Generator) Observe(l Label) {
 	}
 }
 
+// ObserveSeq records a bare sequence watermark (the Seq component of some
+// label) so future labels sort above it. Replica snapshots carry the
+// sender's watermark in this form.
+func (g *Generator) ObserveSeq(seq uint64) {
+	if seq > g.highSeq {
+		g.highSeq = seq
+	}
+}
+
+// HighSeq returns the highest sequence observed or generated so far — the
+// generator's freshness watermark, exported into replica snapshots.
+func (g *Generator) HighSeq() uint64 { return g.highSeq }
+
+// Exhausted reports whether the sequence space is used up: Next would
+// panic. Callers that handle untrusted input (a hostile peer can gossip a
+// near-maximal label Seq) check this and fail soft instead of calling Next.
+func (g *Generator) Exhausted() bool { return g.highSeq == math.MaxUint64 }
+
 // Next returns a fresh label in ℒ_replica strictly greater than every label
 // observed or generated so far.
 func (g *Generator) Next() Label {

@@ -1,0 +1,72 @@
+package spec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+)
+
+// randomHistory builds a serialized history of n random operations for dt.
+func randomHistory(rng *rand.Rand, dt dtype.DataType, n int) []ops.Operation {
+	seq := make([]ops.Operation, n)
+	for i := range seq {
+		seq[i] = ops.New(dtype.RandomOp(rng, dt), ops.ID{Client: "h", Seq: uint64(i)}, nil, false)
+	}
+	return seq
+}
+
+// TestSnapshotInstallEquivalenceAllTypes sweeps the §9.3+§10.2 soundness
+// obligation across every snapshottable type, random histories, and every
+// cut: install-then-replay must be indistinguishable from full replay.
+func TestSnapshotInstallEquivalenceAllTypes(t *testing.T) {
+	for _, name := range dtype.Names() {
+		inner, _ := dtype.ByName(name)
+		for _, dt := range []dtype.DataType{inner, dtype.NewKeyed(inner)} {
+			dt := dt
+			t.Run(dt.Name(), func(t *testing.T) {
+				for run := 0; run < 20; run++ {
+					rng := rand.New(rand.NewSource(int64(run)))
+					seq := randomHistory(rng, dt, 20)
+					for cut := 0; cut <= len(seq); cut++ {
+						if err := CheckSnapshotInstallEquivalence(dt, seq, cut); err != nil {
+							t.Fatalf("run %d: %v", run, err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotInstallEquivalenceRejections: the checker itself must catch
+// misuse and broken encodings.
+func TestSnapshotInstallEquivalenceRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := randomHistory(rng, dtype.Counter{}, 5)
+	if err := CheckSnapshotInstallEquivalence(dtype.Counter{}, seq, -1); err == nil {
+		t.Fatal("negative cut accepted")
+	}
+	if err := CheckSnapshotInstallEquivalence(dtype.Counter{}, seq, 6); err == nil {
+		t.Fatal("out-of-range cut accepted")
+	}
+	// A history whose prefix outcome is definitely non-zero, so the broken
+	// decoder's information loss is observable.
+	loud := []ops.Operation{
+		ops.New(dtype.CtrAdd{N: 5}, ops.ID{Client: "h", Seq: 0}, nil, false),
+		ops.New(dtype.CtrAdd{N: 7}, ops.ID{Client: "h", Seq: 1}, nil, false),
+		ops.New(dtype.CtrRead{}, ops.ID{Client: "h", Seq: 2}, nil, false),
+	}
+	if err := CheckSnapshotInstallEquivalence(brokenSnapshotType{}, loud, 2); err == nil ||
+		!strings.Contains(err.Error(), "differs") {
+		t.Fatalf("broken encoding not caught: %v", err)
+	}
+}
+
+// brokenSnapshotType deliberately violates the Snapshotter contract: the
+// decoded state loses information (always the initial state).
+type brokenSnapshotType struct{ dtype.Counter }
+
+func (brokenSnapshotType) DecodeState([]byte) (dtype.State, error) { return int64(0), nil }

@@ -111,6 +111,10 @@ func (k *Keyspace) Close() {
 // NumShards returns the shard count.
 func (k *Keyspace) NumShards() int { return k.ks.NumShards() }
 
+// Faults returns the typed faults recorded by every shard's replicas (see
+// Service.Faults).
+func (k *Keyspace) Faults() []error { return k.ks.Faults() }
+
 // ShardOf reports which shard serves the named object.
 func (k *Keyspace) ShardOf(object string) int { return k.ks.ShardOf(object) }
 
