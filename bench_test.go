@@ -328,3 +328,26 @@ func BenchmarkDataTypeApply(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE11ResizeUnderLoad runs the online-resharding experiment: a
+// 4→8 shard growth under a steady increment load, reporting throughput in
+// the pre/during/post windows and the migrated fraction. Verification
+// here covers the structural claims (no lost operations, ring-tracking
+// key movement); the throughput-dip gates run in `esds-bench -exp e11`
+// (wall-clock ratios are machine-dependent).
+func BenchmarkE11ResizeUnderLoad(b *testing.B) {
+	p := exp.DefaultResizeExpParams()
+	p.MinPostRatio, p.MinDuringRatio = 0, 0
+	var r exp.ResizeExpResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunResizeExp(p)
+		if err := r.Verify(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Pre.Throughput, "ops/s-pre")
+	b.ReportMetric(r.During.Throughput, "ops/s-migrating")
+	b.ReportMetric(r.Post.Throughput, "ops/s-post")
+	b.ReportMetric(r.MovedFraction, "moved-frac")
+	b.ReportMetric(r.ResizeDuration.Seconds()*1000, "resize-ms")
+}

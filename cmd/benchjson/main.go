@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,6 +38,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "BENCH_results.json", "output JSON path")
+	require := fs.String("require", "",
+		"path to a previously committed results file; fail unless every benchmark in it still appears in this run with at least the same metric keys (catches silent harness rot — a benchmark that stopped running or stopped emitting a metric)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,7 +66,59 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stderr, "benchjson: wrote %d benchmark records to %s\n", len(results), *out)
+	if *require != "" {
+		missing, err := diffAgainst(*require, results)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(stderr, "benchjson: benchmark coverage regressed against %s:\n", *require)
+			for _, m := range missing {
+				fmt.Fprintf(stderr, "  %s\n", m)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: coverage matches %s (%d benchmarks, no metric disappeared)\n",
+			*require, len(results))
+	}
 	return 0
+}
+
+// diffAgainst compares a fresh run with a committed baseline file: every
+// benchmark the baseline records must still exist, and must still emit at
+// least the metric keys it used to. Values are NOT compared — the
+// trajectory tracks those; this guards against silent harness rot, where
+// a benchmark quietly stops running or stops reporting a metric and the
+// artifact shrinks without anyone failing.
+func diffAgainst(baselinePath string, fresh []Result) ([]string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var missing []string
+	for _, want := range baseline {
+		got, ok := byName[want.Name]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("benchmark %s disappeared", want.Name))
+			continue
+		}
+		for key := range want.Metrics {
+			if _, ok := got.Metrics[key]; !ok {
+				missing = append(missing, fmt.Sprintf("benchmark %s stopped emitting metric %q", want.Name, key))
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
 }
 
 // parse tees every input line to out and collects benchmark records.

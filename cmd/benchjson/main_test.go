@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -89,5 +90,51 @@ func TestRefusesFailuresAndEmptyInput(t *testing.T) {
 	}
 	if _, err := os.Stat(outPath); !os.IsNotExist(err) {
 		t.Fatal("artifact written despite failure")
+	}
+}
+
+// TestRequireDiff pins the -require coverage gate: a benchmark or metric
+// present in the committed baseline but absent from the fresh run must
+// fail the pipeline; a superset run passes.
+func TestRequireDiff(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "committed.json")
+	writeBaseline := func(content string) {
+		if err := os.WriteFile(baseline, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runWith := func(input string) (int, string) {
+		var stderr strings.Builder
+		code := run([]string{"-o", filepath.Join(dir, "out.json"), "-require", baseline},
+			strings.NewReader(input), io.Discard, &stderr)
+		return code, stderr.String()
+	}
+
+	writeBaseline(`[{"name":"BenchmarkA","iterations":1,"metrics":{"ns/op":5,"speedup":2}},
+	               {"name":"BenchmarkB","iterations":1,"metrics":{"ns/op":7}}]`)
+
+	// Identical coverage (values may drift freely) passes.
+	if code, errOut := runWith("BenchmarkA 1 9 ns/op 1.5 speedup\nBenchmarkB 1 3 ns/op\n"); code != 0 {
+		t.Fatalf("matching coverage failed (%d): %s", code, errOut)
+	}
+	// Extra benchmarks pass (growth is fine).
+	if code, errOut := runWith("BenchmarkA 1 9 ns/op 1.5 speedup\nBenchmarkB 1 3 ns/op\nBenchmarkC 1 2 ns/op\n"); code != 0 {
+		t.Fatalf("superset coverage failed (%d): %s", code, errOut)
+	}
+	// A disappeared benchmark fails.
+	code, errOut := runWith("BenchmarkA 1 9 ns/op 1.5 speedup\n")
+	if code == 0 || !strings.Contains(errOut, "BenchmarkB disappeared") {
+		t.Fatalf("missing benchmark not caught (%d): %s", code, errOut)
+	}
+	// A disappeared metric fails.
+	code, errOut = runWith("BenchmarkA 1 9 ns/op\nBenchmarkB 1 3 ns/op\n")
+	if code == 0 || !strings.Contains(errOut, `stopped emitting metric "speedup"`) {
+		t.Fatalf("missing metric not caught (%d): %s", code, errOut)
+	}
+	// A malformed baseline is an error, not a silent pass.
+	writeBaseline("not json")
+	if code, _ := runWith("BenchmarkA 1 9 ns/op\n"); code == 0 {
+		t.Fatal("malformed baseline accepted")
 	}
 }

@@ -43,6 +43,9 @@ func run(args []string) int {
 	snapshotRuns := fs.Int("snapshot-runs", 25,
 		"random histories per data type for the snapshot-install equivalence sweep (0 disables)")
 	snapshotLen := fs.Int("snapshot-len", 24, "operations per history in the snapshot sweep")
+	resizeRuns := fs.Int("resize-runs", 10,
+		"random keyed histories per data type for the resize equivalence sweep (0 disables): every cut of every history, across several ring growths, must match the unsharded serial order")
+	resizeLen := fs.Int("resize-len", 24, "operations per history in the resize sweep")
 	quiet := fs.Bool("q", false, "only print failures and the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,10 +89,53 @@ func run(args []string) int {
 			snapChecks-snapFailures, snapChecks)
 	}
 
-	if failures+snapFailures > 0 {
+	resizeFailures, resizeChecks := resizeSweep(*resizeRuns, *resizeLen, *seed, *quiet)
+	if *resizeRuns > 0 {
+		fmt.Printf("esds-check: resize equivalence: %d/%d cut checks passed\n",
+			resizeChecks-resizeFailures, resizeChecks)
+	}
+
+	if failures+snapFailures+resizeFailures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// resizeSweep checks CheckResizeEquivalence for every built-in data type
+// over random keyed histories: every cut of every history, across several
+// ring growth shapes, must be indistinguishable from the unsharded serial
+// order. It returns (failures, checks).
+func resizeSweep(runs, histLen int, seed int64, quiet bool) (failures, checks int) {
+	if runs <= 0 {
+		return 0, 0
+	}
+	growths := [][2]int{{1, 2}, {2, 3}, {4, 8}}
+	for _, name := range dtype.Names() {
+		dt, _ := dtype.ByName(name)
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(seed + int64(run)))
+			seq := make([]ops.Operation, histLen)
+			for i := range seq {
+				key := fmt.Sprintf("obj-%d", rng.Intn(6))
+				seq[i] = ops.New(dtype.KeyedOp{Key: key, Op: dtype.RandomOp(rng, dt)},
+					ops.ID{Client: "chk", Seq: uint64(i)}, nil, false)
+			}
+			for _, g := range growths {
+				for cut := 0; cut <= len(seq); cut++ {
+					checks++
+					if err := spec.CheckResizeEquivalence(dt, seq, cut, g[0], g[1]); err != nil {
+						failures++
+						fmt.Printf("resize sweep: %s (%d→%d shards, seed %d, cut %d): FAIL: %v\n",
+							name, g[0], g[1], seed+int64(run), cut, err)
+					}
+				}
+			}
+		}
+		if !quiet {
+			fmt.Printf("resize sweep: %s: ok — %d histories × all cuts × %d growths\n", name, runs, len(growths))
+		}
+	}
+	return failures, checks
 }
 
 // snapshotSweep checks CheckSnapshotInstallEquivalence for every

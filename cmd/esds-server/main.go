@@ -65,6 +65,7 @@ type config struct {
 	advertise string
 	dtName    string
 	shards    int
+	resize    int
 	gossip    time.Duration
 	client    string
 	storeDir  string
@@ -86,6 +87,10 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.dtName, "type", "counter", "data type: "+strings.Join(dtype.Names(), "|"))
 	fs.IntVar(&cfg.shards, "shards", 1,
 		"shard the service into a multi-object keyspace of this many independent clusters; every member must agree")
+	fs.IntVar(&cfg.resize, "resize", 0,
+		"ADMIN MODE: grow the running keyspace the -peers members serve to this many shards, online (live resharding; DESIGN.md §7), then exit. Member 0 drives the migration; restart members with the new -shards afterwards so a later cold start matches")
+	fs.IntVar(&cfg.opts.SnapshotCap, "snapshot-cap", 0,
+		"maximum recovery-snapshot size in bytes a replica will send (0 = unlimited); above the cap peers answer with descriptors only and recovery degrades to replay")
 	fs.DurationVar(&cfg.gossip, "gossip", 100*time.Millisecond, "gossip period")
 	fs.StringVar(&cfg.client, "client", "", "run a front end for this client name instead of a replica")
 	fs.StringVar(&cfg.storeDir, "store", "",
@@ -119,6 +124,24 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	if cfg.shards < 1 {
 		return cfg, fmt.Errorf("-shards %d must be at least 1", cfg.shards)
 	}
+	if cfg.gossip <= 0 {
+		return cfg, fmt.Errorf("-gossip %v must be positive: the §9.1 liveness assumption needs a gossip round in every bounded interval", cfg.gossip)
+	}
+	if cfg.opts.SnapshotCap < 0 {
+		return cfg, fmt.Errorf("-snapshot-cap %d is negative; use 0 for unlimited", cfg.opts.SnapshotCap)
+	}
+	if cfg.resize < 0 {
+		return cfg, fmt.Errorf("-resize %d is negative", cfg.resize)
+	}
+	if cfg.resize > 0 {
+		if cfg.resize < 2 {
+			return cfg, fmt.Errorf("-resize %d: a keyspace can only grow to 2 or more shards", cfg.resize)
+		}
+		if cfg.client != "" || cfg.id >= 0 || cfg.recover || cfg.storeDir != "" {
+			return cfg, fmt.Errorf("-resize is an admin command: it takes only -peers (and optionally -verbose), not -client/-id/-recover/-store")
+		}
+		return cfg, nil
+	}
 	if cfg.client != "" && (cfg.recover || cfg.storeDir != "") {
 		return cfg, fmt.Errorf("-recover and -store apply to replicas, not -client front ends")
 	}
@@ -138,6 +161,24 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	return cfg, nil
 }
 
+// checkRecoverableStore guards -recover against a fresh or missing -store
+// directory: recovery without the pre-crash labels is NOT a restart — a
+// recovered replica could re-issue a label it used before the data loss
+// and split the total order (§9.3). A genuinely new member should join
+// with -store but WITHOUT -recover.
+func checkRecoverableStore(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("-recover: cannot read -store directory %q: %w (a replica can only recover against the store it crashed with)", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".labels") {
+			return nil
+		}
+	}
+	return fmt.Errorf("-recover: -store directory %q holds no label files — this is a fresh store, and recovering against it could re-issue pre-crash labels (§9.3); start without -recover to join as a new member", dir)
+}
+
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	cfg, err := parseFlags(args, stderr)
 	if err != nil {
@@ -145,13 +186,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	core.RegisterWire()
+	registerCtlWire()
+	if cfg.resize > 0 {
+		return runResizeAdmin(cfg, stdout, stderr)
+	}
+	if cfg.recover {
+		if err := checkRecoverableStore(cfg.storeDir); err != nil {
+			fmt.Fprintf(stderr, "esds-server: %v\n", err)
+			return 2
+		}
+	}
 	dt, _ := dtype.ByName(cfg.dtName)
 
 	// Every shard's replica i lives behind the same member address: shards
 	// share each process's single listener, kept apart by shard-qualified
-	// node names.
+	// node names. Member control nodes (ctl:<i>) carry the resize admin
+	// protocol.
 	peerTable := make(map[transport.NodeID]string, len(cfg.peers)*cfg.shards)
 	for i, addr := range cfg.peers {
+		peerTable[ctlNode(i)] = addr
 		if cfg.client == "" && i == cfg.id {
 			continue
 		}
@@ -204,6 +257,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		LocalReplicas: local,
 	})
 	defer cluster.Close()
+	if cfg.client == "" {
+		// Unsharded members still answer the resize admin protocol — with a
+		// clear refusal, so `esds-server -resize` fails fast instead of
+		// timing out against a cluster that cannot reshard.
+		(&memberCtl{id: cfg.id, net: net, ks: nil, stdout: stdout, stderr: stderr}).register()
+	}
 	net.Start()
 
 	if cfg.client != "" {
@@ -345,11 +404,28 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []in
 		Options:       cfg.opts,
 		LocalReplicas: local,
 		StoreFor:      storeFor,
+		// Online growth (a local Resize or a -resize admin command, or a
+		// redirect-taught client following one): the new shards' remote
+		// replicas live behind the same member addresses as every other
+		// shard's.
+		OnGrow: func(oldShards, newShards int) {
+			for s := oldShards; s < newShards; s++ {
+				for i, addr := range cfg.peers {
+					if cfg.client == "" && i == cfg.id {
+						continue
+					}
+					net.SetPeer(core.ReplicaNodeIn(s, label.ReplicaID(i)), addr)
+				}
+			}
+		},
 	})
 	defer ks.Close()
 	if storeErr != nil {
 		fmt.Fprintf(stderr, "esds-server: %v\n", storeErr)
 		return 1
+	}
+	if cfg.client == "" {
+		(&memberCtl{id: cfg.id, net: net, ks: ks, stdout: stdout, stderr: stderr}).register()
 	}
 	net.Start()
 
@@ -380,10 +456,15 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []in
 }
 
 // runShardedClient reads "OBJECT op args... [!]" lines and submits each
-// operation to the shard owning OBJECT, chaining prev per object.
+// operation through the keyspace router, chaining prev per object. The
+// router is resize-aware: when a `-resize` admin command migrates an
+// object to a new shard, operations follow it automatically (this process
+// learns the new topology from Redirect replies; OnGrow extends the peer
+// table), so a front end started with a stale -shards keeps working.
 func runShardedClient(cfg config, ks *core.Keyspace, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "READY client=%s shards=%d type=%s\n", cfg.client, cfg.shards, cfg.dtName)
 	scanner := bufio.NewScanner(stdin)
+	router := ks.Client(cfg.client)
 	prev := make(map[string][]ops.ID)
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
@@ -402,8 +483,7 @@ func runShardedClient(cfg config, ks *core.Keyspace, stdin io.Reader, stdout, st
 			fmt.Fprintf(stderr, "esds-server: %v\n", err)
 			continue
 		}
-		fe := ks.FrontEnd(object, cfg.client)
-		x, v, err := submitWithDeadline(fe, ks.WrapOp(object, op), prev[object], strict, 10*time.Second)
+		x, v, err := submitWithDeadline(router, ks.WrapOp(object, op), prev[object], strict, 10*time.Second)
 		if err != nil {
 			fmt.Fprintf(stderr, "esds-server: %v\n", err)
 			return 1
@@ -455,9 +535,9 @@ func runClient(cfg config, cluster *core.Cluster, stdin io.Reader, stdout, stder
 // the deadline. Retransmission against message loss is handled by the
 // cluster-level ticker (StartLiveRetransmit), so the only terminal
 // outcomes are a response, a close error, or the timeout.
-func submitWithDeadline(fe *core.FrontEnd, op dtype.Operator, prev []ops.ID, strict bool, timeout time.Duration) (ops.Operation, dtype.Value, error) {
+func submitWithDeadline(sub core.Submitter, op dtype.Operator, prev []ops.ID, strict bool, timeout time.Duration) (ops.Operation, dtype.Value, error) {
 	ch := make(chan core.Response, 1)
-	x := fe.Submit(op, prev, strict, func(r core.Response) { ch <- r })
+	x := sub.Submit(op, prev, strict, func(r core.Response) { ch <- r })
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	select {

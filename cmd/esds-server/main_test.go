@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/exec"
@@ -389,6 +390,16 @@ func TestParseFlagsValidation(t *testing.T) {
 		{[]string{"-peers", "a:1,b:2", "-client", "c", "-recover"}, "apply to replicas"},
 		{[]string{"-peers", "a:1,b:2", "-client", "c", "-store", "/tmp/x"}, "apply to replicas"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-recover"}, "-recover requires -store"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-shards", "0"}, "-shards 0 must be at least 1"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-shards", "-3"}, "must be at least 1"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-gossip", "-5ms"}, "-gossip -5ms must be positive"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-gossip", "0s"}, "must be positive"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-snapshot-cap", "-1"}, "-snapshot-cap -1 is negative"},
+		{[]string{"-peers", "a:1,b:2", "-resize", "-2"}, "-resize -2 is negative"},
+		{[]string{"-peers", "a:1,b:2", "-resize", "1"}, "grow to 2 or more"},
+		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-id", "0"}, "admin command"},
+		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-client", "c"}, "admin command"},
+		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-store", "/tmp/x"}, "admin command"},
 	}
 	for _, tc := range cases {
 		_, err := parseFlags(tc.args, os.Stderr)
@@ -402,6 +413,104 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if cfg.listen != "b:2" {
 		t.Errorf("listen defaulted to %q, want the replica's own peers entry", cfg.listen)
+	}
+	if _, err := parseFlags([]string{"-peers", "a:1,b:2", "-resize", "4"}, os.Stderr); err != nil {
+		t.Errorf("valid -resize admin flags rejected: %v", err)
+	}
+}
+
+// TestRecoverRejectsFreshStore pins the -recover guard: recovering
+// against a store directory with no persisted labels is not a restart —
+// it could re-issue pre-crash labels (§9.3) — and must be refused with a
+// clear error instead of silently joining.
+func TestRecoverRejectsFreshStore(t *testing.T) {
+	fresh := t.TempDir()
+	var stderr strings.Builder
+	code := run([]string{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-store", fresh, "-recover"},
+		strings.NewReader(""), io.Discard, &stderr)
+	if code == 0 {
+		t.Fatal("recover on a fresh store directory succeeded")
+	}
+	if !strings.Contains(stderr.String(), "no label files") {
+		t.Fatalf("error does not explain the fresh store: %q", stderr.String())
+	}
+	// A missing directory is refused the same way.
+	stderr.Reset()
+	code = run([]string{"-id", "0", "-peers", "127.0.0.1:1,127.0.0.1:2", "-store", fresh + "/nope", "-recover"},
+		strings.NewReader(""), io.Discard, &stderr)
+	if code == 0 || !strings.Contains(stderr.String(), "cannot read -store") {
+		t.Fatalf("missing store dir: code=%d stderr=%q", code, stderr.String())
+	}
+}
+
+// TestResizeAdminAgainstCluster is the multi-process live-resharding
+// test: three members serving a 2-shard keyspace are grown to 4 shards by
+// the `-resize` admin command while holding state, and a STALE front end
+// (started with -shards 2, never told about the resize) keeps operating —
+// it learns the new topology from Redirect replies and reads back every
+// object's pre-resize state through the migration.
+func TestResizeAdminAgainstCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	peers := reservePorts(t, 3)
+	var watch0 func() string
+	for i := 0; i < 3; i++ {
+		if i == 0 {
+			_, watch0 = spawnReplicaWatch(t, i, peers, "-shards", "2")
+		} else {
+			spawnReplica(t, i, peers, "-shards", "2")
+		}
+	}
+
+	// Seed objects through a (stale-to-be) client.
+	var out1 strings.Builder
+	seed := "obj:a add 1\nobj:b add 2\nobj:c add 3\nobj:d add 4\nobj:a read!\n"
+	if code := run([]string{"-client", "seed", "-shards", "2", "-peers", strings.Join(peers, ",")},
+		strings.NewReader(seed), &out1, os.Stderr); code != 0 {
+		t.Fatalf("seeding client exited %d\n%s", code, out1.String())
+	}
+
+	// Grow 2 → 4 online.
+	var adminOut strings.Builder
+	if code := run([]string{"-resize", "4", "-peers", strings.Join(peers, ",")},
+		strings.NewReader(""), &adminOut, os.Stderr); code != 0 {
+		t.Fatalf("resize admin exited %d\n%s", code, adminOut.String())
+	}
+	if !strings.Contains(adminOut.String(), "RESIZED shards=4") {
+		t.Fatalf("admin output lacks RESIZED line:\n%s", adminOut.String())
+	}
+	if !strings.Contains(watch0(), "RESIZED shards=4") {
+		t.Fatalf("member 0 never printed its RESIZED line:\n%s", watch0())
+	}
+
+	// A stale client (still -shards 2) must read every object back and
+	// write through the migration.
+	var out2 strings.Builder
+	check := "obj:a read!\nobj:b read!\nobj:c read!\nobj:d read!\nobj:d add 6\nobj:d read!\n"
+	if code := run([]string{"-client", "stale", "-shards", "2", "-peers", strings.Join(peers, ",")},
+		strings.NewReader(check), &out2, os.Stderr); code != 0 {
+		t.Fatalf("stale client exited %d\n%s", code, out2.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out2.String()), "\n")
+	if len(lines) != 7 { // READY + six responses
+		t.Fatalf("stale client printed %d lines:\n%s", len(lines), out2.String())
+	}
+	wants := []string{"= 1", "= 2", "= 3", "= 4", "= ok", "= 10"}
+	for i, w := range wants {
+		if !strings.HasSuffix(lines[i+1], w) {
+			t.Fatalf("stale line %d = %q, want suffix %q\nall:\n%s", i+1, lines[i+1], w, out2.String())
+		}
+	}
+
+	// A fresh client started with the NEW shard count works too.
+	var out3 strings.Builder
+	if code := run([]string{"-client", "fresh", "-shards", "4", "-peers", strings.Join(peers, ",")},
+		strings.NewReader("obj:d read!\n"), &out3, os.Stderr); code != 0 {
+		t.Fatalf("fresh client exited %d\n%s", code, out3.String())
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out3.String()), "= 10") {
+		t.Fatalf("fresh client read = %q, want suffix \"= 10\"", out3.String())
 	}
 }
 

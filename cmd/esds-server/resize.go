@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/transport"
+)
+
+// This file is the multi-process face of live resharding (DESIGN.md §7):
+// a small admin protocol over the members' control nodes. `esds-server
+// -resize N -peers ...` first tells every member to GROW (create its
+// local replicas of the new shards — no keys move yet), then tells member
+// 0 to EXECUTE, which runs the in-process migration driver
+// (core.Keyspace.Resize) against the whole cluster: member 0 hosts a
+// replica of every source shard, so it can export, and the freeze /
+// install / complete broadcasts reach the other members' replicas over
+// the same TCP transport everything else uses. Stale front-end processes
+// need no notification at all — they learn the new topology from
+// Redirect replies and replay refused operations at the destinations.
+
+// ResizeCommandMsg drives a member's control node. Without Execute the
+// member only grows its local keyspace to NewShards; with Execute it also
+// runs the migration driver (member 0 only — the driver needs a local
+// replica of every source shard, which every member has, but exactly one
+// process must coordinate).
+type ResizeCommandMsg struct {
+	NewShards int
+	Execute   bool
+	ReplyTo   transport.NodeID
+}
+
+// ResizeStatusMsg answers a ResizeCommandMsg: Phase is "grown", "done",
+// or "error".
+type ResizeStatusMsg struct {
+	From      int
+	NewShards int
+	Phase     string
+	Detail    string
+	KeysMoved int
+}
+
+var ctlWireOnce sync.Once
+
+// registerCtlWire registers the admin control messages with encoding/gob.
+func registerCtlWire() {
+	ctlWireOnce.Do(func() {
+		gob.Register(ResizeCommandMsg{})
+		gob.Register(ResizeStatusMsg{})
+	})
+}
+
+// ctlNode names member i's control node.
+func ctlNode(id int) transport.NodeID {
+	return transport.NodeID(fmt.Sprintf("ctl:%d", id))
+}
+
+// memberCtl serves a member's control node.
+type memberCtl struct {
+	id     int
+	net    *transport.TCPNet
+	ks     *core.Keyspace // nil for unsharded members (resize unsupported)
+	stdout io.Writer
+	stderr io.Writer
+
+	mu        sync.Mutex
+	executing bool
+}
+
+// register installs the handler. Growth runs inline (cheap); the
+// migration driver runs in its own goroutine so the transport's delivery
+// loop keeps draining (the driver's own control acks arrive through it).
+func (mc *memberCtl) register() {
+	mc.net.Register(ctlNode(mc.id), func(m transport.Message) {
+		cmd, ok := m.Payload.(ResizeCommandMsg)
+		if !ok {
+			return
+		}
+		mc.handle(cmd)
+	})
+}
+
+func (mc *memberCtl) reply(cmd ResizeCommandMsg, phase, detail string, keys int) {
+	mc.net.Send(ctlNode(mc.id), cmd.ReplyTo, ResizeStatusMsg{
+		From: mc.id, NewShards: cmd.NewShards, Phase: phase, Detail: detail, KeysMoved: keys,
+	})
+}
+
+func (mc *memberCtl) handle(cmd ResizeCommandMsg) {
+	if mc.ks == nil {
+		mc.reply(cmd, "error", "member is not sharded (-shards 1 runs a single-object cluster; live resharding needs keyspace members, -shards ≥ 2)", 0)
+		return
+	}
+	if cmd.NewShards <= 1 {
+		mc.reply(cmd, "error", fmt.Sprintf("invalid shard target %d", cmd.NewShards), 0)
+		return
+	}
+	if !cmd.Execute {
+		// GROW: create local replicas of the new shards. EnsureShards is
+		// idempotent and never moves keys.
+		mc.ks.EnsureShards(cmd.NewShards)
+		mc.reply(cmd, "grown", "", 0)
+		return
+	}
+	mc.mu.Lock()
+	if mc.executing {
+		mc.mu.Unlock()
+		mc.reply(cmd, "error", "a resize is already executing", 0)
+		return
+	}
+	mc.executing = true
+	mc.mu.Unlock()
+	go func() {
+		defer func() {
+			mc.mu.Lock()
+			mc.executing = false
+			mc.mu.Unlock()
+		}()
+		rep, err := mc.ks.Resize(cmd.NewShards)
+		if err != nil {
+			fmt.Fprintf(mc.stderr, "esds-server: resize to %d shards failed: %v\n", cmd.NewShards, err)
+			mc.reply(cmd, "error", err.Error(), 0)
+			return
+		}
+		// RESIZED mirrors READY/RECOVERED: wrappers and the integration
+		// test read it; operators should restart members with the new
+		// -shards so later cold starts match the live topology.
+		fmt.Fprintf(mc.stdout, "RESIZED shards=%d epoch=%d keys=%d installs=%d drained=%d took=%s\n",
+			rep.NewShards, rep.Epoch, rep.KeysMoved, rep.Installs, rep.OpsDrained, rep.Duration.Round(time.Millisecond))
+		mc.reply(cmd, "done", "", rep.KeysMoved)
+	}()
+}
+
+// runResizeAdmin is the `esds-server -resize N -peers ...` entry point.
+func runResizeAdmin(cfg config, stdout, stderr io.Writer) int {
+	logf := func(string, ...any) {}
+	if cfg.verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	peerTable := make(map[transport.NodeID]string, len(cfg.peers))
+	for i, addr := range cfg.peers {
+		peerTable[ctlNode(i)] = addr
+	}
+	// Bind like a client would: any port on loopback by default, or the
+	// operator's -listen/-advertise when the members are on other hosts
+	// (their status replies dial the admin's advertised address).
+	listen := cfg.listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	net, err := transport.NewTCPNet(transport.TCPConfig{Listen: listen, Advertise: cfg.advertise, Peers: peerTable, Logf: logf})
+	if err != nil {
+		fmt.Fprintf(stderr, "esds-server: %v\n", err)
+		return 1
+	}
+	defer net.Close()
+	const admin = transport.NodeID("ctl:admin")
+	status := make(chan ResizeStatusMsg, 64)
+	net.Register(admin, func(m transport.Message) {
+		if s, ok := m.Payload.(ResizeStatusMsg); ok {
+			status <- s
+		}
+	})
+	net.Start()
+
+	// Phase 1 — GROW on every member, with retries (the members may still
+	// be accepting their first connections).
+	grown := make(map[int]bool)
+	deadline := time.Now().Add(30 * time.Second)
+	for len(grown) < len(cfg.peers) {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(stderr, "esds-server: resize: %d/%d members never confirmed growth\n", len(grown), len(cfg.peers))
+			return 1
+		}
+		for i := range cfg.peers {
+			if !grown[i] {
+				net.Send(admin, ctlNode(i), ResizeCommandMsg{NewShards: cfg.resize, ReplyTo: admin})
+			}
+		}
+		timeout := time.After(time.Second)
+	collect:
+		for len(grown) < len(cfg.peers) {
+			select {
+			case s := <-status:
+				switch {
+				case s.Phase == "grown" && s.NewShards == cfg.resize:
+					grown[s.From] = true
+				case s.Phase == "error":
+					fmt.Fprintf(stderr, "esds-server: resize: member %d: %s\n", s.From, s.Detail)
+					return 1
+				}
+			case <-timeout:
+				break collect
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "GROWN members=%d shards=%d\n", len(cfg.peers), cfg.resize)
+
+	// Phase 2 — EXECUTE on member 0 (sent once; the migration itself is
+	// retryable by re-running this admin command).
+	net.Send(admin, ctlNode(0), ResizeCommandMsg{NewShards: cfg.resize, Execute: true, ReplyTo: admin})
+	execDeadline := time.After(2 * time.Minute)
+	for {
+		select {
+		case s := <-status:
+			switch s.Phase {
+			case "done":
+				fmt.Fprintf(stdout, "RESIZED shards=%d keys=%d\n", s.NewShards, s.KeysMoved)
+				fmt.Fprintf(stdout, "note: restart members with -shards %d so later cold starts match the live topology\n", s.NewShards)
+				return 0
+			case "error":
+				fmt.Fprintf(stderr, "esds-server: resize failed at member %d: %s\n", s.From, s.Detail)
+				return 1
+			}
+		case <-execDeadline:
+			fmt.Fprintf(stderr, "esds-server: resize: member 0 did not report completion\n")
+			return 1
+		}
+	}
+}

@@ -176,11 +176,12 @@ func (s *Service) Client(name string) *Client {
 }
 
 // Client submits operations on behalf of one named client. A Client from
-// Service.Client addresses the service's single object; a Client from
-// Object.Client addresses one named object of a Keyspace (wrap routes each
-// operator to that object).
+// Service.Client addresses the service's single object through its front
+// end; a Client from Object.Client addresses one named object of a
+// Keyspace through the keyspace router (wrap routes each operator to that
+// object, and the router follows the object across live resizes).
 type Client struct {
-	fe   *core.FrontEnd
+	fe   core.Submitter
 	wrap func(Operator) Operator // nil for single-object services
 }
 

@@ -48,6 +48,14 @@ type FrontEnd struct {
 	history  []ops.ID // issue order, for auto-causality helpers
 	closed   error    // non-nil once Close ran; delivered to all waiters
 
+	// onRedirect, when set, receives Redirect refusals (live resharding's
+	// "wrong shard" replies) for pending operations; the operation STAYS
+	// pending — only the router decides when to cancel and replay it.
+	// Without a handler, redirects are ignored and retransmission keeps
+	// probing (a resize-oblivious front end simply never completes ops on
+	// moved keys; use KeyspaceClient for resize-aware submission).
+	onRedirect func(id ops.ID, rd Redirect)
+
 	responses uint64
 	requests  uint64
 }
@@ -131,6 +139,83 @@ func (fe *FrontEnd) Submit(op dtype.Operator, prev []ops.ID, strict bool, cb fun
 
 	fe.net.Send(fe.node, target, RequestMsg{Op: x})
 	return x
+}
+
+// SubmitOp relays an externally assembled operation — identifier included
+// — to one replica, for callers that own identifier allocation across
+// several front ends (KeyspaceClient allocates one sequence per client
+// across all shards, so an operation replayed on a different shard after
+// a resize keeps its identity). The callback contract matches Submit.
+// Submitting an id this front end already has pending is ignored (the
+// existing registration wins).
+func (fe *FrontEnd) SubmitOp(x ops.Operation, cb func(Response)) {
+	fe.mu.Lock()
+	if err := fe.closed; err != nil {
+		fe.mu.Unlock()
+		if cb != nil {
+			cb(Response{ID: x.ID, Err: err})
+		}
+		return
+	}
+	if _, dup := fe.wait[x.ID]; dup {
+		fe.mu.Unlock()
+		return
+	}
+	fe.wait[x.ID] = x
+	if cb != nil {
+		fe.onResult[x.ID] = cb
+	}
+	fe.history = append(fe.history, x.ID)
+	target := fe.replicas[fe.rr%len(fe.replicas)]
+	fe.rr++
+	fe.sentTo[x.ID] = target
+	fe.requests++
+	fe.mu.Unlock()
+
+	fe.net.Send(fe.node, target, RequestMsg{Op: x})
+}
+
+// Cancel withdraws a pending operation without firing its callback: the
+// router is moving it to another shard's front end. It reports whether
+// the operation was still pending (false means a response already won the
+// race and the callback has fired or is firing).
+func (fe *FrontEnd) Cancel(id ops.ID) bool {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if _, pending := fe.wait[id]; !pending {
+		return false
+	}
+	delete(fe.wait, id)
+	delete(fe.sentTo, id)
+	delete(fe.onResult, id)
+	return true
+}
+
+// ProbeAll re-sends a pending operation to EVERY replica at once — the
+// router's fast path for collecting one verdict (response or Redirect)
+// per replica after a resize touched the operation's object, instead of
+// waiting for the retransmission ticker to rotate through them.
+func (fe *FrontEnd) ProbeAll(id ops.ID) {
+	fe.mu.Lock()
+	x, pending := fe.wait[id]
+	replicas := fe.replicas
+	closed := fe.closed
+	fe.mu.Unlock()
+	if !pending || closed != nil {
+		return
+	}
+	for _, to := range replicas {
+		fe.net.Send(fe.node, to, RequestMsg{Op: x})
+	}
+}
+
+// SetRedirectHandler installs the Redirect callback (see the onRedirect
+// field). Must be set before redirects can arrive; the KeyspaceClient
+// sets it when it adopts a front end.
+func (fe *FrontEnd) SetRedirectHandler(h func(id ops.ID, rd Redirect)) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	fe.onRedirect = h
 }
 
 // SubmitWait issues a request and blocks until the response arrives or the
@@ -253,6 +338,20 @@ func (fe *FrontEnd) LastID() (ops.ID, bool) {
 func (fe *FrontEnd) handleMessage(m transport.Message) {
 	resp, ok := m.Payload.(ResponseMsg)
 	if !ok {
+		return
+	}
+	if resp.Redirect != nil {
+		// A "wrong shard" refusal, not a response: the operation stays
+		// pending (the replica did NOT accept it) and the router decides
+		// what to do. Read the handler and pending-ness under the lock,
+		// call outside it.
+		fe.mu.Lock()
+		h := fe.onRedirect
+		_, waiting := fe.wait[resp.ID]
+		fe.mu.Unlock()
+		if h != nil && waiting {
+			h(resp.ID, *resp.Redirect)
+		}
 		return
 	}
 	fe.mu.Lock()

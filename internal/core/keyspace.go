@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"sync"
 	"time"
 
 	"esds/internal/dtype"
+	"esds/internal/ring"
 	"esds/internal/sim"
 	"esds/internal/transport"
 )
@@ -15,17 +15,52 @@ import (
 // ESDS clusters sharing one transport. Each shard replicates the keyed
 // lift of the inner data type (dtype.Keyed): many named objects, one
 // eventual total order per shard. Objects are routed to shards by a
-// consistent-hash ring, so growing the shard count later remaps only
-// ~1/N of the namespace.
+// consistent-hash ring, so growing the shard count remaps only ~1/N of
+// the namespace — and Resize performs that growth online, migrating
+// exactly the remapped keys with no downtime (see resize.go and
+// DESIGN.md §7).
 //
 // The paper's algorithm — and all its guarantees — applies per shard;
 // cross-shard operations have no ordering relationship, which is exactly
 // the independence the keyed data type exposes (§10.3 terms: operations
 // on distinct objects commute and are mutually oblivious).
 type Keyspace struct {
-	inner  dtype.DataType
+	mu    sync.Mutex
+	inner dtype.DataType
+	cfg   KeyspaceConfig // retained for online growth
+
 	shards []*Cluster
-	ring   hashRing
+	// curRing routes new submissions; epoch counts completed resizes. Both
+	// advance only when a resize COMPLETES — during a migration the old
+	// ring stays authoritative and per-key redirects funnel moved keys.
+	curRing ring.Ring
+	epoch   int
+
+	// migrated records keys moved by resizes: their destination shard and
+	// the KeyInstall that seeded them. Used to route new submissions
+	// mid-resize, to translate stale prev references, and (on client-side
+	// keyspaces) learned incrementally from Redirect replies.
+	migrated map[string]migratedEntry
+
+	resizing bool
+	clients  map[string]*KeyspaceClient
+
+	// Ticker periods recorded so clusters created by online growth start
+	// the same schedulers the original shards run.
+	gossipPeriod     time.Duration
+	retransmitPeriod time.Duration
+
+	// Resize driver plumbing (see resize.go).
+	ctlNode  transport.NodeID
+	ctlAcks  chan any
+	mmetrics MigrationMetrics
+}
+
+// migratedEntry is the keyspace's routing view of one moved key.
+type migratedEntry struct {
+	epoch int
+	shard int
+	mk    MigratedKey
 }
 
 // KeyspaceConfig assembles a keyspace.
@@ -50,8 +85,13 @@ type KeyspaceConfig struct {
 	// replica) pair — recovery state is per shard because operation
 	// identifiers are only unique within one (clients count sequence
 	// numbers per object's shard). Returning nil leaves that replica
-	// without a store.
+	// without a store. Also invoked for shards created by online growth.
 	StoreFor func(shard, replica int) StableStore
+	// OnGrow, if non-nil, runs before clusters for shards [oldShards,
+	// newShards) are built — the hook a TCP deployment uses to extend its
+	// peer table with the new shards' replica addresses (member i hosts
+	// replica i of every shard, so the addresses are already known).
+	OnGrow func(oldShards, newShards int)
 }
 
 // NewKeyspace builds one cluster per shard over the shared network.
@@ -63,45 +103,172 @@ func NewKeyspace(cfg KeyspaceConfig) *Keyspace {
 		panic("core: nil data type")
 	}
 	k := &Keyspace{
-		inner:  cfg.DataType,
-		shards: make([]*Cluster, cfg.Shards),
-		ring:   newHashRing(cfg.Shards, ringVnodes),
+		inner:    cfg.DataType,
+		cfg:      cfg,
+		curRing:  ring.New(cfg.Shards),
+		migrated: make(map[string]migratedEntry),
+		clients:  make(map[string]*KeyspaceClient),
 	}
-	for s := range k.shards {
-		var stores []StableStore
-		if cfg.StoreFor != nil {
-			stores = make([]StableStore, cfg.Replicas)
-			for i := range stores {
-				stores[i] = cfg.StoreFor(s, i)
-			}
-		}
-		k.shards[s] = NewCluster(ClusterConfig{
-			Replicas:      cfg.Replicas,
-			DataType:      dtype.NewKeyed(cfg.DataType),
-			Network:       cfg.Network,
-			Options:       cfg.Options,
-			Stores:        stores,
-			LocalReplicas: cfg.LocalReplicas,
-			Shard:         s,
-		})
+	for s := 0; s < cfg.Shards; s++ {
+		k.shards = append(k.shards, k.buildShard(s))
 	}
 	return k
 }
 
-// NumShards returns the shard count.
-func (k *Keyspace) NumShards() int { return len(k.shards) }
+// buildShard constructs the cluster for shard s from the saved config.
+func (k *Keyspace) buildShard(s int) *Cluster {
+	var stores []StableStore
+	if k.cfg.StoreFor != nil {
+		stores = make([]StableStore, k.cfg.Replicas)
+		for i := range stores {
+			stores[i] = k.cfg.StoreFor(s, i)
+		}
+	}
+	return NewCluster(ClusterConfig{
+		Replicas:      k.cfg.Replicas,
+		DataType:      dtype.NewKeyed(k.cfg.DataType),
+		Network:       k.cfg.Network,
+		Options:       k.cfg.Options,
+		Stores:        stores,
+		LocalReplicas: k.cfg.LocalReplicas,
+		Shard:         s,
+	})
+}
+
+// EnsureShards grows the keyspace to at least n shard clusters WITHOUT
+// changing routing: new clusters join the transport (with the same
+// schedulers the existing shards run) but receive keys only through the
+// migration protocol or a later ring advance. It is how the resize driver
+// creates destinations, and how a client-side keyspace follows a resize
+// it learns about from Redirect replies.
+func (k *Keyspace) EnsureShards(n int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.ensureShardsLocked(n)
+}
+
+func (k *Keyspace) ensureShardsLocked(n int) {
+	if n <= len(k.shards) {
+		return
+	}
+	if k.cfg.OnGrow != nil {
+		k.cfg.OnGrow(len(k.shards), n)
+	}
+	for s := len(k.shards); s < n; s++ {
+		c := k.buildShard(s)
+		if k.gossipPeriod > 0 {
+			c.StartLiveGossip(k.gossipPeriod)
+		}
+		if k.retransmitPeriod > 0 {
+			c.StartLiveRetransmit(k.retransmitPeriod)
+		}
+		k.shards = append(k.shards, c)
+	}
+}
+
+// NumShards returns the shard count (including destinations of an
+// in-progress resize).
+func (k *Keyspace) NumShards() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.shards)
+}
+
+// Epoch returns the number of completed resizes.
+func (k *Keyspace) Epoch() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.epoch
+}
 
 // Shard returns shard s's cluster.
-func (k *Keyspace) Shard(s int) *Cluster { return k.shards[s] }
+func (k *Keyspace) Shard(s int) *Cluster {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.shards[s]
+}
 
-// ShardOf routes an object name to its shard on the consistent-hash ring.
-func (k *Keyspace) ShardOf(object string) int { return k.ring.shardOf(object) }
+// snapshotShards returns the current shard slice for iteration without
+// holding the lock during per-cluster work.
+func (k *Keyspace) snapshotShards() []*Cluster {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]*Cluster(nil), k.shards...)
+}
+
+// ShardOf routes an object name to the shard a NEW submission for it
+// targets: its migration destination if it has moved, otherwise its owner
+// on the current ring.
+func (k *Keyspace) ShardOf(object string) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.routeLocked(object)
+}
+
+// routeLocked picks the target shard for a new submission on object:
+// a migration destination takes precedence (the entry is written only
+// after the key's install is stable at every destination replica, so the
+// destination is safe to use immediately); otherwise the current ring.
+func (k *Keyspace) routeLocked(object string) int {
+	if e, ok := k.migrated[object]; ok {
+		return e.shard
+	}
+	return k.curRing.ShardOf(object)
+}
+
+// installFor reports the KeyInstall that seeded a moved object, for
+// translating prev references to source-era operations.
+func (k *Keyspace) installFor(object string) (MigratedKey, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.migrated[object]
+	return e.mk, ok
+}
+
+// learnRedirect folds a Final Redirect into the keyspace's routing view —
+// how a client-side keyspace (no local driver) follows someone else's
+// resize. Newer epochs win; the destination cluster is created on demand
+// (front-end-only when this process hosts no replicas).
+func (k *Keyspace) learnRedirect(object string, rd Redirect) {
+	if !rd.Final {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if e, ok := k.migrated[object]; ok && e.epoch >= rd.Epoch {
+		return
+	}
+	k.ensureShardsLocked(rd.Shards)
+	k.migrated[object] = migratedEntry{
+		epoch: rd.Epoch,
+		shard: ring.New(rd.Shards).ShardOf(object),
+		mk:    MigratedKey{Key: object, HasInstall: rd.HasInstall, InstallID: rd.InstallID},
+	}
+	// A completed epoch newer than ours also advances the routing ring:
+	// every key the newer ring owns elsewhere is either migrated (Final
+	// redirects exist) or fresh (its owner under the new ring is
+	// authoritative).
+	if rd.Epoch > k.epoch {
+		k.epoch = rd.Epoch
+		k.curRing = ring.New(rd.Shards)
+	}
+}
+
+// replicasPerShard returns the replica count of every shard (uniform).
+func (k *Keyspace) replicasPerShard() int { return k.cfg.Replicas }
 
 // FrontEnd returns the front end for the named client on the shard that
 // owns the named object. Submit operators wrapped as
 // dtype.KeyedOp{Key: object} through it; WrapOp does this.
+//
+// FrontEnd is the resize-oblivious fast path: it routes by the ring at
+// call time and never re-routes. Clients that must survive a live resize
+// use Keyspace.Client (the KeyspaceClient router) instead.
 func (k *Keyspace) FrontEnd(object, client string) *FrontEnd {
-	return k.shards[k.ShardOf(object)].FrontEnd(client)
+	k.mu.Lock()
+	c := k.shards[k.routeLocked(object)]
+	k.mu.Unlock()
+	return c.FrontEnd(client)
 }
 
 // WrapOp addresses an inner operator to a named object.
@@ -111,29 +278,41 @@ func (k *Keyspace) WrapOp(object string, op dtype.Operator) dtype.Operator {
 
 // GossipAll runs one gossip round on every shard.
 func (k *Keyspace) GossipAll() {
-	for _, c := range k.shards {
+	for _, c := range k.snapshotShards() {
 		c.GossipAll()
 	}
 }
 
 // StartSimGossip schedules gossip for every shard on the simulator.
+// (Simulated keyspaces cannot Resize — the driver needs wall-clock
+// schedulers — so growth does not re-invoke this.)
 func (k *Keyspace) StartSimGossip(s *sim.Sim, period sim.Duration) {
-	for _, c := range k.shards {
+	for _, c := range k.snapshotShards() {
 		c.StartSimGossip(s, period)
 	}
 }
 
-// StartLiveGossip starts wall-clock gossip tickers on every shard.
+// StartLiveGossip starts wall-clock gossip tickers on every shard, and on
+// every shard online growth adds later.
 func (k *Keyspace) StartLiveGossip(period time.Duration) {
-	for _, c := range k.shards {
+	k.mu.Lock()
+	k.gossipPeriod = period
+	shards := append([]*Cluster(nil), k.shards...)
+	k.mu.Unlock()
+	for _, c := range shards {
 		c.StartLiveGossip(period)
 	}
 }
 
 // StartLiveRetransmit starts wall-clock retransmission tickers on every
-// shard (see Cluster.StartLiveRetransmit).
+// shard (see Cluster.StartLiveRetransmit), and on every shard online
+// growth adds later.
 func (k *Keyspace) StartLiveRetransmit(period time.Duration) {
-	for _, c := range k.shards {
+	k.mu.Lock()
+	k.retransmitPeriod = period
+	shards := append([]*Cluster(nil), k.shards...)
+	k.mu.Unlock()
+	for _, c := range shards {
 		c.StartLiveRetransmit(period)
 	}
 }
@@ -141,16 +320,27 @@ func (k *Keyspace) StartLiveRetransmit(period time.Duration) {
 // RetransmitAll re-sends every pending request on every shard.
 func (k *Keyspace) RetransmitAll() int {
 	total := 0
-	for _, c := range k.shards {
+	for _, c := range k.snapshotShards() {
 		total += c.RetransmitAll()
 	}
 	return total
 }
 
 // Close closes every shard: schedulers stop and outstanding waiters fail
-// with ErrClosed.
+// with ErrClosed. Operations a KeyspaceClient holds parked behind a
+// migration fail the same way.
 func (k *Keyspace) Close() {
-	for _, c := range k.shards {
+	k.mu.Lock()
+	shards := append([]*Cluster(nil), k.shards...)
+	clients := make([]*KeyspaceClient, 0, len(k.clients))
+	for _, c := range k.clients {
+		clients = append(clients, c)
+	}
+	k.mu.Unlock()
+	for _, c := range clients {
+		c.close(ErrClosed)
+	}
+	for _, c := range shards {
 		c.Close()
 	}
 }
@@ -158,7 +348,7 @@ func (k *Keyspace) Close() {
 // Faults aggregates the typed faults of every shard's local replicas.
 func (k *Keyspace) Faults() []error {
 	var out []error
-	for _, c := range k.shards {
+	for _, c := range k.snapshotShards() {
 		out = append(out, c.Faults()...)
 	}
 	return out
@@ -168,16 +358,23 @@ func (k *Keyspace) Faults() []error {
 // the keyspace-wide aggregate.
 func (k *Keyspace) TotalMetrics() ReplicaMetrics {
 	var total ReplicaMetrics
-	for _, c := range k.shards {
+	for _, c := range k.snapshotShards() {
 		total.Add(c.TotalMetrics())
 	}
 	return total
 }
 
+// MigrationMetrics returns the resize counters.
+func (k *Keyspace) MigrationMetrics() MigrationMetrics {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.mmetrics
+}
+
 // CheckConvergence checks every shard (meaningful only at quiescence, like
 // Cluster.CheckConvergence). The keyspace is converged when every shard is.
 func (k *Keyspace) CheckConvergence() Convergence {
-	for s, c := range k.shards {
+	for s, c := range k.snapshotShards() {
 		conv := c.CheckConvergence()
 		if !conv.Converged {
 			conv.Reason = fmt.Sprintf("shard %d: %s", s, conv.Reason)
@@ -185,69 +382,4 @@ func (k *Keyspace) CheckConvergence() Convergence {
 		}
 	}
 	return Convergence{Converged: true}
-}
-
-// --- consistent-hash ring ---
-
-// ringVnodes is the number of virtual nodes per shard. Load skew across
-// shards shrinks roughly with 1/√vnodes; 512 keeps every shard within a
-// few percent of uniform for realistic shard counts, and the ring (shards ×
-// 512 points, built once at startup) stays negligible.
-const ringVnodes = 512
-
-type ringPoint struct {
-	hash  uint64
-	shard int
-}
-
-// hashRing maps object names to shards with the classic consistent-hashing
-// construction: every shard owns vnode points on a 64-bit ring and an
-// object belongs to the first point clockwise from its hash. Adding a
-// shard moves only the keys that fall into the new shard's arcs (~1/N of
-// the namespace), which is what makes future resharding incremental.
-type hashRing struct {
-	points []ringPoint
-}
-
-func newHashRing(shards, vnodes int) hashRing {
-	points := make([]ringPoint, 0, shards*vnodes)
-	for s := 0; s < shards; s++ {
-		for v := 0; v < vnodes; v++ {
-			points = append(points, ringPoint{
-				hash:  ringHash(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
-				shard: s,
-			})
-		}
-	}
-	sort.Slice(points, func(i, j int) bool {
-		if points[i].hash != points[j].hash {
-			return points[i].hash < points[j].hash
-		}
-		return points[i].shard < points[j].shard // deterministic on (absurdly unlikely) collisions
-	})
-	return hashRing{points: points}
-}
-
-func (r hashRing) shardOf(key string) int {
-	h := ringHash(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0 // wrap: past the last point, the first point owns the arc
-	}
-	return r.points[i].shard
-}
-
-func ringHash(s string) uint64 {
-	f := fnv.New64a()
-	f.Write([]byte(s))
-	h := f.Sum64()
-	// FNV-1a mixes the last bytes of short strings weakly into the high
-	// bits, and the ring is ordered by the FULL value — finish with a
-	// splitmix64 round so sequential names spread uniformly.
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
 }

@@ -128,41 +128,6 @@ func TestShardNodeNames(t *testing.T) {
 	}
 }
 
-// TestHashRing checks determinism, full coverage, rough balance, and the
-// consistency property (adding a shard remaps only a fraction of keys).
-func TestHashRing(t *testing.T) {
-	const keys = 10000
-	r4 := newHashRing(4, ringVnodes)
-	counts := make([]int, 4)
-	for i := 0; i < keys; i++ {
-		k := fmt.Sprintf("key-%d", i)
-		s := r4.shardOf(k)
-		if s != r4.shardOf(k) {
-			t.Fatal("routing not deterministic")
-		}
-		counts[s]++
-	}
-	for s, c := range counts {
-		// Each shard should own roughly keys/4; vnodes keep the skew modest.
-		if c < keys/8 || c > keys/2 {
-			t.Fatalf("shard %d owns %d of %d keys — ring badly unbalanced %v", s, c, keys, counts)
-		}
-	}
-
-	r5 := newHashRing(5, ringVnodes)
-	moved := 0
-	for i := 0; i < keys; i++ {
-		k := fmt.Sprintf("key-%d", i)
-		if r4.shardOf(k) != r5.shardOf(k) {
-			moved++
-		}
-	}
-	// Consistent hashing moves ~1/5 of the keys when growing 4 → 5; a
-	// modulo hash would move ~4/5. Assert well under half.
-	if moved > keys*2/5 {
-		t.Fatalf("adding a shard moved %d of %d keys — not consistent", moved, keys)
-	}
-	if moved == 0 {
-		t.Fatal("adding a shard moved nothing — ring ignored")
-	}
-}
+// The hash ring's own properties (determinism, balance, ≈1/N movement on
+// growth, placement pins) are tested in internal/ring, where the ring now
+// lives.

@@ -32,6 +32,14 @@ type ReplicaMetrics struct {
 	// algorithm's invariants rule out for honest senders, refused instead
 	// of crashing the replica.
 	Faults uint64
+	// ResizeRedirects counts requests refused with a Redirect because live
+	// resharding froze or moved their object away from this shard.
+	ResizeRedirects uint64
+	// RequestsParkedRecovering counts requests parked during the §9.3
+	// recovery handshake (a recovering replica has not yet re-learned its
+	// resize obligations; parked requests re-enter admission once every
+	// peer has answered).
+	RequestsParkedRecovering uint64
 	// AppliesForResponse counts data type Apply calls made while computing
 	// response values. Without memoization this grows quadratically with
 	// history length; with it, only the unstable suffix is recomputed.
@@ -68,6 +76,8 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.SnapshotsIgnored += o.SnapshotsIgnored
 	m.SnapshotOpsSeeded += o.SnapshotOpsSeeded
 	m.Faults += o.Faults
+	m.ResizeRedirects += o.ResizeRedirects
+	m.RequestsParkedRecovering += o.RequestsParkedRecovering
 	m.AppliesForResponse += o.AppliesForResponse
 	m.AppliesForMemoize += o.AppliesForMemoize
 	m.AppliesForCurrentState += o.AppliesForCurrentState

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/ring"
+)
+
+// This file is the replica side of live resharding (DESIGN.md §7): the
+// freeze/drain/redirect state machine a source-shard replica runs while a
+// Keyspace.Resize migrates keys away from it. The driver side is in
+// resize.go; the routing side in ksclient.go.
+//
+// The replica's obligations, in protocol order:
+//
+//  1. FREEZE (FreezeKeysMsg): refuse — with an "in progress" Redirect —
+//     any request for an object the new ring takes away, unless the
+//     operation id is already in rcvd_r. Ids survive in rcvd_r forever
+//     (pruning keeps them), so "already received" is a stable property:
+//     a source-era operation keeps completing here no matter how often
+//     it is retransmitted, and a new operation can NEVER join the
+//     source-era history once every replica is frozen.
+//  2. ACK (FreezeAckMsg): report every source-era operation on a moving
+//     key not yet known stable (stable ones are already done at every
+//     replica, including the driver's exporter). The driver drains until
+//     each reported operation is memoized at the exporter — i.e. its
+//     position and effect are final.
+//  3. REDIRECT FINAL (KeyMigratedMsg / ResizeCompleteMsg): once a key's
+//     install is stable at every destination replica, refusals become
+//     Final. A submitter holding Final refusals from ALL replicas of the
+//     shard has proof the operation was never accepted here and replays
+//     it at the destination exactly once.
+//
+// Freeze and migration records are volatile; a crashed replica re-learns
+// them from the §9.3 recovery answer (GossipMsg.Resizes) before it serves
+// requests again — handleRequest drops requests while recovering, so no
+// operation can slip into rcvd_r at a replica that has forgotten it is
+// frozen.
+
+// replicaResize is a replica's record of one resize epoch.
+type replicaResize struct {
+	epoch     int
+	oldShards int
+	newShards int
+	oldRing   ring.Ring
+	newRing   ring.Ring
+	complete  bool
+	migrated  map[string]MigratedKey
+}
+
+// movesAway reports whether the new ring takes key away from shard.
+func (rr *replicaResize) movesAway(shard int, key string) bool {
+	return rr.oldRing.ShardOf(key) == shard && rr.newRing.ShardOf(key) != shard
+}
+
+// resizeFor finds or creates the record for an epoch. Mutex held.
+func (r *Replica) resizeFor(epoch, oldShards, newShards int) *replicaResize {
+	for _, rr := range r.resizes {
+		if rr.epoch == epoch {
+			return rr
+		}
+	}
+	rr := &replicaResize{
+		epoch:     epoch,
+		oldShards: oldShards,
+		newShards: newShards,
+		oldRing:   ring.New(oldShards),
+		newRing:   ring.New(newShards),
+		migrated:  make(map[string]MigratedKey),
+	}
+	r.resizes = append(r.resizes, rr)
+	return rr
+}
+
+// refuseForResize decides whether a request must be redirected instead of
+// accepted (mutex held). At most one epoch can claim a key: ring growth
+// only moves keys to freshly added shards, so a key leaves this shard at
+// most once.
+func (r *Replica) refuseForResize(x ops.Operation) (*Redirect, bool) {
+	if len(r.resizes) == 0 {
+		return nil, false
+	}
+	key, keyed := dtype.KeyOf(x.Op)
+	if !keyed {
+		return nil, false
+	}
+	if _, seen := r.rcvdIDs[x.ID]; seen {
+		return nil, false // source-era operation: it completes here
+	}
+	for _, rr := range r.resizes {
+		if !rr.movesAway(r.shard, key) {
+			continue
+		}
+		rd := &Redirect{From: r.id, Epoch: rr.epoch, Shards: rr.newShards}
+		if mk, ok := rr.migrated[key]; ok {
+			rd.Final = true
+			rd.HasInstall = mk.HasInstall
+			rd.InstallID = mk.InstallID
+		} else if rr.complete {
+			// Every moving key with source-era history was individually
+			// migrated before the epoch closed; this one provably has none.
+			rd.Final = true
+		}
+		return rd, true
+	}
+	return nil, false
+}
+
+// handleFreezeKeys processes a FreezeKeysMsg: adopt (or refresh) the
+// freeze and answer with this replica's source-era operations on moving
+// keys. While the §9.3 recovery handshake is outstanding the ack is
+// withheld — rcvd_r is still being rebuilt, and an incomplete ack could
+// hide a source-era operation from the drain; the driver simply retries.
+func (r *Replica) handleFreezeKeys(msg FreezeKeysMsg) {
+	r.mu.Lock()
+	if r.crashed || msg.OldShards < 1 || msg.NewShards <= msg.OldShards || r.shard >= msg.OldShards {
+		r.mu.Unlock()
+		return
+	}
+	if _, keyed := r.dt.(dtype.Keyed); !keyed {
+		r.mu.Unlock()
+		return // resharding is a keyspace protocol; ignore on plain clusters
+	}
+	rr := r.resizeFor(msg.Epoch, msg.OldShards, msg.NewShards)
+	if r.recovering {
+		r.mu.Unlock()
+		return
+	}
+	ack := FreezeAckMsg{From: r.id, Shard: r.shard, Epoch: msg.Epoch, Nonce: msg.Nonce}
+	perKey := make(map[string][]ops.ID)
+	for id, x := range r.retained {
+		key, keyed := dtype.KeyOf(x.Op)
+		if !keyed || !rr.movesAway(r.shard, key) {
+			continue
+		}
+		if _, st := r.stableAt[r.id][id]; st {
+			continue // stable ⇒ done at every replica, exporter included
+		}
+		perKey[key] = append(perKey[key], id)
+	}
+	keys := make([]string, 0, len(perKey))
+	for key := range perKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ids := perKey[key]
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		ack.Keys = append(ack.Keys, FrozenKey{Key: key, IDs: ids})
+	}
+	to := msg.ReplyTo
+	node := r.node
+	r.mu.Unlock()
+	r.net.Send(node, to, ack)
+}
+
+// handleKeyMigrated records completed per-key migrations: refusals for
+// these keys become Final. Records are kept forever — a retransmission
+// may arrive arbitrarily late — and survive crashes via the recovery
+// answer.
+func (r *Replica) handleKeyMigrated(msg KeyMigratedMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed || msg.OldShards < 1 || msg.Shards <= msg.OldShards {
+		return
+	}
+	if _, keyed := r.dt.(dtype.Keyed); !keyed {
+		return
+	}
+	rr := r.resizeFor(msg.Epoch, msg.OldShards, msg.Shards)
+	for _, mk := range msg.Keys {
+		rr.migrated[mk.Key] = mk
+	}
+}
+
+// handleResizeComplete closes a resize epoch: moving keys never
+// individually migrated provably had no source-era history and now get
+// Final (installless) refusals. The ack lets the driver stop
+// rebroadcasting.
+func (r *Replica) handleResizeComplete(msg ResizeCompleteMsg) {
+	r.mu.Lock()
+	if r.crashed || msg.OldShards < 1 || msg.Shards <= msg.OldShards {
+		r.mu.Unlock()
+		return
+	}
+	if _, keyed := r.dt.(dtype.Keyed); !keyed {
+		r.mu.Unlock()
+		return
+	}
+	rr := r.resizeFor(msg.Epoch, msg.OldShards, msg.Shards)
+	rr.complete = true
+	ack := ResizeCompleteAckMsg{From: r.id, Shard: r.shard, Epoch: msg.Epoch}
+	to := msg.ReplyTo
+	node := r.node
+	r.mu.Unlock()
+	r.net.Send(node, to, ack)
+}
+
+// resizeRecordsLocked renders the replica's resize history for a §9.3
+// recovery answer. Mutex held.
+func (r *Replica) resizeRecordsLocked() []ResizeRecord {
+	if len(r.resizes) == 0 {
+		return nil
+	}
+	out := make([]ResizeRecord, 0, len(r.resizes))
+	for _, rr := range r.resizes {
+		rec := ResizeRecord{
+			Epoch:     rr.epoch,
+			OldShards: rr.oldShards,
+			NewShards: rr.newShards,
+			Complete:  rr.complete,
+		}
+		keys := make([]string, 0, len(rr.migrated))
+		for key := range rr.migrated {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			rec.Migrated = append(rec.Migrated, rr.migrated[key])
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// installResizeRecords merges recovery-answer resize history. Mutex held.
+func (r *Replica) installResizeRecords(recs []ResizeRecord) {
+	for _, rec := range recs {
+		if rec.OldShards < 1 || rec.NewShards <= rec.OldShards {
+			continue // malformed: ignore, like any hostile gossip field
+		}
+		rr := r.resizeFor(rec.Epoch, rec.OldShards, rec.NewShards)
+		rr.complete = rr.complete || rec.Complete
+		for _, mk := range rec.Migrated {
+			rr.migrated[mk.Key] = mk
+		}
+	}
+}
+
+// MovingStateKeys lists the keys in this replica's solid keyed state that
+// oldR owns at this shard and newR takes away — the exporter-side half of
+// the migration key enumeration (freeze acks contribute the keys whose
+// history is still in flight).
+func (r *Replica) MovingStateKeys(oldR, newR ring.Ring) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.memoState.(dtype.KeyedState)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for key := range st {
+		if oldR.ShardOf(key) == r.shard && newR.ShardOf(key) != r.shard {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrNotDrained is the retryable condition ExportKeyState reports while a
+// key's source-era history has not yet fully settled into the memoized
+// solid prefix.
+type ErrNotDrained struct{ Reason string }
+
+func (e *ErrNotDrained) Error() string { return "core: key not drained: " + e.Reason }
+
+// ExportKeyState exports the canonical inner-state encoding of key once
+// its source-era history has drained: every operation in drain (the union
+// of freeze-ack reports) is memoized, and no operation on the key remains
+// outside the solid prefix. The returned state is final — solid-prefix
+// positions never change (Lemma 10.2) — so it is exactly what the
+// destination's KeyInstall must contain, and subsumes is the key's full
+// source-era identifier history (from the prune-surviving key index), so
+// destinations can satisfy prev constraints on pruned source-era
+// operations. hasState is false when the key has no state here (it moved
+// with no history; no install is needed).
+func (r *Replica) ExportKeyState(key string, drain []ops.ID) (enc []byte, subsumes []dtype.OpRef, hasState bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kd, ok := r.dt.(dtype.Keyed)
+	if !ok {
+		return nil, nil, false, fmt.Errorf("core: ExportKeyState on non-keyed data type %s", r.dt.Name())
+	}
+	sn, ok := kd.Inner.(dtype.Snapshotter)
+	if !ok {
+		return nil, nil, false, fmt.Errorf("core: inner type %s has no snapshot encoding", kd.Inner.Name())
+	}
+	if !r.opt.Memoize {
+		return nil, nil, false, fmt.Errorf("core: ExportKeyState requires Options.Memoize")
+	}
+	if r.crashed || r.recovering {
+		return nil, nil, false, &ErrNotDrained{Reason: "exporter is crashed or recovering"}
+	}
+	for _, id := range drain {
+		if _, solid := r.memoVals[id]; !solid {
+			return nil, nil, false, &ErrNotDrained{Reason: fmt.Sprintf("op %v not yet solid", id)}
+		}
+	}
+	// Nothing on the key may remain outside the solid prefix: an unsolid
+	// done op could still re-order, and a received-undone op has not even
+	// executed. (All such ops are drain-reported by some replica, but the
+	// exporter may additionally know ops the acks predate.)
+	touchesKey := func(id ops.ID) bool {
+		x, ok := r.retained[id]
+		if !ok {
+			return false // pruned ⇒ stable ⇒ memoized
+		}
+		k, keyed := dtype.KeyOf(x.Op)
+		return keyed && k == key
+	}
+	for _, id := range r.doneSeq[r.memoized:] {
+		if touchesKey(id) {
+			return nil, nil, false, &ErrNotDrained{Reason: fmt.Sprintf("done op %v not yet solid", id)}
+		}
+	}
+	for _, id := range r.rcvdQueue {
+		if touchesKey(id) {
+			return nil, nil, false, &ErrNotDrained{Reason: fmt.Sprintf("received op %v not yet done", id)}
+		}
+	}
+	st, ok := r.memoState.(dtype.KeyedState)
+	if !ok {
+		return nil, nil, false, fmt.Errorf("core: keyed replica holds %T state", r.memoState)
+	}
+	// The key's full source-era identifier history, from the
+	// prune-surviving index; drain ids are a subset (they were received —
+	// via request or gossip — to become solid here).
+	for id, k := range r.keyOf {
+		if k == key {
+			subsumes = append(subsumes, dtype.OpRef{Client: id.Client, Seq: id.Seq})
+		}
+	}
+	sort.Slice(subsumes, func(i, j int) bool {
+		if subsumes[i].Client != subsumes[j].Client {
+			return subsumes[i].Client < subsumes[j].Client
+		}
+		return subsumes[i].Seq < subsumes[j].Seq
+	})
+	inner, ok := st[key]
+	if !ok {
+		return nil, subsumes, false, nil // drained, no state: migrate without install
+	}
+	enc, eerr := sn.EncodeState(inner)
+	if eerr != nil {
+		return nil, nil, false, fmt.Errorf("core: encoding state of %q: %w", key, eerr)
+	}
+	return enc, subsumes, true, nil
+}

@@ -14,6 +14,7 @@ import (
 	"esds/internal/dtype"
 	"esds/internal/label"
 	"esds/internal/ops"
+	"esds/internal/transport"
 )
 
 // RequestMsg is a ⟨"request", x⟩ message from a front end to a replica
@@ -23,10 +24,39 @@ type RequestMsg struct {
 }
 
 // ResponseMsg is a ⟨"response", x, v⟩ message from a replica to a front end
-// (message set 𝓜_resp, §6.1).
+// (message set 𝓜_resp, §6.1). Redirect, when non-nil, is not a response at
+// all: the replica refused the request because live resharding has frozen
+// or moved the operation's object, and the front end must route elsewhere
+// (Value is then meaningless and the operation stays pending).
 type ResponseMsg struct {
-	ID    ops.ID
-	Value dtype.Value
+	ID       ops.ID
+	Value    dtype.Value
+	Redirect *Redirect
+}
+
+// Redirect is a replica's "wrong shard" refusal during or after a live
+// resize (the ErrWrongShard mechanism). Final=false means the object's
+// migration is still in progress: keep the operation pending and retry —
+// the source still owns the history. Final=true means the migration of
+// this object is complete and the redirecting replica will never accept
+// the operation; once EVERY replica of the source shard has answered
+// Final for an operation, the submitter has proof the operation was never
+// accepted into the source's order (received ids survive in rcvd_r
+// forever, and frozen replicas never admit new ones) and must replay it
+// at the destination the Epoch ring names. The install the destination
+// was seeded with is stable at every destination replica before any
+// Final redirect is sent, so replayed operations are ordered after it by
+// label freshness alone.
+type Redirect struct {
+	From   label.ReplicaID // replica that refused
+	Epoch  int             // ring epoch the key moved at
+	Shards int             // shard count at Epoch: ring.New(Shards) routes the key
+	Final  bool            // migration complete: replay at the destination
+	// HasInstall/InstallID describe the KeyInstall that seeded the
+	// destination (absent for objects that moved with no history). Used to
+	// translate stale prev-set references to source-era operations.
+	HasInstall bool
+	InstallID  ops.ID
 }
 
 // GossipMsg is a ⟨"gossip", R, D, L, S⟩ message between replicas (message
@@ -57,6 +87,13 @@ type GossipMsg struct {
 	// on the ack alone would strand the replica without the pruned prefix
 	// forever (no later gossip can carry it).
 	RecoverySnapshotLen int
+	// Resizes, on a RecoveryAck, carries the answering replica's resize
+	// history (freezes and migrated keys): a crashed replica's migration
+	// obligations are volatile, and serving requests without them would
+	// re-admit operations for objects that moved away. The recovering
+	// replica installs these records before it resumes (and it drops all
+	// requests until then).
+	Resizes []ResizeRecord
 }
 
 // SnapOp is one entry of a replica snapshot (SnapshotMsg): an operation of
@@ -72,6 +109,13 @@ type SnapOp struct {
 	Value  dtype.Value
 	Stable bool
 	Strict bool
+	// Key is the object the operation addressed (empty for non-keyed
+	// types). It reseeds the receiver's prune-surviving key index, which a
+	// crash wiped along with everything else: a later resize may use the
+	// recovered replica as its exporter, and an id missing from the index
+	// would be missing from the KeyInstall's subsume set — breaking both
+	// the exactly-once replay proof and stale prev translation.
+	Key string
 }
 
 // SnapshotMsg is a replica snapshot: the sender's memoized solid prefix in
@@ -88,6 +132,104 @@ type SnapshotMsg struct {
 	Ops       []SnapOp
 	State     []byte // canonical encoding of the state after Ops
 	Watermark uint64 // highest label Seq the sender has observed (§9.3 freshness)
+}
+
+// --- live-resharding control messages ---
+//
+// These drive the per-key migration protocol of Keyspace.Resize (DESIGN.md
+// §7). They are control plane only: the migrated state itself travels as an
+// ordinary dtype.KeyInstall operation through the destination shard's
+// request pipeline, so the data plane needs no new trust or ordering rules.
+
+// FreezeKeysMsg tells a source-shard replica that a resize to NewShards is
+// in progress: from now on it must refuse (with a Redirect) any request for
+// an object the new ring takes away from its shard, unless the operation id
+// is already in rcvd_r (a source-era operation, which still completes
+// here). The replica answers with a FreezeAckMsg to ReplyTo.
+type FreezeKeysMsg struct {
+	Epoch     int // resize epoch being executed
+	OldShards int
+	NewShards int
+	// Nonce pairs acks with broadcast rounds: the driver needs a FULL fresh
+	// round of acks with an unchanged drain set before exporting, so an op
+	// accepted by a replica that crashed and recovered mid-freeze is still
+	// counted.
+	Nonce   uint64
+	ReplyTo transport.NodeID
+}
+
+// FrozenKey is one moving object in a FreezeAckMsg: the ids of source-era
+// operations on it this replica has received but does not yet know stable.
+// (Stable operations are already done at every replica — including the
+// exporter — so they need no explicit mention.)
+type FrozenKey struct {
+	Key string
+	IDs []ops.ID
+}
+
+// FreezeAckMsg is a replica's answer to FreezeKeysMsg: proof it is frozen
+// for Epoch as of this ack, plus every source-era operation the driver's
+// drain must wait for. Once the driver holds a full round of acks whose
+// union adds nothing new, the source-era history of every moving key is
+// closed.
+type FreezeAckMsg struct {
+	From  label.ReplicaID
+	Shard int
+	Epoch int
+	Nonce uint64
+	Keys  []FrozenKey
+}
+
+// MigratedKey is the per-key completion record: the destination now owns
+// the key, seeded by InstallID when the key had history (HasInstall).
+type MigratedKey struct {
+	Key        string
+	HasInstall bool
+	InstallID  ops.ID
+}
+
+// KeyMigratedMsg tells source-shard replicas that the listed keys finished
+// migrating (their installs are stable at every destination replica):
+// requests for them are now refused with Final redirects, which is what
+// lets submitters replay safely. Replicas keep these records forever —
+// a late retransmission must be redirected years later — and re-learn them
+// through the §9.3 recovery answer after a crash.
+type KeyMigratedMsg struct {
+	Epoch     int
+	OldShards int
+	Shards    int // shard count at Epoch
+	Keys      []MigratedKey
+}
+
+// ResizeCompleteMsg closes a resize epoch on a source replica: every
+// moving key not individually migrated provably had no source-era history,
+// so requests for such keys get Final redirects with no install. The
+// replica confirms with ResizeCompleteAckMsg (the driver rebroadcasts
+// until every source replica has acked — a replica left un-closed would
+// answer "in progress" forever).
+type ResizeCompleteMsg struct {
+	Epoch     int
+	OldShards int
+	Shards    int
+	ReplyTo   transport.NodeID
+}
+
+// ResizeCompleteAckMsg confirms a ResizeCompleteMsg.
+type ResizeCompleteAckMsg struct {
+	From  label.ReplicaID
+	Shard int
+	Epoch int
+}
+
+// ResizeRecord is a replica's durable view of one resize epoch, carried in
+// §9.3 recovery answers so a crashed replica re-learns its freeze and
+// migration obligations before serving requests again (GossipMsg.Resizes).
+type ResizeRecord struct {
+	Epoch     int
+	OldShards int
+	NewShards int
+	Complete  bool
+	Migrated  []MigratedKey
 }
 
 // EstimateSize approximates the wire size in bytes of a core message, for
@@ -115,8 +257,12 @@ func EstimateSize(payload any) int {
 		size += idBytes * len(m.S)
 		return size
 	case SnapshotMsg:
-		// Per snapshot op: id + label + value + two flags.
-		return headerSize + len(m.Ops)*(idBytes+labelBytes+16+2) + len(m.State)
+		// Per snapshot op: id + label + value + two flags + object key.
+		size := headerSize + len(m.Ops)*(idBytes+labelBytes+16+2) + len(m.State)
+		for _, so := range m.Ops {
+			size += len(so.Key)
+		}
+		return size
 	default:
 		return headerSize
 	}

@@ -41,6 +41,16 @@ type Options struct {
 	// it on.
 	Snapshot bool
 
+	// SnapshotCap, when positive, bounds the byte size of the recovery
+	// snapshots this replica SENDS (encoded state plus per-op entries):
+	// above the cap the peer answers with descriptors only and recovery
+	// degrades to pure replay, exactly as if Snapshot were off for that
+	// exchange. Use it to keep a recovering replica from being handed an
+	// arbitrarily large state in one message. Zero means unlimited;
+	// negative values are invalid (constructors and esds-server reject
+	// them).
+	SnapshotCap int
+
 	// IncrementalGossip enables the §10.4 communication reduction: each
 	// replica remembers what it has sent to each peer and gossips only new
 	// operations, newly done/stable identifiers, and lowered labels.

@@ -123,6 +123,10 @@ func (r *Replica) Crash() {
 		r.pendL[i] = make(map[ops.ID]struct{})
 	}
 	r.strictGhost = make(map[ops.ID]struct{})
+	r.resizes = nil // re-learned from recovery answers (GossipMsg.Resizes)
+	r.recoveryParked = nil
+	r.keyOf = make(map[ops.ID]string)
+	r.prevSatisfied = make(map[ops.ID]struct{})
 	r.storeFailed = false // re-latches on the next failed write
 	r.crashed = true
 	r.recovering = false
@@ -233,6 +237,10 @@ func (r *Replica) handleRecoveryRequest(msg RecoveryRequestMsg) {
 	if haveSnap {
 		out.RecoverySnapshotLen = len(snap.Ops)
 	}
+	// The requester's resize obligations (freezes, migrated keys) were
+	// volatile; hand over this replica's view so the recovered replica
+	// refuses requests for moved keys again before it serves anything.
+	out.Resizes = r.resizeRecordsLocked()
 	r.metrics.GossipSent++
 	to := r.peers[from]
 	r.mu.Unlock()

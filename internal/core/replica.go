@@ -96,6 +96,23 @@ type Replica struct {
 	// label violates the §9.3 safety condition.
 	storeFailed bool
 
+	// resizes is the live-resharding history this replica participates in
+	// as a source shard: freezes, migrated keys, completed epochs (see
+	// migrate.go). Volatile — re-learned from recovery answers after a
+	// crash. recoveryParked holds requests received during the §9.3
+	// handshake, admitted only once that history is whole again.
+	resizes        []*replicaResize
+	recoveryParked []ops.Operation
+
+	// keyOf indexes every received keyed operation by its object — it
+	// survives pruning (like rcvdIDs) so a resize exporter can enumerate a
+	// key's full source-era history even after descriptors are gone.
+	// prevSatisfied holds identifiers subsumed by locally done KeyInstalls:
+	// prev constraints on them are satisfied by construction (the install
+	// contains their effects and is ordered first).
+	keyOf         map[ops.ID]string
+	prevSatisfied map[ops.ID]struct{}
+
 	// strictGhost records the strict flags of snapshot-seeded operations
 	// whose descriptors were pruned everywhere: the flag must survive so a
 	// retransmitted request for such an operation still honours the strict
@@ -139,35 +156,37 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	}
 	n := len(cfg.Peers)
 	r := &Replica{
-		id:          cfg.ID,
-		n:           n,
-		shard:       cfg.Shard,
-		dt:          cfg.DataType,
-		net:         cfg.Network,
-		node:        cfg.Peers[cfg.ID],
-		peers:       append([]transport.NodeID(nil), cfg.Peers...),
-		opt:         cfg.Options,
-		pendingSet:  make(map[ops.ID]struct{}),
-		retained:    make(map[ops.ID]ops.Operation),
-		rcvdIDs:     make(map[ops.ID]struct{}),
-		doneAt:      make([]map[ops.ID]struct{}, n),
-		stableAt:    make([]map[ops.ID]struct{}, n),
-		doneCount:   make(map[ops.ID]int),
-		stableCount: make(map[ops.ID]int),
-		labels:      label.NewMap(),
-		gen:         label.NewGenerator(cfg.ID),
-		deferredSet: make(map[ops.ID]struct{}),
-		memoState:   cfg.DataType.Initial(),
-		memoVals:    make(map[ops.ID]dtype.Value),
-		maxStable:   label.Infinity,
-		curState:    cfg.DataType.Initial(),
-		curVals:     make(map[ops.ID]dtype.Value),
-		pendR:       make([][]ops.ID, n),
-		pendD:       make([][]ops.ID, n),
-		pendS:       make([][]ops.ID, n),
-		pendL:       make([]map[ops.ID]struct{}, n),
-		store:       cfg.Store,
-		strictGhost: make(map[ops.ID]struct{}),
+		id:            cfg.ID,
+		n:             n,
+		shard:         cfg.Shard,
+		dt:            cfg.DataType,
+		net:           cfg.Network,
+		node:          cfg.Peers[cfg.ID],
+		peers:         append([]transport.NodeID(nil), cfg.Peers...),
+		opt:           cfg.Options,
+		pendingSet:    make(map[ops.ID]struct{}),
+		retained:      make(map[ops.ID]ops.Operation),
+		rcvdIDs:       make(map[ops.ID]struct{}),
+		doneAt:        make([]map[ops.ID]struct{}, n),
+		stableAt:      make([]map[ops.ID]struct{}, n),
+		doneCount:     make(map[ops.ID]int),
+		stableCount:   make(map[ops.ID]int),
+		labels:        label.NewMap(),
+		gen:           label.NewGenerator(cfg.ID),
+		deferredSet:   make(map[ops.ID]struct{}),
+		memoState:     cfg.DataType.Initial(),
+		memoVals:      make(map[ops.ID]dtype.Value),
+		maxStable:     label.Infinity,
+		curState:      cfg.DataType.Initial(),
+		curVals:       make(map[ops.ID]dtype.Value),
+		pendR:         make([][]ops.ID, n),
+		pendD:         make([][]ops.ID, n),
+		pendS:         make([][]ops.ID, n),
+		pendL:         make([]map[ops.ID]struct{}, n),
+		store:         cfg.Store,
+		strictGhost:   make(map[ops.ID]struct{}),
+		keyOf:         make(map[ops.ID]string),
+		prevSatisfied: make(map[ops.ID]struct{}),
 	}
 	for i := 0; i < n; i++ {
 		r.doneAt[i] = make(map[ops.ID]struct{})
@@ -208,6 +227,12 @@ func (r *Replica) handleMessage(m transport.Message) {
 		r.handleRecoveryRequest(p)
 	case SnapshotMsg:
 		r.handleSnapshot(p)
+	case FreezeKeysMsg:
+		r.handleFreezeKeys(p)
+	case KeyMigratedMsg:
+		r.handleKeyMigrated(p)
+	case ResizeCompleteMsg:
+		r.handleResizeComplete(p)
 	default:
 		// Unknown payloads are ignored: a replica must tolerate garbage on
 		// the wire without violating safety.
@@ -219,18 +244,69 @@ func (r *Replica) handleMessage(m transport.Message) {
 // front end may legitimately retransmit, §6.3 footnote 4).
 func (r *Replica) handleRequest(msg RequestMsg) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.crashed {
+		r.mu.Unlock()
 		return
 	}
 	x := msg.Op
 	r.metrics.RequestsReceived++
+	if _, keyed := dtype.KeyOf(x.Op); keyed && r.recovering {
+		// A recovering replica has not yet re-learned which keys live
+		// resharding froze here (resize records arrive with the recovery
+		// answers); admitting a keyed operation now could smuggle it into
+		// rcvd_r — the source-era membership proof — for an object that
+		// already moved away. Park the request, NOT into rcvd_r, and
+		// re-admit it through the normal path once every peer has answered
+		// (§9.3), when the freeze view is whole. Non-keyed operations
+		// cannot be subject to resharding and keep the paper's behavior:
+		// accepted immediately, processed after recovery.
+		r.metrics.RequestsParkedRecovering++
+		r.recoveryParked = append(r.recoveryParked, x)
+		r.mu.Unlock()
+		return
+	}
+	if rd, refuse := r.refuseForResize(x); refuse {
+		r.metrics.ResizeRedirects++
+		to := FrontEndNodeIn(r.shard, x.ID.Client)
+		node := r.node
+		r.mu.Unlock()
+		r.net.Send(node, to, ResponseMsg{ID: x.ID, Redirect: rd})
+		return
+	}
+	defer r.mu.Unlock()
+	r.admitRequest(x)
+	r.process()
+}
+
+// admitRequest records an admitted request as pending and received.
+// Mutex held; the resize refusal check has already passed.
+func (r *Replica) admitRequest(x ops.Operation) {
 	if _, isPending := r.pendingSet[x.ID]; !isPending {
 		r.pendingSet[x.ID] = struct{}{}
 		r.pendingQueue = append(r.pendingQueue, x.ID)
 	}
 	r.receiveOp(x)
-	r.process()
+}
+
+// drainRecoveryParked re-admits requests parked during the §9.3 handshake,
+// now that the freeze/migration view is whole. It returns the redirects
+// to send (outside the mutex). Mutex held.
+func (r *Replica) drainRecoveryParked() []ResponseMsg {
+	if r.recovering || len(r.recoveryParked) == 0 {
+		return nil
+	}
+	parked := r.recoveryParked
+	r.recoveryParked = nil
+	var redirects []ResponseMsg
+	for _, x := range parked {
+		if rd, refuse := r.refuseForResize(x); refuse {
+			r.metrics.ResizeRedirects++
+			redirects = append(redirects, ResponseMsg{ID: x.ID, Redirect: rd})
+			continue
+		}
+		r.admitRequest(x)
+	}
+	return redirects
 }
 
 // receiveOp records an operation descriptor in rcvd_r.
@@ -240,23 +316,45 @@ func (r *Replica) receiveOp(x ops.Operation) {
 	}
 	r.rcvdIDs[x.ID] = struct{}{}
 	r.retained[x.ID] = x
+	if key, keyed := dtype.KeyOf(x.Op); keyed {
+		r.keyOf[x.ID] = key
+	}
 	r.enqueueR(x.ID)
 	if _, done := r.doneAt[r.id][x.ID]; !done {
 		r.rcvdQueue = append(r.rcvdQueue, x.ID)
 	}
 }
 
+// absorbInstall records the prev constraints a locally done KeyInstall
+// satisfies (see dtype.KeyInstall.Subsumes). Mutex held.
+func (r *Replica) absorbInstall(x ops.Operation) {
+	inst, ok := x.Op.(dtype.KeyInstall)
+	if !ok {
+		return
+	}
+	for _, ref := range inst.Subsumes {
+		r.prevSatisfied[ops.ID{Client: ref.Client, Seq: ref.Seq}] = struct{}{}
+	}
+}
+
 // handleGossip is receive_r'r(⟨"gossip", R, D, L, S⟩) of Fig. 7.
 func (r *Replica) handleGossip(msg GossipMsg) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.crashed {
+		r.mu.Unlock()
 		return
 	}
 	r.metrics.GossipReceived++
 	from := int(msg.From)
 	if from < 0 || from >= r.n || from == int(r.id) {
+		r.mu.Unlock()
 		return // malformed or self gossip: ignore
+	}
+	if len(msg.Resizes) > 0 {
+		// Recovery answers carry the peer's resize history; merge it before
+		// anything else so the freeze/migration obligations are in place by
+		// the time this replica resumes serving.
+		r.installResizeRecords(msg.Resizes)
 	}
 	if msg.RecoveryAck && r.recovering {
 		// With snapshots on, an ack is complete only once the snapshot it
@@ -309,7 +407,16 @@ func (r *Replica) handleGossip(msg GossipMsg) {
 		r.markStableLocal(id)
 	}
 
+	// If this message completed the §9.3 handshake, requests parked during
+	// it re-enter through the normal admission path (refusals go out after
+	// the mutex drops).
+	redirects := r.drainRecoveryParked()
 	r.process()
+	node, shard := r.node, r.shard
+	r.mu.Unlock()
+	for _, resp := range redirects {
+		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
+	}
 }
 
 // setLabelMin merges one label entry, keeping the generator's freshness
@@ -370,6 +477,9 @@ func (r *Replica) markDoneLocal(id ops.ID) {
 	r.doneSeq = append(r.doneSeq, id)
 	r.seqDirty = true
 	r.enqueueD(id)
+	if x, ok := r.retained[id]; ok {
+		r.absorbInstall(x)
+	}
 	if r.doneCount[id] == r.n {
 		r.markStableLocal(id)
 	}
@@ -543,6 +653,7 @@ func (r *Replica) tryDoIt() {
 			r.doneSeq = append(r.doneSeq, id)
 			r.seqDirty = true
 			r.enqueueD(id)
+			r.absorbInstall(x)
 			r.metrics.DoItCount++
 			if r.doneCount[id] == r.n {
 				r.markStableLocal(id)
@@ -563,12 +674,19 @@ func (r *Replica) tryDoIt() {
 	}
 }
 
-// prevsDone reports whether every operation in x.prev is locally done.
+// prevsDone reports whether every operation in x.prev is locally done —
+// or subsumed by a locally done KeyInstall, whose state contains the
+// referenced operation's effect and which every subsequent label sorts
+// after (so the client's ordering constraint holds transitively).
 func (r *Replica) prevsDone(x ops.Operation) bool {
 	for _, p := range x.Prev {
-		if _, done := r.doneAt[r.id][p]; !done {
-			return false
+		if _, done := r.doneAt[r.id][p]; done {
+			continue
 		}
+		if _, sat := r.prevSatisfied[p]; sat {
+			continue
+		}
+		return false
 	}
 	return true
 }

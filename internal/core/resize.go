@@ -1,0 +1,472 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/ring"
+	"esds/internal/transport"
+)
+
+// This file is the resize DRIVER: the coordinator Keyspace.Resize runs to
+// grow a live keyspace from N to M shards with zero downtime (DESIGN.md
+// §7). The replica-side state machine is in migrate.go, the routing side
+// in ksclient.go. Phases, each gated on the previous:
+//
+//	GROW    new shard clusters join the transport (no keys yet)
+//	FREEZE  every source replica refuses new operations on moving keys
+//	        and reports the moving source-era operations it holds; the
+//	        driver rebroadcasts until a full ack round adds nothing new —
+//	        the source-era history of every moving key is then closed
+//	DRAIN   wait until every source-era operation on a moving key is
+//	        memoized at the exporter replica: its position and effect are
+//	        final (Lemma 10.2), so the key's solid state can be exported
+//	INSTALL submit each key's state as a STRICT dtype.KeyInstall through
+//	        the destination shard's ordinary pipeline; strictness means
+//	        the response arrives only once the install is stable at EVERY
+//	        destination replica — from then on, any label any destination
+//	        replica generates sorts after the install, so no later
+//	        operation can slip beneath the migrated state
+//	ANNOUNCE tell source replicas the keys are migrated (redirects become
+//	        Final), update local routing, and replay in-process pending
+//	        operations the sources provably never accepted
+//	COMPLETE acked broadcast closing the epoch: moving keys that were
+//	        never announced provably had no history and redirect Final
+//	        without an install; the routing ring advances
+//
+// A failed resize (timeout, closed keyspace) leaves a coherent system:
+// sources keep redirecting "in progress" and a retry of Resize with the
+// SAME target re-enters the protocol idempotently under the same epoch.
+
+// MigrationMetrics counts what live resharding has done to a keyspace.
+type MigrationMetrics struct {
+	// Resizes counts completed Resize calls; Epoch is the current ring
+	// epoch (equal to Resizes when every resize succeeded first try).
+	Resizes int
+	Epoch   int
+	// KeysMigrated counts keys whose ownership moved (with or without
+	// state); InstallsSent counts the KeyInstall operations submitted
+	// (keys that had state).
+	KeysMigrated int
+	InstallsSent int
+	// OpsDrained counts source-era operations the freeze rounds reported
+	// and the drain waited out.
+	OpsDrained int
+	// OpsReplayed counts operations KeyspaceClients replayed at a
+	// destination after proving the source never accepted them.
+	OpsReplayed uint64
+	// LastResizeDuration is the wall-clock time of the last successful
+	// Resize.
+	LastResizeDuration time.Duration
+}
+
+// ResizeReport describes one completed resize.
+type ResizeReport struct {
+	Epoch      int
+	OldShards  int
+	NewShards  int
+	KeysMoved  int // keys whose ownership changed and had history or state
+	Installs   int // keys migrated with state (KeyInstalls submitted)
+	OpsDrained int // source-era operations the drain waited for
+	Duration   time.Duration
+}
+
+// resizeDriverClient is the client name the driver submits KeyInstalls
+// under. It shares the per-client sequence space like any client, so it
+// must not collide with application client names.
+const resizeDriverClient = "esds:resize"
+
+var ctlCounter atomic.Uint64
+
+// errResizeTimeout marks resize deadline failures distinctly.
+var errResizeTimeout = errors.New("core: resize deadline exceeded")
+
+// keyMigration is the driver's working record for one moving key.
+type keyMigration struct {
+	key      string
+	src, dst int
+	drain    []ops.ID
+	enc      []byte
+	subsumes []dtype.OpRef
+	hasState bool
+	mk       MigratedKey
+}
+
+// ensureCtlLocked registers the driver's control-plane transport node
+// (freeze and completion acks are addressed to it). k.mu held.
+func (k *Keyspace) ensureCtlLocked() {
+	if k.ctlNode != "" {
+		return
+	}
+	k.ctlNode = transport.NodeID(fmt.Sprintf("resizectl:%d-%d", os.Getpid(), ctlCounter.Add(1)))
+	k.ctlAcks = make(chan any, 4096)
+	acks := k.ctlAcks
+	k.cfg.Network.Register(k.ctlNode, func(m transport.Message) {
+		select {
+		case acks <- m.Payload:
+		default: // overflow: the driver's retry loop re-solicits
+		}
+	})
+}
+
+// Resize grows the keyspace to newShards ONLINE: new shard clusters join
+// the running transport, exactly the keys the grown ring reassigns are
+// migrated — frozen at the source, drained to their final solid state,
+// installed at the destination, replayed where needed — and the routing
+// ring advances. Concurrent traffic keeps flowing: operations on
+// unmoving keys are untouched, operations on moving keys complete at the
+// source (if it accepted them before the freeze) or are replayed at the
+// destination exactly once.
+//
+// Requirements: a live transport with StartLiveGossip running (the
+// protocol is driven by wall-clock schedulers), Options.Memoize on (the
+// export unit is the memoized solid prefix), a snapshottable inner data
+// type, and a local replica of every source shard in this process (the
+// exporter). Only one resize may run at a time; a failed resize is
+// retryable with the same target.
+func (k *Keyspace) Resize(newShards int) (*ResizeReport, error) {
+	start := time.Now()
+	k.mu.Lock()
+	oldShards := k.curRing.Shards()
+	if k.resizing {
+		k.mu.Unlock()
+		return nil, errors.New("core: a resize is already in progress")
+	}
+	if newShards <= oldShards {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("core: resize to %d shards: keyspace already has %d (only growth is supported)", newShards, oldShards)
+	}
+	if k.gossipPeriod <= 0 {
+		k.mu.Unlock()
+		return nil, errors.New("core: Resize requires StartLiveGossip (live transports only)")
+	}
+	if !k.cfg.Options.Memoize {
+		k.mu.Unlock()
+		return nil, errors.New("core: Resize requires Options.Memoize (the export unit is the memoized solid prefix)")
+	}
+	if !dtype.CanSnapshot(k.inner) {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("core: Resize requires a snapshottable data type, %s has no encoding", k.inner.Name())
+	}
+	k.resizing = true
+	epoch := k.epoch + 1
+	oldRing := k.curRing
+	gossip := k.gossipPeriod
+	replicas := k.cfg.Replicas
+	k.ensureCtlLocked()
+	ctl := k.ctlNode
+	acks := k.ctlAcks
+	net := k.cfg.Network
+	k.mu.Unlock()
+
+	fail := func(err error) (*ResizeReport, error) {
+		k.mu.Lock()
+		k.resizing = false
+		k.mu.Unlock()
+		return nil, err
+	}
+
+	newRing := ring.New(newShards)
+	deadline := time.Now().Add(resizeDeadline)
+	roundTimeout := 20 * gossip
+	if roundTimeout < 100*time.Millisecond {
+		roundTimeout = 100 * time.Millisecond
+	}
+
+	// GROW: destinations must exist (and gossip) before anything migrates.
+	k.EnsureShards(newShards)
+
+	// Exporters: one local replica per source shard.
+	exporters := make([]*Replica, oldShards)
+	for s := 0; s < oldShards; s++ {
+		locals := k.Shard(s).LocalReplicas()
+		if len(locals) == 0 {
+			return fail(fmt.Errorf("core: resize driver needs a local replica of shard %d", s))
+		}
+		exporters[s] = locals[0]
+	}
+
+	// FREEZE to fixed point: rebroadcast until a full round of acks adds
+	// no key and no operation to the drain sets. Replicas that crash and
+	// recover mid-freeze re-freeze (withholding their ack until recovery
+	// completes), and anything they admitted beforehand shows up in their
+	// next ack — so the fixed point really does close the source era.
+	drain := make(map[string]map[ops.ID]struct{})
+	var nonce uint64
+	for {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("%w: freeze rounds did not settle", errResizeTimeout))
+		}
+		nonce++
+		msg := FreezeKeysMsg{Epoch: epoch, OldShards: oldShards, NewShards: newShards, Nonce: nonce, ReplyTo: ctl}
+		for s := 0; s < oldShards; s++ {
+			for i := 0; i < replicas; i++ {
+				net.Send(ctl, ReplicaNodeIn(s, label.ReplicaID(i)), msg)
+			}
+		}
+		grew := false
+		got := make(map[[2]int]bool)
+		timeout := time.After(roundTimeout)
+	collect:
+		for len(got) < oldShards*replicas {
+			select {
+			case p := <-acks:
+				a, ok := p.(FreezeAckMsg)
+				if !ok || a.Epoch != epoch {
+					continue
+				}
+				for _, fk := range a.Keys {
+					set, ok := drain[fk.Key]
+					if !ok {
+						set = make(map[ops.ID]struct{})
+						drain[fk.Key] = set
+						grew = true
+					}
+					for _, id := range fk.IDs {
+						if _, seen := set[id]; !seen {
+							set[id] = struct{}{}
+							grew = true
+						}
+					}
+				}
+				if a.Nonce == nonce && a.Shard >= 0 && a.Shard < oldShards && int(a.From) >= 0 && int(a.From) < replicas {
+					got[[2]int{a.Shard, int(a.From)}] = true
+				}
+			case <-timeout:
+				break collect
+			}
+		}
+		if len(got) == oldShards*replicas && !grew {
+			break // full round, nothing new: the source era is closed
+		}
+	}
+
+	// Enumerate the migration: keys with solid state at an exporter, plus
+	// keys the freeze rounds reported in-flight history for.
+	migs := make(map[string]*keyMigration)
+	addKey := func(key string) *keyMigration {
+		if m, ok := migs[key]; ok {
+			return m
+		}
+		m := &keyMigration{key: key, src: oldRing.ShardOf(key), dst: newRing.ShardOf(key)}
+		migs[key] = m
+		return m
+	}
+	for s := 0; s < oldShards; s++ {
+		for _, key := range exporters[s].MovingStateKeys(oldRing, newRing) {
+			addKey(key)
+		}
+	}
+	opsDrained := 0
+	for key, set := range drain {
+		m := addKey(key)
+		for id := range set {
+			m.drain = append(m.drain, id)
+		}
+		sort.Slice(m.drain, func(i, j int) bool { return m.drain[i].Less(m.drain[j]) })
+		opsDrained += len(set)
+	}
+
+	// DRAIN + EXPORT: poll each key until its source-era history is solid
+	// at the exporter, then take the canonical encoding.
+	pending := make([]*keyMigration, 0, len(migs))
+	for _, m := range migs {
+		pending = append(pending, m)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].key < pending[j].key })
+	pollEvery := gossip / 2
+	if pollEvery < time.Millisecond {
+		pollEvery = time.Millisecond
+	}
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("%w: %d keys still draining (first: %q)", errResizeTimeout, len(pending), pending[0].key))
+		}
+		remaining := pending[:0]
+		for _, m := range pending {
+			enc, subsumes, hasState, err := exporters[m.src].ExportKeyState(m.key, m.drain)
+			var nd *ErrNotDrained
+			switch {
+			case err == nil:
+				m.enc, m.subsumes, m.hasState = enc, subsumes, hasState
+			case errors.As(err, &nd):
+				remaining = append(remaining, m)
+			default:
+				return fail(fmt.Errorf("core: exporting %q from shard %d: %w", m.key, m.src, err))
+			}
+		}
+		pending = append([]*keyMigration(nil), remaining...)
+		if len(pending) > 0 {
+			time.Sleep(pollEvery)
+		}
+	}
+
+	// INSTALL: strict KeyInstalls through the destinations' ordinary
+	// pipelines, all concurrently (stability is reached in shared gossip
+	// rounds, so the batch costs roughly one key's latency). After this
+	// phase — and only after — may any Final signal exist anywhere, which
+	// is what makes "a Final redirect was seen" imply "every install of
+	// the epoch is stable".
+	installs := 0
+	var wg sync.WaitGroup
+	var installMu sync.Mutex
+	var installErr error
+	for _, m := range migs {
+		if !m.hasState {
+			m.mk = MigratedKey{Key: m.key}
+			continue
+		}
+		installs++
+		fe := k.Shard(m.dst).FrontEnd(resizeDriverClient)
+		wg.Add(1)
+		go func(m *keyMigration, fe *FrontEnd) {
+			defer wg.Done()
+			x, v, err := fe.SubmitWait(dtype.KeyInstall{Key: m.key, State: m.enc, Subsumes: m.subsumes}, nil, true)
+			if err == nil && v != dtype.Value(dtype.KeyInstalled) {
+				err = fmt.Errorf("install rejected: %v", v)
+			}
+			if err != nil {
+				installMu.Lock()
+				if installErr == nil {
+					installErr = fmt.Errorf("core: installing %q at shard %d: %w", m.key, m.dst, err)
+				}
+				installMu.Unlock()
+				return
+			}
+			m.mk = MigratedKey{Key: m.key, HasInstall: true, InstallID: x.ID}
+		}(m, fe)
+	}
+	wg.Wait()
+	if installErr != nil {
+		return fail(installErr)
+	}
+
+	// ANNOUNCE: per source shard, tell every replica the keys are
+	// migrated (best effort — the acked COMPLETE broadcast is the
+	// authoritative copy), adopt the routing locally, and replay pending
+	// operations the sources provably never accepted.
+	perSource := make(map[int][]MigratedKey)
+	for _, m := range migs {
+		perSource[m.src] = append(perSource[m.src], m.mk)
+	}
+	for src, mks := range perSource {
+		sort.Slice(mks, func(i, j int) bool { return mks[i].Key < mks[j].Key })
+		msg := KeyMigratedMsg{Epoch: epoch, OldShards: oldShards, Shards: newShards, Keys: mks}
+		for i := 0; i < replicas; i++ {
+			net.Send(ctl, ReplicaNodeIn(src, label.ReplicaID(i)), msg)
+		}
+	}
+	moved := make(map[string]struct{}, len(migs))
+	// The source-era id set routers must NOT replay: the freeze-reported
+	// drain ids PLUS every id the exporters' key indexes hold. The second
+	// part is essential — freeze acks deliberately omit operations already
+	// stable, and a stable operation can still be PENDING at a front end
+	// (its response lost or in flight); replaying it at the destination
+	// would execute it twice. Post-drain, every source-era operation on a
+	// moved key is done at its exporter and therefore in its subsumes
+	// list, so the union is complete.
+	drainedIDs := make(map[ops.ID]struct{}, opsDrained)
+	for _, set := range drain {
+		for id := range set {
+			drainedIDs[id] = struct{}{}
+		}
+	}
+	for _, m := range migs {
+		for _, ref := range m.subsumes {
+			drainedIDs[ops.ID{Client: ref.Client, Seq: ref.Seq}] = struct{}{}
+		}
+	}
+	k.mu.Lock()
+	for _, m := range migs {
+		k.migrated[m.key] = migratedEntry{epoch: epoch, shard: m.dst, mk: m.mk}
+		moved[m.key] = struct{}{}
+	}
+	clients := make([]*KeyspaceClient, 0, len(k.clients))
+	for _, c := range k.clients {
+		clients = append(clients, c)
+	}
+	k.mu.Unlock()
+	for _, c := range clients {
+		c.resolveMigrated(moved, drainedIDs)
+	}
+
+	// COMPLETE: acked broadcast; a source replica left unclosed would
+	// answer "in progress" forever for fresh moving keys.
+	completeAcked := make(map[[2]int]bool)
+	for {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("%w: completion not acked by every source replica", errResizeTimeout))
+		}
+		msg := ResizeCompleteMsg{Epoch: epoch, OldShards: oldShards, Shards: newShards, ReplyTo: ctl}
+		for s := 0; s < oldShards; s++ {
+			for i := 0; i < replicas; i++ {
+				if !completeAcked[[2]int{s, i}] {
+					net.Send(ctl, ReplicaNodeIn(s, label.ReplicaID(i)), msg)
+				}
+			}
+		}
+		timeout := time.After(roundTimeout)
+	collectComplete:
+		for len(completeAcked) < oldShards*replicas {
+			select {
+			case p := <-acks:
+				a, ok := p.(ResizeCompleteAckMsg)
+				if !ok || a.Epoch != epoch {
+					continue
+				}
+				if a.Shard >= 0 && a.Shard < oldShards && int(a.From) >= 0 && int(a.From) < replicas {
+					completeAcked[[2]int{a.Shard, int(a.From)}] = true
+				}
+			case <-timeout:
+				break collectComplete
+			}
+		}
+		if len(completeAcked) == oldShards*replicas {
+			break
+		}
+	}
+
+	// ADVANCE: the grown ring becomes the routing truth.
+	duration := time.Since(start)
+	k.mu.Lock()
+	k.curRing = newRing
+	k.epoch = epoch
+	k.resizing = false
+	k.mmetrics.Resizes++
+	k.mmetrics.Epoch = epoch
+	k.mmetrics.KeysMigrated += len(migs)
+	k.mmetrics.InstallsSent += installs
+	k.mmetrics.OpsDrained += opsDrained
+	k.mmetrics.LastResizeDuration = duration
+	k.mu.Unlock()
+
+	return &ResizeReport{
+		Epoch:      epoch,
+		OldShards:  oldShards,
+		NewShards:  newShards,
+		KeysMoved:  len(migs),
+		Installs:   installs,
+		OpsDrained: opsDrained,
+		Duration:   duration,
+	}, nil
+}
+
+// noteReplayed counts router replays into the migration metrics.
+func (k *Keyspace) noteReplayed(n uint64) {
+	k.mu.Lock()
+	k.mmetrics.OpsReplayed += n
+	k.mu.Unlock()
+}
+
+// resizeDeadline bounds a Resize call; a deployment resizing terabytes
+// would tune this, the reference implementation favors failing fast and
+// retrying (the protocol is idempotent per epoch).
+var resizeDeadline = 60 * time.Second

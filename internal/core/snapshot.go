@@ -49,6 +49,21 @@ func (r *Replica) buildSnapshot() (SnapshotMsg, bool) {
 		r.fault(FaultBadSnapshot, ops.ID{}, "encoding local state: %v", err)
 		return SnapshotMsg{}, false
 	}
+	if r.opt.SnapshotCap > 0 {
+		// Approximate wire size: encoded state plus the per-op entries the
+		// message will carry (EstimateSize's per-SnapOp weight, keys
+		// included).
+		est := len(enc) + r.memoized*(16+12+16+2)
+		for i := 0; i < r.memoized; i++ {
+			est += len(r.keyOf[r.doneSeq[i]])
+		}
+		if est > r.opt.SnapshotCap {
+			// Over the cap: answer with descriptors only (pure §9.3 replay).
+			// With pruning on this can strand a recovering peer — the cap is
+			// an operator's explicit trade, surfaced in the option docs.
+			return SnapshotMsg{}, false
+		}
+	}
 	msg := SnapshotMsg{
 		From:      r.id,
 		DataType:  r.dt.Name(),
@@ -65,6 +80,7 @@ func (r *Replica) buildSnapshot() (SnapshotMsg, bool) {
 			Value:  r.memoVals[id],
 			Stable: stable,
 			Strict: r.isStrict(id),
+			Key:    r.keyOf[id],
 		}
 	}
 	return msg, true
@@ -183,6 +199,11 @@ func (r *Replica) installSnapshot(msg SnapshotMsg) bool {
 	for _, so := range msg.Ops {
 		id := so.ID
 		r.rcvdIDs[id] = struct{}{}
+		if so.Key != "" {
+			// Reseed the prune-surviving key index alongside rcvd_r: both
+			// must survive recovery for resize exports to stay complete.
+			r.keyOf[id] = so.Key
+		}
 		if so.Strict {
 			if _, retained := r.retained[id]; !retained {
 				r.strictGhost[id] = struct{}{}

@@ -661,3 +661,38 @@ func TestSnapshotDisabledPreservesOldBehaviour(t *testing.T) {
 		t.Fatal("descriptor-replay recovery broke")
 	}
 }
+
+// TestSnapshotCapDegradesToReplay pins Options.SnapshotCap: a peer whose
+// snapshot would exceed the cap answers recovery with descriptors only.
+// With pruning OFF that still restores the crashed replica (replay path);
+// the capped peer's SnapshotsSent stays zero while an uncapped control
+// run sends one.
+func TestSnapshotCapDegradesToReplay(t *testing.T) {
+	run := func(cap int) (sent uint64, recovered bool) {
+		opt := Options{Memoize: true, Snapshot: true, SnapshotCap: cap}
+		e, _ := newRecoveryEnv(t, opt)
+		defer e.cluster.Close()
+		for i := 0; i < 6; i++ {
+			e.submit("c", dtype.LogAppend{Entry: fmt.Sprintf("x%d", i)}, nil, false)
+			e.s.RunFor(5 * sim.Millisecond)
+		}
+		e.s.RunFor(100 * sim.Millisecond)
+		r0 := e.cluster.Replica(0)
+		e.net.SetNodeDown(r0.Node(), true)
+		r0.Crash()
+		e.s.RunFor(20 * sim.Millisecond)
+		e.net.SetNodeDown(r0.Node(), false)
+		r0.Recover()
+		e.s.RunFor(300 * sim.Millisecond)
+		for _, r := range e.cluster.LocalReplicas() {
+			sent += r.Metrics().SnapshotsSent
+		}
+		return sent, !r0.Recovering() && len(r0.Snapshot().Done) == 6
+	}
+	if sent, ok := run(0); sent == 0 || !ok {
+		t.Fatalf("uncapped control: snapshots sent=%d recovered=%v, want >0 and true", sent, ok)
+	}
+	if sent, ok := run(1); sent != 0 || !ok {
+		t.Fatalf("capped run: snapshots sent=%d recovered=%v, want 0 and true (replay path)", sent, ok)
+	}
+}

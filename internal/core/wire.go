@@ -27,6 +27,11 @@ func RegisterWire() {
 		gob.Register(GossipMsg{})
 		gob.Register(RecoveryRequestMsg{})
 		gob.Register(SnapshotMsg{})
+		gob.Register(FreezeKeysMsg{})
+		gob.Register(FreezeAckMsg{})
+		gob.Register(KeyMigratedMsg{})
+		gob.Register(ResizeCompleteMsg{})
+		gob.Register(ResizeCompleteAckMsg{})
 		dtype.RegisterWire()
 	})
 }

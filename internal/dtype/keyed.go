@@ -48,6 +48,43 @@ func (o KeyedOp) String() string { return fmt.Sprintf("%s/%v", o.Key, o.Op) }
 // partitioned across many shards.
 type KeyedState map[string]State
 
+// KeyInstall replaces the named object's state with a decoded canonical
+// encoding (the inner type's dtype.Snapshotter form). It is the migration
+// payload of live resharding: the source shard drains the object, exports
+// its solid state, and the resize driver submits a KeyInstall through the
+// DESTINATION shard's ordinary operation pipeline — so the install is
+// labeled, gossiped, memoized, snapshotted, and recovered exactly like any
+// other operation, and every later operation on the object is ordered
+// after it by the algorithm itself (no parallel install path to keep
+// consistent). Decoding failures are deterministic no-ops whose reportable
+// value carries the error: a hostile or corrupt install must not crash a
+// replica, and all replicas must agree on the (non-)effect.
+type KeyInstall struct {
+	Key   string
+	State []byte
+	// Subsumes lists the operations whose effects State already contains —
+	// the object's entire source-era history. A replica that has applied
+	// the install treats these identifiers as satisfied prev constraints:
+	// a client may legitimately constrain a new operation on a migrated
+	// object after ANY operation it ever saw answered, including ones
+	// whose descriptors §10.2 pruning has long discarded at the source.
+	// (OpRef mirrors ops.ID; the ops package depends on this one, so the
+	// identifier pair is restated here.)
+	Subsumes []OpRef
+}
+
+// OpRef names an operation (client, sequence) without importing the ops
+// package. See KeyInstall.Subsumes.
+type OpRef struct {
+	Client string
+	Seq    uint64
+}
+
+func (o KeyInstall) String() string { return fmt.Sprintf("%s/install[%d bytes]", o.Key, len(o.State)) }
+
+// KeyInstalled is the reportable value of a successful KeyInstall.
+const KeyInstalled = "installed"
+
 // Name implements DataType.
 func (k Keyed) Name() string { return "keyed:" + k.Inner.Name() }
 
@@ -61,34 +98,71 @@ func (k Keyed) Apply(s State, op Operator) (State, Value) {
 	if !ok {
 		panic(fmt.Sprintf("dtype: keyed state has type %T, want KeyedState", s))
 	}
-	o, ok := op.(KeyedOp)
-	if !ok {
+	var key string
+	var next State
+	var v Value
+	switch o := op.(type) {
+	case KeyedOp:
+		key = o.Key
+		inner, ok := cur[key]
+		if !ok {
+			inner = k.Inner.Initial()
+		}
+		next, v = k.Inner.Apply(inner, o.Op)
+	case KeyInstall:
+		key = o.Key
+		sn, ok := k.Inner.(Snapshotter)
+		if !ok {
+			return cur, fmt.Sprintf("install failed: inner type %s has no snapshot encoding", k.Inner.Name())
+		}
+		decoded, err := sn.DecodeState(o.State)
+		if err != nil {
+			return cur, fmt.Sprintf("install failed: %v", err)
+		}
+		next, v = decoded, Value(KeyInstalled)
+	default:
 		panic(fmt.Sprintf("dtype: keyed data type does not support operator %T", op))
 	}
-	inner, ok := cur[o.Key]
-	if !ok {
-		inner = k.Inner.Initial()
-	}
-	next, v := k.Inner.Apply(inner, o.Op)
 	out := make(KeyedState, len(cur)+1)
 	for name, st := range cur {
 		out[name] = st
 	}
-	out[o.Key] = next
+	out[key] = next
 	return out, v
+}
+
+// KeyOf extracts the object name an operator addresses: the Key of a
+// KeyedOp or KeyInstall. It reports false for operators of non-keyed
+// types — the predicate routing layers (hash ring, migration freeze)
+// dispatch on.
+func KeyOf(op Operator) (string, bool) {
+	switch o := op.(type) {
+	case KeyedOp:
+		return o.Key, true
+	case KeyInstall:
+		return o.Key, true
+	}
+	return "", false
 }
 
 // Commute implements Commuter: operators on distinct objects always
 // commute; operators on the same object commute iff the inner type says
-// so (false when it cannot tell — the conservative answer).
+// so (false when it cannot tell — the conservative answer). A KeyInstall
+// never commutes with a same-object operator: it replaces the whole
+// object state, so order against every other touch of the object matters.
 func (k Keyed) Commute(op1, op2 Operator) bool {
-	o1, ok1 := op1.(KeyedOp)
-	o2, ok2 := op2.(KeyedOp)
+	k1, ok1 := KeyOf(op1)
+	k2, ok2 := KeyOf(op2)
 	if !ok1 || !ok2 {
 		return false
 	}
-	if o1.Key != o2.Key {
+	if k1 != k2 {
 		return true
+	}
+	o1, isOp1 := op1.(KeyedOp)
+	o2, isOp2 := op2.(KeyedOp)
+	if !isOp1 || !isOp2 {
+		return false // at least one install: order always matters
 	}
 	if c, ok := k.Inner.(Commuter); ok {
 		return c.Commute(o1.Op, o2.Op)
@@ -98,15 +172,21 @@ func (k Keyed) Commute(op1, op2 Operator) bool {
 
 // Oblivious implements ObliviousChecker: an operator's value cannot depend
 // on operators addressing other objects; same-object pairs delegate to the
-// inner type.
+// inner type (and installs are never oblivious to same-object operators —
+// an install's meaning is exactly the state it replaces).
 func (k Keyed) Oblivious(op1, op2 Operator) bool {
-	o1, ok1 := op1.(KeyedOp)
-	o2, ok2 := op2.(KeyedOp)
+	k1, ok1 := KeyOf(op1)
+	k2, ok2 := KeyOf(op2)
 	if !ok1 || !ok2 {
 		return false
 	}
-	if o1.Key != o2.Key {
+	if k1 != k2 {
 		return true
+	}
+	o1, isOp1 := op1.(KeyedOp)
+	o2, isOp2 := op2.(KeyedOp)
+	if !isOp1 || !isOp2 {
+		return false
 	}
 	if c, ok := k.Inner.(ObliviousChecker); ok {
 		return c.Oblivious(o1.Op, o2.Op)

@@ -50,7 +50,7 @@ func RegisterWire() {
 			DirBind{}, DirUnbind{}, DirSetAttr{}, DirGetAttr{}, DirLookup{}, DirList{},
 			LogAppend{}, LogRead{}, LogLen{},
 			BankDeposit{}, BankWithdraw{}, BankBalance{},
-			KeyedOp{},
+			KeyedOp{}, KeyInstall{},
 		} {
 			gob.Register(op)
 		}

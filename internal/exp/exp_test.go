@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
+	if len(all) != 11 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -232,5 +232,21 @@ func TestE10ShardedSmoke(t *testing.T) {
 		if row.Ops != p.Workers*p.OpsPerWorker {
 			t.Fatalf("row %+v incomplete", row)
 		}
+	}
+}
+
+func TestE11ResizeSmoke(t *testing.T) {
+	// Structural smoke of the online-resharding experiment: tiny workload,
+	// no throughput gates (machine-dependent; the headline gated run is
+	// `esds-bench -exp e11` / BenchmarkE11ResizeUnderLoad). The structural
+	// claims — nothing lost across the migration, moved keys track the
+	// ring diff — are still asserted.
+	p := SmokeResizeExpParams()
+	r := RunResizeExp(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	if r.KeysMoved == 0 {
+		t.Fatalf("resize moved nothing:\n%s", r.Table())
 	}
 }

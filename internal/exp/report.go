@@ -85,6 +85,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e11", Title: "Online resharding under load", PaperRef: "DESIGN.md §7 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultResizeExpParams()
+				r := RunResizeExp(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 

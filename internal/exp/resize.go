@@ -1,0 +1,312 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/ops"
+	"esds/internal/ring"
+	"esds/internal/stats"
+	"esds/internal/transport"
+)
+
+// E11: online-resharding throughput. Like E10 this runs real clusters on
+// the live in-process transport and measures wall-clock behaviour — the
+// claim under test is operational: growing a keyspace N→M shards while
+// serving traffic must not collapse service. The experiment drives a
+// steady mixed workload, fires Keyspace.Resize mid-run, and reports
+// throughput in three windows (before, during, after the migration), the
+// migrated-key fraction (must track the ring diff, ≈ (M−N)/M), and a
+// full strict read-back proving no operation was lost. Wall-clock
+// numbers are machine-dependent; Verify checks the qualitative claims.
+
+// ResizeExpParams configures the resize experiment.
+type ResizeExpParams struct {
+	// OldShards → NewShards is the growth under test.
+	OldShards int
+	NewShards int
+	// Replicas per shard.
+	Replicas int
+	// Objects in the keyspace (counters). Workers cycle their disjoint
+	// slices round-robin, so every object is touched once the warm-up has
+	// run Objects/Workers operations per worker.
+	Objects int
+	// Workers are concurrent clients submitting non-strict increments
+	// (strict reads happen in the final read-back).
+	Workers int
+	// PreDuration is the steady-state window before the resize fires;
+	// PostDuration the window after it completes. The during-window is
+	// however long the migration takes.
+	PreDuration  time.Duration
+	PostDuration time.Duration
+	// GossipInterval is the per-shard anti-entropy period.
+	GossipInterval time.Duration
+	// MinPostRatio gates Verify: post-resize steady-state throughput must
+	// be at least this fraction of the pre-resize throughput (the service
+	// must come out of a grow no slower than it went in; on multi-core
+	// hosts it typically comes out faster). ≤ 0 disables.
+	MinPostRatio float64
+	// MinDuringRatio gates throughput WHILE the migration runs (service
+	// must not collapse mid-resize). Applied only when the migration
+	// window is long enough to measure (≥ 50ms). ≤ 0 disables.
+	MinDuringRatio float64
+}
+
+// DefaultResizeExpParams is the headline 4→8 growth under an 8-worker
+// 256-object increment load.
+func DefaultResizeExpParams() ResizeExpParams {
+	return ResizeExpParams{
+		OldShards:      4,
+		NewShards:      8,
+		Replicas:       3,
+		Objects:        256,
+		Workers:        8,
+		PreDuration:    400 * time.Millisecond,
+		PostDuration:   400 * time.Millisecond,
+		GossipInterval: 2 * time.Millisecond,
+		MinPostRatio:   0.5,
+		MinDuringRatio: 0.1,
+	}
+}
+
+// SmokeResizeExpParams is a fast structural check (CI-friendly): tiny
+// workload, no throughput gates.
+func SmokeResizeExpParams() ResizeExpParams {
+	return ResizeExpParams{
+		OldShards:      2,
+		NewShards:      3,
+		Replicas:       2,
+		Objects:        24,
+		Workers:        2,
+		PreDuration:    60 * time.Millisecond,
+		PostDuration:   60 * time.Millisecond,
+		GossipInterval: time.Millisecond,
+	}
+}
+
+// ResizeExpResult is the regenerated measurement.
+type ResizeExpResult struct {
+	Pre, During, Post Window
+	ResizeDuration    time.Duration
+	KeysMoved         int     // keys the migration actually moved
+	MovedTouchedPre   int     // warm objects the ring diff required to move
+	MovedFraction     float64 // KeysMoved / Objects
+	ExpectedFraction  float64 // (M−N)/M, the ring's fair share
+	TotalOps          int
+	FinalSum          int64
+	Err               error
+}
+
+// Window is one throughput measurement window.
+type Window struct {
+	Ops        int
+	Seconds    float64
+	Throughput float64
+}
+
+func window(ops int, d time.Duration) Window {
+	w := Window{Ops: ops, Seconds: d.Seconds()}
+	if d > 0 {
+		w.Throughput = float64(ops) / d.Seconds()
+	}
+	return w
+}
+
+// RunResizeExp executes the experiment.
+func RunResizeExp(p ResizeExpParams) ResizeExpResult {
+	res := ResizeExpResult{ExpectedFraction: float64(p.NewShards-p.OldShards) / float64(p.NewShards)}
+	fail := func(err error) ResizeExpResult {
+		if res.Err == nil {
+			res.Err = err
+		}
+		return res
+	}
+	net := transport.NewLiveNet()
+	ks := core.NewKeyspace(core.KeyspaceConfig{
+		Shards:   p.OldShards,
+		Replicas: p.Replicas,
+		DataType: dtype.Counter{},
+		Network:  net,
+		Options:  core.DefaultOptions(),
+	})
+	defer func() {
+		ks.Close()
+		net.Close()
+	}()
+	ks.StartLiveGossip(p.GossipInterval)
+	ks.StartLiveRetransmit(100 * time.Millisecond)
+
+	objects := make([]string, p.Objects)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("e11-%04d", i)
+	}
+
+	type ack struct {
+		obj string
+		id  ops.ID
+		at  time.Duration
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		acks     []ack
+		firstErr error
+		stop     = make(chan struct{})
+	)
+	start := time.Now()
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ks.Client(fmt.Sprintf("e11-w%d", w))
+			var owned []string
+			for i := w; i < len(objects); i += p.Workers {
+				owned = append(owned, objects[i])
+			}
+			last := make(map[string]ops.ID)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				obj := owned[i%len(owned)]
+				var prev []ops.ID
+				if id, ok := last[obj]; ok {
+					prev = []ops.ID{id}
+				}
+				x, v, err := client.SubmitWait(ks.WrapOp(obj, dtype.CtrAdd{N: 1}), prev, false)
+				if err == nil && v != "ok" {
+					err = fmt.Errorf("add returned %v", v)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d op %d on %s: %w", w, i, obj, err)
+					}
+					mu.Unlock()
+					return
+				}
+				last[obj] = x.ID
+				mu.Lock()
+				acks = append(acks, ack{obj: obj, id: x.ID, at: time.Since(start)})
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(p.PreDuration)
+	t1 := time.Since(start)
+	rep, err := ks.Resize(p.NewShards)
+	t2 := time.Since(start)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return fail(fmt.Errorf("exp: E11 resize: %w", err))
+	}
+	time.Sleep(p.PostDuration)
+	close(stop)
+	wg.Wait()
+	end := time.Since(start)
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+
+	// Windows.
+	var nPre, nDuring, nPost int
+	wrote := make(map[string][]ops.ID, len(objects))
+	touchedPre := make(map[string]struct{})
+	for _, a := range acks {
+		switch {
+		case a.at < t1:
+			nPre++
+			touchedPre[a.obj] = struct{}{}
+		case a.at < t2:
+			nDuring++
+		default:
+			nPost++
+		}
+		wrote[a.obj] = append(wrote[a.obj], a.id)
+	}
+	res.Pre = window(nPre, t1)
+	res.During = window(nDuring, t2-t1)
+	res.Post = window(nPost, end-t2)
+	res.ResizeDuration = rep.Duration
+	res.KeysMoved = rep.KeysMoved
+	res.MovedFraction = float64(rep.KeysMoved) / float64(p.Objects)
+	res.TotalOps = len(acks)
+	oldR, newR := ring.New(p.OldShards), ring.New(p.NewShards)
+	for obj := range touchedPre {
+		if ring.Moves(oldR, newR, obj) {
+			res.MovedTouchedPre++
+		}
+	}
+
+	// Strict read-back of every object, each read ordered after all its
+	// acknowledged writes: the total must equal the acknowledged adds —
+	// no operation lost or duplicated across the migration.
+	reader := ks.Client("e11-reader")
+	var readWG sync.WaitGroup
+	var readErr error
+	for _, obj := range objects {
+		readWG.Add(1)
+		reader.Submit(ks.WrapOp(obj, dtype.CtrRead{}), wrote[obj], true, func(r core.Response) {
+			mu.Lock()
+			if r.Err != nil && readErr == nil {
+				readErr = r.Err
+			} else if r.Err == nil {
+				res.FinalSum += r.Value.(int64)
+			}
+			mu.Unlock()
+			readWG.Done()
+		})
+	}
+	readWG.Wait()
+	if readErr != nil {
+		return fail(fmt.Errorf("exp: E11 strict read-back: %w", readErr))
+	}
+	return res
+}
+
+// Table renders the three windows and the migration shape.
+func (r ResizeExpResult) Table() string {
+	t := stats.NewTable("window", "ops", "seconds", "throughput ops/s")
+	t.AddRow("pre-resize", r.Pre.Ops, r.Pre.Seconds, r.Pre.Throughput)
+	t.AddRow("migrating", r.During.Ops, r.During.Seconds, r.During.Throughput)
+	t.AddRow("post-resize", r.Post.Ops, r.Post.Seconds, r.Post.Throughput)
+	return t.String() + fmt.Sprintf(
+		"keys moved = %d (%.0f%% of namespace; ring fair share %.0f%%), migration took %s, read-back sum = %d of %d acked ops\n",
+		r.KeysMoved, 100*r.MovedFraction, 100*r.ExpectedFraction, r.ResizeDuration.Round(time.Millisecond), r.FinalSum, r.TotalOps)
+}
+
+// Verify checks the qualitative resharding claims.
+func (r ResizeExpResult) Verify(p ResizeExpParams) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Pre.Ops == 0 || r.Post.Ops == 0 {
+		return fmt.Errorf("exp: E11 produced an empty measurement window (pre=%d post=%d ops)", r.Pre.Ops, r.Post.Ops)
+	}
+	if r.FinalSum != int64(r.TotalOps) {
+		return fmt.Errorf("exp: E11 read back %d of %d acknowledged operations — the migration lost or duplicated work", r.FinalSum, r.TotalOps)
+	}
+	if r.KeysMoved < r.MovedTouchedPre {
+		return fmt.Errorf("exp: E11 moved %d keys but the ring diff required at least %d warm objects to move", r.KeysMoved, r.MovedTouchedPre)
+	}
+	if lo, hi := r.ExpectedFraction*0.5, r.ExpectedFraction*1.5; r.MovedFraction < lo || r.MovedFraction > hi {
+		return fmt.Errorf("exp: E11 moved %.0f%% of the namespace, ring fair share is %.0f%% (want within ±50%%)",
+			100*r.MovedFraction, 100*r.ExpectedFraction)
+	}
+	if p.MinPostRatio > 0 && r.Post.Throughput < p.MinPostRatio*r.Pre.Throughput {
+		return fmt.Errorf("exp: E11 post-resize throughput %.0f ops/s is below %.0f%% of pre-resize %.0f ops/s",
+			r.Post.Throughput, 100*p.MinPostRatio, r.Pre.Throughput)
+	}
+	if p.MinDuringRatio > 0 && r.During.Seconds >= 0.05 && r.During.Throughput < p.MinDuringRatio*r.Pre.Throughput {
+		return fmt.Errorf("exp: E11 mid-migration throughput %.0f ops/s collapsed below %.0f%% of pre-resize %.0f ops/s",
+			r.During.Throughput, 100*p.MinDuringRatio, r.Pre.Throughput)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package ring is the consistent-hash ring that places keyspace objects on
+// shards. It is deterministic and purely functional: the ring for a given
+// shard count is always the same, so every process of a deployment — and
+// every epoch of a resized deployment — computes identical ownership from
+// nothing but the shard count. That purity is what makes live resharding
+// checkable: ownership at epoch e is a function of (shards(e), key) alone,
+// never of migration history.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Vnodes is the number of virtual nodes per shard. Load skew across shards
+// shrinks roughly with 1/√vnodes; 512 keeps every shard within a few
+// percent of uniform for realistic shard counts, and the ring (shards ×
+// 512 points, built once per epoch) stays negligible.
+const Vnodes = 512
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring maps object names to shards with the classic consistent-hashing
+// construction: every shard owns vnode points on a 64-bit ring and an
+// object belongs to the first point clockwise from its hash. Growing the
+// shard count moves only the keys that fall into the new shards' arcs
+// (~1/N of the namespace per shard added), which is what makes resharding
+// an incremental per-key migration instead of a full reshuffle.
+type Ring struct {
+	shards int
+	points []point
+}
+
+// New returns the ring for the given shard count. Rings are immutable
+// and fully determined by the count, so they are built once and cached —
+// callers on hot paths (per-request routing, per-redirect topology
+// learning) share one instance per count.
+func New(shards int) Ring {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := cache[shards]; ok {
+		return r
+	}
+	r := newWithVnodes(shards, Vnodes)
+	cache[shards] = r
+	return r
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = make(map[int]Ring)
+)
+
+func newWithVnodes(shards, vnodes int) Ring {
+	if shards < 1 {
+		panic(fmt.Sprintf("ring: invalid shard count %d", shards))
+	}
+	points := make([]point, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, point{
+				hash:  Hash(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].shard < points[j].shard // deterministic on (absurdly unlikely) collisions
+	})
+	return Ring{shards: shards, points: points}
+}
+
+// Shards returns the shard count the ring was built for.
+func (r Ring) Shards() int { return r.shards }
+
+// ShardOf routes a key to its owning shard.
+func (r Ring) ShardOf(key string) int {
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the first point owns the arc
+	}
+	return r.points[i].shard
+}
+
+// Moves reports whether key changes owner between the two rings — the
+// per-key predicate a resize migrates by.
+func Moves(old, new Ring, key string) bool {
+	return old.ShardOf(key) != new.ShardOf(key)
+}
+
+// Hash is the ring's key hash. FNV-1a mixes the last bytes of short
+// strings weakly into the high bits, and the ring is ordered by the FULL
+// value — finish with a splitmix64 round so sequential names spread
+// uniformly.
+func Hash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

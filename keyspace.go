@@ -111,6 +111,30 @@ func (k *Keyspace) Close() {
 // NumShards returns the shard count.
 func (k *Keyspace) NumShards() int { return k.ks.NumShards() }
 
+// Resize grows the keyspace from N to M=newShards shards ONLINE: new
+// shard clusters join the running service and exactly the keys the grown
+// consistent-hash ring reassigns (≈ (M−N)/M of the namespace) are
+// migrated, with zero downtime and no lost or reordered operations.
+// Traffic keeps flowing during the migration: operations on unmoving
+// objects are untouched; operations on moving objects either complete at
+// the old shard (if it accepted them before the freeze) or are replayed
+// at the new one exactly once. Clients obtained via Object.Client follow
+// the move automatically.
+//
+// Resize requires the default Memoize option and a snapshottable data
+// type (all built-ins are). Only one resize may run at a time; a failed
+// resize (e.g. timeout) leaves the service consistent and is retryable
+// with the same target. See DESIGN.md §7 for the protocol.
+func (k *Keyspace) Resize(newShards int) (*core.ResizeReport, error) {
+	return k.ks.Resize(newShards)
+}
+
+// Epoch returns the number of completed resizes.
+func (k *Keyspace) Epoch() int { return k.ks.Epoch() }
+
+// MigrationMetrics returns the live-resharding counters.
+func (k *Keyspace) MigrationMetrics() core.MigrationMetrics { return k.ks.MigrationMetrics() }
+
 // Faults returns the typed faults recorded by every shard's replicas (see
 // Service.Faults).
 func (k *Keyspace) Faults() []error { return k.ks.Faults() }
@@ -148,10 +172,12 @@ func (o *Object) Shard() int { return o.shard }
 // Client returns a handle submitting operations on this object for the
 // named client. The same client name may drive many objects; ids chain in
 // prev sets only among objects on the same shard (Session stays within one
-// object and is always safe).
+// object and is always safe). The handle is resize-aware: it is backed by
+// the keyspace router, which follows an object when Resize migrates it to
+// another shard.
 func (o *Object) Client(name string) *Client {
 	return &Client{
-		fe:   o.ks.FrontEnd(o.name, name),
+		fe:   o.ks.Client(name),
 		wrap: func(op Operator) Operator { return o.ks.WrapOp(o.name, op) },
 	}
 }

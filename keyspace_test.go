@@ -179,3 +179,68 @@ func TestKeyspaceCloseFailsPendingWaiters(t *testing.T) {
 		}
 	}
 }
+
+func TestKeyspaceResizeLive(t *testing.T) {
+	ks := newKeyspace(t, 2, 3, esds.Counter())
+
+	// Sessions over several objects: causal chains must survive the move.
+	type handle struct {
+		sess *esds.Session
+		name string
+		n    int64
+	}
+	var hs []handle
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("rz%d", i)
+		h := handle{sess: ks.Object(name).Client("alice").Session(), name: name, n: int64(i + 1)}
+		for j := int64(0); j < h.n; j++ {
+			if _, _, err := h.sess.Apply(esds.Add(1)); err != nil {
+				t.Fatalf("seed %s: %v", name, err)
+			}
+		}
+		hs = append(hs, h)
+	}
+
+	rep, err := ks.Resize(5)
+	if err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	if rep.NewShards != 5 || ks.NumShards() != 5 || ks.Epoch() != 1 {
+		t.Fatalf("resize report %+v, shards=%d epoch=%d", rep, ks.NumShards(), ks.Epoch())
+	}
+	if rep.KeysMoved == 0 {
+		t.Fatal("2→5 moved nothing across 12 objects — suspicious")
+	}
+
+	// Continue every session across the resize: read-your-writes must hold
+	// through the migration, then one more write + strict read.
+	for _, h := range hs {
+		if v, _, err := h.sess.Apply(esds.Add(1)); err != nil || v != "ok" {
+			t.Fatalf("post-resize write %s: %v %v", h.name, v, err)
+		}
+		v, _, err := h.sess.ApplyStrict(esds.ReadCounter())
+		if err != nil {
+			t.Fatalf("post-resize strict read %s: %v", h.name, err)
+		}
+		if v != h.n+1 {
+			t.Fatalf("object %s = %v after resize, want %d", h.name, v, h.n+1)
+		}
+	}
+	if mm := ks.MigrationMetrics(); mm.Resizes != 1 || mm.KeysMigrated != rep.KeysMoved {
+		t.Fatalf("migration metrics %+v vs report %+v", mm, rep)
+	}
+	if len(ks.Faults()) != 0 {
+		t.Fatalf("faults after resize: %v", ks.Faults())
+	}
+
+	// A second growth must chain cleanly on the same keyspace.
+	if _, err := ks.Resize(6); err != nil {
+		t.Fatalf("second Resize: %v", err)
+	}
+	for _, h := range hs {
+		v, _, err := h.sess.ApplyStrict(esds.ReadCounter())
+		if err != nil || v != h.n+1 {
+			t.Fatalf("object %s = %v (%v) after second resize, want %d", h.name, v, err, h.n+1)
+		}
+	}
+}
