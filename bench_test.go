@@ -188,6 +188,35 @@ func BenchmarkE10ShardedThroughput(b *testing.B) {
 	b.ReportMetric(r.Rows[len(r.Rows)-1].Throughput, "ops/s-sharded")
 }
 
+// BenchmarkE12BatchedHotPath runs the batched-hot-path experiment: the
+// same pipelined increment workload over real loopback TCP sockets, swept
+// across (batch size, flush delay) points against the unbatched baseline.
+// The speedup is reported rather than asserted here (wall-clock scaling is
+// machine-dependent; `esds-bench -exp e12` runs the gated version with the
+// ≥2× requirement). Bytes/op are real frame bytes and are structural.
+func BenchmarkE12BatchedHotPath(b *testing.B) {
+	p := exp.DefaultBatchingParams()
+	p.MinSpeedup = 0
+	var r exp.BatchingResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunBatching(p)
+		if err := r.Verify(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base, best := r.Rows[0], r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.Throughput > best.Throughput {
+			best = row
+		}
+	}
+	b.ReportMetric(r.Speedup, "speedup")
+	b.ReportMetric(base.Throughput, "ops/s-unbatched")
+	b.ReportMetric(best.Throughput, "ops/s-batched")
+	b.ReportMetric(base.BytesPerOp, "bytes/op-unbatched")
+	b.ReportMetric(best.BytesPerOp, "bytes/op-batched")
+}
+
 // --- Microbenchmarks of the core algorithm ---
 
 // BenchmarkLabelGeneration measures label assignment (ℒ_r partition).
@@ -270,6 +299,66 @@ func BenchmarkLiveSubmitNonStrict(b *testing.B) {
 			b.StartTimer()
 		}
 		client.Apply(esds.Add(1))
+	}
+}
+
+// BenchmarkLivePipelinedSubmit measures the pipelined submission hot path
+// on the live in-process transport, unbatched vs batched: b.N non-strict
+// increments in flight up to a 128-deep window. Run with -benchmem — the
+// allocation pass on the label-compare/memoize path and the per-frame
+// savings of batching both show up here. The service is recreated every
+// few thousand operations so the measurement reflects a bounded history.
+func BenchmarkLivePipelinedSubmit(b *testing.B) {
+	for _, batch := range []int{1, 32} {
+		name := "unbatched"
+		if batch > 1 {
+			name = "batch-32"
+		}
+		b.Run(name, func(b *testing.B) {
+			const historyCap = 4000
+			opt := esds.DefaultOptions()
+			opt.BatchSize = batch
+			opt.BatchDelay = time.Millisecond
+			var (
+				svc    *esds.Service
+				client *esds.Client
+			)
+			fresh := func() {
+				if svc != nil {
+					svc.Close()
+				}
+				var err error
+				svc, err = esds.New(esds.Config{
+					Replicas:       3,
+					DataType:       esds.Counter(),
+					GossipInterval: time.Millisecond,
+					Options:        &opt,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				client = svc.Client("bench")
+			}
+			fresh()
+			defer func() { svc.Close() }()
+			window := make(chan struct{}, 128)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%historyCap == 0 {
+					b.StopTimer()
+					for len(window) > 0 { // drain before teardown
+						time.Sleep(time.Millisecond)
+					}
+					fresh()
+					b.StartTimer()
+				}
+				window <- struct{}{}
+				client.ApplyAsync(esds.Add(1), false, nil, func(esds.Response) { <-window })
+			}
+			for len(window) > 0 {
+				time.Sleep(time.Millisecond)
+			}
+		})
 	}
 }
 

@@ -8,6 +8,13 @@
 // becomes a record with its iteration count and metric map — including
 // custom b.ReportMetric units like speedup or resp/s — which is what the
 // performance trajectory across PRs tracks.
+//
+// With -require BASELINE the run fails if any committed benchmark or
+// metric disappeared (silent harness rot); adding -max-regress F also
+// fails it if any throughput metric (ops/s, resp/s) fell more than
+// fraction F below its committed value — the perf-trajectory gate —
+// optionally scoped by -regress-match to benchmarks whose throughput is
+// stable enough to gate.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -40,7 +48,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	out := fs.String("o", "BENCH_results.json", "output JSON path")
 	require := fs.String("require", "",
 		"path to a previously committed results file; fail unless every benchmark in it still appears in this run with at least the same metric keys (catches silent harness rot — a benchmark that stopped running or stopped emitting a metric)")
+	maxRegress := fs.Float64("max-regress", 0,
+		"with -require: also fail if any throughput metric (a unit containing \"ops/s\" or \"resp/s\") fell more than this fraction below its committed baseline value — e.g. 0.2 fails a >20% regression; 0 disables the gate")
+	regressMatch := fs.String("regress-match", "",
+		"with -max-regress: regexp limiting the regression gate to matching benchmark names (empty = every benchmark); use it to gate only benchmarks whose throughput is stable run-to-run — windowed metrics like a resize's mid-migration ops/s can swing ±2× on identical code")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var regressRE *regexp.Regexp
+	if *regressMatch != "" {
+		var err error
+		if regressRE, err = regexp.Compile(*regressMatch); err != nil {
+			fmt.Fprintf(stderr, "benchjson: -regress-match: %v\n", err)
+			return 2
+		}
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		if *maxRegress != 0 {
+			fmt.Fprintf(stderr, "benchjson: -max-regress %v must be in [0, 1)\n", *maxRegress)
+			return 2
+		}
+	}
+	if *maxRegress > 0 && *require == "" {
+		fmt.Fprintf(stderr, "benchjson: -max-regress needs -require (the committed baseline to regress against)\n")
 		return 2
 	}
 	results, sawFail, err := parse(stdin, stdout)
@@ -81,8 +111,76 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "benchjson: coverage matches %s (%d benchmarks, no metric disappeared)\n",
 			*require, len(results))
+		if *maxRegress > 0 {
+			regressed, err := regressionsAgainst(*require, results, *maxRegress, regressRE)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchjson: %v\n", err)
+				return 1
+			}
+			if len(regressed) > 0 {
+				fmt.Fprintf(stderr, "benchjson: throughput regressed more than %.0f%% against %s:\n",
+					*maxRegress*100, *require)
+				for _, m := range regressed {
+					fmt.Fprintf(stderr, "  %s\n", m)
+				}
+				return 1
+			}
+			fmt.Fprintf(stderr, "benchjson: no throughput metric regressed more than %.0f%%\n", *maxRegress*100)
+		}
 	}
 	return 0
+}
+
+// throughputMetric reports whether a metric unit names a higher-is-better
+// quantity the trajectory gates on: operation rates, and speedup ratios —
+// the latter are machine-normalized (batched/unbatched on the SAME
+// hardware), so they hold across runners where absolute ops/s may not.
+// Latencies, byte counts, and fit coefficients have no universal
+// better-direction and stay ungated (tracked, not enforced).
+func throughputMetric(unit string) bool {
+	return strings.Contains(unit, "ops/s") || strings.Contains(unit, "resp/s") ||
+		strings.Contains(unit, "speedup")
+}
+
+// regressionsAgainst compares every throughput metric of the fresh run
+// with the committed baseline: a value below (1 - maxRegress) × baseline
+// is a regression. A non-nil match restricts the gate to benchmarks whose
+// name it matches. Coverage is checked by diffAgainst first, so a missing
+// metric has already failed the run.
+func regressionsAgainst(baselinePath string, fresh []Result, maxRegress float64, match *regexp.Regexp) ([]string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var regressed []string
+	for _, want := range baseline {
+		if match != nil && !match.MatchString(want.Name) {
+			continue
+		}
+		got, ok := byName[want.Name]
+		if !ok {
+			continue // diffAgainst already reported it
+		}
+		for key, base := range want.Metrics {
+			if !throughputMetric(key) || base <= 0 {
+				continue
+			}
+			if cur, ok := got.Metrics[key]; ok && cur < base*(1-maxRegress) {
+				regressed = append(regressed, fmt.Sprintf("%s %s: %.1f → %.1f (-%.0f%%)",
+					want.Name, key, base, cur, (1-cur/base)*100))
+			}
+		}
+	}
+	sort.Strings(regressed)
+	return regressed, nil
 }
 
 // diffAgainst compares a fresh run with a committed baseline file: every

@@ -138,3 +138,67 @@ func TestRequireDiff(t *testing.T) {
 		t.Fatal("malformed baseline accepted")
 	}
 }
+
+func TestMaxRegress(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "committed.json")
+	if err := os.WriteFile(baseline, []byte(
+		`[{"name":"BenchmarkE12","iterations":1,"metrics":{"ops/s-batched":1000,"bytes/op-batched":600,"speedup":4}},
+		  {"name":"BenchmarkE2","iterations":1,"metrics":{"ms/100pct":30}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(input string, extra ...string) (int, string) {
+		var stderr strings.Builder
+		args := append([]string{"-o", filepath.Join(dir, "out.json"), "-require", baseline}, extra...)
+		code := run(args, strings.NewReader(input), io.Discard, &stderr)
+		return code, stderr.String()
+	}
+
+	// Throughput within the 20% envelope passes; non-rate metrics (bytes,
+	// latency fits) may move freely in either direction.
+	ok := "BenchmarkE12 1 850 ops/s-batched 9000 bytes/op-batched 3.6 speedup\nBenchmarkE2 1 500 ms/100pct\n"
+	if code, errOut := runWith(ok, "-max-regress", "0.2"); code != 0 {
+		t.Fatalf("in-envelope run failed (%d): %s", code, errOut)
+	}
+	// A >20% throughput drop fails and names the metric.
+	bad := "BenchmarkE12 1 700 ops/s-batched 600 bytes/op-batched 4 speedup\nBenchmarkE2 1 30 ms/100pct\n"
+	code, errOut := runWith(bad, "-max-regress", "0.2")
+	if code == 0 || !strings.Contains(errOut, "ops/s-batched") {
+		t.Fatalf("30%% regression not caught (%d): %s", code, errOut)
+	}
+	// Speedup ratios are gated too — they are the machine-normalized form
+	// of throughput, stable across runners where absolute ops/s is not.
+	slow := "BenchmarkE12 1 1000 ops/s-batched 600 bytes/op-batched 2.0 speedup\nBenchmarkE2 1 30 ms/100pct\n"
+	code, errOut = runWith(slow, "-max-regress", "0.2")
+	if code == 0 || !strings.Contains(errOut, "speedup") {
+		t.Fatalf("speedup regression not caught (%d): %s", code, errOut)
+	}
+	// Without the flag the same drop only tracks, never fails.
+	if code, errOut := runWith(bad); code != 0 {
+		t.Fatalf("ungated run failed (%d): %s", code, errOut)
+	}
+	// -regress-match scopes the gate to matching benchmark names: the E12
+	// drop is outside a gate scoped to BenchmarkE2...
+	if code, errOut := runWith(bad, "-max-regress", "0.2", "-regress-match", "^BenchmarkE2$"); code != 0 {
+		t.Fatalf("out-of-scope regression failed the run (%d): %s", code, errOut)
+	}
+	// ...and inside a gate scoped to BenchmarkE12.
+	if code, errOut := runWith(bad, "-max-regress", "0.2", "-regress-match", "^BenchmarkE12"); code == 0 || !strings.Contains(errOut, "ops/s-batched") {
+		t.Fatalf("in-scope regression not caught (%d): %s", code, errOut)
+	}
+	// A malformed regexp is a usage error.
+	if code, _ := runWith(bad, "-max-regress", "0.2", "-regress-match", "("); code != 2 {
+		t.Fatal("malformed -regress-match accepted")
+	}
+	// Flag validation: -max-regress needs -require, and a sane fraction.
+	var stderr strings.Builder
+	if code := run([]string{"-o", filepath.Join(dir, "out.json"), "-max-regress", "0.2"},
+		strings.NewReader(ok), io.Discard, &stderr); code != 2 {
+		t.Fatalf("-max-regress without -require exited %d", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-o", filepath.Join(dir, "out.json"), "-require", baseline, "-max-regress", "1.5"},
+		strings.NewReader(ok), io.Discard, &stderr); code != 2 {
+		t.Fatalf("-max-regress 1.5 exited %d", code)
+	}
+}

@@ -92,6 +92,10 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.opts.SnapshotCap, "snapshot-cap", 0,
 		"maximum recovery-snapshot size in bytes a replica will send (0 = unlimited); above the cap peers answer with descriptors only and recovery degrades to replay")
 	fs.DurationVar(&cfg.gossip, "gossip", 100*time.Millisecond, "gossip period")
+	fs.IntVar(&cfg.opts.BatchSize, "batch", 0,
+		"enable the batched hot path with this many elements per frame (DESIGN.md §8): front ends pack submissions into BatchRequestMsg, replicas batch responses and coalesce gossip; 0 or 1 = unbatched (every message its own frame); every member must agree")
+	fs.DurationVar(&cfg.opts.BatchDelay, "batch-delay", 0,
+		"longest a partially filled batch may wait before flushing (default 1ms for front ends when -batch is on; 0 flushes coalesced gossip every tick); requires -batch > 1")
 	fs.StringVar(&cfg.client, "client", "", "run a front end for this client name instead of a replica")
 	fs.StringVar(&cfg.storeDir, "store", "",
 		"directory for the §9.3 stable store (locally generated labels); required for correct crash recovery with -recover")
@@ -129,6 +133,15 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.opts.SnapshotCap < 0 {
 		return cfg, fmt.Errorf("-snapshot-cap %d is negative; use 0 for unlimited", cfg.opts.SnapshotCap)
+	}
+	if cfg.opts.BatchSize < 0 {
+		return cfg, fmt.Errorf("-batch %d is negative; use 0 or 1 for the unbatched hot path", cfg.opts.BatchSize)
+	}
+	if cfg.opts.BatchDelay < 0 {
+		return cfg, fmt.Errorf("-batch-delay %v is negative", cfg.opts.BatchDelay)
+	}
+	if cfg.opts.BatchDelay > 0 && cfg.opts.BatchSize <= 1 {
+		return cfg, fmt.Errorf("-batch-delay %v needs -batch > 1: without batching there is nothing to flush", cfg.opts.BatchDelay)
 	}
 	if cfg.resize < 0 {
 		return cfg, fmt.Errorf("-resize %d is negative", cfg.resize)
@@ -270,6 +283,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// lost on the real network (§6.2); without it a lost request or
 		// response would strand its operation until the deadline.
 		cluster.StartLiveRetransmit(250 * time.Millisecond)
+		if cfg.opts.BatchSize > 1 {
+			cluster.StartLiveBatchFlush(cfg.opts.FlushPeriod())
+		}
 		return runClient(cfg, cluster, stdin, stdout, stderr)
 	}
 
@@ -431,10 +447,23 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []in
 
 	if cfg.client != "" {
 		ks.StartLiveRetransmit(250 * time.Millisecond)
+		if cfg.opts.BatchSize > 1 {
+			ks.StartLiveBatchFlush(cfg.opts.FlushPeriod())
+		}
 		return runShardedClient(cfg, ks, stdin, stdout, stderr)
 	}
 
 	ks.StartLiveGossip(cfg.gossip)
+	if cfg.opts.BatchSize > 1 {
+		// Replica members create front ends too: a -resize admin command
+		// makes member 0 the migration driver, whose strict KeyInstall
+		// submissions go through keyspace front ends — buffered under
+		// batching, they need the flush ticker (and retransmission against
+		// lost install frames) or the INSTALL phase stalls until the
+		// resize deadline.
+		ks.StartLiveBatchFlush(cfg.opts.FlushPeriod())
+		ks.StartLiveRetransmit(250 * time.Millisecond)
+	}
 	if cfg.recover {
 		var all []*core.Replica
 		for s := 0; s < ks.NumShards(); s++ {

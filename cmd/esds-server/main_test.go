@@ -395,6 +395,10 @@ func TestParseFlagsValidation(t *testing.T) {
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-gossip", "-5ms"}, "-gossip -5ms must be positive"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-gossip", "0s"}, "must be positive"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-snapshot-cap", "-1"}, "-snapshot-cap -1 is negative"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-batch", "-4"}, "-batch -4 is negative"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-batch", "8", "-batch-delay", "-1ms"}, "-batch-delay -1ms is negative"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-batch-delay", "2ms"}, "needs -batch > 1"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-batch", "1", "-batch-delay", "2ms"}, "needs -batch > 1"},
 		{[]string{"-peers", "a:1,b:2", "-resize", "-2"}, "-resize -2 is negative"},
 		{[]string{"-peers", "a:1,b:2", "-resize", "1"}, "grow to 2 or more"},
 		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-id", "0"}, "admin command"},
@@ -416,6 +420,13 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-peers", "a:1,b:2", "-resize", "4"}, os.Stderr); err != nil {
 		t.Errorf("valid -resize admin flags rejected: %v", err)
+	}
+	cfg, err = parseFlags([]string{"-peers", "a:1,b:2", "-id", "0", "-batch", "32", "-batch-delay", "2ms"}, os.Stderr)
+	if err != nil {
+		t.Fatalf("valid batching flags rejected: %v", err)
+	}
+	if cfg.opts.BatchSize != 32 || cfg.opts.BatchDelay != 2*time.Millisecond {
+		t.Errorf("batch knobs = %d/%v, want 32/2ms", cfg.opts.BatchSize, cfg.opts.BatchDelay)
 	}
 }
 
@@ -453,13 +464,18 @@ func TestResizeAdminAgainstCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes")
 	}
+	// Members run the batched hot path (DESIGN.md §8): member 0 becomes
+	// the migration driver, whose strict KeyInstall submissions ride
+	// batch buffers — the replica-mode flush ticker must move them, or
+	// INSTALL stalls until the resize deadline (a live-drive regression).
+	// The clients below stay unbatched, proving the mixed config holds.
 	peers := reservePorts(t, 3)
 	var watch0 func() string
 	for i := 0; i < 3; i++ {
 		if i == 0 {
-			_, watch0 = spawnReplicaWatch(t, i, peers, "-shards", "2")
+			_, watch0 = spawnReplicaWatch(t, i, peers, "-shards", "2", "-batch", "8", "-batch-delay", "1ms")
 		} else {
-			spawnReplica(t, i, peers, "-shards", "2")
+			spawnReplica(t, i, peers, "-shards", "2", "-batch", "8", "-batch-delay", "1ms")
 		}
 	}
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write puts one source file into dir.
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatchesUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `package p
+
+// Documented is fine.
+type Documented struct{}
+
+type Naked struct{}
+
+// DocFn is fine.
+func DocFn() {}
+
+func NakedFn() {}
+
+func unexported() {}
+
+// Method is fine.
+func (Documented) Method() {}
+
+func (Documented) NakedMethod() {}
+
+func (Naked) alsoUnexported() {}
+
+// Grouped constants share the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var NakedVar = 3
+
+// LineDoc per spec is fine.
+var (
+	// SpecDoc covers this one.
+	SpecDoc = 4
+)
+`)
+	// Test files are excluded even when they would fail the check.
+	write(t, dir, "a_test.go", "package p\n\nfunc TestExportedHelper() {}\n")
+
+	missing, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(missing, "\n")
+	for _, want := range []string{"type Naked", "function NakedFn", "method NakedMethod", "var NakedVar"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing expected finding %q in:\n%s", want, joined)
+		}
+	}
+	for _, clean := range []string{"Documented", "DocFn", "GroupedA", "SpecDoc", "unexported", "TestExportedHelper"} {
+		for _, m := range missing {
+			if strings.Contains(m, clean+" ") || strings.HasSuffix(m, clean) {
+				t.Errorf("false positive on %s: %s", clean, m)
+			}
+		}
+	}
+	if len(missing) != 4 {
+		t.Errorf("found %d undocumented symbols, want 4:\n%s", len(missing), joined)
+	}
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "ok.go", `// Package p is documented.
+package p
+
+// Exported is documented.
+func Exported() {}
+`)
+	var out, errOut strings.Builder
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("clean package exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	dirty := t.TempDir()
+	write(t, dirty, "bad.go", "package p\n\nfunc Bad() {}\n")
+	if code := run([]string{dirty}, &out, &errOut); code != 1 {
+		t.Fatalf("dirty package exited %d", code)
+	}
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exited %d", code)
+	}
+}

@@ -92,7 +92,12 @@ type Config struct {
 	// response cannot block a caller forever. Default: 250ms. Negative
 	// disables retransmission (only safe on lossless transports).
 	RetransmitInterval time.Duration
-	// Options selects optimizations. Default: DefaultOptions().
+	// Options selects optimizations. Default: DefaultOptions(). Setting
+	// Options.BatchSize > 1 enables the batched hot path (submissions,
+	// responses, and gossip coalesce into batch frames; see DESIGN.md §8
+	// and the README's Tuning section); New then also starts a batch-flush
+	// ticker of period Options.BatchDelay (1ms when unset) so a partially
+	// filled batch never waits longer than that.
 	Options *Options
 }
 
@@ -130,6 +135,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Options != nil {
 		opt = *cfg.Options
 	}
+	if err := validateBatching(opt); err != nil {
+		return nil, err
+	}
 	net := transport.NewLiveNet()
 	cluster := core.NewCluster(core.ClusterConfig{
 		Replicas: cfg.Replicas,
@@ -141,7 +149,21 @@ func New(cfg Config) (*Service, error) {
 	if cfg.RetransmitInterval > 0 {
 		cluster.StartLiveRetransmit(cfg.RetransmitInterval)
 	}
+	if opt.BatchSize > 1 {
+		cluster.StartLiveBatchFlush(opt.FlushPeriod())
+	}
 	return &Service{net: net, cluster: cluster}, nil
+}
+
+// validateBatching rejects nonsensical batching knobs (see Options).
+func validateBatching(opt Options) error {
+	if opt.BatchSize < 0 {
+		return fmt.Errorf("esds: negative batch size %d", opt.BatchSize)
+	}
+	if opt.BatchDelay < 0 {
+		return fmt.Errorf("esds: negative batch delay %v", opt.BatchDelay)
+	}
+	return nil
 }
 
 // Close stops gossip, fails every operation still awaiting a response with

@@ -410,6 +410,14 @@ func TestChaosCrashRecoverPruneMatrix(t *testing.T) {
 		{"replay", Options{Memoize: true}},
 		{"snapshot", Options{Memoize: true, Snapshot: true}},
 		{"prune+snapshot", Options{Memoize: true, Prune: true, Snapshot: true}},
+		// The batched hot path (DESIGN.md §8) must be invisible to the
+		// crash/recovery obligations: requests arrive in BatchRequestMsg
+		// frames, responses and gossip coalesce, and every cell property
+		// (liveness, convergence, Theorem 5.8, zero faults) must hold
+		// verbatim. BatchDelay stays 0 so gossip batches flush every tick
+		// and the cell remains deterministic under the simulator; partial
+		// request batches are healed by the harness's retransmission.
+		{"prune+snapshot+batch", Options{Memoize: true, Prune: true, Snapshot: true, BatchSize: 8}},
 	}
 	for _, opts := range optSets {
 		for _, crashFrac := range []float64{0, 0.5, 1.0} {

@@ -156,7 +156,7 @@ func (c *Cluster) FrontEnd(client string) *FrontEnd {
 	if fe, ok := c.fronts[client]; ok {
 		return fe
 	}
-	cfg := FrontEndConfig{Client: client, Replicas: c.nodes, Network: c.net, Shard: c.shard}
+	cfg := FrontEndConfig{Client: client, Replicas: c.nodes, Network: c.net, Shard: c.shard, Options: c.opt}
 	if c.closed {
 		fe := newFrontEnd(cfg, false) // the transport may be closed too
 		fe.Close(ErrClosed)
@@ -209,6 +209,55 @@ func (c *Cluster) StartLiveRetransmit(period time.Duration) {
 			select {
 			case <-ticker.C:
 				c.RetransmitAll()
+			case <-done:
+				return
+			}
+		}
+	}()
+	c.stops = append(c.stops, func() {
+		ticker.Stop()
+		close(done)
+		wg.Wait()
+	})
+}
+
+// FlushAll flushes every front end's partially filled request batches (see
+// FrontEnd.Flush). A no-op when batching is off.
+func (c *Cluster) FlushAll() {
+	c.mu.Lock()
+	fes := make([]*FrontEnd, 0, len(c.fronts))
+	for _, fe := range c.fronts {
+		fes = append(fes, fe)
+	}
+	c.mu.Unlock()
+	for _, fe := range fes {
+		fe.Flush()
+	}
+}
+
+// StartLiveBatchFlush starts a wall-clock ticker that flushes every front
+// end's partial request batches each period — the Options.BatchDelay bound
+// on how long a buffered submission waits for its batch to fill. Call Close
+// to stop the ticker. Meaningless (but harmless) without batching.
+func (c *Cluster) StartLiveBatchFlush(period time.Duration) {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: invalid batch-flush period %v", period))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		panic("core: StartLiveBatchFlush on closed cluster")
+	}
+	ticker := time.NewTicker(period)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				c.FlushAll()
 			case <-done:
 				return
 			}

@@ -48,6 +48,16 @@ type FrontEnd struct {
 	history  []ops.ID // issue order, for auto-causality helpers
 	closed   error    // non-nil once Close ran; delivered to all waiters
 
+	// Request batching (DESIGN.md §8): with opt.BatchSize > 1, submissions
+	// are appended to a per-target buffer and sent as one BatchRequestMsg
+	// when the buffer reaches BatchSize, or when Flush runs (wired to a
+	// flush ticker by Cluster.StartLiveBatchFlush). A buffered-but-unsent
+	// operation is already in wait, so the retransmission ticker re-sends
+	// it singly if a flush never comes — batching can add latency, never
+	// deadlock.
+	opt   Options
+	batch map[transport.NodeID][]ops.Operation
+
 	// onRedirect, when set, receives Redirect refusals (live resharding's
 	// "wrong shard" replies) for pending operations; the operation STAYS
 	// pending — only the router decides when to cancel and replay it.
@@ -69,6 +79,10 @@ type FrontEndConfig struct {
 	// (the default, and the only shard of an unsharded cluster) keeps the
 	// legacy transport names.
 	Shard int
+	// Options carries the batching knobs (BatchSize, BatchDelay); the
+	// algorithmic options are replica-side and ignored here. Cluster fills
+	// this from its own options.
+	Options Options
 }
 
 // NewFrontEnd constructs a front end and registers it on the network under
@@ -95,6 +109,10 @@ func newFrontEnd(cfg FrontEndConfig, register bool) *FrontEnd {
 		wait:     make(map[ops.ID]ops.Operation),
 		sentTo:   make(map[ops.ID]transport.NodeID),
 		onResult: make(map[ops.ID]func(Response)),
+		opt:      cfg.Options,
+	}
+	if fe.opt.BatchSize > 1 {
+		fe.batch = make(map[transport.NodeID][]ops.Operation)
 	}
 	if register {
 		cfg.Network.Register(fe.node, fe.handleMessage)
@@ -131,14 +149,59 @@ func (fe *FrontEnd) Submit(op dtype.Operator, prev []ops.ID, strict bool, cb fun
 		fe.onResult[id] = cb
 	}
 	fe.history = append(fe.history, id)
-	target := fe.replicas[fe.rr%len(fe.replicas)]
-	fe.rr++
-	fe.sentTo[id] = target
-	fe.requests++
+	to, payload := fe.dispatchLocked(x)
 	fe.mu.Unlock()
 
-	fe.net.Send(fe.node, target, RequestMsg{Op: x})
+	if payload != nil {
+		fe.net.Send(fe.node, to, payload)
+	}
 	return x
+}
+
+// dispatchLocked assigns the next round-robin target to x and returns the
+// message to send now: a lone RequestMsg when batching is off, a full
+// BatchRequestMsg when x topped its target's buffer up to BatchSize, or nil
+// when x joined a partial batch (a later submission, Flush, or the
+// retransmission ticker moves it). Mutex held; callers send outside it.
+func (fe *FrontEnd) dispatchLocked(x ops.Operation) (to transport.NodeID, payload any) {
+	target := fe.replicas[fe.rr%len(fe.replicas)]
+	fe.rr++
+	fe.sentTo[x.ID] = target
+	fe.requests++
+	if fe.batch == nil {
+		return target, RequestMsg{Op: x}
+	}
+	fe.batch[target] = append(fe.batch[target], x)
+	if len(fe.batch[target]) >= fe.opt.BatchSize {
+		full := fe.batch[target]
+		delete(fe.batch, target)
+		return target, BatchRequestMsg{Ops: full}
+	}
+	return target, nil
+}
+
+// Flush sends every partially filled request batch immediately. Wired to a
+// periodic ticker by Cluster.StartLiveBatchFlush; a no-op when batching is
+// off or nothing is buffered.
+func (fe *FrontEnd) Flush() {
+	fe.mu.Lock()
+	if fe.batch == nil || fe.closed != nil || len(fe.batch) == 0 {
+		fe.mu.Unlock()
+		return
+	}
+	type outMsg struct {
+		to  transport.NodeID
+		msg BatchRequestMsg
+	}
+	outbox := make([]outMsg, 0, len(fe.batch))
+	for to, buffered := range fe.batch {
+		outbox = append(outbox, outMsg{to: to, msg: BatchRequestMsg{Ops: buffered}})
+		delete(fe.batch, to)
+	}
+	fe.mu.Unlock()
+	for _, o := range outbox {
+		fe.net.Send(fe.node, o.to, o.msg)
+	}
 }
 
 // SubmitOp relays an externally assembled operation — identifier included
@@ -166,13 +229,12 @@ func (fe *FrontEnd) SubmitOp(x ops.Operation, cb func(Response)) {
 		fe.onResult[x.ID] = cb
 	}
 	fe.history = append(fe.history, x.ID)
-	target := fe.replicas[fe.rr%len(fe.replicas)]
-	fe.rr++
-	fe.sentTo[x.ID] = target
-	fe.requests++
+	to, payload := fe.dispatchLocked(x)
 	fe.mu.Unlock()
 
-	fe.net.Send(fe.node, target, RequestMsg{Op: x})
+	if payload != nil {
+		fe.net.Send(fe.node, to, payload)
+	}
 }
 
 // Cancel withdraws a pending operation without firing its callback: the
@@ -253,6 +315,9 @@ func (fe *FrontEnd) Close(err error) {
 	fe.wait = make(map[ops.ID]ops.Operation)
 	fe.sentTo = make(map[ops.ID]transport.NodeID)
 	fe.onResult = make(map[ops.ID]func(Response))
+	if fe.batch != nil {
+		fe.batch = make(map[transport.NodeID][]ops.Operation)
+	}
 	fe.mu.Unlock()
 	for id, cb := range failed {
 		cb(Response{ID: id, Err: err})
@@ -270,7 +335,10 @@ func (fe *FrontEnd) Closed() error {
 // Retransmit re-sends every pending request, rotating to a different
 // replica. This is the fault-tolerance mechanism the paper permits (§6.2):
 // duplicate requests do not affect safety, and retransmission restores
-// liveness after message loss or a replica crash.
+// liveness after message loss or a replica crash. With batching on, the
+// re-sends are packed into BatchRequestMsg frames per target — a deep
+// pipeline re-transmits its whole window each tick, and doing that singly
+// would hand the unbatched per-frame cost right back.
 func (fe *FrontEnd) Retransmit() int {
 	fe.mu.Lock()
 	if fe.closed != nil {
@@ -292,9 +360,37 @@ func (fe *FrontEnd) Retransmit() int {
 		fe.sentTo[id] = next
 		outbox = append(outbox, outMsg{to: next, msg: RequestMsg{Op: x}})
 	}
+	batching := fe.batch != nil
+	batchSize := fe.opt.BatchSize
 	fe.mu.Unlock()
+	if !batching {
+		for _, o := range outbox {
+			fe.net.Send(fe.node, o.to, o.msg)
+		}
+		return len(outbox)
+	}
+	grouped := make(map[transport.NodeID][]ops.Operation)
+	var order []transport.NodeID
 	for _, o := range outbox {
-		fe.net.Send(fe.node, o.to, o.msg)
+		if len(grouped[o.to]) == 0 {
+			order = append(order, o.to)
+		}
+		grouped[o.to] = append(grouped[o.to], o.msg.Op)
+	}
+	for _, to := range order {
+		batched := grouped[to]
+		for len(batched) > 0 {
+			n := len(batched)
+			if n > batchSize {
+				n = batchSize
+			}
+			if n == 1 {
+				fe.net.Send(fe.node, to, RequestMsg{Op: batched[0]})
+			} else {
+				fe.net.Send(fe.node, to, BatchRequestMsg{Ops: batched[:n:n]})
+			}
+			batched = batched[n:]
+		}
 	}
 	return len(outbox)
 }
@@ -334,12 +430,21 @@ func (fe *FrontEnd) LastID() (ops.ID, bool) {
 
 // handleMessage processes replica responses (receive_rc of Fig. 6): the
 // first response for a pending operation is delivered to the client and the
-// operation leaves wait_c; later duplicates are ignored.
+// operation leaves wait_c; later duplicates are ignored. A BatchResponseMsg
+// is exactly the sequence of its elements.
 func (fe *FrontEnd) handleMessage(m transport.Message) {
-	resp, ok := m.Payload.(ResponseMsg)
-	if !ok {
-		return
+	switch p := m.Payload.(type) {
+	case ResponseMsg:
+		fe.handleResponse(p)
+	case BatchResponseMsg:
+		for _, resp := range p.Resps {
+			fe.handleResponse(resp)
+		}
 	}
+}
+
+// handleResponse delivers one replica response (or Redirect refusal).
+func (fe *FrontEnd) handleResponse(resp ResponseMsg) {
 	if resp.Redirect != nil {
 		// A "wrong shard" refusal, not a response: the operation stays
 		// pending (the replica did NOT accept it) and the router decides

@@ -49,6 +49,7 @@ type Keyspace struct {
 	// the same schedulers the original shards run.
 	gossipPeriod     time.Duration
 	retransmitPeriod time.Duration
+	batchFlushPeriod time.Duration
 
 	// Resize driver plumbing (see resize.go).
 	ctlNode  transport.NodeID
@@ -161,6 +162,9 @@ func (k *Keyspace) ensureShardsLocked(n int) {
 		}
 		if k.retransmitPeriod > 0 {
 			c.StartLiveRetransmit(k.retransmitPeriod)
+		}
+		if k.batchFlushPeriod > 0 {
+			c.StartLiveBatchFlush(k.batchFlushPeriod)
 		}
 		k.shards = append(k.shards, c)
 	}
@@ -314,6 +318,19 @@ func (k *Keyspace) StartLiveRetransmit(period time.Duration) {
 	k.mu.Unlock()
 	for _, c := range shards {
 		c.StartLiveRetransmit(period)
+	}
+}
+
+// StartLiveBatchFlush starts wall-clock batch-flush tickers on every shard
+// (see Cluster.StartLiveBatchFlush), and on every shard online growth adds
+// later. Meaningless (but harmless) without batching.
+func (k *Keyspace) StartLiveBatchFlush(period time.Duration) {
+	k.mu.Lock()
+	k.batchFlushPeriod = period
+	shards := append([]*Cluster(nil), k.shards...)
+	k.mu.Unlock()
+	for _, c := range shards {
+		c.StartLiveBatchFlush(period)
 	}
 }
 

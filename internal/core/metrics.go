@@ -16,6 +16,16 @@ type ReplicaMetrics struct {
 	GossipSuppressed uint64
 	// ResponsesSent counts ⟨response⟩ messages.
 	ResponsesSent uint64
+	// RequestBatchesReceived / GossipBatchesSent / GossipBatchesReceived /
+	// ResponseBatchesSent count the batched hot path's frames (DESIGN.md
+	// §8): one BatchRequestMsg admitted, one coalesced BatchGossipMsg
+	// flushed / applied, one BatchResponseMsg sent. The per-element
+	// counters above keep counting elements, so e.g. RequestsReceived /
+	// RequestBatchesReceived is the achieved request batch size.
+	RequestBatchesReceived uint64
+	GossipBatchesSent      uint64
+	GossipBatchesReceived  uint64
+	ResponseBatchesSent    uint64
 	// SnapshotsSent / SnapshotsReceived count SnapshotMsg traffic (the
 	// §9.3 recovery-handshake state transfer).
 	SnapshotsSent     uint64
@@ -70,6 +80,10 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.GossipReceived += o.GossipReceived
 	m.GossipSuppressed += o.GossipSuppressed
 	m.ResponsesSent += o.ResponsesSent
+	m.RequestBatchesReceived += o.RequestBatchesReceived
+	m.GossipBatchesSent += o.GossipBatchesSent
+	m.GossipBatchesReceived += o.GossipBatchesReceived
+	m.ResponseBatchesSent += o.ResponseBatchesSent
 	m.SnapshotsSent += o.SnapshotsSent
 	m.SnapshotsReceived += o.SnapshotsReceived
 	m.SnapshotsInstalled += o.SnapshotsInstalled

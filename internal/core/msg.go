@@ -59,6 +59,42 @@ type Redirect struct {
 	InstallID  ops.ID
 }
 
+// BatchRequestMsg carries many ⟨"request"⟩ messages in one frame — the
+// batched hot path (DESIGN.md §8). It is semantically exactly the sequence
+// of its elements: the receiving replica admits each operation in order, as
+// if len(Ops) RequestMsgs had arrived back to back, then runs its internal
+// actions once for the whole batch. A refused or malformed element affects
+// only itself; the rest of the frame is processed normally.
+type BatchRequestMsg struct {
+	Ops []ops.Operation
+}
+
+// BatchResponseMsg carries many ⟨"response"⟩ messages for one front end in
+// one frame (the response side of the batched hot path). Elements are
+// delivered to the front end in order; each is handled exactly as a lone
+// ResponseMsg (first response wins, duplicates ignored, Redirects routed to
+// the redirect handler).
+type BatchResponseMsg struct {
+	Resps []ResponseMsg
+}
+
+// BatchGossipMsg carries several gossip messages for one peer in one frame:
+// under coalescing (Options.BatchSize > 1 with IncrementalGossip) a replica
+// appends each tick's delta to a per-peer pending batch and flushes when
+// the batch reaches BatchSize elements or its oldest element is BatchDelay
+// old (a single-element flush skips the wrapper and sends the GossipMsg
+// plain). The receiver applies the elements in order, so a batch is
+// indistinguishable from its elements arriving individually on a FIFO
+// channel — which is what §10.4 already requires of delta gossip. From is
+// the frame's sender; an element whose own From contradicts it is dropped
+// without affecting its siblings. Empty-delta suppression, the §9.3
+// recovery handshake (acks and snapshots are sent directly, never
+// batched), and GossipMsg.Resizes carriage are all unchanged.
+type BatchGossipMsg struct {
+	From label.ReplicaID
+	Msgs []GossipMsg
+}
+
 // GossipMsg is a ⟨"gossip", R, D, L, S⟩ message between replicas (message
 // set 𝓜_gossip, §6.1). R carries full operation descriptors (the receiver
 // may not know them yet); D and S are identifier sets (their descriptors are
@@ -247,6 +283,23 @@ func EstimateSize(payload any) int {
 		return headerSize + opBytes + idBytes*len(m.Op.Prev)
 	case ResponseMsg:
 		return headerSize + idBytes + 16
+	case BatchRequestMsg:
+		size := headerSize
+		for _, x := range m.Ops {
+			size += opBytes + idBytes*len(x.Prev)
+		}
+		return size
+	case BatchResponseMsg:
+		return headerSize + len(m.Resps)*(idBytes+16)
+	case BatchGossipMsg:
+		// One header for the frame; elements contribute only their bodies —
+		// charging a header per element would hide exactly the amortization
+		// coalescing provides in Sizer-based (SimNet/LiveNet) byte stats.
+		size := headerSize
+		for _, g := range m.Msgs {
+			size += EstimateSize(g) - headerSize
+		}
+		return size
 	case GossipMsg:
 		size := headerSize
 		for _, x := range m.R {

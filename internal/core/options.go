@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Options selects which of the §10 optimizations a replica runs. The zero
 // value is the unoptimized abstract algorithm of Fig. 7 (recompute every
 // response from the initial state, full gossip).
@@ -51,6 +53,35 @@ type Options struct {
 	// them).
 	SnapshotCap int
 
+	// BatchSize enables the batched hot path (DESIGN.md §8) when > 1: front
+	// ends pack up to BatchSize submissions per target replica into one
+	// BatchRequestMsg, replicas pack responses to one front end into one
+	// BatchResponseMsg, and — under IncrementalGossip — gossip deltas
+	// accumulate into BatchGossipMsg frames of up to BatchSize elements
+	// (full gossip is self-contained and is never held back, so without
+	// IncrementalGossip only requests and responses batch; TCPNet's
+	// buffered writer still coalesces its frames). A batch is semantically the
+	// sequence of its elements, applied in order — no protocol obligation
+	// changes — so the knob trades per-operation latency for frame-rate and
+	// CPU: one frame (and, over TCPNet, typically one syscall) carries many
+	// operations. 0 or 1 disables batching (every message is its own frame,
+	// the paper's shape). Every member of a cluster should agree on whether
+	// batching is on, like the other wire-affecting options.
+	BatchSize int
+
+	// BatchDelay bounds how long a partially filled batch may wait before
+	// it is flushed: front-end request batches are flushed by a flush
+	// ticker of this period (esds.New/NewKeyspace and esds-server wire it;
+	// raw core users call Cluster.StartLiveBatchFlush or FrontEnd.Flush),
+	// and a replica holds coalesced gossip deltas across ticks until they
+	// are BatchDelay old (or BatchSize elements) — at most one extra
+	// gossip tick when BatchDelay is below the gossip period, since the
+	// tick is the flush opportunity. Zero flushes gossip every tick and
+	// leaves request batches to the size trigger plus the retransmission
+	// ticker, which heals a stuck partial batch. Meaningful only with
+	// BatchSize > 1.
+	BatchDelay time.Duration
+
 	// IncrementalGossip enables the §10.4 communication reduction: each
 	// replica remembers what it has sent to each peer and gossips only new
 	// operations, newly done/stable identifiers, and lowered labels.
@@ -61,10 +92,23 @@ type Options struct {
 	IncrementalGossip bool
 }
 
+// FlushPeriod is the batch-flush ticker period for an enabled batched hot
+// path: BatchDelay when set, else 1ms — a partial batch must never be
+// stranded waiting for the size trigger alone. esds.New/NewKeyspace and
+// esds-server pass it to StartLiveBatchFlush whenever BatchSize > 1.
+func (o Options) FlushPeriod() time.Duration {
+	if o.BatchDelay > 0 {
+		return o.BatchDelay
+	}
+	return time.Millisecond
+}
+
 // DefaultOptions is the configuration a production deployment would run:
 // memoization and pruning on, snapshot recovery on (pruning without it
 // forfeits crash recovery), incremental gossip on, commute mode off
-// (commute mode needs the SafeUsers client discipline).
+// (commute mode needs the SafeUsers client discipline), batching off
+// (it trades per-operation latency for throughput — a deployment
+// decision; see BatchSize and DESIGN.md §8).
 func DefaultOptions() Options {
 	return Options{Memoize: true, Prune: true, Snapshot: true, IncrementalGossip: true}
 }

@@ -121,6 +121,7 @@ func (r *Replica) Crash() {
 		r.pendD[i] = nil
 		r.pendS[i] = nil
 		r.pendL[i] = make(map[ops.ID]struct{})
+		r.gossipPend[i] = nil
 	}
 	r.strictGhost = make(map[ops.ID]struct{})
 	r.resizes = nil // re-learned from recovery answers (GossipMsg.Resizes)
@@ -213,6 +214,10 @@ func (r *Replica) handleRecoveryRequest(msg RecoveryRequestMsg) {
 	if haveSnap {
 		r.metrics.SnapshotsSent++
 	}
+	// Pending coalesced gossip for the requester is superseded by the full
+	// recovery answer below (and the requester lost the FIFO prefix those
+	// deltas assumed anyway).
+	r.gossipPend[from] = nil
 	var out GossipMsg
 	if r.opt.IncrementalGossip {
 		r.ensureSorted()

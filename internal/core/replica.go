@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"esds/internal/dtype"
 	"esds/internal/label"
@@ -84,6 +85,21 @@ type Replica struct {
 	pendS []([]ops.ID)          // newly locally-stable ids
 	pendL []map[ops.ID]struct{} // ids whose label changed (value read at build)
 
+	// Gossip coalescing (DESIGN.md §8, Options.BatchSize > 1): per peer,
+	// the deltas built but not yet flushed, and when the oldest of them was
+	// built. A batch flushes once it holds BatchSize elements or its oldest
+	// element is BatchDelay old; elements are applied in order by the
+	// receiver, so coalescing is indistinguishable from per-tick sends on a
+	// FIFO channel.
+	gossipPend  [][]GossipMsg
+	gossipSince []time.Time
+
+	// sortScratch is the reusable buffer ensureSorted pre-fetches labels
+	// into: the nearly-sorted suffix pass is the label-compare hot path,
+	// and re-reading the label map per comparison (plus re-allocating the
+	// buffer per call) dominated its profile.
+	sortScratch []labeledID
+
 	// Crash recovery (§9.3): the stable store holding locally generated
 	// labels, and the recovery handshake state.
 	store        StableStore
@@ -123,6 +139,12 @@ type Replica struct {
 	faults []*ReplicaFault
 
 	metrics ReplicaMetrics
+}
+
+// labeledID pairs an identifier with its label for sorting.
+type labeledID struct {
+	id ops.ID
+	l  label.Label
 }
 
 // ReplicaConfig assembles a replica.
@@ -183,6 +205,8 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 		pendD:         make([][]ops.ID, n),
 		pendS:         make([][]ops.ID, n),
 		pendL:         make([]map[ops.ID]struct{}, n),
+		gossipPend:    make([][]GossipMsg, n),
+		gossipSince:   make([]time.Time, n),
 		store:         cfg.Store,
 		strictGhost:   make(map[ops.ID]struct{}),
 		keyOf:         make(map[ops.ID]string),
@@ -221,8 +245,12 @@ func (r *Replica) handleMessage(m transport.Message) {
 	switch p := m.Payload.(type) {
 	case RequestMsg:
 		r.handleRequest(p)
+	case BatchRequestMsg:
+		r.handleBatchRequest(p)
 	case GossipMsg:
 		r.handleGossip(p)
+	case BatchGossipMsg:
+		r.handleBatchGossip(p)
 	case RecoveryRequestMsg:
 		r.handleRecoveryRequest(p)
 	case SnapshotMsg:
@@ -248,7 +276,52 @@ func (r *Replica) handleRequest(msg RequestMsg) {
 		r.mu.Unlock()
 		return
 	}
-	x := msg.Op
+	resp, refuse := r.admitOrRefuseLocked(msg.Op)
+	if refuse {
+		to := FrontEndNodeIn(r.shard, msg.Op.ID.Client)
+		node := r.node
+		r.mu.Unlock()
+		r.net.Send(node, to, resp)
+		return
+	}
+	defer r.mu.Unlock()
+	r.process()
+}
+
+// handleBatchRequest is the batched form of receive_cr: each element goes
+// through the exact per-operation admission of handleRequest, in order, and
+// the internal actions run once for the whole frame — one mutex round and
+// one process pass serve BatchSize operations, which is the point of the
+// batched hot path. A refused element yields its redirect without touching
+// its siblings (a corrupt element must not poison the frame).
+func (r *Replica) handleBatchRequest(msg BatchRequestMsg) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.metrics.RequestBatchesReceived++
+	var redirects []ResponseMsg
+	for _, x := range msg.Ops {
+		if resp, refuse := r.admitOrRefuseLocked(x); refuse {
+			redirects = append(redirects, resp)
+		}
+	}
+	r.process()
+	node, shard := r.node, r.shard
+	r.mu.Unlock()
+	for _, resp := range redirects {
+		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
+	}
+}
+
+// admitOrRefuseLocked runs the admission decision for one requested
+// operation: park it while the §9.3 handshake is outstanding (keyed
+// operations only — see the comment below), refuse it with a Redirect when
+// live resharding froze or moved its object, or admit it as pending and
+// received. It returns the refusal to send, if any. Mutex held; the caller
+// runs process() and sends refusals after unlocking.
+func (r *Replica) admitOrRefuseLocked(x ops.Operation) (ResponseMsg, bool) {
 	r.metrics.RequestsReceived++
 	if _, keyed := dtype.KeyOf(x.Op); keyed && r.recovering {
 		// A recovering replica has not yet re-learned which keys live
@@ -262,20 +335,14 @@ func (r *Replica) handleRequest(msg RequestMsg) {
 		// accepted immediately, processed after recovery.
 		r.metrics.RequestsParkedRecovering++
 		r.recoveryParked = append(r.recoveryParked, x)
-		r.mu.Unlock()
-		return
+		return ResponseMsg{}, false
 	}
 	if rd, refuse := r.refuseForResize(x); refuse {
 		r.metrics.ResizeRedirects++
-		to := FrontEndNodeIn(r.shard, x.ID.Client)
-		node := r.node
-		r.mu.Unlock()
-		r.net.Send(node, to, ResponseMsg{ID: x.ID, Redirect: rd})
-		return
+		return ResponseMsg{ID: x.ID, Redirect: rd}, true
 	}
-	defer r.mu.Unlock()
 	r.admitRequest(x)
-	r.process()
+	return ResponseMsg{}, false
 }
 
 // admitRequest records an admitted request as pending and received.
@@ -344,10 +411,56 @@ func (r *Replica) handleGossip(msg GossipMsg) {
 		r.mu.Unlock()
 		return
 	}
+	r.mergeGossipLocked(msg)
+	r.finishGossipLocked()
+}
+
+// handleBatchGossip applies a coalesced gossip frame: every element is
+// merged through the exact per-message logic of handleGossip, in order (the
+// order the sender built them, which is what §10.4 delta gossip requires of
+// a FIFO channel), and the internal actions run once for the frame. An
+// element that fails its own validation (bad From, hostile labels) is
+// rejected by the per-message logic without poisoning its siblings.
+func (r *Replica) handleBatchGossip(msg BatchGossipMsg) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.metrics.GossipBatchesReceived++
+	for _, g := range msg.Msgs {
+		if g.From != msg.From {
+			// An element contradicting the frame's sender is malformed
+			// (honest replicas only coalesce their own messages); skip it
+			// without poisoning its siblings.
+			continue
+		}
+		r.mergeGossipLocked(g)
+	}
+	r.finishGossipLocked()
+}
+
+// finishGossipLocked runs the post-merge steps shared by the single and
+// batched gossip paths: re-admit parked requests if the §9.3 handshake just
+// completed, run internal actions, and send any refusals after unlocking.
+// Mutex held on entry; released on return.
+func (r *Replica) finishGossipLocked() {
+	redirects := r.drainRecoveryParked()
+	r.process()
+	node, shard := r.node, r.shard
+	r.mu.Unlock()
+	for _, resp := range redirects {
+		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
+	}
+}
+
+// mergeGossipLocked folds one gossip message into the replica state — the
+// receive_r'r merge of Fig. 7 plus the §9.3 ack bookkeeping — without
+// running internal actions (the caller does, once per frame). Mutex held.
+func (r *Replica) mergeGossipLocked(msg GossipMsg) {
 	r.metrics.GossipReceived++
 	from := int(msg.From)
 	if from < 0 || from >= r.n || from == int(r.id) {
-		r.mu.Unlock()
 		return // malformed or self gossip: ignore
 	}
 	if len(msg.Resizes) > 0 {
@@ -405,17 +518,6 @@ func (r *Replica) handleGossip(msg GossipMsg) {
 	for _, id := range msg.S {
 		r.markStableAt(from, id)
 		r.markStableLocal(id)
-	}
-
-	// If this message completed the §9.3 handshake, requests parked during
-	// it re-enter through the normal admission path (refusals go out after
-	// the mutex drops).
-	redirects := r.drainRecoveryParked()
-	r.process()
-	node, shard := r.node, r.shard
-	r.mu.Unlock()
-	for _, resp := range redirects {
-		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
 	}
 }
 
@@ -666,8 +768,10 @@ func (r *Replica) tryDoIt() {
 			}
 			progress = true
 		}
-		// Preserve arrival order of the remaining undone ops.
-		r.rcvdQueue = append([]ops.ID(nil), remaining...)
+		// Preserve arrival order of the remaining undone ops; remaining
+		// compacted rcvdQueue in place over its own backing array, so
+		// adopting it directly avoids a copy per pass.
+		r.rcvdQueue = remaining
 		if !progress {
 			return
 		}
@@ -693,19 +797,34 @@ func (r *Replica) prevsDone(x ops.Operation) bool {
 
 // ensureSorted re-sorts the unsolid suffix of doneSeq by current labels.
 // The memoized prefix is fixed (Lemma 10.2) and never re-sorted.
+//
+// Labels are pre-fetched once into a reusable scratch buffer: the insertion
+// sort's comparisons on the nearly-sorted fast path otherwise hit the label
+// map twice per element, and this is the label-compare hot path of every
+// response and gossip build.
 func (r *Replica) ensureSorted() {
 	if !r.seqDirty {
 		return
 	}
 	suffix := r.doneSeq[r.memoized:]
+	if cap(r.sortScratch) < len(suffix) {
+		r.sortScratch = make([]labeledID, len(suffix))
+	}
+	scratch := r.sortScratch[:len(suffix)]
+	for i, id := range suffix {
+		scratch[i] = labeledID{id: id, l: r.labels.Get(id)}
+	}
 	// Insertion sort: the suffix is nearly sorted (labels only lower via
 	// gossip, and new ops append with the highest label yet).
-	for i := 1; i < len(suffix); i++ {
+	for i := 1; i < len(scratch); i++ {
 		j := i
-		for j > 0 && r.labels.Get(suffix[j]).Less(r.labels.Get(suffix[j-1])) {
-			suffix[j], suffix[j-1] = suffix[j-1], suffix[j]
+		for j > 0 && scratch[j].l.Less(scratch[j-1].l) {
+			scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
 			j--
 		}
+	}
+	for i := range scratch {
+		suffix[i] = scratch[i].id
 	}
 	r.seqDirty = false
 }
@@ -785,11 +904,7 @@ func (r *Replica) respondPending() {
 		return
 	}
 	remaining := r.pendingQueue[:0]
-	type outMsg struct {
-		to  transport.NodeID
-		msg ResponseMsg
-	}
-	var outbox []outMsg
+	var outbox []responseOut
 	for _, id := range r.pendingQueue {
 		if _, stillPending := r.pendingSet[id]; !stillPending {
 			continue
@@ -824,14 +939,58 @@ func (r *Replica) respondPending() {
 		}
 		delete(r.pendingSet, id)
 		r.metrics.ResponsesSent++
-		outbox = append(outbox, outMsg{to: FrontEndNodeIn(r.shard, id.Client), msg: ResponseMsg{ID: id, Value: v}})
+		outbox = append(outbox, responseOut{to: FrontEndNodeIn(r.shard, id.Client), msg: ResponseMsg{ID: id, Value: v}})
 	}
-	r.pendingQueue = append([]ops.ID(nil), remaining...)
+	// remaining compacted pendingQueue in place over its own backing array;
+	// adopting it directly avoids re-copying the queue on every message.
+	r.pendingQueue = remaining
 	// Send outside the per-op loop but still under the mutex: on the sim
 	// transport Send only schedules an event, and on the live transport it
 	// only enqueues into a mailbox, so no lock-order issue arises.
+	if r.opt.BatchSize > 1 && len(outbox) > 1 {
+		r.sendResponsesBatched(outbox)
+		return
+	}
 	for _, o := range outbox {
 		r.net.Send(r.node, o.to, o.msg)
+	}
+}
+
+// responseOut is one response awaiting send, with its destination.
+type responseOut struct {
+	to  transport.NodeID
+	msg ResponseMsg
+}
+
+// sendResponsesBatched groups one process pass's responses by destination
+// front end and sends each group as a BatchResponseMsg (chunked at
+// BatchSize; a group of one stays a plain ResponseMsg), preserving
+// per-destination order — the response side of the batched hot path.
+// Mutex held (Send only enqueues on every transport).
+func (r *Replica) sendResponsesBatched(outbox []responseOut) {
+	grouped := make(map[transport.NodeID][]ResponseMsg)
+	var order []transport.NodeID
+	for _, o := range outbox {
+		if len(grouped[o.to]) == 0 {
+			order = append(order, o.to)
+		}
+		grouped[o.to] = append(grouped[o.to], o.msg)
+	}
+	for _, to := range order {
+		resps := grouped[to]
+		for len(resps) > 0 {
+			n := len(resps)
+			if n > r.opt.BatchSize {
+				n = r.opt.BatchSize
+			}
+			if n == 1 {
+				r.net.Send(r.node, to, resps[0])
+			} else {
+				r.metrics.ResponseBatchesSent++
+				r.net.Send(r.node, to, BatchResponseMsg{Resps: resps[:n:n]})
+			}
+			resps = resps[n:]
+		}
 	}
 }
 
@@ -889,7 +1048,12 @@ func (r *Replica) valueFor(id ops.ID, strict bool) (dtype.Value, error) {
 
 // SendGossip performs one gossip round: send_rr'(⟨"gossip", ...⟩) of Fig. 7
 // to every peer. With IncrementalGossip only the delta since the last send
-// to each peer is included (§10.4).
+// to each peer is included (§10.4). With BatchSize > 1 incremental deltas
+// are additionally coalesced: each peer's delta joins a pending batch that
+// is flushed as one BatchGossipMsg when it reaches BatchSize elements or
+// its oldest element is BatchDelay old, checked every tick (DESIGN.md §8).
+// Full gossip is never coalesced — each message subsumes the last, so
+// holding one back could only delay stabilization.
 func (r *Replica) SendGossip() {
 	r.mu.Lock()
 	if r.crashed || r.recovering {
@@ -898,9 +1062,16 @@ func (r *Replica) SendGossip() {
 	}
 	type outMsg struct {
 		to  transport.NodeID
-		msg GossipMsg
+		msg any
 	}
 	var outbox []outMsg
+	// Coalescing applies to incremental deltas only: a full gossip message
+	// is self-contained and subsumes every earlier one, so there is nothing
+	// to fold across ticks — holding it back would only delay (or, held
+	// forever, break) stabilization. Full-gossip frames still share
+	// syscalls through the transport's buffered writer.
+	coalesce := r.opt.BatchSize > 1 && r.opt.IncrementalGossip
+	now := time.Now()
 	for i := 0; i < r.n; i++ {
 		if i == int(r.id) {
 			continue
@@ -916,11 +1087,42 @@ func (r *Replica) SendGossip() {
 			// and the §9.3 recovery handshake answers through its own path
 			// (handleRecoveryRequest), which always sends.
 			r.metrics.GossipSuppressed++
+		} else {
+			msg := r.buildGossip(i)
+			if !coalesce {
+				r.metrics.GossipSent++
+				outbox = append(outbox, outMsg{to: r.peers[i], msg: msg})
+				continue
+			}
+			// Coalescing (DESIGN.md §8): append this tick's delta to the
+			// peer's pending batch instead of sending it. Deltas accumulate
+			// and are applied in order by the receiver; a partial batch is
+			// held at most max(BatchDelay, one gossip tick) — the flush
+			// check below runs on every tick, suppressed ones included.
+			if len(r.gossipPend[i]) == 0 {
+				r.gossipSince[i] = now
+			}
+			r.gossipPend[i] = append(r.gossipPend[i], msg)
+		}
+		// Flush the pending batch — even on a suppressed tick, a held batch
+		// keeps aging toward its BatchDelay bound.
+		if !coalesce || len(r.gossipPend[i]) == 0 {
 			continue
 		}
-		msg := r.buildGossip(i)
-		r.metrics.GossipSent++
-		outbox = append(outbox, outMsg{to: r.peers[i], msg: msg})
+		if len(r.gossipPend[i]) >= r.opt.BatchSize || r.opt.BatchDelay <= 0 ||
+			now.Sub(r.gossipSince[i]) >= r.opt.BatchDelay {
+			pend := r.gossipPend[i]
+			r.gossipPend[i] = nil
+			r.metrics.GossipSent += uint64(len(pend))
+			if len(pend) == 1 {
+				// A batch of one is just its element: skip the wrapper (and
+				// its frame overhead), exactly as the response path does.
+				outbox = append(outbox, outMsg{to: r.peers[i], msg: pend[0]})
+			} else {
+				r.metrics.GossipBatchesSent++
+				outbox = append(outbox, outMsg{to: r.peers[i], msg: BatchGossipMsg{From: r.id, Msgs: pend}})
+			}
+		}
 	}
 	r.mu.Unlock()
 	for _, o := range outbox {
@@ -936,6 +1138,7 @@ func (r *Replica) buildGossip(i int) GossipMsg {
 		return r.buildDelta(i)
 	}
 	msg := GossipMsg{From: r.id, L: r.labels.Snapshot()}
+	msg.R = make([]ops.Operation, 0, len(r.doneSeq)+len(r.rcvdQueue))
 
 	// R: operation descriptors. Order: arrival-independent but deterministic
 	// (doneSeq order, then the not-yet-done arrival queue) so receivers
@@ -979,6 +1182,7 @@ func (r *Replica) deltaEmpty(i int) bool {
 // proportional to the changes since the last send, not to the history.
 func (r *Replica) buildDelta(i int) GossipMsg {
 	msg := GossipMsg{From: r.id, L: make(map[ops.ID]label.Label, len(r.pendL[i]))}
+	msg.R = make([]ops.Operation, 0, len(r.pendR[i]))
 	for _, id := range r.pendR[i] {
 		if x, ok := r.retained[id]; ok {
 			msg.R = append(msg.R, x)

@@ -25,6 +25,9 @@ func RegisterWire() {
 		gob.Register(RequestMsg{})
 		gob.Register(ResponseMsg{})
 		gob.Register(GossipMsg{})
+		gob.Register(BatchRequestMsg{})
+		gob.Register(BatchResponseMsg{})
+		gob.Register(BatchGossipMsg{})
 		gob.Register(RecoveryRequestMsg{})
 		gob.Register(SnapshotMsg{})
 		gob.Register(FreezeKeysMsg{})

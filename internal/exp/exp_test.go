@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
+	if len(all) != 12 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -248,5 +248,27 @@ func TestE11ResizeSmoke(t *testing.T) {
 	}
 	if r.KeysMoved == 0 {
 		t.Fatalf("resize moved nothing:\n%s", r.Table())
+	}
+}
+
+func TestE12BatchingSmoke(t *testing.T) {
+	// Structural smoke of the batched-hot-path experiment: tiny pipelined
+	// workload over real loopback sockets, no speedup gate (wall-clock
+	// speedups are machine-dependent; the headline gated run is
+	// `esds-bench -exp e12` / BenchmarkE12BatchedHotPath). The structural
+	// claims — every op serialized and read back, bytes/op not inflated by
+	// batching — are still asserted.
+	p := SmokeBatchingParams()
+	r := RunBatching(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	for _, row := range r.Rows {
+		if row.Ops != p.Clients*p.OpsPerClient {
+			t.Fatalf("row %+v incomplete", row)
+		}
+		if row.WireBytes == 0 || row.Frames == 0 {
+			t.Fatalf("row %+v recorded no wire traffic", row)
+		}
 	}
 }

@@ -93,6 +93,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e12", Title: "Batched hot path over TCP loopback", PaperRef: "DESIGN.md §8 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultBatchingParams()
+				r := RunBatching(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 

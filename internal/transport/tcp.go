@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
@@ -94,6 +95,15 @@ type TCPConfig struct {
 	// failed dial or write; frames sent to it inside the window are dropped
 	// immediately. Default 100ms.
 	RedialBackoff time.Duration
+	// WriteBuffer is the size in bytes of the per-connection buffered
+	// writer, and the bound on how many queued frames one explicit flush
+	// (= one write syscall) may carry: the sender drains every frame
+	// already queued for an address — up to this many bytes — writes them
+	// through the buffer, and flushes once. Under load this coalesces the
+	// per-frame syscalls the unbatched hot path paid into one, without
+	// delaying anything (a lone frame is still flushed immediately).
+	// Default 256 KiB.
+	WriteBuffer int
 	// Logf receives diagnostic messages (connection errors, dropped
 	// frames). Nil discards them.
 	Logf func(format string, args ...any)
@@ -136,6 +146,9 @@ func NewTCPNet(cfg TCPConfig) (*TCPNet, error) {
 	}
 	if cfg.RedialBackoff <= 0 {
 		cfg.RedialBackoff = 100 * time.Millisecond
+	}
+	if cfg.WriteBuffer <= 0 {
+		cfg.WriteBuffer = 256 << 10
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -388,14 +401,19 @@ func encodeFrame(f tcpFrame) ([]byte, error) {
 	return b, nil
 }
 
-// sendLoop drains the queue for one remote address. A failed dial or write
-// marks the address down for RedialBackoff; frames dequeued while it is
-// down are dropped (the transport is lossy by contract — retransmission is
-// the front end's job). The in-hand frame is dropped on write error too:
-// the connection state is unknown, so resending could duplicate, and
+// sendLoop drains the queue for one remote address. Frames already queued
+// are taken as one batch (bounded by WriteBuffer bytes), written through a
+// buffered writer, and flushed with one explicit Flush — so a batch of
+// frames costs one write syscall, which is what makes the batched hot path
+// (DESIGN.md §8) cheap on the wire. A failed dial or write marks the
+// address down for RedialBackoff; frames dequeued while it is down are
+// dropped (the transport is lossy by contract — retransmission is the
+// front end's job). The in-hand batch is dropped on write error too: the
+// connection state is unknown, so resending could duplicate, and
 // duplication is the one fault the algorithm does NOT need the transport
 // to add.
 func (n *TCPNet) sendLoop(addr string, s *tcpSend) {
+	var bw *bufio.Writer // rebuilt whenever the connection is redialed
 	for {
 		s.mu.Lock()
 		for len(s.queue) == 0 && !s.closed {
@@ -409,11 +427,18 @@ func (n *TCPNet) sendLoop(addr string, s *tcpSend) {
 			s.mu.Unlock()
 			return
 		}
-		frame := s.queue[0]
-		s.queue = s.queue[1:]
+		// Take every frame already queued, up to WriteBuffer bytes (the
+		// first frame is always taken, however large).
+		take, total := 1, len(s.queue[0])
+		for take < len(s.queue) && total+len(s.queue[take]) <= n.cfg.WriteBuffer {
+			total += len(s.queue[take])
+			take++
+		}
+		batch := s.queue[:take:take]
+		s.queue = s.queue[take:]
 		if time.Now().Before(s.downUntil) {
 			s.mu.Unlock()
-			n.bumpDropped()
+			n.bumpDroppedN(len(batch))
 			continue
 		}
 		conn := s.conn
@@ -423,7 +448,7 @@ func (n *TCPNet) sendLoop(addr string, s *tcpSend) {
 			c, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 			if err != nil {
 				n.cfg.Logf("transport: tcp dial %s: %v", addr, err)
-				n.bumpDropped()
+				n.bumpDroppedN(len(batch))
 				s.mu.Lock()
 				s.downUntil = time.Now().Add(n.cfg.RedialBackoff)
 				s.mu.Unlock()
@@ -437,23 +462,43 @@ func (n *TCPNet) sendLoop(addr string, s *tcpSend) {
 			}
 			s.conn = c
 			conn = c
+			bw = nil
 			s.mu.Unlock()
 		}
-		if _, err := conn.Write(frame); err != nil {
+		if bw == nil {
+			bw = bufio.NewWriterSize(conn, n.cfg.WriteBuffer)
+		}
+		var err error
+		for _, frame := range batch {
+			if _, err = bw.Write(frame); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
 			n.cfg.Logf("transport: tcp write %s: %v", addr, err)
-			n.bumpDropped()
+			n.bumpDroppedN(len(batch))
 			conn.Close()
+			bw = nil
 			s.mu.Lock()
 			s.conn = nil
 			s.downUntil = time.Now().Add(n.cfg.RedialBackoff)
 			s.mu.Unlock()
+			continue
 		}
+		n.mu.Lock()
+		n.stats.Flushes++
+		n.mu.Unlock()
 	}
 }
 
-func (n *TCPNet) bumpDropped() {
+func (n *TCPNet) bumpDropped() { n.bumpDroppedN(1) }
+
+func (n *TCPNet) bumpDroppedN(count int) {
 	n.mu.Lock()
-	n.stats.Dropped++
+	n.stats.Dropped += uint64(count)
 	n.mu.Unlock()
 }
 

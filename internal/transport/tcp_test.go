@@ -376,3 +376,68 @@ func TestTCPNetUnknownDestination(t *testing.T) {
 		t.Fatalf("stats = %+v, want Sent=1 Dropped=1", s)
 	}
 }
+
+// TestTCPNetBufferedWriterCoalescesFrames bursts many frames at a peer and
+// checks the sender's buffered writer folded them into fewer explicit
+// flushes than frames — a batch of queued frames is one write syscall. The
+// lazy dial makes this deterministic: every frame sent while the first
+// dial is in progress queues behind it, and the backlog drains through the
+// buffer in large batches.
+func TestTCPNetBufferedWriterCoalescesFrames(t *testing.T) {
+	b := newTCP(t, nil)
+	a := newTCP(t, map[NodeID]string{"b": b.Addr().String()})
+	var got collector
+	b.Register("b", got.handle)
+	a.Start()
+	b.Start()
+
+	const frames = 500
+	for i := 0; i < frames; i++ {
+		a.Send("a", "b", "payload")
+	}
+	waitUntil(t, "all frames delivered", func() bool { return got.count() == frames })
+
+	s := a.Stats()
+	if s.Sent != frames {
+		t.Fatalf("sent %d frames, want %d", s.Sent, frames)
+	}
+	if s.Flushes == 0 {
+		t.Fatal("no flushes counted")
+	}
+	if s.Flushes >= s.Sent {
+		t.Fatalf("flushes = %d for %d frames: the writer never coalesced", s.Flushes, s.Sent)
+	}
+	if s.Dropped != 0 {
+		t.Fatalf("dropped %d frames on a healthy link", s.Dropped)
+	}
+}
+
+// TestTCPNetWriteBufferBoundsBatch caps WriteBuffer below two frames so
+// every flush carries exactly one: the bound is respected, and a lone
+// frame is still flushed immediately (batching never delays delivery).
+func TestTCPNetWriteBufferBoundsBatch(t *testing.T) {
+	b := newTCP(t, nil)
+	a, err := NewTCPNet(TCPConfig{
+		Listen:      "127.0.0.1:0",
+		Peers:       map[NodeID]string{"b": b.Addr().String()},
+		WriteBuffer: 1, // smaller than any frame: one frame per flush
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewTCPNet: %v", err)
+	}
+	t.Cleanup(a.Close)
+	var got collector
+	b.Register("b", got.handle)
+	a.Start()
+	b.Start()
+
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		a.Send("a", "b", "x")
+	}
+	waitUntil(t, "all frames delivered", func() bool { return got.count() == frames })
+	if s := a.Stats(); s.Flushes != frames {
+		t.Fatalf("flushes = %d with a one-byte write buffer, want %d", s.Flushes, frames)
+	}
+}

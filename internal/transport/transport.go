@@ -54,13 +54,18 @@ type Network interface {
 }
 
 // Stats are cumulative message counters, used by the communication
-// experiments (E8).
+// experiments (E8 and E12).
 type Stats struct {
 	Sent       uint64
 	Delivered  uint64
 	Dropped    uint64
 	Duplicated uint64 // deliveries caused by duplication faults
 	Bytes      uint64 // estimated payload bytes sent (via the Sizer)
+	// Flushes counts explicit buffered-writer flushes (TCPNet only): each
+	// flush is one write syscall carrying one or more queued frames, so
+	// Sent/Flushes approximates the achieved frames-per-syscall of the
+	// batched hot path. Zero on SimNet and LiveNet, which have no sockets.
+	Flushes uint64
 }
 
 // --- SimNet ---

@@ -50,7 +50,8 @@ type KeyspaceConfig struct {
 	// Config.RetransmitInterval). Default: 250ms; negative disables.
 	RetransmitInterval time.Duration
 	// Options selects optimizations for every shard. Default:
-	// DefaultOptions().
+	// DefaultOptions(). Options.BatchSize > 1 enables the batched hot path
+	// on every shard (see Config.Options and DESIGN.md §8).
 	Options *Options
 }
 
@@ -83,6 +84,9 @@ func NewKeyspace(cfg KeyspaceConfig) (*Keyspace, error) {
 	if cfg.Options != nil {
 		opt = *cfg.Options
 	}
+	if err := validateBatching(opt); err != nil {
+		return nil, err
+	}
 	net := transport.NewLiveNet()
 	ks := core.NewKeyspace(core.KeyspaceConfig{
 		Shards:   cfg.Shards,
@@ -94,6 +98,9 @@ func NewKeyspace(cfg KeyspaceConfig) (*Keyspace, error) {
 	ks.StartLiveGossip(cfg.GossipInterval)
 	if cfg.RetransmitInterval > 0 {
 		ks.StartLiveRetransmit(cfg.RetransmitInterval)
+	}
+	if opt.BatchSize > 1 {
+		ks.StartLiveBatchFlush(opt.FlushPeriod())
 	}
 	return &Keyspace{net: net, ks: ks}, nil
 }
