@@ -65,6 +65,7 @@ type config struct {
 	advertise string
 	dtName    string
 	shards    int
+	workers   int
 	resize    int
 	gossip    time.Duration
 	client    string
@@ -87,6 +88,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.dtName, "type", "counter", "data type: "+strings.Join(dtype.Names(), "|"))
 	fs.IntVar(&cfg.shards, "shards", 1,
 		"shard the service into a multi-object keyspace of this many independent clusters; every member must agree")
+	fs.IntVar(&cfg.workers, "workers", 0,
+		"size of the shard-per-core worker pool executing this member's shard replicas (DESIGN.md §9): each shard is pinned to one worker goroutine; 0 = one worker per schedulable core (GOMAXPROCS), negative = disable (one mailbox goroutine per replica); applies to replica members with -shards > 1")
 	fs.IntVar(&cfg.resize, "resize", 0,
 		"ADMIN MODE: grow the running keyspace the -peers members serve to this many shards, online (live resharding; DESIGN.md §7), then exit. Member 0 drives the migration; restart members with the new -shards afterwards so a later cold start matches")
 	fs.IntVar(&cfg.opts.SnapshotCap, "snapshot-cap", 0,
@@ -229,6 +232,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if cfg.verbose {
 		logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 	}
+	// The worker runtime is created before the transport and its Close
+	// deferred first, so the LIFO unwind closes the transport (no more
+	// deliveries) before the workers drain and stop.
+	var rt *core.ShardRuntime
+	if cfg.shards > 1 && cfg.client == "" && cfg.workers >= 0 {
+		rt = core.NewShardRuntime(cfg.workers)
+		defer rt.Close()
+	}
 	net, err := transport.NewTCPNet(transport.TCPConfig{
 		Listen:    cfg.listen,
 		Advertise: cfg.advertise,
@@ -246,7 +257,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		local = []int{cfg.id}
 	}
 	if cfg.shards > 1 {
-		return runSharded(cfg, dt, net, local, stdin, stdout, stderr)
+		return runSharded(cfg, dt, net, rt, local, stdin, stdout, stderr)
 	}
 	var stores []core.StableStore
 	var fileStores []*core.FileStableStore
@@ -386,7 +397,7 @@ func storeFailure(stores []*core.FileStableStore) <-chan error {
 // runSharded is the -shards N > 1 path: the member hosts its replica id in
 // every shard of a multi-object keyspace (or a keyspace front end, with
 // -client).
-func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []int, stdin io.Reader, stdout, stderr io.Writer) int {
+func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.ShardRuntime, local []int, stdin io.Reader, stdout, stderr io.Writer) int {
 	var storeFor func(shard, replica int) core.StableStore
 	var storeErr error
 	var stores []*core.FileStableStore
@@ -420,6 +431,7 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, local []in
 		Options:       cfg.opts,
 		LocalReplicas: local,
 		StoreFor:      storeFor,
+		Runtime:       rt,
 		// Online growth (a local Resize or a -resize admin command, or a
 		// redirect-taught client following one): the new shards' remote
 		// replicas live behind the same member addresses as every other

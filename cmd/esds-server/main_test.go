@@ -496,8 +496,13 @@ func TestResizeAdminAgainstCluster(t *testing.T) {
 	if !strings.Contains(adminOut.String(), "RESIZED shards=4") {
 		t.Fatalf("admin output lacks RESIZED line:\n%s", adminOut.String())
 	}
-	if !strings.Contains(watch0(), "RESIZED shards=4") {
-		t.Fatalf("member 0 never printed its RESIZED line:\n%s", watch0())
+	// The member's own RESIZED status line lands asynchronously: the admin
+	// reply races the replica's stdout flush, so poll rather than snapshot.
+	for deadline := time.Now().Add(10 * time.Second); !strings.Contains(watch0(), "RESIZED shards=4"); {
+		if time.Now().After(deadline) {
+			t.Fatalf("member 0 never printed its RESIZED line:\n%s", watch0())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	// A stale client (still -shards 2) must read every object back and

@@ -1,9 +1,11 @@
 // Keyspace: a sharded multi-object service — many independent replicated
 // counters partitioned across four ESDS clusters by consistent hash, all
-// behind one API. Each named object keeps the full ESDS semantics
+// behind one API, their replicas executed by the shard-per-core worker
+// runtime (DESIGN.md §9). Each named object keeps the full ESDS semantics
 // (non-strict speed, strict finality, per-object causal sessions); the
 // shards give the deployment aggregate throughput a single cluster cannot
-// reach (see the E10 experiment: `go run ./cmd/esds-bench -exp e10`).
+// reach (see the E10 experiment: `go run ./cmd/esds-bench -exp e10`, and
+// its multi-core companion E13).
 //
 // Run with:
 //
@@ -20,7 +22,7 @@ import (
 )
 
 func main() {
-	ks, err := esds.NewKeyspace(esds.KeyspaceConfig{
+	ks, err := esds.New(esds.Config{
 		Shards:         4,
 		Replicas:       3,
 		DataType:       esds.Counter(),

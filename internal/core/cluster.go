@@ -58,6 +58,14 @@ type ClusterConfig struct {
 	// the default, and the only shard of an unsharded deployment — keeps
 	// the legacy names.
 	Shard int
+	// Runtime, if non-nil, runs this cluster's replicas on the shard-per-core
+	// worker pool: each replica's messages flow through a per-replica inbound
+	// queue drained by the worker that owns the cluster's shard, and ticker
+	// work (gossip rounds) is dispatched onto the same worker. Nil keeps the
+	// legacy per-mailbox path (required with SimNet, whose determinism the
+	// pool would break). The caller owns the runtime and closes it after the
+	// transport.
+	Runtime *ShardRuntime
 }
 
 // NewCluster builds the replicas and registers them on the network. Gossip
@@ -118,6 +126,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Options:  cfg.Options,
 			Store:    store,
 			Shard:    cfg.Shard,
+			Runtime:  cfg.Runtime,
 		})
 	}
 	return c
@@ -320,7 +329,10 @@ func (c *Cluster) StartLiveGossip(period time.Duration) {
 			for {
 				select {
 				case <-ticker.C:
-					r.SendGossip()
+					// Under the shard-per-core runtime the round runs on the
+					// replica's owning worker, serialized with its message
+					// handling; Dispatch degrades to a direct call otherwise.
+					r.Dispatch(r.SendGossip)
 				case <-done:
 					return
 				}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"esds/internal/dtype"
@@ -288,8 +290,29 @@ func (fe *FrontEnd) SetRedirectHandler(h func(id ops.ID, rd Redirect)) {
 // caller IS the delivering goroutine, so use Submit with a callback
 // instead).
 func (fe *FrontEnd) SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error) {
+	return fe.SubmitWaitCtx(context.Background(), op, prev, strict)
+}
+
+// SubmitWaitCtx is SubmitWait with cancellation: when ctx is done before the
+// response arrives, the operation is withdrawn from the pending set (so the
+// retransmission ticker stops re-sending it) and ctx.Err() is returned. The
+// operation may still enter the eventual total order — a replica that already
+// accepted it will do it regardless; cancellation only unparks the waiter.
+// If a response wins the race against the cancellation, it is delivered
+// normally: the outcome is then known, so it is returned instead of ctx.Err().
+func (fe *FrontEnd) SubmitWaitCtx(ctx context.Context, op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error) {
 	ch := make(chan Response, 1)
 	x := fe.Submit(op, prev, strict, func(resp Response) { ch <- resp })
+	select {
+	case resp := <-ch:
+		return x, resp.Value, resp.Err
+	case <-ctx.Done():
+	}
+	if fe.Cancel(x.ID) {
+		return x, nil, ctx.Err()
+	}
+	// Cancel lost the race: the callback has fired or is firing, so the
+	// buffered channel receives without blocking. Report the real outcome.
 	resp := <-ch
 	return x, resp.Value, resp.Err
 }
@@ -349,8 +372,18 @@ func (fe *FrontEnd) Retransmit() int {
 		to  transport.NodeID
 		msg RequestMsg
 	}
+	// Re-send in issue order (ids are sequential per client): a dependent
+	// operation then always reaches the replica after the operation its prev
+	// names, so one retransmission round suffices to unpark a whole chain —
+	// map-order iteration could need a round per link.
+	ids := make([]ops.ID, 0, len(fe.wait))
+	for id := range fe.wait {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Seq < ids[j].Seq })
 	outbox := make([]outMsg, 0, len(fe.wait))
-	for id, x := range fe.wait {
+	for _, id := range ids {
+		x := fe.wait[id]
 		next := fe.replicas[fe.rr%len(fe.replicas)]
 		fe.rr++
 		if prev, ok := fe.sentTo[id]; ok && prev == next && len(fe.replicas) > 1 {

@@ -93,6 +93,13 @@ type KeyspaceConfig struct {
 	// peer table with the new shards' replica addresses (member i hosts
 	// replica i of every shard, so the addresses are already known).
 	OnGrow func(oldShards, newShards int)
+	// Runtime, if non-nil, runs every shard's replicas on the shard-per-core
+	// worker pool (see ClusterConfig.Runtime). Shards created by online
+	// growth attach to the same pool, pinned to their worker by the shard
+	// index — so a resize destination is owned by a (generally) different
+	// worker than its sources, preserving cross-shard independence as the
+	// keyspace grows.
+	Runtime *ShardRuntime
 }
 
 // NewKeyspace builds one cluster per shard over the shared network.
@@ -133,6 +140,7 @@ func (k *Keyspace) buildShard(s int) *Cluster {
 		Stores:        stores,
 		LocalReplicas: k.cfg.LocalReplicas,
 		Shard:         s,
+		Runtime:       k.cfg.Runtime,
 	})
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -16,6 +17,7 @@ import (
 type Submitter interface {
 	Submit(op dtype.Operator, prev []ops.ID, strict bool, cb func(Response)) ops.Operation
 	SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error)
+	SubmitWaitCtx(ctx context.Context, op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error)
 }
 
 var (
@@ -132,10 +134,59 @@ func (c *KeyspaceClient) Submit(op dtype.Operator, prev []ops.ID, strict bool, c
 // SubmitWait submits and blocks until the response or ErrClosed, like
 // FrontEnd.SubmitWait.
 func (c *KeyspaceClient) SubmitWait(op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error) {
+	return c.SubmitWaitCtx(context.Background(), op, prev, strict)
+}
+
+// SubmitWaitCtx is SubmitWait with cancellation, the router-side analogue of
+// FrontEnd.SubmitWaitCtx: a done ctx withdraws the operation (parked or
+// dispatched) and returns ctx.Err(), unless a response wins the race — the
+// outcome is then known and returned instead. As with the front-end form,
+// withdrawal only unparks the waiter; a replica that already accepted the
+// operation executes it regardless.
+func (c *KeyspaceClient) SubmitWaitCtx(ctx context.Context, op dtype.Operator, prev []ops.ID, strict bool) (ops.Operation, dtype.Value, error) {
 	ch := make(chan Response, 1)
 	x := c.Submit(op, prev, strict, func(r Response) { ch <- r })
+	select {
+	case r := <-ch:
+		return x, r.Value, r.Err
+	case <-ctx.Done():
+	}
+	if c.abandon(x.ID) {
+		return x, nil, ctx.Err()
+	}
 	r := <-ch
 	return x, r.Value, r.Err
+}
+
+// abandon withdraws an inflight operation without firing its callback: a
+// parked operation is simply forgotten; a dispatched one is cancelled at its
+// current front end. It reports whether the operation was still inflight and
+// was withdrawn (false means a response won the race and the callback has
+// fired or is firing). Dependents parked on the abandoned id are woken and
+// dispatched — their prev reference passes through verbatim, so if the
+// abandoned operation never executes anywhere they wait at the replica like
+// any reference to a never-issued operation; abandoning an operation that
+// later submissions name is the caller's ambiguity to manage.
+func (c *KeyspaceClient) abandon(id ops.ID) bool {
+	c.mu.Lock()
+	ro, ok := c.inflight[id]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	if !ro.parked && !c.feLocked(ro.shard).Cancel(id) {
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.inflight, id)
+	woken := c.takeWaitersLocked(id)
+	for _, wid := range woken {
+		if dep, ok := c.inflight[wid]; ok && dep.parked {
+			c.dispatchLocked(dep)
+		}
+	}
+	c.mu.Unlock()
+	return true
 }
 
 // Pending returns the number of operations awaiting a response (parked

@@ -83,14 +83,22 @@ func TestLiveClusterCausalChain(t *testing.T) {
 		net.Close()
 	}()
 
+	// Each write is chained (prev) after the one before it: the front end
+	// round-robins requests over replicas, and two UNconstrained non-strict
+	// writes answered by different replicas may legally sort in either order
+	// — a read after only the newest write could then tentatively see the
+	// older value. The chain makes "read v_i after write v_i" a guarantee
+	// the prev sets actually demand, on every replica, at every speed.
 	fe := cluster.FrontEnd("writer")
+	var chain []ops.ID
 	for i := 0; i < 20; i++ {
 		want := fmt.Sprintf("v%d", i)
-		w, v, _ := fe.SubmitWait(dtype.RegWrite{Val: want}, nil, false)
+		w, v, _ := fe.SubmitWait(dtype.RegWrite{Val: want}, chain, false)
 		if v != "ok" {
 			t.Fatalf("write %d returned %v", i, v)
 		}
-		_, got, _ := fe.SubmitWait(dtype.RegRead{}, []ops.ID{w.ID}, false)
+		chain = []ops.ID{w.ID}
+		_, got, _ := fe.SubmitWait(dtype.RegRead{}, chain, false)
 		if got != want {
 			t.Fatalf("read-your-write %d: got %v, want %q", i, got, want)
 		}

@@ -38,6 +38,11 @@ type ReplicaMetrics struct {
 	// SnapshotOpsSeeded counts operations that became locally done through
 	// snapshot installation rather than descriptor replay.
 	SnapshotOpsSeeded uint64
+	// PipelineRuns counts batches delivered by the shard-per-core runtime's
+	// worker loop (DESIGN.md §9): one run is one mutex round over a replica's
+	// drained inbound backlog. RequestsReceived / PipelineRuns etc. give the
+	// achieved pipeline batch size under the staged runtime.
+	PipelineRuns uint64
 	// Faults counts rejected-input faults (see FaultCode): conditions the
 	// algorithm's invariants rule out for honest senders, refused instead
 	// of crashing the replica.
@@ -89,6 +94,7 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.SnapshotsInstalled += o.SnapshotsInstalled
 	m.SnapshotsIgnored += o.SnapshotsIgnored
 	m.SnapshotOpsSeeded += o.SnapshotOpsSeeded
+	m.PipelineRuns += o.PipelineRuns
 	m.Faults += o.Faults
 	m.ResizeRedirects += o.ResizeRedirects
 	m.RequestsParkedRecovering += o.RequestsParkedRecovering

@@ -129,6 +129,7 @@ func (r *Replica) Crash() {
 	r.keyOf = make(map[ops.ID]string)
 	r.prevSatisfied = make(map[ops.ID]struct{})
 	r.storeFailed = false // re-latches on the next failed write
+	r.storeHeld = nil     // rebuilt by Recover from the store
 	r.crashed = true
 	r.recovering = false
 	r.recoveryAcks = nil
@@ -143,8 +144,19 @@ func (r *Replica) Recover() {
 	r.mu.Lock()
 	if r.store != nil {
 		for id, l := range r.store.Labels() {
+			// Freshness is unconditional: labels issued after recovery must
+			// sort above everything issued before the crash. The label
+			// ASSIGNMENT is not re-entered into the label map — if it ever
+			// escaped, the handshake answers restore it; if not, it is held
+			// aside for §9.3 reuse when the front end retransmits the op
+			// (see Replica.storeHeld).
 			r.gen.Observe(l)
-			r.labels.SetMin(id, l)
+			if _, done := r.doneAt[r.id][id]; !done {
+				if r.storeHeld == nil {
+					r.storeHeld = make(map[ops.ID]label.Label)
+				}
+				r.storeHeld[id] = l
+			}
 		}
 	}
 	r.crashed = false

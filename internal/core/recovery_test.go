@@ -97,11 +97,13 @@ func TestRecoveryPreservesUngossipedLocalLabels(t *testing.T) {
 	fe.StickTo(ReplicaNode(0))
 	r0 := e.cluster.Replica(0)
 
-	// Cut all outbound gossip from r0 before the request, so r0's label for
-	// x never leaves.
+	// Cut ALL outbound links from r0 before the request — gossip AND the
+	// response path — so r0's label for x never leaves and the front end
+	// really does have to retransmit after the crash.
 	nodes := e.cluster.Nodes()
 	e.net.SetLinkDown(nodes[0], nodes[1], true)
 	e.net.SetLinkDown(nodes[0], nodes[2], true)
+	e.net.SetLinkDown(nodes[0], FrontEndNode("c"), true)
 	x := fe.Submit(dtype.LogAppend{Entry: "lonely"}, nil, false, nil)
 	e.s.RunFor(20 * sim.Millisecond)
 	preLabel := r0.Snapshot().Labels[x.ID]
@@ -117,6 +119,7 @@ func TestRecoveryPreservesUngossipedLocalLabels(t *testing.T) {
 	r0.Crash()
 	e.net.SetLinkDown(nodes[0], nodes[1], false)
 	e.net.SetLinkDown(nodes[0], nodes[2], false)
+	e.net.SetLinkDown(nodes[0], FrontEndNode("c"), false)
 	e.s.RunFor(20 * sim.Millisecond)
 	e.net.SetNodeDown(nodes[0], false)
 	r0.Recover()
@@ -307,6 +310,87 @@ func TestStoreFailureStopsLabelingNotService(t *testing.T) {
 	}
 	if conv := cluster.CheckConvergence(); !conv.Converged {
 		t.Fatalf("no convergence: %s", conv.Reason)
+	}
+}
+
+// TestRecoveredLabelVoidedBelowDoneMax pins the store-label race: a replica
+// crashes after persisting an operation's label but before the response (or
+// any gossip) escapes, recovers, memoizes a LATER operation, and only then
+// sees the front end retransmit the first one. Reusing the persisted label
+// would re-admit the op below the memoized frontier — at this replica AND at
+// every peer that already memoized past it (FaultMemoOrderViolation on both
+// sides). The fix holds the reloaded label aside and voids it in favor of a
+// fresh label when a done operation already sorts above it. Deterministic
+// companion to the chaos-matrix pin (seed 26, snapshot cell).
+func TestRecoveredLabelVoidedBelowDoneMax(t *testing.T) {
+	e, stores := newRecoveryEnv(t, Options{Memoize: true})
+	r0 := e.cluster.Replica(0)
+	feA := e.cluster.FrontEnd("a")
+	feA.StickTo(ReplicaNode(0))
+
+	// A reaches r0 at t=1ms and is labelled l_A=(1,0); the response is in
+	// flight back when r0 crashes at t=1.5ms, so the label survives only in
+	// r0's stable store (gossip first fires at t=5ms — nothing escaped).
+	resA := &result{}
+	resA.x = feA.Submit(dtype.LogAppend{Entry: "A"}, nil, false, func(r Response) {
+		resA.value = r.Value
+		resA.done = true
+	})
+	e.s.RunFor(1500 * sim.Microsecond)
+	e.net.SetNodeDown(r0.Node(), true)
+	r0.Crash()
+	if len(stores[0].Labels()) != 1 {
+		t.Fatalf("store holds %d labels, want 1 (A's)", len(stores[0].Labels()))
+	}
+	preLabel := stores[0].Labels()[resA.x.ID]
+	if resA.done {
+		t.Fatal("A answered despite the crash window")
+	}
+
+	// B is labelled l_B=(1,1) > l_A at r1 while r0 is down.
+	feB := e.cluster.FrontEnd("b")
+	feB.StickTo(ReplicaNode(1))
+	resB := &result{}
+	resB.x = feB.Submit(dtype.LogAppend{Entry: "B"}, nil, false, func(r Response) {
+		resB.value = r.Value
+		resB.done = true
+	})
+	e.s.RunFor(40 * sim.Millisecond)
+
+	// r0 recovers: A's label is reloaded from the store, B arrives from the
+	// peers, becomes stable everywhere, and is now the memoization candidate
+	// at r0 even though the unoccupied slot l_A sorts below it.
+	e.net.SetNodeDown(r0.Node(), false)
+	r0.Recover()
+	e.s.RunFor(60 * sim.Millisecond)
+
+	// Only now does the front end retransmit A.
+	feA.Retransmit()
+	e.s.RunFor(300 * sim.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		if faults := e.cluster.Replica(i).Faults(); len(faults) != 0 {
+			t.Fatalf("replica %d recorded faults: %v", i, faults)
+		}
+	}
+	if !resA.done {
+		t.Fatal("A never answered after retransmission")
+	}
+	if !resB.done {
+		t.Fatal("B never answered")
+	}
+	conv := e.cluster.CheckConvergence()
+	if !conv.Converged {
+		t.Fatalf("no convergence: %s", conv.Reason)
+	}
+	// B was memoized while A's slot was vacant, so A's persisted label was
+	// voided: A re-entered with a fresh label ABOVE B, and every replica
+	// agrees on the order [B, A].
+	if len(conv.Order) != 2 || conv.Order[0] != resB.x.ID || conv.Order[1] != resA.x.ID {
+		t.Fatalf("order = %v, want [B A]", conv.Order)
+	}
+	if got := r0.Snapshot().Labels[resA.x.ID]; !preLabel.Less(got) {
+		t.Fatalf("A's label %v was not voided above the pre-crash label %v", got, preLabel)
 	}
 }
 

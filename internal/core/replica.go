@@ -107,6 +107,20 @@ type Replica struct {
 	recovering   bool
 	recoveryAcks map[label.ReplicaID]struct{}
 
+	// storeHeld carries the store-reloaded labels of operations that are
+	// not yet done again after a recovery. Such a label is NOT entered into
+	// the label map: if it ever escaped this replica pre-crash, the §9.3
+	// handshake answers restore it (done-ness and labels travel in the same
+	// gossip message, so any peer that learned the op done here also holds
+	// its label); if no answer mentions the op, the label is known only
+	// here and the operation can only re-enter via front-end
+	// retransmission. do_it then reuses the held label — unless a done
+	// operation already sorts above it, in which case reusing would insert
+	// the op under a peer's memoized frontier (the store-label race) and
+	// the label is voided in favor of a fresh one, which is safe precisely
+	// because no peer ever saw it. Entries clear as ops become done.
+	storeHeld map[ops.ID]label.Label
+
 	// storeFailed latches after a StableStore write error: the replica
 	// stops labeling new operations (see tryDoIt) because an unpersisted
 	// label violates the §9.3 safety condition.
@@ -138,6 +152,11 @@ type Replica struct {
 	// faults is the bounded log of rejected-input faults (see errors.go).
 	faults []*ReplicaFault
 
+	// queue is the replica's inbound queue on the shard-per-core runtime
+	// (nil on the legacy per-delivery path). Set once at construction,
+	// never mutated: reads need no lock.
+	queue *replicaQueue
+
 	metrics ReplicaMetrics
 }
 
@@ -163,6 +182,13 @@ type ReplicaConfig struct {
 	// addressed to the front ends of the same shard. Zero for unsharded
 	// clusters.
 	Shard int
+	// Runtime, if non-nil, runs the replica on the shard-per-core worker
+	// pool: deliveries are enqueued on the worker owning this replica's
+	// shard instead of being handled on transport goroutines, and
+	// consecutive hot-path messages are folded into single locked batches.
+	// Nil keeps the legacy path (one handler call per delivery), which
+	// SimNet determinism and the single-cluster benchmarks rely on.
+	Runtime *ShardRuntime
 }
 
 // NewReplica constructs a replica and registers it on the network. The
@@ -217,8 +243,115 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 		r.stableAt[i] = make(map[ops.ID]struct{})
 		r.pendL[i] = make(map[ops.ID]struct{})
 	}
-	cfg.Network.Register(r.node, r.handleMessage)
+	h := r.handleMessage
+	if cfg.Runtime != nil {
+		q := cfg.Runtime.attach(cfg.Shard, r)
+		r.queue = q
+		// The registered handler only enqueues — all replica work happens
+		// on the owning worker — so the transport may call it synchronously
+		// from the sender or reader goroutine when it supports that,
+		// skipping the per-node mailbox goroutine and its hand-off.
+		h = func(m transport.Message) { q.w.enqueue(q, queueItem{msg: m}) }
+		if ir, ok := cfg.Network.(transport.InlineRegistrar); ok {
+			ir.RegisterInline(r.node, h)
+			return r
+		}
+	}
+	cfg.Network.Register(r.node, h)
 	return r
+}
+
+// Dispatch runs fn on the replica's owning worker, serialized with its
+// message handling — the ownership discipline for ticker work (gossip
+// rounds, batch flushes) under the shard-per-core runtime. Without a
+// runtime, or once it is closed, fn runs synchronously on the caller.
+func (r *Replica) Dispatch(fn func()) {
+	if q := r.queue; q != nil {
+		if q.w.enqueue(q, queueItem{fn: fn}) {
+			return
+		}
+	}
+	fn()
+}
+
+// deliverBatch processes one drained backlog of the replica's inbound
+// queue on its owning worker: consecutive hot-path messages (requests and
+// gossip, batched or not) fold into a single locked run — one mutex round
+// and one process() pass for the whole run, the staged admit→label→gossip→
+// memoize pipeline of DESIGN.md §9 — while control messages (recovery,
+// snapshots, resize) and dispatched functions act as barriers handled by
+// the ordinary per-message paths.
+func (r *Replica) deliverBatch(items []queueItem) {
+	var run []transport.Message
+	flush := func() {
+		if len(run) > 0 {
+			r.deliverRun(run)
+			run = run[:0]
+		}
+	}
+	for _, it := range items {
+		if it.fn != nil {
+			flush()
+			it.fn()
+			continue
+		}
+		switch it.msg.Payload.(type) {
+		case RequestMsg, BatchRequestMsg, GossipMsg, BatchGossipMsg:
+			run = append(run, it.msg)
+		default:
+			flush()
+			r.handleMessage(it.msg)
+		}
+	}
+	flush()
+}
+
+// deliverRun applies a run of hot-path messages under one mutex round.
+// Each element goes through the exact admission or merge logic of its
+// single-message handler, in arrival order; the internal actions then run
+// once for the whole run. This is sound for the same reason the batched
+// handlers are: the Fig. 7 internal actions are enabled at any time, so
+// deferring them across a run only changes scheduling, not reachability.
+func (r *Replica) deliverRun(run []transport.Message) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	var redirects []ResponseMsg
+	for _, m := range run {
+		switch p := m.Payload.(type) {
+		case RequestMsg:
+			if resp, refuse := r.admitOrRefuseLocked(p.Op); refuse {
+				redirects = append(redirects, resp)
+			}
+		case BatchRequestMsg:
+			r.metrics.RequestBatchesReceived++
+			for _, x := range p.Ops {
+				if resp, refuse := r.admitOrRefuseLocked(x); refuse {
+					redirects = append(redirects, resp)
+				}
+			}
+		case GossipMsg:
+			r.mergeGossipLocked(p)
+		case BatchGossipMsg:
+			r.metrics.GossipBatchesReceived++
+			for _, g := range p.Msgs {
+				if g.From != p.From {
+					continue
+				}
+				r.mergeGossipLocked(g)
+			}
+		}
+	}
+	redirects = append(redirects, r.drainRecoveryParked()...)
+	r.process()
+	r.metrics.PipelineRuns++
+	node, shard := r.node, r.shard
+	r.mu.Unlock()
+	for _, resp := range redirects {
+		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
+	}
 }
 
 // ID returns the replica's identifier.
@@ -575,6 +708,7 @@ func (r *Replica) markDoneLocal(id ops.ID) {
 		return
 	}
 	r.doneAt[r.id][id] = struct{}{}
+	delete(r.storeHeld, id)
 	r.doneCount[id]++
 	r.doneSeq = append(r.doneSeq, id)
 	r.seqDirty = true
@@ -727,16 +861,34 @@ func (r *Replica) tryDoIt() {
 				remaining = append(remaining, id)
 				continue
 			}
-			if r.gen.Exhausted() {
-				// The label sequence space is used up — reachable remotely,
-				// since a hostile peer can gossip (or snapshot) a
-				// near-maximal label Seq. Fail soft like a store failure:
-				// stop labeling, keep merging, let healthy replicas serve.
-				r.fault(FaultLabelsExhausted, id, "label sequence space exhausted")
-				remaining = append(remaining, id)
-				continue
+			l, reuse := r.storeHeld[id]
+			if reuse {
+				delete(r.storeHeld, id)
+				// §9.3: reuse the persisted pre-crash label so the op
+				// re-enters at its old position — but only while no done
+				// operation sorts above it. Stability (hence memoization, at
+				// any replica) reaches only labels this replica has reported
+				// done, so a slot below the local done maximum may already
+				// sit under a peer's memoized frontier; reusing it would
+				// re-admit the op below that frontier. Voiding is safe: the
+				// handshake answers proved no peer ever saw this label.
+				if max, ok := r.maxDoneLabelLocked(); ok && l.LessEq(max) {
+					reuse = false
+				}
 			}
-			l := r.gen.Next()
+			if !reuse {
+				if r.gen.Exhausted() {
+					// The label sequence space is used up — reachable
+					// remotely, since a hostile peer can gossip (or snapshot)
+					// a near-maximal label Seq. Fail soft like a store
+					// failure: stop labeling, keep merging, let healthy
+					// replicas serve.
+					r.fault(FaultLabelsExhausted, id, "label sequence space exhausted")
+					remaining = append(remaining, id)
+					continue
+				}
+				l = r.gen.Next()
+			}
 			if r.store != nil {
 				// §9.3: locally generated labels are the only state that
 				// must survive a crash — a label that could not be persisted
@@ -751,6 +903,7 @@ func (r *Replica) tryDoIt() {
 			r.labels.SetMin(id, l)
 			r.enqueueL(id)
 			r.doneAt[r.id][id] = struct{}{}
+			delete(r.storeHeld, id)
 			r.doneCount[id]++
 			r.doneSeq = append(r.doneSeq, id)
 			r.seqDirty = true
@@ -827,6 +980,17 @@ func (r *Replica) ensureSorted() {
 		suffix[i] = scratch[i].id
 	}
 	r.seqDirty = false
+}
+
+// maxDoneLabelLocked returns the greatest label of any locally done
+// operation (ok=false when none is done). doneSeq is sorted by label, so
+// this is its last element.
+func (r *Replica) maxDoneLabelLocked() (label.Label, bool) {
+	if len(r.doneSeq) == 0 {
+		return label.Label{}, false
+	}
+	r.ensureSorted()
+	return r.labels.Get(r.doneSeq[len(r.doneSeq)-1]), true
 }
 
 // advanceMemo extends the memoized solid prefix (§10.1): operations whose

@@ -216,6 +216,7 @@ func (r *Replica) installSnapshot(msg SnapshotMsg) bool {
 		}
 		if _, done := r.doneAt[r.id][id]; !done {
 			r.doneAt[r.id][id] = struct{}{}
+			delete(r.storeHeld, id)
 			r.doneCount[id]++
 			r.enqueueD(id)
 			r.enqueueL(id)

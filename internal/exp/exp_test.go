@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
+	if len(all) != 13 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -248,6 +248,25 @@ func TestE11ResizeSmoke(t *testing.T) {
 	}
 	if r.KeysMoved == 0 {
 		t.Fatalf("resize moved nothing:\n%s", r.Table())
+	}
+}
+
+func TestE13CoreScalingSmoke(t *testing.T) {
+	// Structural smoke of the core-scaling experiment: tiny workload at 1
+	// and 2 GOMAXPROCS, no scaling gate (the headline gated run is
+	// `esds-bench -exp e13` / BenchmarkE13CoreScaling, and the gate only
+	// arms on machines with the swept cores). The structural claims — every
+	// point completes on the worker runtime and strictly reads back exactly
+	// its writes — are still asserted.
+	p := SmokeCoreScalingParams()
+	r := RunCoreScaling(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	for _, row := range r.Rows {
+		if row.Ops != p.Clients*p.OpsPerClient {
+			t.Fatalf("row %+v incomplete", row)
+		}
 	}
 }
 

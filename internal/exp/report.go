@@ -101,6 +101,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e13", Title: "Shard-per-core runtime scaling", PaperRef: "DESIGN.md §9 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultCoreScalingParams()
+				r := RunCoreScaling(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 

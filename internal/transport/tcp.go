@@ -56,6 +56,7 @@ type TCPNet struct {
 	started  bool
 	closed   bool
 	handlers map[NodeID]*mailbox
+	inline   map[NodeID]Handler
 	peers    map[NodeID]string // node → dial address (seeded + learned)
 	// static marks peers entries set by configuration (TCPConfig.Peers or
 	// SetPeer). A frame's advertised ReplyTo never overrides them: a
@@ -69,7 +70,10 @@ type TCPNet struct {
 	wg      sync.WaitGroup
 }
 
-var _ Network = (*TCPNet)(nil)
+var (
+	_ Network         = (*TCPNet)(nil)
+	_ InlineRegistrar = (*TCPNet)(nil)
+)
 
 // TCPConfig configures a TCPNet.
 type TCPConfig struct {
@@ -194,6 +198,9 @@ func (n *TCPNet) Register(id NodeID, h Handler) {
 	if _, dup := n.handlers[id]; dup {
 		panic(fmt.Sprintf("transport: node %q registered twice", id))
 	}
+	if _, dup := n.inline[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
 	mb := &mailbox{handler: h}
 	mb.cond = sync.NewCond(&mb.mu)
 	n.handlers[id] = mb
@@ -202,6 +209,31 @@ func (n *TCPNet) Register(id NodeID, h Handler) {
 		defer n.wg.Done()
 		mb.run()
 	}()
+}
+
+// RegisterInline implements InlineRegistrar: frames for id are handed to h
+// directly on the connection's reader goroutine (or the sender's, for local
+// destinations), with no mailbox in between. The handler must not block, or
+// it stalls every frame behind it on that connection.
+func (n *TCPNet) RegisterInline(id NodeID, h Handler) {
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("transport: RegisterInline on closed TCPNet")
+	}
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	if _, dup := n.inline[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	if n.inline == nil {
+		n.inline = make(map[NodeID]Handler)
+	}
+	n.inline[id] = h
 }
 
 // Start begins accepting inbound connections. Call it after registering the
@@ -291,9 +323,16 @@ func (n *TCPNet) readLoop(conn net.Conn) {
 func (n *TCPNet) deliver(f tcpFrame) {
 	n.mu.Lock()
 	if f.ReplyTo != "" && dialable(f.ReplyTo) && !n.static[f.From] {
-		if _, local := n.handlers[f.From]; !local {
+		_, local := n.handlers[f.From]
+		if _, inl := n.inline[f.From]; !local && !inl {
 			n.peers[f.From] = f.ReplyTo
 		}
+	}
+	if h, ok := n.inline[f.To]; ok {
+		n.stats.Delivered++
+		n.mu.Unlock()
+		h(Message{From: f.From, To: f.To, Payload: f.Payload})
+		return
 	}
 	mb, ok := n.handlers[f.To]
 	if !ok {
@@ -334,6 +373,12 @@ func (n *TCPNet) Send(from, to NodeID, payload any) {
 		return
 	}
 	n.stats.Sent++
+	if h, ok := n.inline[to]; ok {
+		n.stats.Delivered++
+		n.mu.Unlock()
+		h(Message{From: from, To: to, Payload: payload})
+		return
+	}
 	if mb, ok := n.handlers[to]; ok {
 		n.mu.Unlock()
 		if mb.enqueue(Message{From: from, To: to, Payload: payload}) {

@@ -53,6 +53,19 @@ type Network interface {
 	Send(from, to NodeID, payload any)
 }
 
+// InlineRegistrar is implemented by transports that can deliver a node's
+// messages synchronously on the sender's (or socket reader's) goroutine,
+// skipping the per-node mailbox goroutine. The handler MUST NOT block: the
+// shard-per-core runtime registers handlers that only append to a worker
+// queue (DESIGN.md §9), which keeps the hot path at one handoff instead of
+// two. SimNet deliberately does not implement it — simulated deliveries
+// must stay on the simulator's event loop for determinism.
+type InlineRegistrar interface {
+	// RegisterInline installs a non-blocking inline handler for a node. Same
+	// contract as Register: before any Send to the node, at most once.
+	RegisterInline(id NodeID, h Handler)
+}
+
 // Stats are cumulative message counters, used by the communication
 // experiments (E8 and E12).
 type Stats struct {
@@ -229,12 +242,16 @@ func ClassLatency(isReplica func(NodeID) bool, df, dg func(NodeID, NodeID, inter
 type LiveNet struct {
 	mu     sync.Mutex
 	nodes  map[NodeID]*mailbox
+	inline map[NodeID]Handler
 	closed bool
 	wg     sync.WaitGroup
 	stats  Stats
 }
 
-var _ Network = (*LiveNet)(nil)
+var (
+	_ Network         = (*LiveNet)(nil)
+	_ InlineRegistrar = (*LiveNet)(nil)
+)
 
 type mailbox struct {
 	mu      sync.Mutex
@@ -260,6 +277,9 @@ func (n *LiveNet) Register(id NodeID, h Handler) {
 		panic("transport: Register on closed LiveNet")
 	}
 	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	if _, dup := n.inline[id]; dup {
 		panic(fmt.Sprintf("transport: node %q registered twice", id))
 	}
 	mb := &mailbox{handler: h}
@@ -302,6 +322,29 @@ func (mb *mailbox) run() {
 	}
 }
 
+// RegisterInline implements InlineRegistrar: messages for id are handed to
+// h synchronously inside Send, with no mailbox goroutine in between.
+func (n *LiveNet) RegisterInline(id NodeID, h Handler) {
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("transport: RegisterInline on closed LiveNet")
+	}
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	if _, dup := n.inline[id]; dup {
+		panic(fmt.Sprintf("transport: node %q registered twice", id))
+	}
+	if n.inline == nil {
+		n.inline = make(map[NodeID]Handler)
+	}
+	n.inline[id] = h
+}
+
 // Send implements Network. Messages to unregistered nodes are dropped
 // (matching a network that discards undeliverable datagrams).
 func (n *LiveNet) Send(from, to NodeID, payload any) {
@@ -311,6 +354,12 @@ func (n *LiveNet) Send(from, to NodeID, payload any) {
 		return
 	}
 	n.stats.Sent++
+	if h, ok := n.inline[to]; ok {
+		n.stats.Delivered++
+		n.mu.Unlock()
+		h(Message{From: from, To: to, Payload: payload})
+		return
+	}
 	mb, ok := n.nodes[to]
 	n.mu.Unlock()
 	if !ok {

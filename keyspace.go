@@ -1,41 +1,24 @@
 package esds
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"time"
 
 	"esds/internal/core"
-	"esds/internal/transport"
 )
 
-// Keyspace is a sharded multi-object data service: a namespace of
-// independent named objects, each replicated by the ESDS algorithm,
-// partitioned across N independent clusters ("shards") that share one
-// transport. Object names are routed to shards by consistent hash, so all
-// of the paper's guarantees — eventual serializability per object, strict
-// operations, prev constraints — hold within each object, while aggregate
-// throughput scales with the shard count (per-shard state and history
-// shrink as the keyspace is split; see the E10 experiment).
+// Keyspace is a sharded multi-object data service.
 //
-//	ks, _ := esds.NewKeyspace(esds.KeyspaceConfig{
-//		Shards: 4, Replicas: 3, DataType: esds.Counter(),
-//	})
-//	defer ks.Close()
-//	cart := ks.Object("cart:42").Client("alice")
-//	cart.Apply(esds.Add(5))
-//	v, _, _ := cart.ApplyStrict(esds.ReadCounter())
-//
-// Ordering constraints (prev sets, sessions) apply within one object's
-// shard; they cannot span objects that live on different shards.
+// Deprecated: the sharded service is now a Service mode — construct it with
+// New and Config.Shards ≥ 2, which additionally runs the replicas on the
+// shard-per-core worker runtime (DESIGN.md §9). Keyspace remains as a thin
+// wrapper over that Service so existing callers keep working.
 type Keyspace struct {
-	net       *transport.LiveNet
-	ks        *core.Keyspace
-	closeOnce sync.Once
+	s *Service
 }
 
 // KeyspaceConfig assembles a Keyspace.
+//
+// Deprecated: use Config with Shards set (see Keyspace).
 type KeyspaceConfig struct {
 	// Shards is the number of independent ESDS clusters the namespace is
 	// partitioned into. Default: 1.
@@ -55,115 +38,71 @@ type KeyspaceConfig struct {
 	Options *Options
 }
 
-// NewKeyspace starts a sharded service: Shards independent clusters of
-// Replicas replicas each, gossip and retransmission tickers, one shared
-// in-process transport.
+// NewKeyspace starts a sharded service from the legacy config.
+//
+// Deprecated: use New with Config.Shards ≥ 2. Unlike New, NewKeyspace
+// accepts a one-shard keyspace (Shards ≤ 1), which differs from an
+// unsharded Service in that Resize can grow it.
 func NewKeyspace(cfg KeyspaceConfig) (*Keyspace, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
 	}
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("esds: invalid shard count %d", cfg.Shards)
-	}
-	if cfg.Replicas < 1 {
-		return nil, fmt.Errorf("esds: invalid replica count %d", cfg.Replicas)
-	}
-	if cfg.DataType == nil {
-		return nil, errors.New("esds: nil data type")
-	}
-	if cfg.GossipInterval < 0 {
-		return nil, fmt.Errorf("esds: negative gossip interval %v", cfg.GossipInterval)
-	}
-	if cfg.GossipInterval == 0 {
-		cfg.GossipInterval = 10 * time.Millisecond
-	}
-	if cfg.RetransmitInterval == 0 {
-		cfg.RetransmitInterval = 250 * time.Millisecond
-	}
-	opt := core.DefaultOptions()
-	if cfg.Options != nil {
-		opt = *cfg.Options
-	}
-	if err := validateBatching(opt); err != nil {
+	s, err := newSharded(Config{
+		Replicas:           cfg.Replicas,
+		DataType:           cfg.DataType,
+		Shards:             cfg.Shards,
+		GossipInterval:     cfg.GossipInterval,
+		RetransmitInterval: cfg.RetransmitInterval,
+		Options:            cfg.Options,
+	})
+	if err != nil {
 		return nil, err
 	}
-	net := transport.NewLiveNet()
-	ks := core.NewKeyspace(core.KeyspaceConfig{
-		Shards:   cfg.Shards,
-		Replicas: cfg.Replicas,
-		DataType: cfg.DataType,
-		Network:  net,
-		Options:  opt,
-	})
-	ks.StartLiveGossip(cfg.GossipInterval)
-	if cfg.RetransmitInterval > 0 {
-		ks.StartLiveRetransmit(cfg.RetransmitInterval)
-	}
-	if opt.BatchSize > 1 {
-		ks.StartLiveBatchFlush(opt.FlushPeriod())
-	}
-	return &Keyspace{net: net, ks: ks}, nil
+	return &Keyspace{s: s}, nil
 }
+
+// Service returns the Service backing this keyspace — the migration path
+// off the deprecated wrapper.
+func (k *Keyspace) Service() *Service { return k.s }
 
 // Close stops every shard, fails all pending operations with ErrClosed,
-// and shuts the transport down. Close is idempotent and safe for
-// concurrent use.
-func (k *Keyspace) Close() {
-	k.closeOnce.Do(func() {
-		k.ks.Close()
-		k.net.Close()
-	})
-}
+// and shuts the transport and worker runtime down. Close is idempotent and
+// safe for concurrent use.
+func (k *Keyspace) Close() { k.s.Close() }
 
 // NumShards returns the shard count.
-func (k *Keyspace) NumShards() int { return k.ks.NumShards() }
+func (k *Keyspace) NumShards() int { return k.s.NumShards() }
 
-// Resize grows the keyspace from N to M=newShards shards ONLINE: new
-// shard clusters join the running service and exactly the keys the grown
-// consistent-hash ring reassigns (≈ (M−N)/M of the namespace) are
-// migrated, with zero downtime and no lost or reordered operations.
-// Traffic keeps flowing during the migration: operations on unmoving
-// objects are untouched; operations on moving objects either complete at
-// the old shard (if it accepted them before the freeze) or are replayed
-// at the new one exactly once. Clients obtained via Object.Client follow
-// the move automatically.
-//
-// Resize requires the default Memoize option and a snapshottable data
-// type (all built-ins are). Only one resize may run at a time; a failed
-// resize (e.g. timeout) leaves the service consistent and is retryable
-// with the same target. See DESIGN.md §7 for the protocol.
+// Resize grows the keyspace online; see Service.Resize.
 func (k *Keyspace) Resize(newShards int) (*core.ResizeReport, error) {
-	return k.ks.Resize(newShards)
+	return k.s.Resize(newShards)
 }
 
 // Epoch returns the number of completed resizes.
-func (k *Keyspace) Epoch() int { return k.ks.Epoch() }
+func (k *Keyspace) Epoch() int { return k.s.Epoch() }
 
 // MigrationMetrics returns the live-resharding counters.
-func (k *Keyspace) MigrationMetrics() core.MigrationMetrics { return k.ks.MigrationMetrics() }
+func (k *Keyspace) MigrationMetrics() core.MigrationMetrics { return k.s.MigrationMetrics() }
 
 // Faults returns the typed faults recorded by every shard's replicas (see
 // Service.Faults).
-func (k *Keyspace) Faults() []error { return k.ks.Faults() }
+func (k *Keyspace) Faults() []error { return k.s.Faults() }
 
 // ShardOf reports which shard serves the named object.
-func (k *Keyspace) ShardOf(object string) int { return k.ks.ShardOf(object) }
+func (k *Keyspace) ShardOf(object string) int { return k.s.ShardOf(object) }
 
 // Object returns a handle on the named object, routed to its shard. Two
 // handles with the same name address the same replicated object.
-func (k *Keyspace) Object(name string) *Object {
-	return &Object{ks: k.ks, name: name, shard: k.ks.ShardOf(name)}
-}
+func (k *Keyspace) Object(name string) *Object { return k.s.Object(name) }
 
 // Metrics returns operation counters aggregated across every shard.
-func (k *Keyspace) Metrics() core.ReplicaMetrics { return k.ks.TotalMetrics() }
+func (k *Keyspace) Metrics() core.ReplicaMetrics { return k.s.Metrics() }
 
 // ShardMetrics returns the counters of one shard.
-func (k *Keyspace) ShardMetrics(shard int) core.ReplicaMetrics {
-	return k.ks.Shard(shard).TotalMetrics()
-}
+func (k *Keyspace) ShardMetrics(shard int) core.ReplicaMetrics { return k.s.ShardMetrics(shard) }
 
-// Object is one named object of a Keyspace.
+// Object is one named object of a sharded Service (or the deprecated
+// Keyspace wrapper).
 type Object struct {
 	ks    *core.Keyspace
 	name  string
