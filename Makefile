@@ -18,12 +18,12 @@ test:
 race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 . ./internal/core ./internal/transport ./cmd/esds-server
 
-# Every E1–E13 benchmark body runs exactly once: a harness smoke test, not
-# a measurement (the E10–E13 live-transport experiments run their full
+# Every E1–E14 benchmark body runs exactly once: a harness smoke test, not
+# a measurement (the E10–E14 live-transport experiments run their full
 # workloads even at 1x). benchjson tees the output and captures every
-# metric — sharding speedup, resize windows, core scaling — into the
-# BENCH_results.json trajectory artifact. For real numbers drop -benchtime
-# or raise it.
+# metric — sharding speedup, resize windows, core scaling, durable
+# throughput — into the BENCH_results.json trajectory artifact. For real
+# numbers drop -benchtime or raise it.
 bench:
 	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
@@ -32,7 +32,7 @@ bench:
 # disappeared or stopped emitting one of its metrics — the guard against
 # silent harness rot — or if an E12 throughput metric fell more than 20%
 # below its committed value (-max-regress: the batching trajectory is now
-# enforced, not just tracked). The gate is scoped to E12 and E13
+# enforced, not just tracked). The gate is scoped to E12, E13, and E14
 # (-regress-match) because their steady-state ops/s are stable run-to-run,
 # while windowed metrics like E11's mid-migration ops/s swing ±2× on
 # identical code; gate more benchmarks as their variance is characterized.
@@ -41,23 +41,27 @@ bench:
 # slowest machine the gate must pass on (this repo commits the 1-core
 # reference container's numbers, with each gated metric floored at its
 # minimum over repeated runs so run-to-run jitter cannot trip the 20%
-# band). E13's core-scaling ratio is bounded by physical cores, so it is
-# reported under a unit ("x-scaling") the gate ignores; the NumCPU-aware
-# check in `esds-bench -exp e13` enforces it where it is meaningful.
+# band). E13's core-scaling ratio and E14's durable/nosync ratio are
+# bounded by hardware (physical cores, fsync latency), so both are
+# reported under units ("x-scaling", "x-ratio") the gate ignores; the
+# gated `esds-bench -exp e13` / `-exp e14` runs enforce them where they
+# are meaningful.
 bench-diff:
-	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_fresh.json -require BENCH_results.json -max-regress 0.2 -regress-match '^BenchmarkE12|^BenchmarkE13'
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_fresh.json -require BENCH_results.json -max-regress 0.2 -regress-match '^BenchmarkE12|^BenchmarkE13|^BenchmarkE14'
 
 # Deterministic fault-injection suite under the race detector: the
 # crash/recover/prune chaos matrix (crash timing × prune/snapshot options ×
-# gossip loss), the snapshot-recovery and prune×recovery regression tests,
-# the multi-process SIGKILL restart test, and the live-resharding cell
-# (resize under load, with replicas crashing mid-migration, and the
-# multi-process -resize admin path). Seeds are pinned; sweep others with
-# ESDS_CHAOS_SEEDS=7,8,9 make chaos. A failing matrix cell shrinks to a
-# minimal reproduction automatically.
+# gossip loss, including the group-commit cell over real FileStableStore
+# journals), the snapshot-recovery and prune×recovery regression tests,
+# the multi-process SIGKILL restart tests (snapshot recovery with pruning,
+# and mid-batch durability against the group-commit journal), and the
+# live-resharding cell (resize under load, with replicas crashing
+# mid-migration, and the multi-process -resize admin path). Seeds are
+# pinned; sweep others with ESDS_CHAOS_SEEDS=7,8,9 make chaos. A failing
+# matrix cell shrinks to a minimal reproduction automatically.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestPruneRecovery|TestSnapshot|TestRecover|TestCrash|TestHostile' ./internal/core
-	$(GO) test -race -count=1 -run 'TestKillNineRecoveryWithPruning|TestResizeAdminAgainstCluster' ./cmd/esds-server
+	$(GO) test -race -count=1 -run 'TestKillNine|TestResizeAdminAgainstCluster' ./cmd/esds-server
 	$(GO) test -race -count=2 -run 'TestResize' ./internal/core
 
 fmt:

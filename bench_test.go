@@ -242,6 +242,39 @@ func BenchmarkE13CoreScaling(b *testing.B) {
 	b.ReportMetric(r.Rows[len(r.Rows)-1].Throughput, "ops/s-maxcores")
 }
 
+// BenchmarkE14DurableThroughput runs the durable group-commit experiment:
+// the pipelined increment workload of E12, each sweep point measured over
+// real FileStableStore journals both durable (one fsync per admission
+// batch, ack-after-durable) and NoSync (page cache only, the
+// pre-durability behavior). The durable/nosync ratio at the best batched
+// point is the headline: how much of the batched hot path's throughput
+// survives crash durability. The ratio is reported rather than asserted
+// here (fsync latency is hardware-dependent; `esds-bench -exp e14` runs
+// the gated version with the ≥0.5 ratio requirement). The x-ratio unit
+// keeps benchjson's throughput gate off a hardware-bound quotient, like
+// E13's x-scaling.
+func BenchmarkE14DurableThroughput(b *testing.B) {
+	p := exp.DefaultDurableParams()
+	p.MinRatio = 0
+	var r exp.DurableResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunDurable(p)
+		if err := r.Verify(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := r.Rows[len(r.Rows)-1] // the sweep ends on a batched point
+	for _, row := range r.Rows {
+		if row.BatchSize > 1 && row.Durable > best.Durable {
+			best = row
+		}
+	}
+	b.ReportMetric(best.Durable, "ops/s-durable")
+	b.ReportMetric(best.NoSync, "ops/s-nosync")
+	b.ReportMetric(best.Ratio, "x-ratio")
+	b.ReportMetric(best.OpsPerSync, "records/sync")
+}
+
 // --- Microbenchmarks of the core algorithm ---
 
 // BenchmarkLabelGeneration measures label assignment (ℒ_r partition).

@@ -70,6 +70,7 @@ type config struct {
 	gossip    time.Duration
 	client    string
 	storeDir  string
+	storeSync bool
 	recover   bool
 	verbose   bool
 	opts      core.Options
@@ -101,7 +102,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		"longest a partially filled batch may wait before flushing (default 1ms for front ends when -batch is on; 0 flushes coalesced gossip every tick); requires -batch > 1")
 	fs.StringVar(&cfg.client, "client", "", "run a front end for this client name instead of a replica")
 	fs.StringVar(&cfg.storeDir, "store", "",
-		"directory for the §9.3 stable store (locally generated labels); required for correct crash recovery with -recover")
+		"directory for the §9.3 stable store (locally generated labels and the operation descriptors they name, group-committed; DESIGN.md §10); required for correct crash recovery with -recover")
+	fs.BoolVar(&cfg.storeSync, "store-sync", true,
+		"fsync the stable store before acknowledging (group commit: one fsync per admission batch); -store-sync=false acknowledges once records reach the OS page cache — survives kill -9 but NOT power loss")
 	fs.BoolVar(&cfg.recover, "recover", false,
 		"start in §9.3 recovery: ask every peer for fresh state (and a snapshot, with -snapshot) before serving; use when restarting a crashed replica")
 	fs.BoolVar(&cfg.verbose, "verbose", false, "log transport diagnostics to stderr")
@@ -163,6 +166,9 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.recover && cfg.storeDir == "" {
 		return cfg, fmt.Errorf("-recover requires -store: without persisted labels a recovered replica can re-issue a pre-crash label and split the total order (§9.3)")
+	}
+	if !cfg.storeSync && cfg.storeDir == "" {
+		return cfg, fmt.Errorf("-store-sync=false needs -store: there is no stable store to skip syncing")
 	}
 	if cfg.client == "" {
 		if cfg.id < 0 || cfg.id >= len(cfg.peers) {
@@ -262,7 +268,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var stores []core.StableStore
 	var fileStores []*core.FileStableStore
 	if cfg.storeDir != "" {
-		st, err := openStore(cfg.storeDir, 0, cfg.id)
+		st, err := openStore(cfg.storeDir, 0, cfg.id, !cfg.storeSync)
 		if err != nil {
 			fmt.Fprintf(stderr, "esds-server: %v\n", err)
 			return 1
@@ -321,11 +327,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 // openStore opens the file stable store for one (shard, replica) pair
 // under dir, creating dir if needed.
-func openStore(dir string, shard, id int) (*core.FileStableStore, error) {
+func openStore(dir string, shard, id int, noSync bool) (*core.FileStableStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("creating -store directory: %w", err)
 	}
-	return core.OpenFileStableStore(filepath.Join(dir, fmt.Sprintf("s%d-replica-%d.labels", shard, id)))
+	return core.OpenFileStableStoreWith(
+		filepath.Join(dir, fmt.Sprintf("s%d-replica-%d.labels", shard, id)),
+		core.FileStoreOptions{NoSync: noSync})
 }
 
 // startRecovery begins the §9.3 handshake on every local replica and keeps
@@ -414,7 +422,7 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.S
 			if replica != cfg.id || storeErr != nil {
 				return nil
 			}
-			st, err := openStore(cfg.storeDir, shard, replica)
+			st, err := openStore(cfg.storeDir, shard, replica, !cfg.storeSync)
 			if err != nil {
 				storeErr = err
 				return nil

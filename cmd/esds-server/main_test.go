@@ -290,11 +290,12 @@ func TestKillNineRecoveryWithPruning(t *testing.T) {
 		t.Fatalf("strict read at restarted replica = %v, want %d: snapshot recovery lost pruned history", v, total)
 	}
 
-	// The RECOVERED status line proves the history came back through the
-	// snapshot path, not descriptor replay: every pre-crash op was seeded
-	// from a snapshot, and the survivors really had pruned the prefix
-	// (otherwise the recovery gossip would have re-delivered the
-	// descriptors and `retained` would cover the whole history).
+	// The RECOVERED status line proves how the history came back: the
+	// durable journal replays the descriptors replica 0 labeled itself
+	// (they show up as retained), and the snapshot transfer must seed the
+	// REST — ops labeled at the survivors, whose descriptors were pruned
+	// everywhere before the restart. Together they must cover the whole
+	// pre-crash history.
 	deadline := time.Now().Add(10 * time.Second)
 	var recovered string
 	for time.Now().Before(deadline) {
@@ -317,11 +318,93 @@ func TestKillNineRecoveryWithPruning(t *testing.T) {
 		&nReplicas, &snapshots, &seeded, &retained); err != nil {
 		t.Fatalf("malformed status line %q: %v", recovered, err)
 	}
-	if snapshots == 0 || seeded < preCrash {
-		t.Fatalf("%s: expected the full pre-crash history (%d ops) seeded via snapshot", recovered, preCrash)
+	if snapshots == 0 || seeded == 0 {
+		t.Fatalf("%s: expected a snapshot to seed the peer-labeled pruned history", recovered)
+	}
+	if seeded+retained < preCrash {
+		t.Fatalf("%s: journal replay + snapshot cover %d ops, want the full pre-crash history (%d)", recovered, seeded+retained, preCrash)
 	}
 	if retained >= preCrash {
-		t.Fatalf("%s: restarted replica re-learned %d descriptors — survivors had not pruned, the test no longer exercises snapshot-only recovery", recovered, retained)
+		t.Fatalf("%s: restarted replica re-learned %d descriptors — survivors had not pruned, the test no longer exercises snapshot recovery", recovered, retained)
+	}
+}
+
+// TestKillNineMidBatchDurability is the group-commit durability test
+// (DESIGN.md §10): a SINGLE replica on the batched hot path acknowledges a
+// stream of non-strict appends, then is SIGKILLed. With no peers, nothing
+// was ever gossiped — the stable store's journal is the only place the
+// acknowledged operations survive. The restarted replica must answer a
+// strict read covering every acknowledged append from its own journal.
+// Before descriptors were persisted this test fails: the store held labels
+// only, so the VALUES of acknowledged operations died with the process.
+func TestKillNineMidBatchDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	core.RegisterWire()
+	peers := reservePorts(t, 1)
+	storeDir := t.TempDir()
+	batchArgs := []string{"-store", storeDir, "-type", "log", "-batch", "8", "-batch-delay", "1ms"}
+	proc := spawnReplica(t, 0, peers, batchArgs...)
+
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feNet.Close()
+	feNet.SetPeer(core.ReplicaNode(0), peers[0])
+	opts := core.Options{BatchSize: 8, BatchDelay: time.Millisecond}
+	cluster := core.NewCluster(core.ClusterConfig{
+		Replicas:      1,
+		DataType:      dtype.Log{},
+		Network:       feNet,
+		Options:       opts,
+		LocalReplicas: []int{},
+	})
+	defer cluster.Close()
+	feNet.Start()
+	cluster.StartLiveRetransmit(250 * time.Millisecond)
+	cluster.StartLiveBatchFlush(opts.FlushPeriod())
+	fe := cluster.FrontEnd("load")
+
+	// Causally chained appends, every one ACKNOWLEDGED before the kill.
+	const acked = 30
+	var last ops.ID
+	for i := 0; i < acked; i++ {
+		x, v, err := submitWithDeadline(fe, dtype.LogAppend{Entry: fmt.Sprintf("d%02d", i)}, prevOf(last), false, 15*time.Second)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if fmt.Sprint(v) != fmt.Sprint(i+1) { // LogAppend answers the new length
+			t.Fatalf("append %d returned %v, want %d", i, v, i+1)
+		}
+		last = x.ID
+	}
+
+	// kill -9 mid-batch: no shutdown path, no gossip ever left (n=1). Only
+	// the group-commit journal survives.
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	restartArgs := append(append([]string{}, batchArgs...), "-recover")
+	spawnReplicaWatch(t, 0, peers, restartArgs...)
+
+	// A strict read causally after the whole chain: answerable only once the
+	// journal replay has re-introduced every acknowledged append.
+	_, v, err := submitWithDeadline(fe, dtype.LogRead{}, prevOf(last), true, 30*time.Second)
+	if err != nil {
+		t.Fatalf("strict read after restart: %v (acknowledged appends lost across kill -9)", err)
+	}
+	s := fmt.Sprint(v)
+	if strings.Count(s, "|") != acked-1 {
+		t.Fatalf("strict read after restart = %q, want all %d acknowledged appends", s, acked)
+	}
+	for i := 0; i < acked; i++ {
+		if !strings.Contains(s, fmt.Sprintf("d%02d", i)) {
+			t.Fatalf("acknowledged append d%02d missing after restart: %q", i, s)
+		}
 	}
 }
 
@@ -390,6 +473,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		{[]string{"-peers", "a:1,b:2", "-client", "c", "-recover"}, "apply to replicas"},
 		{[]string{"-peers", "a:1,b:2", "-client", "c", "-store", "/tmp/x"}, "apply to replicas"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-recover"}, "-recover requires -store"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-store-sync=false"}, "needs -store"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-shards", "0"}, "-shards 0 must be at least 1"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-shards", "-3"}, "must be at least 1"},
 		{[]string{"-peers", "a:1,b:2", "-id", "0", "-gossip", "-5ms"}, "-gossip -5ms must be positive"},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -181,12 +182,13 @@ type recoveryChaosConfig struct {
 	CrashFrac  float64 // fraction of the workload window before the first crash
 	Cycles     int     // crash/recover cycles
 	Opt        Options
+	FileStores bool // real FileStableStore group-commit logs instead of MemStableStore
 }
 
 func (c recoveryChaosConfig) String() string {
-	return fmt.Sprintf("seed=%d replicas=%d ops=%d strict=%.2f drop=%.2f crashFrac=%.2f cycles=%d prune=%v snapshot=%v incr=%v",
+	return fmt.Sprintf("seed=%d replicas=%d ops=%d strict=%.2f drop=%.2f crashFrac=%.2f cycles=%d prune=%v snapshot=%v incr=%v filestores=%v",
 		c.Seed, c.Replicas, c.NumOps, c.StrictProb, c.DropProb, c.CrashFrac, c.Cycles,
-		c.Opt.Prune, c.Opt.Snapshot, c.Opt.IncrementalGossip)
+		c.Opt.Prune, c.Opt.Snapshot, c.Opt.IncrementalGossip, c.FileStores)
 }
 
 // runRecoveryChaos drives one cell and returns the first violated property
@@ -195,10 +197,11 @@ func (c recoveryChaosConfig) String() string {
 //   - liveness: every request is eventually answered (front-end
 //     retransmission plus the recovery handshake restore service),
 //   - convergence to one label order after healing,
-//   - the only operations missing from the converged order are non-strict
-//     operations answered by a replica that crashed before gossiping them
-//     (the documented §9.3 weakness — their labels live only in the stable
-//     store; strict operations can never be lost),
+//   - EVERY answered operation — strict or not — appears in the converged
+//     order: the stable store persists descriptors alongside labels
+//     (DESIGN.md §10) and recovery replays them, so an op answered by a
+//     replica that crashed before gossiping it is re-introduced rather
+//     than lost (the former "answered then lost" §9.3 weakness),
 //   - Theorem 5.8: the converged order is CSC-consistent and explains every
 //     strict response,
 //   - no replica recorded a fault (hostile-input rejections; honest chaos
@@ -216,8 +219,27 @@ func runRecoveryChaos(cfg recoveryChaosConfig) error {
 		Sizer:    EstimateSize,
 	})
 	stores := make([]StableStore, cfg.Replicas)
-	for i := range stores {
-		stores[i] = NewMemStableStore()
+	if cfg.FileStores {
+		// Real group-commit logs: every cell property must hold with fsyncs
+		// and the framed on-disk format in the loop, not just the in-memory
+		// model of them.
+		dir, err := os.MkdirTemp("", "esds-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		for i := range stores {
+			st, err := OpenFileStableStore(filepath.Join(dir, fmt.Sprintf("r%d.labels", i)))
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			stores[i] = st
+		}
+	} else {
+		for i := range stores {
+			stores[i] = NewMemStableStore()
+		}
 	}
 	cluster := NewCluster(ClusterConfig{
 		Replicas: cfg.Replicas,
@@ -319,26 +341,25 @@ func runRecoveryChaos(cfg recoveryChaosConfig) error {
 	for _, id := range conv.Order {
 		inOrder[id] = struct{}{}
 	}
-	var surviving []ops.Operation
+	requested := make([]ops.Operation, 0, len(all))
 	strictResponses := make(map[ops.ID]dtype.Value)
 	for _, o := range all {
 		if _, ok := inOrder[o.x.ID]; !ok {
-			if o.x.Strict {
-				return fmt.Errorf("strict op %v missing from converged order", o.x)
-			}
-			// Answered non-strict, then its only replica crashed before
-			// gossiping it: the one legal way to fall out of the order.
-			continue
+			// Before descriptors were durable, an answered non-strict op could
+			// legally vanish here (its only replica crashed before gossiping
+			// it). With PersistOp + recovery replay there is no legal way out
+			// of the order.
+			return fmt.Errorf("answered op %v missing from converged order (durable-descriptor replay failed)", o.x)
 		}
-		surviving = append(surviving, o.x)
+		requested = append(requested, o.x)
 		if o.x.Strict {
 			strictResponses[o.x.ID] = o.value
 		}
 	}
-	if len(conv.Order) != len(surviving) {
-		return fmt.Errorf("converged order has %d ops, %d survived", len(conv.Order), len(surviving))
+	if len(conv.Order) != len(requested) {
+		return fmt.Errorf("converged order has %d ops, submitted %d", len(conv.Order), len(requested))
 	}
-	if err := spec.ExplainStrictResponses(dtype.Log{}, surviving, conv.Order, strictResponses); err != nil {
+	if err := spec.ExplainStrictResponses(dtype.Log{}, requested, conv.Order, strictResponses); err != nil {
 		return err
 	}
 	if faults := cluster.Faults(); len(faults) > 0 {
@@ -404,12 +425,13 @@ func chaosSeeds(t *testing.T) []int64 {
 // TestPruneRecoveryDataLossWithoutSnapshot.
 func TestChaosCrashRecoverPruneMatrix(t *testing.T) {
 	optSets := []struct {
-		name string
-		opt  Options
+		name       string
+		opt        Options
+		fileStores bool
 	}{
-		{"replay", Options{Memoize: true}},
-		{"snapshot", Options{Memoize: true, Snapshot: true}},
-		{"prune+snapshot", Options{Memoize: true, Prune: true, Snapshot: true}},
+		{"replay", Options{Memoize: true}, false},
+		{"snapshot", Options{Memoize: true, Snapshot: true}, false},
+		{"prune+snapshot", Options{Memoize: true, Prune: true, Snapshot: true}, false},
 		// The batched hot path (DESIGN.md §8) must be invisible to the
 		// crash/recovery obligations: requests arrive in BatchRequestMsg
 		// frames, responses and gossip coalesce, and every cell property
@@ -417,7 +439,12 @@ func TestChaosCrashRecoverPruneMatrix(t *testing.T) {
 		// verbatim. BatchDelay stays 0 so gossip batches flush every tick
 		// and the cell remains deterministic under the simulator; partial
 		// request batches are healed by the harness's retransmission.
-		{"prune+snapshot+batch", Options{Memoize: true, Prune: true, Snapshot: true, BatchSize: 8}},
+		{"prune+snapshot+batch", Options{Memoize: true, Prune: true, Snapshot: true, BatchSize: 8}, false},
+		// Group-commit cell: the same pruned+batched configuration over real
+		// FileStableStore logs — fsyncs, framed records, and descriptor
+		// replay from disk in the loop, not just the in-memory model of
+		// them. The other cells stay on MemStableStore for speed.
+		{"prune+snapshot+batch+groupcommit", Options{Memoize: true, Prune: true, Snapshot: true, BatchSize: 8}, true},
 	}
 	for _, opts := range optSets {
 		for _, crashFrac := range []float64{0, 0.5, 1.0} {
@@ -432,6 +459,7 @@ func TestChaosCrashRecoverPruneMatrix(t *testing.T) {
 						CrashFrac:  crashFrac,
 						Cycles:     2,
 						Opt:        opts.opt,
+						FileStores: opts.fileStores,
 					}
 					if err := runRecoveryChaos(cfg); err != nil {
 						minCfg, minErr := shrinkRecoveryChaos(cfg, err)

@@ -34,10 +34,13 @@ import (
 //     shard has proof the operation was never accepted here and replays
 //     it at the destination exactly once.
 //
-// Freeze and migration records are volatile; a crashed replica re-learns
-// them from the §9.3 recovery answer (GossipMsg.Resizes) before it serves
-// requests again — handleRequest drops requests while recovering, so no
-// operation can slip into rcvd_r at a replica that has forgotten it is
+// Freeze and migration records ride the replica's durable journal
+// (StableStore.PersistResize) AND travel in §9.3 recovery answers
+// (GossipMsg.Resizes): a crashed replica with peers re-learns them from
+// either source before it serves requests again, and a crashed
+// SINGLE-replica shard — which has no peer to ask — re-learns them from
+// its own journal alone. handleRequest drops requests while recovering, so
+// no operation can slip into rcvd_r at a replica that has forgotten it is
 // frozen.
 
 // replicaResize is a replica's record of one resize epoch.
@@ -125,6 +128,7 @@ func (r *Replica) handleFreezeKeys(msg FreezeKeysMsg) {
 		return // resharding is a keyspace protocol; ignore on plain clusters
 	}
 	rr := r.resizeFor(msg.Epoch, msg.OldShards, msg.NewShards)
+	r.persistResizeLocked(rr)
 	if r.recovering {
 		r.mu.Unlock()
 		return
@@ -154,26 +158,38 @@ func (r *Replica) handleFreezeKeys(msg FreezeKeysMsg) {
 	to := msg.ReplyTo
 	node := r.node
 	r.mu.Unlock()
+	// The ack promises the driver this replica refuses new operations on
+	// moving keys from now on; the freeze record behind that promise must
+	// outlive a crash before the promise is made.
+	if !r.commitStore() {
+		return
+	}
 	r.net.Send(node, to, ack)
 }
 
 // handleKeyMigrated records completed per-key migrations: refusals for
 // these keys become Final. Records are kept forever — a retransmission
-// may arrive arbitrarily late — and survive crashes via the recovery
-// answer.
+// may arrive arbitrarily late — and survive crashes via the durable
+// journal and the recovery answer.
 func (r *Replica) handleKeyMigrated(msg KeyMigratedMsg) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.crashed || msg.OldShards < 1 || msg.Shards <= msg.OldShards {
+		r.mu.Unlock()
 		return
 	}
 	if _, keyed := r.dt.(dtype.Keyed); !keyed {
+		r.mu.Unlock()
 		return
 	}
 	rr := r.resizeFor(msg.Epoch, msg.OldShards, msg.Shards)
 	for _, mk := range msg.Keys {
 		rr.migrated[mk.Key] = mk
 	}
+	r.persistResizeLocked(rr)
+	r.mu.Unlock()
+	// No reply to hold back, but committing here keeps the
+	// migrated-forgotten window to one message instead of one epoch.
+	r.commitStore()
 }
 
 // handleResizeComplete closes a resize epoch: moving keys never
@@ -192,11 +208,53 @@ func (r *Replica) handleResizeComplete(msg ResizeCompleteMsg) {
 	}
 	rr := r.resizeFor(msg.Epoch, msg.OldShards, msg.Shards)
 	rr.complete = true
+	r.persistResizeLocked(rr)
 	ack := ResizeCompleteAckMsg{From: r.id, Shard: r.shard, Epoch: msg.Epoch}
 	to := msg.ReplyTo
 	node := r.node
 	r.mu.Unlock()
+	// Completion upgrades refusals to Final; the driver stops
+	// rebroadcasting on this ack, so the record must be crash-proof first.
+	if !r.commitStore() {
+		return
+	}
 	r.net.Send(node, to, ack)
+}
+
+// renderResizeRecord renders one epoch's record in canonical (key-sorted)
+// form — the same rendering recovery answers and the durable journal use,
+// so journal dedup by equality works.
+func renderResizeRecord(rr *replicaResize) ResizeRecord {
+	rec := ResizeRecord{
+		Epoch:     rr.epoch,
+		OldShards: rr.oldShards,
+		NewShards: rr.newShards,
+		Complete:  rr.complete,
+	}
+	keys := make([]string, 0, len(rr.migrated))
+	for key := range rr.migrated {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		rec.Migrated = append(rec.Migrated, rr.migrated[key])
+	}
+	return rec
+}
+
+// persistResizeLocked journals the current record of one resize epoch.
+// Mutex held. Like any journal append, the record is durable only after
+// the caller's group commit; the freeze/complete handlers commit before
+// sending their acks so the driver never holds an ack for an obligation a
+// crash could erase.
+func (r *Replica) persistResizeLocked(rr *replicaResize) {
+	if r.store == nil {
+		return
+	}
+	if err := r.store.PersistResize(renderResizeRecord(rr)); err != nil {
+		r.fault(FaultStoreFailed, ops.ID{}, "persisting resize epoch %d: %v", rr.epoch, err)
+		r.storeFailed = true
+	}
 }
 
 // resizeRecordsLocked renders the replica's resize history for a §9.3
@@ -207,21 +265,7 @@ func (r *Replica) resizeRecordsLocked() []ResizeRecord {
 	}
 	out := make([]ResizeRecord, 0, len(r.resizes))
 	for _, rr := range r.resizes {
-		rec := ResizeRecord{
-			Epoch:     rr.epoch,
-			OldShards: rr.oldShards,
-			NewShards: rr.newShards,
-			Complete:  rr.complete,
-		}
-		keys := make([]string, 0, len(rr.migrated))
-		for key := range rr.migrated {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			rec.Migrated = append(rec.Migrated, rr.migrated[key])
-		}
-		out = append(out, rec)
+		out = append(out, renderResizeRecord(rr))
 	}
 	return out
 }
@@ -237,6 +281,10 @@ func (r *Replica) installResizeRecords(recs []ResizeRecord) {
 		for _, mk := range rec.Migrated {
 			rr.migrated[mk.Key] = mk
 		}
+		// Gossip-learned records are journaled too (dedup makes replaying
+		// the store's own records back through here a no-op); they become
+		// durable with the next group commit.
+		r.persistResizeLocked(rr)
 	}
 }
 

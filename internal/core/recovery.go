@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"esds/internal/dtype"
@@ -20,11 +21,16 @@ import (
 //	 problem if the smallest label it had prior to the crash was generated
 //	 locally, so only those labels need to be kept in stable storage."
 //
-// Accordingly, a replica configured with a StableStore persists exactly the
-// labels it generates itself (its ℒ_r assignments). Crash wipes all
-// volatile state; Recover reloads the persisted labels, asks every peer for
-// fresh gossip, and suspends do_it / responses / outgoing gossip until
-// every peer has answered.
+// A replica configured with a StableStore persists the labels it generates
+// itself (its ℒ_r assignments) — the paper's minimum — and, beyond the
+// paper, the operation DESCRIPTORS it labels, its resize records, and the
+// prune-surviving key index (DESIGN.md §10): descriptors make acknowledged
+// operations durable (the answered-then-lost gap), and the resize records
+// let a single-replica shard re-learn its freeze obligations without a
+// peer. Crash wipes all volatile state; Recover reloads the persisted
+// labels, replays the persisted descriptors back into rcvd_r, asks every
+// peer for fresh gossip, and suspends do_it / responses / outgoing gossip
+// until every peer has answered.
 
 // RecoveryRequestMsg asks a peer for a full gossip message (and, under
 // incremental gossip, a reset of the peer's delta bookkeeping for the
@@ -33,9 +39,17 @@ type RecoveryRequestMsg struct {
 	From label.ReplicaID
 }
 
-// StableStore persists locally generated labels across crashes. Implementations
-// must retain writes made before a crash; they are the replica's only
-// non-volatile state.
+// StableStore is the replica's only non-volatile state: the write-ahead
+// journal of everything §9.3 recovery needs. Implementations must retain
+// writes made before a crash.
+//
+// The Persist* methods journal records; they may buffer — a record is
+// guaranteed durable only once a later Commit returns nil. The replica
+// groups the records of one admission round and issues one Commit before
+// any message built from them leaves (the group-commit, ack-after-durable
+// write path of DESIGN.md §10): responses, gossip, and recovery answers
+// all wait on the round's Commit, so no label or acknowledgement is ever
+// externalized on the strength of a record a crash could lose.
 type StableStore interface {
 	// PersistLabel records that the replica assigned l to id. A non-nil
 	// error means the label is NOT durable; the replica then refuses to use
@@ -44,22 +58,57 @@ type StableStore interface {
 	// could be re-issued to a different operation after recovery, splitting
 	// the total order.
 	PersistLabel(id ops.ID, l label.Label) error
-	// Labels returns all persisted assignments.
+	// PersistOp journals the full operation descriptor together with the
+	// label the replica assigned it — the do_it write path. Persisting the
+	// descriptor (not just the label) is what lets recovery re-introduce an
+	// answered-then-lost operation into gossip: without it, a replica that
+	// acknowledged a non-strict operation and crashed before gossiping it
+	// lost the operation forever (the former DESIGN.md §6 gap).
+	PersistOp(x ops.Operation, l label.Label) error
+	// PersistResize journals one resize epoch's freeze/migration record so
+	// a crashed single-replica shard re-learns its obligations without a
+	// peer. Later records for the same epoch supersede earlier ones.
+	PersistResize(rec ResizeRecord) error
+	// PersistKey journals one entry of the prune-surviving key index
+	// (keyOf), which ExportKeyState needs even after descriptors are gone.
+	PersistKey(id ops.ID, key string) error
+	// Commit makes every record journaled so far durable. A non-nil error
+	// means durability is unknown-at-best; the replica withholds the
+	// messages of the round and latches storeFailed.
+	Commit() error
+	// Labels returns all persisted label assignments (from PersistLabel and
+	// PersistOp records alike).
 	Labels() map[ops.ID]label.Label
+	// Ops returns all persisted operation descriptors in journal order —
+	// the order they were labeled, which respects prev constraints.
+	Ops() []ops.Operation
+	// Resizes returns the latest persisted record of every resize epoch.
+	Resizes() []ResizeRecord
+	// Keys returns the persisted key index.
+	Keys() map[ops.ID]string
 }
 
 // MemStableStore is an in-memory StableStore that lives outside the replica
 // (so it survives Replica.Crash). It is safe for concurrent use.
 type MemStableStore struct {
-	mu sync.Mutex
-	m  map[ops.ID]label.Label
+	mu      sync.Mutex
+	m       map[ops.ID]label.Label
+	ops     []ops.Operation
+	opIdx   map[ops.ID]int
+	resizes map[int]ResizeRecord
+	keys    map[ops.ID]string
 }
 
 var _ StableStore = (*MemStableStore)(nil)
 
 // NewMemStableStore returns an empty store.
 func NewMemStableStore() *MemStableStore {
-	return &MemStableStore{m: make(map[ops.ID]label.Label)}
+	return &MemStableStore{
+		m:       make(map[ops.ID]label.Label),
+		opIdx:   make(map[ops.ID]int),
+		resizes: make(map[int]ResizeRecord),
+		keys:    make(map[ops.ID]string),
+	}
 }
 
 // PersistLabel implements StableStore; memory writes cannot fail.
@@ -70,6 +119,41 @@ func (s *MemStableStore) PersistLabel(id ops.ID, l label.Label) error {
 	return nil
 }
 
+// PersistOp implements StableStore. Re-persisting an operation (a recovery
+// replay re-labeling it with its held label) overwrites in place.
+func (s *MemStableStore) PersistOp(x ops.Operation, l label.Label) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[x.ID] = l
+	if i, ok := s.opIdx[x.ID]; ok {
+		s.ops[i] = x
+	} else {
+		s.opIdx[x.ID] = len(s.ops)
+		s.ops = append(s.ops, x)
+	}
+	return nil
+}
+
+// PersistResize implements StableStore: the latest record per epoch wins
+// (records only grow — more migrated keys, then Complete).
+func (s *MemStableStore) PersistResize(rec ResizeRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resizes[rec.Epoch] = rec
+	return nil
+}
+
+// PersistKey implements StableStore.
+func (s *MemStableStore) PersistKey(id ops.ID, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[id] = key
+	return nil
+}
+
+// Commit implements StableStore; memory records are durable on write.
+func (s *MemStableStore) Commit() error { return nil }
+
 // Labels implements StableStore.
 func (s *MemStableStore) Labels() map[ops.ID]label.Label {
 	s.mu.Lock()
@@ -77,6 +161,36 @@ func (s *MemStableStore) Labels() map[ops.ID]label.Label {
 	out := make(map[ops.ID]label.Label, len(s.m))
 	for id, l := range s.m {
 		out[id] = l
+	}
+	return out
+}
+
+// Ops implements StableStore.
+func (s *MemStableStore) Ops() []ops.Operation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ops.Operation(nil), s.ops...)
+}
+
+// Resizes implements StableStore.
+func (s *MemStableStore) Resizes() []ResizeRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ResizeRecord, 0, len(s.resizes))
+	for _, rec := range s.resizes {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// Keys implements StableStore.
+func (s *MemStableStore) Keys() map[ops.ID]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ops.ID]string, len(s.keys))
+	for id, k := range s.keys {
+		out[id] = k
 	}
 	return out
 }
@@ -137,9 +251,13 @@ func (r *Replica) Crash() {
 
 // Recover restarts a crashed replica: persisted labels are reloaded (so
 // every re-learned operation gets a label ≤ its pre-crash label, the §9.3
-// correctness condition), every peer is asked for fresh gossip, and the
-// replica resumes the algorithm only after all peers have answered.
-// A single-replica cluster resumes immediately.
+// correctness condition), persisted descriptors are replayed into rcvd_r
+// (so an operation this replica acknowledged and never gossiped re-enters
+// the algorithm — and, once re-labeled, gossip — instead of being lost),
+// persisted resize records and key-index entries are reinstalled, every
+// peer is asked for fresh gossip, and the replica resumes the algorithm
+// only after all peers have answered. A single-replica cluster resumes
+// immediately.
 func (r *Replica) Recover() {
 	r.mu.Lock()
 	if r.store != nil {
@@ -160,6 +278,23 @@ func (r *Replica) Recover() {
 		}
 	}
 	r.crashed = false
+	if r.store != nil {
+		// Replay the durable descriptors in journal order (prev-respecting:
+		// do_it labeled them in that order). Each goes through receiveOp —
+		// NOT pending (the front end retransmits anything unanswered) — so
+		// the next process() pass re-labels it with its held label and
+		// re-enters it into gossip. Duplicates against handshake answers or
+		// snapshots dedup via rcvdIDs/doneAt as usual.
+		for _, x := range r.store.Ops() {
+			r.receiveOp(x)
+		}
+		r.installResizeRecords(r.store.Resizes())
+		for id, key := range r.store.Keys() {
+			if _, ok := r.keyOf[id]; !ok {
+				r.keyOf[id] = key
+			}
+		}
+	}
 	r.recovering = r.n > 1
 	r.recoveryAcks = make(map[label.ReplicaID]struct{})
 	peers := make([]transport.NodeID, 0, r.n-1)
@@ -261,6 +396,11 @@ func (r *Replica) handleRecoveryRequest(msg RecoveryRequestMsg) {
 	r.metrics.GossipSent++
 	to := r.peers[from]
 	r.mu.Unlock()
+	// The answer carries labels; the ack-after-durable invariant (DESIGN.md
+	// §10) extends to recovery answers like any other externalization.
+	if !r.commitStore() {
+		return
+	}
 	if haveSnap {
 		r.net.Send(r.node, to, snap)
 	}

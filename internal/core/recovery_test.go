@@ -263,6 +263,16 @@ func (s *failingStore) PersistLabel(id ops.ID, l label.Label) error {
 	return s.MemStableStore.PersistLabel(id, l)
 }
 
+// PersistOp is the call the labeling path actually makes (descriptor +
+// label, DESIGN.md §10); it must fail alongside PersistLabel for the
+// fail-stop test to exercise the real write path.
+func (s *failingStore) PersistOp(x ops.Operation, l label.Label) error {
+	if s.fail {
+		return fmt.Errorf("disk full")
+	}
+	return s.MemStableStore.PersistOp(x, l)
+}
+
 // TestStoreFailureStopsLabelingNotService: when the stable store cannot
 // persist a label, the replica must stop labeling (an unpersisted label
 // could be re-issued after a crash, splitting the order) but keep merging
@@ -397,8 +407,12 @@ func TestRecoveredLabelVoidedBelowDoneMax(t *testing.T) {
 func TestMemStableStore(t *testing.T) {
 	st := NewMemStableStore()
 	id := ops.ID{Client: "c", Seq: 1}
-	st.PersistLabel(id, label.Make(5, 0))
-	st.PersistLabel(id, label.Make(3, 0)) // overwrite
+	if err := st.PersistLabel(id, label.Make(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PersistLabel(id, label.Make(3, 0)); err != nil { // overwrite
+		t.Fatal(err)
+	}
 	got := st.Labels()
 	if len(got) != 1 || got[id] != label.Make(3, 0) {
 		t.Fatalf("labels = %v", got)
@@ -407,5 +421,38 @@ func TestMemStableStore(t *testing.T) {
 	got[id] = label.Make(99, 0)
 	if st.Labels()[id] != label.Make(3, 0) {
 		t.Fatal("Labels aliases internal state")
+	}
+
+	// Descriptor, resize, and key-index persistence mirror FileStableStore.
+	x := ops.Operation{Op: dtype.LogAppend{Entry: "e"}, ID: ops.ID{Client: "d", Seq: 2}}
+	if err := st.PersistOp(x, label.Make(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PersistOp(x, label.Make(6, 1)); err != nil { // re-label, same descriptor
+		t.Fatal(err)
+	}
+	if xs := st.Ops(); len(xs) != 1 || xs[0].ID != x.ID {
+		t.Fatalf("ops = %+v", xs)
+	}
+	if st.Labels()[x.ID] != label.Make(6, 1) {
+		t.Fatalf("op label = %v, want re-labeled value", st.Labels()[x.ID])
+	}
+	if err := st.PersistResize(ResizeRecord{Epoch: 1, OldShards: 1, NewShards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PersistResize(ResizeRecord{Epoch: 1, OldShards: 1, NewShards: 2, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	if rs := st.Resizes(); len(rs) != 1 || !rs[0].Complete {
+		t.Fatalf("resizes = %+v, want single complete epoch-1 record", rs)
+	}
+	if err := st.PersistKey(x.ID, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if ks := st.Keys(); len(ks) != 1 || ks[x.ID] != "k" {
+		t.Fatalf("keys = %v", ks)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -345,13 +345,14 @@ func (r *Replica) deliverRun(run []transport.Message) {
 		}
 	}
 	redirects = append(redirects, r.drainRecoveryParked()...)
-	r.process()
+	outbox := r.process()
 	r.metrics.PipelineRuns++
 	node, shard := r.node, r.shard
 	r.mu.Unlock()
 	for _, resp := range redirects {
 		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
 	}
+	r.deliverOutbox(outbox)
 }
 
 // ID returns the replica's identifier.
@@ -417,8 +418,9 @@ func (r *Replica) handleRequest(msg RequestMsg) {
 		r.net.Send(node, to, resp)
 		return
 	}
-	defer r.mu.Unlock()
-	r.process()
+	outbox := r.process()
+	r.mu.Unlock()
+	r.deliverOutbox(outbox)
 }
 
 // handleBatchRequest is the batched form of receive_cr: each element goes
@@ -440,12 +442,16 @@ func (r *Replica) handleBatchRequest(msg BatchRequestMsg) {
 			redirects = append(redirects, resp)
 		}
 	}
-	r.process()
+	outbox := r.process()
 	node, shard := r.node, r.shard
 	r.mu.Unlock()
+	// Redirects carry no labels and need no durability; the responses wait
+	// on the round's single group commit — one fsync for the whole
+	// BatchRequestMsg, which is what makes durable acks batch-priced.
 	for _, resp := range redirects {
 		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
 	}
+	r.deliverOutbox(outbox)
 }
 
 // admitOrRefuseLocked runs the admission decision for one requested
@@ -518,6 +524,16 @@ func (r *Replica) receiveOp(x ops.Operation) {
 	r.retained[x.ID] = x
 	if key, keyed := dtype.KeyOf(x.Op); keyed {
 		r.keyOf[x.ID] = key
+		if r.store != nil {
+			// The key index outlives pruning (ExportKeyState enumerates a
+			// key's full source-era history from it), so it rides the
+			// durable journal too — including entries for ops this replica
+			// only ever sees via gossip and never labels itself.
+			if err := r.store.PersistKey(x.ID, key); err != nil {
+				r.fault(FaultStoreFailed, x.ID, "persisting key index entry: %v", err)
+				r.storeFailed = true
+			}
+		}
 	}
 	r.enqueueR(x.ID)
 	if _, done := r.doneAt[r.id][x.ID]; !done {
@@ -579,12 +595,13 @@ func (r *Replica) handleBatchGossip(msg BatchGossipMsg) {
 // Mutex held on entry; released on return.
 func (r *Replica) finishGossipLocked() {
 	redirects := r.drainRecoveryParked()
-	r.process()
+	outbox := r.process()
 	node, shard := r.node, r.shard
 	r.mu.Unlock()
 	for _, resp := range redirects {
 		r.net.Send(node, FrontEndNodeIn(shard, resp.ID.Client), resp)
 	}
+	r.deliverOutbox(outbox)
 }
 
 // mergeGossipLocked folds one gossip message into the replica state — the
@@ -787,17 +804,21 @@ func (r *Replica) applyCurrent(id ops.ID) {
 
 // process runs the replica's internal actions to quiescence: deferred
 // completions, do_it (Fig. 7), stability bookkeeping, memoization (§10.1),
-// and responses. Called with the mutex held after every message. While the
-// §9.3 recovery handshake is outstanding the replica only merges state; it
-// neither labels new operations nor answers clients.
-func (r *Replica) process() {
+// and responses. Called with the mutex held after every message; it
+// returns the round's responses UNSENT — the caller unlocks, commits the
+// round's journal records with one fsync (group commit), and only then
+// ships them (deliverOutbox): a replica never acknowledges a request
+// before its record is durable. While the §9.3 recovery handshake is
+// outstanding the replica only merges state; it neither labels new
+// operations nor answers clients.
+func (r *Replica) process() []responseOut {
 	r.retryDeferred()
 	if r.recovering {
-		return
+		return nil
 	}
 	r.tryDoIt()
 	r.advanceMemo()
-	r.respondPending()
+	return r.respondPending()
 }
 
 // retryDeferred re-attempts done/stable processing for ids whose descriptor
@@ -890,11 +911,16 @@ func (r *Replica) tryDoIt() {
 				l = r.gen.Next()
 			}
 			if r.store != nil {
-				// §9.3: locally generated labels are the only state that
-				// must survive a crash — a label that could not be persisted
-				// must never be used.
-				if err := r.store.PersistLabel(id, l); err != nil {
-					r.fault(FaultStoreFailed, id, "persisting label %v: %v", l, err)
+				// §9.3 requires the label to survive a crash before it is
+				// used; journaling the whole DESCRIPTOR with it (DESIGN.md
+				// §10) additionally makes the acknowledgement durable — a
+				// recovery replays the descriptor back into gossip, so an
+				// answered-then-lost operation can no longer exist. The
+				// record is buffered here; it becomes durable at the round's
+				// group Commit, which every message carrying this label
+				// waits on before leaving (see deliverOutbox).
+				if err := r.store.PersistOp(x, l); err != nil {
+					r.fault(FaultStoreFailed, id, "persisting op with label %v: %v", l, err)
 					r.storeFailed = true
 					remaining = append(remaining, id)
 					continue
@@ -1062,10 +1088,12 @@ func (r *Replica) maybePrune(id ops.ID) {
 
 // respondPending is send_rc(⟨"response", x, v⟩) of Fig. 7: every pending
 // operation that is locally done — and, if strict, known stable at every
-// replica — is answered and removed from pending.
-func (r *Replica) respondPending() {
+// replica — is answered and removed from pending. The responses are
+// returned, not sent: acknowledgements may only leave after the round's
+// journal records are durable (deliverOutbox).
+func (r *Replica) respondPending() []responseOut {
 	if len(r.pendingQueue) == 0 {
-		return
+		return nil
 	}
 	remaining := r.pendingQueue[:0]
 	var outbox []responseOut
@@ -1108,9 +1136,49 @@ func (r *Replica) respondPending() {
 	// remaining compacted pendingQueue in place over its own backing array;
 	// adopting it directly avoids re-copying the queue on every message.
 	r.pendingQueue = remaining
-	// Send outside the per-op loop but still under the mutex: on the sim
-	// transport Send only schedules an event, and on the live transport it
-	// only enqueues into a mailbox, so no lock-order issue arises.
+	return outbox
+}
+
+// responseOut is one response awaiting send, with its destination.
+type responseOut struct {
+	to  transport.NodeID
+	msg ResponseMsg
+}
+
+// commitStore makes every record journaled so far durable — ONE Commit
+// (one fsync on a FileStableStore) covering a whole admission round, the
+// group commit of DESIGN.md §10. Called WITHOUT the mutex, so the next
+// round can admit and journal while this round's fsync is in flight; the
+// store's committer coalesces the overlapping commits. A false return
+// means durability failed: the caller must withhold every label-carrying
+// message of the round (front ends retransmit, and healthy replicas take
+// over the labeling — storeFailed is latched exactly as for a failed
+// append).
+func (r *Replica) commitStore() bool {
+	if r.store == nil {
+		return true
+	}
+	if err := r.store.Commit(); err != nil {
+		r.mu.Lock()
+		r.fault(FaultStoreFailed, ops.ID{}, "committing journal: %v", err)
+		r.storeFailed = true
+		r.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// deliverOutbox ships one round's responses after committing the round's
+// journal records — the ack-after-durable ordering: an acknowledgement
+// reaches the wire only once the operation it answers (descriptor and
+// label) is on stable storage. Called without the mutex.
+func (r *Replica) deliverOutbox(outbox []responseOut) {
+	if len(outbox) == 0 {
+		return
+	}
+	if !r.commitStore() {
+		return
+	}
 	if r.opt.BatchSize > 1 && len(outbox) > 1 {
 		r.sendResponsesBatched(outbox)
 		return
@@ -1120,17 +1188,12 @@ func (r *Replica) respondPending() {
 	}
 }
 
-// responseOut is one response awaiting send, with its destination.
-type responseOut struct {
-	to  transport.NodeID
-	msg ResponseMsg
-}
-
 // sendResponsesBatched groups one process pass's responses by destination
 // front end and sends each group as a BatchResponseMsg (chunked at
 // BatchSize; a group of one stays a plain ResponseMsg), preserving
 // per-destination order — the response side of the batched hot path.
-// Mutex held (Send only enqueues on every transport).
+// Called without the mutex (r.opt and r.node are immutable; the metrics
+// touch re-locks).
 func (r *Replica) sendResponsesBatched(outbox []responseOut) {
 	grouped := make(map[transport.NodeID][]ResponseMsg)
 	var order []transport.NodeID
@@ -1140,6 +1203,7 @@ func (r *Replica) sendResponsesBatched(outbox []responseOut) {
 		}
 		grouped[o.to] = append(grouped[o.to], o.msg)
 	}
+	var batches uint64
 	for _, to := range order {
 		resps := grouped[to]
 		for len(resps) > 0 {
@@ -1150,11 +1214,16 @@ func (r *Replica) sendResponsesBatched(outbox []responseOut) {
 			if n == 1 {
 				r.net.Send(r.node, to, resps[0])
 			} else {
-				r.metrics.ResponseBatchesSent++
+				batches++
 				r.net.Send(r.node, to, BatchResponseMsg{Resps: resps[:n:n]})
 			}
 			resps = resps[n:]
 		}
+	}
+	if batches > 0 {
+		r.mu.Lock()
+		r.metrics.ResponseBatchesSent += batches
+		r.mu.Unlock()
 	}
 }
 
@@ -1289,6 +1358,13 @@ func (r *Replica) SendGossip() {
 		}
 	}
 	r.mu.Unlock()
+	// Gossip carries labels; any journaled in an admission round whose
+	// group commit is still in flight must become durable before they leave
+	// (the ack-after-durable invariant covers every label-carrying message,
+	// not just responses). The commit is a no-op when nothing is pending.
+	if len(outbox) > 0 && !r.commitStore() {
+		return
+	}
 	for _, o := range outbox {
 		r.net.Send(r.node, o.to, o.msg)
 	}

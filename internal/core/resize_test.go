@@ -369,8 +369,9 @@ func TestResizeCrashMidMigration(t *testing.T) {
 	for i := 0; i < objects; i++ {
 		obj := fmt.Sprintf("cm-%02d", i)
 		// Strict seeds: stable everywhere before the response, so the crash
-		// below cannot hit the (pre-existing, documented) answered-then-lost
-		// gap for non-strict operations — this test targets migration.
+		// below cannot lose an answered non-strict op (this store-less
+		// cluster has no journal to replay it from; DESIGN.md §10) — this
+		// test targets migration.
 		x, _, err := client.SubmitWait(ks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, true)
 		if err != nil {
 			t.Fatalf("seed %s: %v", obj, err)

@@ -97,8 +97,9 @@ func TestRuntimeWorkerOwnershipStress(t *testing.T) {
 	//
 	// The crash is staged: clients pause at the half-way barrier, the
 	// keyspace quiesces for a few gossip rounds so every ACKED operation is
-	// replicated (a non-strict op answered and lost in the crash window is
-	// the documented §6 gap, not a runtime bug — its id in a later prev set
+	// replicated (this cluster runs store-less, so a non-strict op answered
+	// and lost in the crash window has no journal to come back from —
+	// DESIGN.md §10 — not a runtime bug; its id in a later prev set
 	// would park that read forever), then the victim crashes, traffic
 	// resumes AROUND the dead replica, and recovery races the live load.
 	var (

@@ -91,19 +91,22 @@ func (r *Replica) buildSnapshot() (SnapshotMsg, bool) {
 // descriptors were pruned resolve against the installed prefix).
 func (r *Replica) handleSnapshot(msg SnapshotMsg) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.crashed || !r.opt.Snapshot {
+		r.mu.Unlock()
 		return
 	}
 	from := int(msg.From)
 	if from < 0 || from >= r.n || from == int(r.id) {
+		r.mu.Unlock()
 		return // malformed or self snapshot: ignore
 	}
 	r.metrics.SnapshotsReceived++
 	if r.installSnapshot(msg) {
 		r.metrics.SnapshotsInstalled++
 	}
-	r.process()
+	outbox := r.process()
+	r.mu.Unlock()
+	r.deliverOutbox(outbox)
 }
 
 // installSnapshot merges a validated snapshot into the replica state and

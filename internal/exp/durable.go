@@ -1,0 +1,374 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/stats"
+	"esds/internal/transport"
+)
+
+// E14: durable group-commit write path (DESIGN.md §10). Like E12 this runs
+// a real multi-transport cluster on loopback TCP — the effect under test
+// is real fsync latency and how the group-commit store amortizes it across
+// the operations of one batched admission round. Every point is measured
+// twice over FileStableStore journals in a scratch directory: once durable
+// (Commit fsyncs before any acknowledgement leaves) and once with NoSync
+// (records reach the page cache only — the pre-durability behavior). The
+// sweep varies the batch size, because the admission batch IS the sync
+// batch: one fsync per BatchRequestMsg round. The ratio column is the cost
+// of crash durability at each batch size; the gate demands the batched
+// durable configurations keep at least MinRatio of their NoSync
+// throughput.
+
+// DurablePoint is one swept (batch size, flush delay) configuration,
+// measured durable and NoSync.
+type DurablePoint struct {
+	Size  int           // Options.BatchSize (1 = unbatched: one fsync per op when idle)
+	Delay time.Duration // Options.BatchDelay
+}
+
+// DurableParams configures the durable-throughput experiment.
+type DurableParams struct {
+	// Replicas is the cluster size; each replica runs on its own TCPNet and
+	// owns one FileStableStore journal.
+	Replicas int
+	// Clients are concurrent pipelined submitters sharing one client-side
+	// TCPNet.
+	Clients int
+	// OpsPerClient is the number of non-strict increments each client
+	// submits per leg.
+	OpsPerClient int
+	// Window bounds each client's in-flight submissions.
+	Window int
+	// Points is the sweep; points with Size > 1 are the batched
+	// configurations the MinRatio gate applies to.
+	Points []DurablePoint
+	// GossipInterval is the anti-entropy period.
+	GossipInterval time.Duration
+	// MinRatio makes Verify fail when no batched point's durable throughput
+	// reaches MinRatio × its own NoSync throughput. ≤ 0 disables the gate
+	// (smoke runs).
+	MinRatio float64
+}
+
+// DefaultDurableParams is the headline configuration: a 3-replica counter
+// cluster, 4 clients × 1000 pipelined increments, swept over batch sizes
+// 1/8/32. The gate demands durable batched throughput within 2× of
+// non-durable batched (ratio ≥ 0.5).
+func DefaultDurableParams() DurableParams {
+	return DurableParams{
+		Replicas:     3,
+		Clients:      4,
+		OpsPerClient: 1000,
+		Window:       256,
+		Points: []DurablePoint{
+			{Size: 1, Delay: 0}, // unbatched: the worst case for fsync amortization
+			{Size: 8, Delay: time.Millisecond},
+			{Size: 32, Delay: time.Millisecond},
+		},
+		GossipInterval: 2 * time.Millisecond,
+		MinRatio:       0.5,
+	}
+}
+
+// SmokeDurableParams is a fast structural check (CI-friendly): tiny
+// workload, no ratio gate.
+func SmokeDurableParams() DurableParams {
+	return DurableParams{
+		Replicas:     2,
+		Clients:      2,
+		OpsPerClient: 50,
+		Window:       32,
+		Points: []DurablePoint{
+			{Size: 8, Delay: time.Millisecond},
+		},
+		GossipInterval: time.Millisecond,
+	}
+}
+
+// DurableRow is one sweep point: the same configuration measured durable
+// and NoSync.
+type DurableRow struct {
+	BatchSize  int
+	Delay      time.Duration
+	Ops        int
+	Durable    float64 // ops/s with group-commit fsyncs
+	NoSync     float64 // ops/s with page-cache-only commits
+	Ratio      float64 // Durable / NoSync
+	OpsPerSync float64 // measured group-commit batch: journal records per fsync (durable leg)
+}
+
+// DurableResult is the regenerated table.
+type DurableResult struct {
+	Rows []DurableRow
+	Err  error // first execution error (fails Verify)
+}
+
+// RunDurable executes the sweep.
+func RunDurable(p DurableParams) DurableResult {
+	var res DurableResult
+	for _, pt := range p.Points {
+		row := DurableRow{BatchSize: pt.Size, Delay: pt.Delay}
+		durable, opsPerSync, err := runDurablePoint(p, pt, false)
+		if err != nil && res.Err == nil {
+			res.Err = fmt.Errorf("exp: E14 batch=%d durable: %w", pt.Size, err)
+		}
+		nosync, _, err := runDurablePoint(p, pt, true)
+		if err != nil && res.Err == nil {
+			res.Err = fmt.Errorf("exp: E14 batch=%d nosync: %w", pt.Size, err)
+		}
+		row.Ops = p.Clients * p.OpsPerClient
+		row.Durable = durable
+		row.NoSync = nosync
+		row.OpsPerSync = opsPerSync
+		if nosync > 0 {
+			row.Ratio = durable / nosync
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// runDurablePoint measures one leg: a fresh cluster, each replica on its
+// own TCPNet with its own FileStableStore journal, pipelined increments,
+// then a strict read-back proving serialization. Returns throughput and
+// the durable leg's measured records-per-sync.
+func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, float64, error) {
+	core.RegisterWire()
+	dir, err := os.MkdirTemp("", "esds-e14-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	opt := core.DefaultOptions()
+	opt.Commute = true
+	opt.BatchSize = pt.Size
+	opt.BatchDelay = pt.Delay
+
+	nets := make([]*transport.TCPNet, 0, p.Replicas+1)
+	addrs := make([]string, p.Replicas)
+	closeAll := func() {
+		for _, n := range nets {
+			n.Close()
+		}
+	}
+	fileStores := make([]*core.FileStableStore, p.Replicas)
+	closeStores := func() {
+		for _, st := range fileStores {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}
+	for i := 0; i < p.Replicas; i++ {
+		net, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			closeAll()
+			return 0, 0, err
+		}
+		nets = append(nets, net)
+		addrs[i] = net.Addr().String()
+	}
+	clusters := make([]*core.Cluster, p.Replicas)
+	for i := 0; i < p.Replicas; i++ {
+		st, err := core.OpenFileStableStoreWith(
+			filepath.Join(dir, fmt.Sprintf("r%d.labels", i)),
+			core.FileStoreOptions{NoSync: noSync})
+		if err != nil {
+			closeStores()
+			closeAll()
+			return 0, 0, err
+		}
+		fileStores[i] = st
+		stores := make([]core.StableStore, p.Replicas)
+		stores[i] = st
+		for j := 0; j < p.Replicas; j++ {
+			if j != i {
+				nets[i].SetPeer(core.ReplicaNode(label.ReplicaID(j)), addrs[j])
+			}
+		}
+		clusters[i] = core.NewCluster(core.ClusterConfig{
+			Replicas:      p.Replicas,
+			DataType:      dtype.Counter{},
+			Network:       nets[i],
+			Options:       opt,
+			Stores:        stores,
+			LocalReplicas: []int{i},
+		})
+		nets[i].Start()
+	}
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		closeStores()
+		closeAll()
+		return 0, 0, err
+	}
+	nets = append(nets, feNet)
+	for j := 0; j < p.Replicas; j++ {
+		feNet.SetPeer(core.ReplicaNode(label.ReplicaID(j)), addrs[j])
+	}
+	feCluster := core.NewCluster(core.ClusterConfig{
+		Replicas:      p.Replicas,
+		DataType:      dtype.Counter{},
+		Network:       feNet,
+		Options:       opt,
+		LocalReplicas: []int{},
+	})
+	feNet.Start()
+	defer func() {
+		feCluster.Close()
+		for _, c := range clusters {
+			c.Close()
+		}
+		closeStores()
+		closeAll()
+	}()
+	for _, c := range clusters {
+		c.StartLiveGossip(p.GossipInterval)
+	}
+	feCluster.StartLiveRetransmit(250 * time.Millisecond)
+	if pt.Size > 1 {
+		flush := pt.Delay
+		if flush <= 0 {
+			flush = time.Millisecond
+		}
+		feCluster.StartLiveBatchFlush(flush)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	allIDs := make([][]ops.ID, p.Clients)
+	start := time.Now()
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fe := feCluster.FrontEnd(fmt.Sprintf("w%d", c))
+			window := make(chan struct{}, p.Window)
+			var inner sync.WaitGroup
+			ids := make([]ops.ID, 0, p.OpsPerClient)
+			for i := 0; i < p.OpsPerClient; i++ {
+				window <- struct{}{}
+				inner.Add(1)
+				x := fe.Submit(dtype.CtrAdd{N: 1}, nil, false, func(r core.Response) {
+					if r.Err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = r.Err
+						}
+						mu.Unlock()
+					}
+					<-window
+					inner.Done()
+				})
+				ids = append(ids, x.ID)
+			}
+			inner.Wait()
+			allIDs[c] = ids
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+
+	// Strict read-back, constrained after every increment: proves all
+	// pipelined, batched, group-committed operations were serialized —
+	// outside the timed window.
+	var prev []ops.ID
+	for _, ids := range allIDs {
+		prev = append(prev, ids...)
+	}
+	reader := feCluster.FrontEnd("reader")
+	ch := make(chan core.Response, 1)
+	reader.Submit(dtype.CtrRead{}, prev, true, func(r core.Response) { ch <- r })
+	reader.Flush()
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
+	var read core.Response
+	select {
+	case read = <-ch:
+	case <-deadline.C:
+		return 0, 0, fmt.Errorf("strict read-back timed out")
+	}
+	if read.Err != nil {
+		return 0, 0, fmt.Errorf("strict read-back: %w", read.Err)
+	}
+	total := p.Clients * p.OpsPerClient
+	if sum, _ := read.Value.(int64); sum != int64(total) {
+		return 0, 0, fmt.Errorf("strict read-back sum = %v, want %d", read.Value, total)
+	}
+
+	var syncs, records uint64
+	for _, st := range fileStores {
+		s, r := st.Syncs()
+		syncs += s
+		records += r
+	}
+	opsPerSync := 0.0
+	if syncs > 0 {
+		opsPerSync = float64(records) / float64(syncs)
+	}
+	return float64(total) / elapsed.Seconds(), opsPerSync, nil
+}
+
+// Table renders the sweep. Wall-clock numbers are machine-dependent; the
+// ratio and records/sync columns are the structural claims.
+func (r DurableResult) Table() string {
+	t := stats.NewTable("batch", "delay", "ops", "durable ops/s", "nosync ops/s", "ratio", "records/sync")
+	for _, row := range r.Rows {
+		t.AddRow(row.BatchSize, row.Delay.String(), row.Ops,
+			row.Durable, row.NoSync, row.Ratio, row.OpsPerSync)
+	}
+	return t.String()
+}
+
+// Verify checks the durable write path's claims: every leg completed and
+// read back exactly its writes (non-zero throughput), and — when a
+// threshold is configured — some batched point's durable throughput
+// reaches MinRatio × its own NoSync throughput.
+func (r DurableResult) Verify(p DurableParams) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("exp: E14 has no sweep points")
+	}
+	bestBatched := 0.0
+	haveBatched := false
+	for _, row := range r.Rows {
+		if row.Durable <= 0 || row.NoSync <= 0 {
+			return fmt.Errorf("exp: E14 batch=%d: no throughput (durable=%.0f nosync=%.0f)",
+				row.BatchSize, row.Durable, row.NoSync)
+		}
+		if row.BatchSize > 1 {
+			haveBatched = true
+			if row.Ratio > bestBatched {
+				bestBatched = row.Ratio
+			}
+		}
+	}
+	if p.MinRatio > 0 {
+		if !haveBatched {
+			return fmt.Errorf("exp: E14 ratio gate needs a batched sweep point")
+		}
+		if bestBatched < p.MinRatio {
+			return fmt.Errorf("exp: E14 best batched durable/nosync ratio %.2f below required %.2f — group commit is not amortizing fsyncs",
+				bestBatched, p.MinRatio)
+		}
+	}
+	return nil
+}

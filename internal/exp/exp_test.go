@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
+	if len(all) != 14 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -266,6 +266,28 @@ func TestE13CoreScalingSmoke(t *testing.T) {
 	for _, row := range r.Rows {
 		if row.Ops != p.Clients*p.OpsPerClient {
 			t.Fatalf("row %+v incomplete", row)
+		}
+	}
+}
+
+func TestE14DurableSmoke(t *testing.T) {
+	// Structural smoke of the durable-write-path experiment: one tiny
+	// batched point measured durable and NoSync over real FileStableStore
+	// journals, no ratio gate (fsync cost is machine-dependent; the headline
+	// gated run is `esds-bench -exp e14` / BenchmarkE14DurableThroughput).
+	// The structural claims — both legs serialize and read back every op,
+	// and the durable leg actually fsynced — are still asserted.
+	p := SmokeDurableParams()
+	r := RunDurable(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	for _, row := range r.Rows {
+		if row.Ops != p.Clients*p.OpsPerClient {
+			t.Fatalf("row %+v incomplete", row)
+		}
+		if row.OpsPerSync <= 0 {
+			t.Fatalf("row %+v recorded no committer passes", row)
 		}
 	}
 }

@@ -109,6 +109,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e14", Title: "Durable group-commit write path", PaperRef: "DESIGN.md §10 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultDurableParams()
+				r := RunDurable(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 
