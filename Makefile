@@ -4,7 +4,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: build test race bench bench-diff chaos fmt vet lint ci clean
+.PHONY: build test race bench bench-diff chaos loadlab fmt vet lint ci clean
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,8 @@ test:
 race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 . ./internal/core ./internal/transport ./cmd/esds-server
 
-# Every E1–E14 benchmark body runs exactly once: a harness smoke test, not
-# a measurement (the E10–E14 live-transport experiments run their full
+# Every E1–E15 benchmark body runs exactly once: a harness smoke test, not
+# a measurement (the E10–E15 live-transport experiments run their full
 # workloads even at 1x). benchjson tees the output and captures every
 # metric — sharding speedup, resize windows, core scaling, durable
 # throughput — into the BENCH_results.json trajectory artifact. For real
@@ -64,6 +64,18 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestKillNine|TestResizeAdminAgainstCluster' ./cmd/esds-server
 	$(GO) test -race -count=2 -run 'TestResize' ./internal/core
 
+# Hostile-network load lab under the race detector (DESIGN.md §11): the
+# open-loop chaos matrix (profile × seed full-stack cells with a mid-run
+# resize), the 30%-loss retransmission+batching regression pin, the
+# FaultNet determinism/partition tests, and the latency-histogram tests.
+# Seeds are pinned; sweep others with ESDS_CHAOS_SEEDS=7,8,9 make loadlab.
+# A failing matrix cell shrinks to a minimal reproduction automatically.
+loadlab:
+	$(GO) test -race -count=1 ./internal/loadlab
+	$(GO) test -race -count=1 -run 'TestRetransmitBatchingUnderLoss' ./internal/core
+	$(GO) test -race -count=1 -run 'TestFaultNet' ./internal/transport
+	$(GO) test -count=1 -run 'TestHist' ./internal/stats
+
 fmt:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -90,7 +102,7 @@ lint: vet
 		echo "lint: staticcheck not installed; ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
 	fi
 
-ci: build lint fmt test race chaos bench-diff
+ci: build lint fmt test race chaos loadlab bench-diff
 
 clean:
 	$(GO) clean

@@ -103,7 +103,9 @@ type BatchingRow struct {
 	BytesPerOp  float64
 	Frames      uint64 // frames handed to sockets across every transport
 	FramesPerOp float64
-	FinalSum    int64 // strict read-back (must equal Ops)
+	FinalSum    int64   // strict read-back (must equal Ops)
+	P50Ms       float64 // per-op latency percentiles (tracked, not gated)
+	P99Ms       float64
 }
 
 // BatchingResult is the regenerated table.
@@ -220,6 +222,7 @@ func runBatchingPoint(p BatchingParams, pt BatchPoint) (BatchingRow, error) {
 		firstErr error
 	)
 	allIDs := make([][]ops.ID, p.Clients)
+	lat := newLatRecorder()
 	start := time.Now()
 	for c := 0; c < p.Clients; c++ {
 		wg.Add(1)
@@ -232,7 +235,9 @@ func runBatchingPoint(p BatchingParams, pt BatchPoint) (BatchingRow, error) {
 			for i := 0; i < p.OpsPerClient; i++ {
 				window <- struct{}{}
 				inner.Add(1)
+				t0 := time.Now()
 				x := fe.Submit(dtype.CtrAdd{N: 1}, nil, false, func(r core.Response) {
+					lat.observe(t0)
 					if r.Err != nil {
 						mu.Lock()
 						if firstErr == nil {
@@ -292,6 +297,8 @@ func runBatchingPoint(p BatchingParams, pt BatchPoint) (BatchingRow, error) {
 	row.Frames = statsAfter.Sent - statsBefore.Sent
 	row.FramesPerOp = float64(row.Frames) / float64(total)
 	row.FinalSum = sum
+	q := lat.quantiles()
+	row.P50Ms, row.P99Ms = latMs(q.P50), latMs(q.P99)
 	return row, nil
 }
 
@@ -310,10 +317,10 @@ func collectTCPStats(nets []*transport.TCPNet) transport.Stats {
 // Table renders the sweep. Wall-clock numbers are machine-dependent (like
 // E10/E11); the bytes/op and frames/op columns are structural.
 func (r BatchingResult) Table() string {
-	t := stats.NewTable("batch", "delay", "ops", "seconds", "ops/s", "bytes/op", "frames/op")
+	t := stats.NewTable("batch", "delay", "ops", "seconds", "ops/s", "bytes/op", "frames/op", "p50 ms", "p99 ms")
 	for _, row := range r.Rows {
 		t.AddRow(row.BatchSize, row.Delay.String(), row.Ops, row.Seconds,
-			row.Throughput, row.BytesPerOp, row.FramesPerOp)
+			row.Throughput, row.BytesPerOp, row.FramesPerOp, row.P50Ms, row.P99Ms)
 	}
 	return t.String() + fmt.Sprintf("best speedup over unbatched baseline = %.2f×\n", r.Speedup)
 }

@@ -95,6 +95,8 @@ type CoreScalingRow struct {
 	Seconds    float64 // wall-clock time to complete them
 	Throughput float64 // ops/s
 	FinalSum   int64   // strict cross-object read-back (must equal Ops)
+	P50Ms      float64 // per-op latency percentiles (tracked, not gated)
+	P99Ms      float64
 }
 
 // CoreScalingResult is the regenerated table.
@@ -166,6 +168,7 @@ func runCoreScalingPoint(p CoreScalingParams, cores int) (CoreScalingRow, error)
 		firstErr error
 	)
 	written := make([]map[string][]ops.ID, p.Clients)
+	lat := newLatRecorder()
 	start := time.Now()
 	for w := 0; w < p.Clients; w++ {
 		wg.Add(1)
@@ -180,7 +183,9 @@ func runCoreScalingPoint(p CoreScalingParams, cores int) (CoreScalingRow, error)
 			for i := 0; i < p.OpsPerClient; i++ {
 				obj := owned[i%len(owned)]
 				fe := ks.FrontEnd(obj, client)
+				t0 := time.Now()
 				x, v, err := fe.SubmitWait(ks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, false)
+				lat.observe(t0)
 				if err == nil && v != "ok" {
 					err = fmt.Errorf("add returned %v", v)
 				}
@@ -239,6 +244,7 @@ func runCoreScalingPoint(p CoreScalingParams, cores int) (CoreScalingRow, error)
 	if sum != int64(total) {
 		return CoreScalingRow{Cores: cores, Shards: p.Shards}, fmt.Errorf("strict read-back sum = %d, want %d", sum, total)
 	}
+	q := lat.quantiles()
 	return CoreScalingRow{
 		Cores:      cores,
 		Shards:     p.Shards,
@@ -246,6 +252,8 @@ func runCoreScalingPoint(p CoreScalingParams, cores int) (CoreScalingRow, error)
 		Seconds:    elapsed.Seconds(),
 		Throughput: float64(total) / elapsed.Seconds(),
 		FinalSum:   sum,
+		P50Ms:      latMs(q.P50),
+		P99Ms:      latMs(q.P99),
 	}, nil
 }
 
@@ -264,9 +272,9 @@ func (p CoreScalingParams) MaxCores() int {
 // machine with fewer cores than the sweep the scaling ratio honestly
 // reports ≈ 1× (GOMAXPROCS cannot create cores).
 func (r CoreScalingResult) Table() string {
-	t := stats.NewTable("cores", "shards", "ops", "seconds", "throughput ops/s")
+	t := stats.NewTable("cores", "shards", "ops", "seconds", "throughput ops/s", "p50 ms", "p99 ms")
 	for _, row := range r.Rows {
-		t.AddRow(row.Cores, row.Shards, row.Ops, row.Seconds, row.Throughput)
+		t.AddRow(row.Cores, row.Shards, row.Ops, row.Seconds, row.Throughput, row.P50Ms, row.P99Ms)
 	}
 	return t.String() + fmt.Sprintf("core scaling (max cores vs baseline) = %.2f×\n", r.Scaling)
 }

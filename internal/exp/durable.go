@@ -104,6 +104,8 @@ type DurableRow struct {
 	NoSync     float64 // ops/s with page-cache-only commits
 	Ratio      float64 // Durable / NoSync
 	OpsPerSync float64 // measured group-commit batch: journal records per fsync (durable leg)
+	P50Ms      float64 // per-op latency percentiles, durable leg (tracked, not gated)
+	P99Ms      float64
 }
 
 // DurableResult is the regenerated table.
@@ -117,11 +119,11 @@ func RunDurable(p DurableParams) DurableResult {
 	var res DurableResult
 	for _, pt := range p.Points {
 		row := DurableRow{BatchSize: pt.Size, Delay: pt.Delay}
-		durable, opsPerSync, err := runDurablePoint(p, pt, false)
+		durable, opsPerSync, durQ, err := runDurablePoint(p, pt, false)
 		if err != nil && res.Err == nil {
 			res.Err = fmt.Errorf("exp: E14 batch=%d durable: %w", pt.Size, err)
 		}
-		nosync, _, err := runDurablePoint(p, pt, true)
+		nosync, _, _, err := runDurablePoint(p, pt, true)
 		if err != nil && res.Err == nil {
 			res.Err = fmt.Errorf("exp: E14 batch=%d nosync: %w", pt.Size, err)
 		}
@@ -129,6 +131,7 @@ func RunDurable(p DurableParams) DurableResult {
 		row.Durable = durable
 		row.NoSync = nosync
 		row.OpsPerSync = opsPerSync
+		row.P50Ms, row.P99Ms = latMs(durQ.P50), latMs(durQ.P99)
 		if nosync > 0 {
 			row.Ratio = durable / nosync
 		}
@@ -139,13 +142,14 @@ func RunDurable(p DurableParams) DurableResult {
 
 // runDurablePoint measures one leg: a fresh cluster, each replica on its
 // own TCPNet with its own FileStableStore journal, pipelined increments,
-// then a strict read-back proving serialization. Returns throughput and
-// the durable leg's measured records-per-sync.
-func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, float64, error) {
+// then a strict read-back proving serialization. Returns throughput, the
+// durable leg's measured records-per-sync, and the per-op latency
+// quantiles.
+func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, float64, stats.Quantiles, error) {
 	core.RegisterWire()
 	dir, err := os.MkdirTemp("", "esds-e14-*")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, stats.Quantiles{}, err
 	}
 	defer os.RemoveAll(dir)
 
@@ -173,7 +177,7 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 		net, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
 		if err != nil {
 			closeAll()
-			return 0, 0, err
+			return 0, 0, stats.Quantiles{}, err
 		}
 		nets = append(nets, net)
 		addrs[i] = net.Addr().String()
@@ -186,7 +190,7 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 		if err != nil {
 			closeStores()
 			closeAll()
-			return 0, 0, err
+			return 0, 0, stats.Quantiles{}, err
 		}
 		fileStores[i] = st
 		stores := make([]core.StableStore, p.Replicas)
@@ -210,7 +214,7 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 	if err != nil {
 		closeStores()
 		closeAll()
-		return 0, 0, err
+		return 0, 0, stats.Quantiles{}, err
 	}
 	nets = append(nets, feNet)
 	for j := 0; j < p.Replicas; j++ {
@@ -250,6 +254,7 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 		firstErr error
 	)
 	allIDs := make([][]ops.ID, p.Clients)
+	lat := newLatRecorder()
 	start := time.Now()
 	for c := 0; c < p.Clients; c++ {
 		wg.Add(1)
@@ -262,7 +267,9 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 			for i := 0; i < p.OpsPerClient; i++ {
 				window <- struct{}{}
 				inner.Add(1)
+				t0 := time.Now()
 				x := fe.Submit(dtype.CtrAdd{N: 1}, nil, false, func(r core.Response) {
+					lat.observe(t0)
 					if r.Err != nil {
 						mu.Lock()
 						if firstErr == nil {
@@ -282,7 +289,7 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 	wg.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		return 0, 0, firstErr
+		return 0, 0, stats.Quantiles{}, firstErr
 	}
 
 	// Strict read-back, constrained after every increment: proves all
@@ -302,14 +309,14 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 	select {
 	case read = <-ch:
 	case <-deadline.C:
-		return 0, 0, fmt.Errorf("strict read-back timed out")
+		return 0, 0, stats.Quantiles{}, fmt.Errorf("strict read-back timed out")
 	}
 	if read.Err != nil {
-		return 0, 0, fmt.Errorf("strict read-back: %w", read.Err)
+		return 0, 0, stats.Quantiles{}, fmt.Errorf("strict read-back: %w", read.Err)
 	}
 	total := p.Clients * p.OpsPerClient
 	if sum, _ := read.Value.(int64); sum != int64(total) {
-		return 0, 0, fmt.Errorf("strict read-back sum = %v, want %d", read.Value, total)
+		return 0, 0, stats.Quantiles{}, fmt.Errorf("strict read-back sum = %v, want %d", read.Value, total)
 	}
 
 	var syncs, records uint64
@@ -322,16 +329,16 @@ func runDurablePoint(p DurableParams, pt DurablePoint, noSync bool) (float64, fl
 	if syncs > 0 {
 		opsPerSync = float64(records) / float64(syncs)
 	}
-	return float64(total) / elapsed.Seconds(), opsPerSync, nil
+	return float64(total) / elapsed.Seconds(), opsPerSync, lat.quantiles(), nil
 }
 
 // Table renders the sweep. Wall-clock numbers are machine-dependent; the
 // ratio and records/sync columns are the structural claims.
 func (r DurableResult) Table() string {
-	t := stats.NewTable("batch", "delay", "ops", "durable ops/s", "nosync ops/s", "ratio", "records/sync")
+	t := stats.NewTable("batch", "delay", "ops", "durable ops/s", "nosync ops/s", "ratio", "records/sync", "p50 ms", "p99 ms")
 	for _, row := range r.Rows {
 		t.AddRow(row.BatchSize, row.Delay.String(), row.Ops,
-			row.Durable, row.NoSync, row.Ratio, row.OpsPerSync)
+			row.Durable, row.NoSync, row.Ratio, row.OpsPerSync, row.P50Ms, row.P99Ms)
 	}
 	return t.String()
 }

@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
+	if len(all) != 15 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -288,6 +288,25 @@ func TestE14DurableSmoke(t *testing.T) {
 		}
 		if row.OpsPerSync <= 0 {
 			t.Fatalf("row %+v recorded no committer passes", row)
+		}
+	}
+}
+
+func TestE15LoadLabSmoke(t *testing.T) {
+	// Structural smoke of the hostile-network load lab: tiny open-loop
+	// windows on the clean and lossy profiles, no resize, no file stores,
+	// no p99 gate (latency tails are machine-dependent; the headline gated
+	// run is `esds-bench -exp e15` / BenchmarkE15LoadLab). The structural
+	// claims — every offered op answered, read back exactly, present in a
+	// converged order — are folded into Verify via each point's audit.
+	p := SmokeLoadLabParams()
+	r := RunLoadLab(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	for _, row := range r.Rows {
+		if row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+			t.Fatalf("row %+v has an implausible latency distribution", row)
 		}
 	}
 }

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"sync"
+	"time"
+
+	"esds/internal/stats"
+)
+
+// latRecorder collects per-operation latencies from concurrent submit
+// callbacks into a mergeable histogram, giving the wall-clock experiments
+// E10–E14 p50/p99 columns. These columns are trajectory telemetry —
+// tracked in BENCH_results.json, never gated (closed-loop latencies are
+// machine-dependent); the open-loop load lab (E15) is where tails carry
+// a gate.
+type latRecorder struct {
+	mu sync.Mutex
+	h  *stats.Hist
+}
+
+func newLatRecorder() *latRecorder { return &latRecorder{h: stats.NewHist()} }
+
+// observe records the time elapsed since start as one sample. Safe for
+// concurrent use from response callbacks.
+func (l *latRecorder) observe(start time.Time) {
+	ns := time.Since(start).Nanoseconds()
+	l.mu.Lock()
+	l.h.Record(ns)
+	l.mu.Unlock()
+}
+
+// quantiles snapshots the distribution.
+func (l *latRecorder) quantiles() stats.Quantiles {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Quantiles()
+}
+
+// latMs converts a nanosecond quantile to milliseconds for table columns.
+func latMs(ns int64) float64 { return float64(ns) / 1e6 }

@@ -117,6 +117,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e15", Title: "Hostile-network load lab (open-loop latency tail)", PaperRef: "DESIGN.md §11 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultLoadLabParams()
+				r := RunLoadLab(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 

@@ -105,6 +105,8 @@ type Window struct {
 	Ops        int
 	Seconds    float64
 	Throughput float64
+	P50Ms      float64 // per-op latency percentiles (tracked, not gated)
+	P99Ms      float64
 }
 
 func window(ops int, d time.Duration) Window {
@@ -148,6 +150,7 @@ func RunResizeExp(p ResizeExpParams) ResizeExpResult {
 		obj string
 		id  ops.ID
 		at  time.Duration
+		lat int64 // nanoseconds
 	}
 	var (
 		wg       sync.WaitGroup
@@ -178,7 +181,9 @@ func RunResizeExp(p ResizeExpParams) ResizeExpResult {
 				if id, ok := last[obj]; ok {
 					prev = []ops.ID{id}
 				}
+				t0 := time.Now()
 				x, v, err := client.SubmitWait(ks.WrapOp(obj, dtype.CtrAdd{N: 1}), prev, false)
+				latNs := time.Since(t0).Nanoseconds()
 				if err == nil && v != "ok" {
 					err = fmt.Errorf("add returned %v", v)
 				}
@@ -192,7 +197,7 @@ func RunResizeExp(p ResizeExpParams) ResizeExpResult {
 				}
 				last[obj] = x.ID
 				mu.Lock()
-				acks = append(acks, ack{obj: obj, id: x.ID, at: time.Since(start)})
+				acks = append(acks, ack{obj: obj, id: x.ID, at: time.Since(start), lat: latNs})
 				mu.Unlock()
 			}
 		}(w)
@@ -215,25 +220,35 @@ func RunResizeExp(p ResizeExpParams) ResizeExpResult {
 		return fail(firstErr)
 	}
 
-	// Windows.
+	// Windows, each with its own latency distribution — the migrating
+	// window's tail is where a stalled migration would show first.
 	var nPre, nDuring, nPost int
+	latPre, latDuring, latPost := stats.NewHist(), stats.NewHist(), stats.NewHist()
 	wrote := make(map[string][]ops.ID, len(objects))
 	touchedPre := make(map[string]struct{})
 	for _, a := range acks {
 		switch {
 		case a.at < t1:
 			nPre++
+			latPre.Record(a.lat)
 			touchedPre[a.obj] = struct{}{}
 		case a.at < t2:
 			nDuring++
+			latDuring.Record(a.lat)
 		default:
 			nPost++
+			latPost.Record(a.lat)
 		}
 		wrote[a.obj] = append(wrote[a.obj], a.id)
 	}
 	res.Pre = window(nPre, t1)
 	res.During = window(nDuring, t2-t1)
 	res.Post = window(nPost, end-t2)
+	for i, h := range []*stats.Hist{latPre, latDuring, latPost} {
+		q := h.Quantiles()
+		w := []*Window{&res.Pre, &res.During, &res.Post}[i]
+		w.P50Ms, w.P99Ms = latMs(q.P50), latMs(q.P99)
+	}
 	res.ResizeDuration = rep.Duration
 	res.KeysMoved = rep.KeysMoved
 	res.MovedFraction = float64(rep.KeysMoved) / float64(p.Objects)
@@ -273,10 +288,10 @@ func RunResizeExp(p ResizeExpParams) ResizeExpResult {
 
 // Table renders the three windows and the migration shape.
 func (r ResizeExpResult) Table() string {
-	t := stats.NewTable("window", "ops", "seconds", "throughput ops/s")
-	t.AddRow("pre-resize", r.Pre.Ops, r.Pre.Seconds, r.Pre.Throughput)
-	t.AddRow("migrating", r.During.Ops, r.During.Seconds, r.During.Throughput)
-	t.AddRow("post-resize", r.Post.Ops, r.Post.Seconds, r.Post.Throughput)
+	t := stats.NewTable("window", "ops", "seconds", "throughput ops/s", "p50 ms", "p99 ms")
+	t.AddRow("pre-resize", r.Pre.Ops, r.Pre.Seconds, r.Pre.Throughput, r.Pre.P50Ms, r.Pre.P99Ms)
+	t.AddRow("migrating", r.During.Ops, r.During.Seconds, r.During.Throughput, r.During.P50Ms, r.During.P99Ms)
+	t.AddRow("post-resize", r.Post.Ops, r.Post.Seconds, r.Post.Throughput, r.Post.P50Ms, r.Post.P99Ms)
 	return t.String() + fmt.Sprintf(
 		"keys moved = %d (%.0f%% of namespace; ring fair share %.0f%%), migration took %s, read-back sum = %d of %d acked ops\n",
 		r.KeysMoved, 100*r.MovedFraction, 100*r.ExpectedFraction, r.ResizeDuration.Round(time.Millisecond), r.FinalSum, r.TotalOps)

@@ -83,6 +83,8 @@ type ShardedRow struct {
 	Seconds    float64 // wall-clock time to complete them
 	Throughput float64 // ops/s
 	FinalSum   int64   // strict cross-object read-back (must equal Ops)
+	P50Ms      float64 // per-op latency percentiles (tracked, not gated)
+	P99Ms      float64
 }
 
 // ShardedResult is the regenerated table.
@@ -150,6 +152,7 @@ func runShardedPoint(p ShardedParams, shards int) (ShardedRow, error) {
 	// exists for), and records its operation ids per object so the final
 	// strict reads can carry them as prev constraints.
 	written := make([]map[string][]ops.ID, p.Workers)
+	lat := newLatRecorder()
 	start := time.Now()
 	for w := 0; w < p.Workers; w++ {
 		wg.Add(1)
@@ -164,7 +167,9 @@ func runShardedPoint(p ShardedParams, shards int) (ShardedRow, error) {
 			for i := 0; i < p.OpsPerWorker; i++ {
 				obj := owned[i%len(owned)]
 				fe := ks.FrontEnd(obj, client)
+				t0 := time.Now()
 				x, v, err := fe.SubmitWait(ks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, false)
+				lat.observe(t0)
 				if err == nil && v != "ok" {
 					err = fmt.Errorf("add returned %v", v)
 				}
@@ -226,21 +231,24 @@ func runShardedPoint(p ShardedParams, shards int) (ShardedRow, error) {
 	if sum != int64(total) {
 		return ShardedRow{Shards: shards}, fmt.Errorf("strict read-back sum = %d, want %d", sum, total)
 	}
+	q := lat.quantiles()
 	return ShardedRow{
 		Shards:     shards,
 		Ops:        total,
 		Seconds:    elapsed.Seconds(),
 		Throughput: float64(total) / elapsed.Seconds(),
 		FinalSum:   sum,
+		P50Ms:      latMs(q.P50),
+		P99Ms:      latMs(q.P99),
 	}, nil
 }
 
 // Table renders the sweep. Wall-clock numbers are machine-dependent and
 // not bit-reproducible (unlike E1–E9).
 func (r ShardedResult) Table() string {
-	t := stats.NewTable("shards", "ops", "seconds", "throughput ops/s")
+	t := stats.NewTable("shards", "ops", "seconds", "throughput ops/s", "p50 ms", "p99 ms")
 	for _, row := range r.Rows {
-		t.AddRow(row.Shards, row.Ops, row.Seconds, row.Throughput)
+		t.AddRow(row.Shards, row.Ops, row.Seconds, row.Throughput, row.P50Ms, row.P99Ms)
 	}
 	return t.String() + fmt.Sprintf("aggregate speedup (max shards vs baseline) = %.2f×\n", r.Speedup)
 }

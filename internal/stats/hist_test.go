@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// histOracle computes the exact p-quantile (ceiling rank, 1-based) of a
+// sample — the definition Hist.Quantile approximates bucket-wise.
+func histOracle(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p * float64(len(sorted)))
+	if float64(rank) < p*float64(len(sorted)) || rank == 0 {
+		rank++
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistQuantileBoundsVsOracle records random samples from several
+// shapes (uniform, heavy-tailed, tiny, constant) and demands every
+// reported quantile sit within the log-linear bucket error of the exact
+// sorted-slice answer: never below it, and at most 1/2^histSubBits (plus
+// one for integer rounding) above.
+func TestHistQuantileBoundsVsOracle(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(r *rand.Rand) int64
+		n    int
+	}{
+		{"uniform", func(r *rand.Rand) int64 { return r.Int63n(1_000_000) }, 20000},
+		{"heavy-tail", func(r *rand.Rand) int64 {
+			v := int64(1 + r.Intn(100))
+			for i := 0; i < r.Intn(6); i++ {
+				v *= 10
+			}
+			return v
+		}, 20000},
+		{"tiny", func(r *rand.Rand) int64 { return r.Int63n(40) }, 17},
+		{"constant", func(r *rand.Rand) int64 { return 12345 }, 1000},
+	}
+	quantiles := []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, sh := range shapes {
+		r := rand.New(rand.NewSource(7))
+		h := NewHist()
+		var all []int64
+		for i := 0; i < sh.n; i++ {
+			v := sh.gen(r)
+			h.Record(v)
+			all = append(all, v)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		if h.Count() != uint64(sh.n) {
+			t.Fatalf("%s: count = %d, want %d", sh.name, h.Count(), sh.n)
+		}
+		if h.Min() != all[0] || h.Max() != all[len(all)-1] {
+			t.Fatalf("%s: min/max = %d/%d, want %d/%d", sh.name, h.Min(), h.Max(), all[0], all[len(all)-1])
+		}
+		for _, p := range quantiles {
+			got := h.Quantile(p)
+			want := histOracle(all, p)
+			if got < want {
+				t.Fatalf("%s: Quantile(%v) = %d under-reports exact %d", sh.name, p, got, want)
+			}
+			slack := want/histSubCount + 1
+			if got > want+slack {
+				t.Fatalf("%s: Quantile(%v) = %d exceeds exact %d by more than the bucket error %d",
+					sh.name, p, got, want, slack)
+			}
+		}
+	}
+}
+
+// TestHistMergeExact checks Merge is exact: merging per-worker histograms
+// must be indistinguishable from recording every stream into one histogram
+// (the load lab's per-session shards rely on this).
+func TestHistMergeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	combined := NewHist()
+	parts := make([]*Hist, 8)
+	for i := range parts {
+		parts[i] = NewHist()
+		for j := 0; j < 3000; j++ {
+			v := r.Int63n(10_000_000)
+			parts[i].Record(v)
+			combined.Record(v)
+		}
+	}
+	merged := NewHist()
+	merged.Merge(nil)       // no-op
+	merged.Merge(NewHist()) // empty: no-op
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != combined.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), combined.Count())
+	}
+	if merged.Min() != combined.Min() || merged.Max() != combined.Max() {
+		t.Fatalf("merged min/max = %d/%d, want %d/%d",
+			merged.Min(), merged.Max(), combined.Min(), combined.Max())
+	}
+	if merged.Mean() != combined.Mean() {
+		t.Fatalf("merged mean = %v, want %v", merged.Mean(), combined.Mean())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.95, 0.99, 0.999, 1} {
+		if m, c := merged.Quantile(p), combined.Quantile(p); m != c {
+			t.Fatalf("merged Quantile(%v) = %d, combined = %d", p, m, c)
+		}
+	}
+}
+
+// TestHistEdges pins the corner cases: empty histograms, negatives
+// clamping to 0, and the exact sub-histSubCount range.
+func TestHistEdges(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read as all zeros")
+	}
+	h.Record(-5)
+	if h.Count() != 1 || h.Quantile(1) != 0 {
+		t.Fatalf("negative values must clamp to 0: count=%d q=%d", h.Count(), h.Quantile(1))
+	}
+	exact := NewHist()
+	for v := int64(0); v < histSubCount; v++ {
+		exact.Record(v)
+	}
+	for _, p := range []float64{0.25, 0.5, 1} {
+		var all []int64
+		for v := int64(0); v < histSubCount; v++ {
+			all = append(all, v)
+		}
+		if got, want := exact.Quantile(p), histOracle(all, p); got != want {
+			t.Fatalf("values below %d must be exact: Quantile(%v) = %d, want %d", histSubCount, p, got, want)
+		}
+	}
+}
+
+// TestHistRecordDoesNotAllocate pins the zero-allocation record path: the
+// open-loop generator calls Record once per operation at the offered rate,
+// and an allocating path would turn the measurement into a GC benchmark.
+func TestHistRecordDoesNotAllocate(t *testing.T) {
+	h := NewHist()
+	v := int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 997
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkHistRecord measures the record hot path; run with -benchmem —
+// the 0 B/op, 0 allocs/op columns are the pinned claim.
+func BenchmarkHistRecord(b *testing.B) {
+	h := NewHist()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 1009)
+	}
+}
+
+// BenchmarkHistMerge measures merging two full histograms.
+func BenchmarkHistMerge(b *testing.B) {
+	a, c := NewHist(), NewHist()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		a.Record(r.Int63n(1e9))
+		c.Record(r.Int63n(1e9))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := *a // copy, so the merge target does not accumulate across iterations
+		dst.Merge(c)
+	}
+}

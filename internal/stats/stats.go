@@ -20,6 +20,7 @@ type Summary struct {
 	P50    float64
 	P95    float64
 	P99    float64
+	P999   float64
 }
 
 // Summarize computes a Summary. An empty sample yields the zero Summary.
@@ -49,6 +50,7 @@ func Summarize(xs []float64) Summary {
 		P50:    Percentile(sorted, 0.50),
 		P95:    Percentile(sorted, 0.95),
 		P99:    Percentile(sorted, 0.99),
+		P999:   Percentile(sorted, 0.999),
 	}
 }
 
