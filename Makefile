@@ -18,12 +18,13 @@ test:
 race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 . ./internal/core ./internal/transport ./cmd/esds-server
 
-# Every E1–E15 benchmark body runs exactly once: a harness smoke test, not
-# a measurement (the E10–E15 live-transport experiments run their full
+# Every E1–E16 benchmark body runs exactly once: a harness smoke test, not
+# a measurement (the E10–E16 live-transport experiments run their full
 # workloads even at 1x). benchjson tees the output and captures every
 # metric — sharding speedup, resize windows, core scaling, durable
-# throughput — into the BENCH_results.json trajectory artifact. For real
-# numbers drop -benchtime or raise it.
+# throughput, adaptive-batching wire efficiency — into the
+# BENCH_results.json trajectory artifact. For real numbers drop -benchtime
+# or raise it.
 bench:
 	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_results.json
 
@@ -31,23 +32,27 @@ bench:
 # fails if any benchmark recorded in the committed BENCH_results.json
 # disappeared or stopped emitting one of its metrics — the guard against
 # silent harness rot — or if an E12 throughput metric fell more than 20%
-# below its committed value (-max-regress: the batching trajectory is now
-# enforced, not just tracked). The gate is scoped to E12, E13, and E14
-# (-regress-match) because their steady-state ops/s are stable run-to-run,
-# while windowed metrics like E11's mid-migration ops/s swing ±2× on
-# identical code; gate more benchmarks as their variance is characterized.
-# E12's speedup ratio is machine-normalized and holds anywhere; absolute
-# ops/s are not — regenerate BENCH_results.json (make bench) on the
-# slowest machine the gate must pass on (this repo commits the 1-core
-# reference container's numbers, with each gated metric floored at its
-# minimum over repeated runs so run-to-run jitter cannot trip the 20%
-# band). E13's core-scaling ratio and E14's durable/nosync ratio are
-# bounded by hardware (physical cores, fsync latency), so both are
-# reported under units ("x-scaling", "x-ratio") the gate ignores; the
-# gated `esds-bench -exp e13` / `-exp e14` runs enforce them where they
-# are meaningful.
+# below its committed value, or a bytes/op metric rose more than 20% above
+# it (-max-regress: throughput baselines are floors, wire baselines are
+# ceilings). The gate is scoped to E12–E16 (-regress-match) because their
+# steady-state metrics are stable run-to-run, while windowed metrics like
+# E11's mid-migration ops/s swing ±2× on identical code; gate more
+# benchmarks as their variance is characterized. E12's speedup ratio is
+# machine-normalized and holds anywhere; absolute ops/s are not —
+# regenerate BENCH_results.json (make bench) on the slowest machine the
+# gate must pass on (this repo commits the 1-core reference container's
+# numbers, with each gated throughput metric FLOORED at its minimum over
+# repeated runs and each gated bytes/op metric CEILINGED at its maximum,
+# so run-to-run jitter cannot trip the 20% band in either direction).
+# E13's core-scaling ratio and E14's durable/nosync ratio are bounded by
+# hardware (physical cores, fsync latency), so both are reported under
+# units ("x-scaling", "x-ratio") the gate ignores; the gated `esds-bench
+# -exp e13` / `-exp e14` runs enforce them where they are meaningful.
+# E16's bytes/op-compact and bytes/op-legacy are the new wire-efficiency
+# trajectory: frame layouts, not machine speed, so the ceiling holds on
+# any runner.
 bench-diff:
-	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_fresh.json -require BENCH_results.json -max-regress 0.2 -regress-match '^BenchmarkE12|^BenchmarkE13|^BenchmarkE14'
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_fresh.json -require BENCH_results.json -max-regress 0.2 -regress-match '^BenchmarkE12|^BenchmarkE13|^BenchmarkE14|^BenchmarkE15|^BenchmarkE16'
 
 # Deterministic fault-injection suite under the race detector: the
 # crash/recover/prune chaos matrix (crash timing × prune/snapshot options ×

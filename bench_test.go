@@ -309,6 +309,53 @@ func BenchmarkE15LoadLab(b *testing.B) {
 	}
 }
 
+// BenchmarkE16AdaptiveBatching runs the adaptive-batching step-load
+// experiment: the open-loop generator stepped low → high → low against
+// static batch sizes and the adaptive controller, with the compact gossip
+// form measured against the identical legacy-encoded run. The throughput
+// and wire gates are disabled here (the gated run is `esds-bench -exp
+// e16`); the bytes/op metrics ARE gated by benchjson — they are structural
+// frame-layout quantities, and the committed baseline is a ceiling the
+// delta encoding must stay under.
+func BenchmarkE16AdaptiveBatching(b *testing.B) {
+	p := exp.DefaultAdaptiveParams()
+	p.MinRatio, p.MinBytesDrop = 0, 0
+	var r exp.AdaptiveResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunAdaptive(p)
+		if err := r.Verify(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	highStep := 0
+	for i, rate := range p.Rates {
+		if rate > p.Rates[highStep] {
+			highStep = i
+		}
+	}
+	var compactBytes, legacyBytes uint64
+	var compactAnswered, legacyAnswered int
+	for _, row := range r.Rows {
+		switch row.Kind {
+		case "adaptive":
+			compactBytes += row.WireBytes
+			compactAnswered += row.Answered
+			if row.Step == highStep {
+				b.ReportMetric(row.OpsPerSec, "ops/s-adaptive-high")
+				b.ReportMetric(row.P99Ms, "p99-ms-adaptive-high")
+			}
+		case "adaptive-legacy":
+			legacyBytes += row.WireBytes
+			legacyAnswered += row.Answered
+		}
+	}
+	compact := float64(compactBytes) / float64(compactAnswered)
+	legacy := float64(legacyBytes) / float64(legacyAnswered)
+	b.ReportMetric(compact, "bytes/op-compact")
+	b.ReportMetric(legacy, "bytes/op-legacy")
+	b.ReportMetric(1-compact/legacy, "wire-drop-frac")
+}
+
 // --- Microbenchmarks of the core algorithm ---
 
 // BenchmarkLabelGeneration measures label assignment (ℒ_r partition).

@@ -49,7 +49,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	require := fs.String("require", "",
 		"path to a previously committed results file; fail unless every benchmark in it still appears in this run with at least the same metric keys (catches silent harness rot — a benchmark that stopped running or stopped emitting a metric)")
 	maxRegress := fs.Float64("max-regress", 0,
-		"with -require: also fail if any throughput metric (a unit containing \"ops/s\" or \"resp/s\") fell more than this fraction below its committed baseline value — e.g. 0.2 fails a >20% regression; 0 disables the gate")
+		"with -require: also fail if any throughput metric (a unit containing \"ops/s\" or \"resp/s\") fell more than this fraction below its committed baseline value, or any wire-efficiency metric (a unit containing \"bytes/op\") rose more than this fraction above it — e.g. 0.2 fails a >20% regression; 0 disables the gate")
 	regressMatch := fs.String("regress-match", "",
 		"with -max-regress: regexp limiting the regression gate to matching benchmark names (empty = every benchmark); use it to gate only benchmarks whose throughput is stable run-to-run — windowed metrics like a resize's mid-migration ops/s can swing ±2× on identical code")
 	if err := fs.Parse(args); err != nil {
@@ -135,17 +135,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // quantity the trajectory gates on: operation rates, and speedup ratios —
 // the latter are machine-normalized (batched/unbatched on the SAME
 // hardware), so they hold across runners where absolute ops/s may not.
-// Latencies, byte counts, and fit coefficients have no universal
-// better-direction and stay ungated (tracked, not enforced).
+// Latencies and fit coefficients have no universal better-direction and
+// stay ungated (tracked, not enforced).
 func throughputMetric(unit string) bool {
 	return strings.Contains(unit, "ops/s") || strings.Contains(unit, "resp/s") ||
 		strings.Contains(unit, "speedup")
 }
 
-// regressionsAgainst compares every throughput metric of the fresh run
-// with the committed baseline: a value below (1 - maxRegress) × baseline
-// is a regression. A non-nil match restricts the gate to benchmarks whose
-// name it matches. Coverage is checked by diffAgainst first, so a missing
+// byteMetric reports whether a metric unit names a lower-is-better wire
+// quantity the trajectory gates on: bytes per operation. Unlike wall-clock
+// rates these are structural — frame layouts and batching decisions, not
+// machine speed — so the committed baseline is a ceiling the fresh run
+// must stay under (within the -max-regress slack).
+func byteMetric(unit string) bool {
+	return strings.Contains(unit, "bytes/op")
+}
+
+// regressionsAgainst compares every gated metric of the fresh run with the
+// committed baseline: a throughput value below (1 - maxRegress) × baseline
+// is a regression, and a bytes/op value above (1 + maxRegress) × baseline
+// is one too. A non-nil match restricts the gate to benchmarks whose name
+// it matches. Coverage is checked by diffAgainst first, so a missing
 // metric has already failed the run.
 func regressionsAgainst(baselinePath string, fresh []Result, maxRegress float64, match *regexp.Regexp) ([]string, error) {
 	raw, err := os.ReadFile(baselinePath)
@@ -170,12 +180,20 @@ func regressionsAgainst(baselinePath string, fresh []Result, maxRegress float64,
 			continue // diffAgainst already reported it
 		}
 		for key, base := range want.Metrics {
-			if !throughputMetric(key) || base <= 0 {
+			if base <= 0 {
 				continue
 			}
-			if cur, ok := got.Metrics[key]; ok && cur < base*(1-maxRegress) {
+			cur, ok := got.Metrics[key]
+			if !ok {
+				continue
+			}
+			switch {
+			case throughputMetric(key) && cur < base*(1-maxRegress):
 				regressed = append(regressed, fmt.Sprintf("%s %s: %.1f → %.1f (-%.0f%%)",
 					want.Name, key, base, cur, (1-cur/base)*100))
+			case byteMetric(key) && cur > base*(1+maxRegress):
+				regressed = append(regressed, fmt.Sprintf("%s %s: %.1f → %.1f (+%.0f%%)",
+					want.Name, key, base, cur, (cur/base-1)*100))
 			}
 		}
 	}

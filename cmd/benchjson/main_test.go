@@ -154,9 +154,9 @@ func TestMaxRegress(t *testing.T) {
 		return code, stderr.String()
 	}
 
-	// Throughput within the 20% envelope passes; non-rate metrics (bytes,
-	// latency fits) may move freely in either direction.
-	ok := "BenchmarkE12 1 850 ops/s-batched 9000 bytes/op-batched 3.6 speedup\nBenchmarkE2 1 500 ms/100pct\n"
+	// Throughput and bytes/op within the 20% envelope pass; unrecognized
+	// metrics (latency fits) may move freely in either direction.
+	ok := "BenchmarkE12 1 850 ops/s-batched 650 bytes/op-batched 3.6 speedup\nBenchmarkE2 1 500 ms/100pct\n"
 	if code, errOut := runWith(ok, "-max-regress", "0.2"); code != 0 {
 		t.Fatalf("in-envelope run failed (%d): %s", code, errOut)
 	}
@@ -172,6 +172,18 @@ func TestMaxRegress(t *testing.T) {
 	code, errOut = runWith(slow, "-max-regress", "0.2")
 	if code == 0 || !strings.Contains(errOut, "speedup") {
 		t.Fatalf("speedup regression not caught (%d): %s", code, errOut)
+	}
+	// Bytes/op is gated in the OTHER direction — the committed value is a
+	// ceiling, so wire bloat >20% fails and names the metric...
+	fat := "BenchmarkE12 1 1000 ops/s-batched 900 bytes/op-batched 4 speedup\nBenchmarkE2 1 30 ms/100pct\n"
+	code, errOut = runWith(fat, "-max-regress", "0.2")
+	if code == 0 || !strings.Contains(errOut, "bytes/op-batched") || !strings.Contains(errOut, "+50%") {
+		t.Fatalf("bytes/op bloat not caught (%d): %s", code, errOut)
+	}
+	// ...while a bytes/op DROP is an improvement and passes.
+	lean := "BenchmarkE12 1 1000 ops/s-batched 300 bytes/op-batched 4 speedup\nBenchmarkE2 1 30 ms/100pct\n"
+	if code, errOut := runWith(lean, "-max-regress", "0.2"); code != 0 {
+		t.Fatalf("bytes/op improvement failed the gate (%d): %s", code, errOut)
 	}
 	// Without the flag the same drop only tracks, never fails.
 	if code, errOut := runWith(bad); code != 0 {

@@ -1,5 +1,5 @@
 // Command esds-bench regenerates the evaluation: every table and figure
-// of the reproduction (E1–E15, see the experiment index in DESIGN.md §3).
+// of the reproduction (E1–E16, see the experiment index in DESIGN.md §3).
 //
 // Usage:
 //
@@ -26,7 +26,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("esds-bench", flag.ContinueOnError)
-	which := fs.String("exp", "all", "experiment id (e1..e15) or 'all'")
+	which := fs.String("exp", "all", "experiment id (e1..e16) or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2

@@ -115,6 +115,10 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.BoolVar(&cfg.opts.Commute, "commute", false, "answer non-strict operations from the current state (§10.3)")
 	fs.BoolVar(&cfg.opts.IncrementalGossip, "incremental", false,
 		"send gossip deltas instead of full state (§10.4; requires reliable FIFO channels — a TCP reconnect loses deltas, so leave this off unless the network is trusted)")
+	fs.BoolVar(&cfg.opts.AdaptiveBatch, "adaptive-batch", true,
+		"adapt every batch target inside [1, -batch] from observed queue depth (DESIGN.md §12): front-end submission buffers and per-peer gossip coalescers grow toward -batch under load and decay toward 1 when idle; no effect unless -batch > 1")
+	fs.BoolVar(&cfg.opts.CompactGossip, "compact-gossip", true,
+		"offer the compact gossip wire encoding (DESIGN.md §12: client-id interning, label deltas against a batch base, descriptor dedup), used per connection only when both ends announce it — peers without the feature keep receiving legacy frames, so mixed-version clusters interoperate")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}

@@ -56,9 +56,12 @@ type FrontEnd struct {
 	// flush ticker by Cluster.StartLiveBatchFlush). A buffered-but-unsent
 	// operation is already in wait, so the retransmission ticker re-sends
 	// it singly if a flush never comes — batching can add latency, never
-	// deadlock.
+	// deadlock. With opt.AdaptiveBatch, ctrl holds one batchController per
+	// target (DESIGN.md §12) and the size trigger compares against its
+	// moving target instead of the static BatchSize.
 	opt   Options
 	batch map[transport.NodeID][]ops.Operation
+	ctrl  map[transport.NodeID]*batchController
 
 	// onRedirect, when set, receives Redirect refusals (live resharding's
 	// "wrong shard" replies) for pending operations; the operation STAYS
@@ -115,6 +118,9 @@ func newFrontEnd(cfg FrontEndConfig, register bool) *FrontEnd {
 	}
 	if fe.opt.BatchSize > 1 {
 		fe.batch = make(map[transport.NodeID][]ops.Operation)
+		if fe.opt.AdaptiveBatch {
+			fe.ctrl = make(map[transport.NodeID]*batchController)
+		}
 	}
 	if register {
 		cfg.Network.Register(fe.node, fe.handleMessage)
@@ -162,9 +168,11 @@ func (fe *FrontEnd) Submit(op dtype.Operator, prev []ops.ID, strict bool, cb fun
 
 // dispatchLocked assigns the next round-robin target to x and returns the
 // message to send now: a lone RequestMsg when batching is off, a full
-// BatchRequestMsg when x topped its target's buffer up to BatchSize, or nil
-// when x joined a partial batch (a later submission, Flush, or the
-// retransmission ticker moves it). Mutex held; callers send outside it.
+// BatchRequestMsg when x topped its target's buffer up to the effective
+// batch target (the static BatchSize, or the per-target controller's moving
+// target under AdaptiveBatch), or nil when x joined a partial batch (a later
+// submission, Flush, or the retransmission ticker moves it). Mutex held;
+// callers send outside it.
 func (fe *FrontEnd) dispatchLocked(x ops.Operation) (to transport.NodeID, payload any) {
 	target := fe.replicas[fe.rr%len(fe.replicas)]
 	fe.rr++
@@ -174,30 +182,82 @@ func (fe *FrontEnd) dispatchLocked(x ops.Operation) (to transport.NodeID, payloa
 		return target, RequestMsg{Op: x}
 	}
 	fe.batch[target] = append(fe.batch[target], x)
-	if len(fe.batch[target]) >= fe.opt.BatchSize {
+	if len(fe.batch[target]) >= fe.targetLocked(target) {
 		full := fe.batch[target]
 		delete(fe.batch, target)
+		// A size-triggered flush is a flush opportunity that saw a full
+		// buffer: feed the controller the depth it just drained.
+		if c := fe.ctrlLocked(target); c != nil {
+			c.observe(len(full))
+		}
+		if len(full) == 1 {
+			// An adaptive target of 1 means "don't batch right now": send
+			// the plain RequestMsg so the replica skips batch bookkeeping.
+			return target, RequestMsg{Op: full[0]}
+		}
 		return target, BatchRequestMsg{Ops: full}
 	}
 	return target, nil
 }
 
+// targetLocked returns the effective batch target for one replica: the
+// static BatchSize, or the controller's current target under AdaptiveBatch.
+func (fe *FrontEnd) targetLocked(target transport.NodeID) int {
+	if c := fe.ctrlLocked(target); c != nil {
+		return c.targetNow()
+	}
+	return fe.opt.BatchSize
+}
+
+// ctrlLocked returns (creating on first use) the batch controller for one
+// replica target, or nil when AdaptiveBatch is off.
+func (fe *FrontEnd) ctrlLocked(target transport.NodeID) *batchController {
+	if fe.ctrl == nil {
+		return nil
+	}
+	c := fe.ctrl[target]
+	if c == nil {
+		c = newBatchController(fe.opt.BatchSize)
+		fe.ctrl[target] = c
+	}
+	return c
+}
+
 // Flush sends every partially filled request batch immediately. Wired to a
 // periodic ticker by Cluster.StartLiveBatchFlush; a no-op when batching is
-// off or nothing is buffered.
+// off. Each tick is a flush opportunity for the adaptive controllers: a
+// target with a partial buffer observes that (age-triggered) depth, and a
+// target with nothing buffered observes zero — the idle decay that walks
+// its batch target back down to 1 (DESIGN.md §12).
 func (fe *FrontEnd) Flush() {
 	fe.mu.Lock()
-	if fe.batch == nil || fe.closed != nil || len(fe.batch) == 0 {
+	if fe.batch == nil || fe.closed != nil {
+		fe.mu.Unlock()
+		return
+	}
+	for to, c := range fe.ctrl {
+		if len(fe.batch[to]) == 0 {
+			c.observe(0)
+		}
+	}
+	if len(fe.batch) == 0 {
 		fe.mu.Unlock()
 		return
 	}
 	type outMsg struct {
 		to  transport.NodeID
-		msg BatchRequestMsg
+		msg any
 	}
 	outbox := make([]outMsg, 0, len(fe.batch))
 	for to, buffered := range fe.batch {
-		outbox = append(outbox, outMsg{to: to, msg: BatchRequestMsg{Ops: buffered}})
+		if c := fe.ctrlLocked(to); c != nil {
+			c.observe(len(buffered))
+		}
+		if len(buffered) == 1 {
+			outbox = append(outbox, outMsg{to: to, msg: RequestMsg{Op: buffered[0]}})
+		} else {
+			outbox = append(outbox, outMsg{to: to, msg: BatchRequestMsg{Ops: buffered}})
+		}
 		delete(fe.batch, to)
 	}
 	fe.mu.Unlock()
@@ -440,6 +500,33 @@ func (fe *FrontEnd) Stats() (requests, responses uint64) {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
 	return fe.requests, fe.responses
+}
+
+// Metrics snapshots the front end's counters, including the adaptive
+// batching observables (DESIGN.md §12). With several per-target
+// controllers, BatchTarget and QueueDepthEWMA report the busiest target
+// (the maximum) — the value an operator tuning BatchSize would look at —
+// while the grow/shrink transition counters sum across targets.
+func (fe *FrontEnd) Metrics() FrontEndMetrics {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	m := FrontEndMetrics{Requests: fe.requests, Responses: fe.responses}
+	if fe.batch != nil {
+		m.BatchTarget = fe.opt.BatchSize // static target; cold-start adaptive
+	}
+	first := true
+	for _, c := range fe.ctrl {
+		if first || c.target > m.BatchTarget {
+			m.BatchTarget = c.target
+		}
+		first = false
+		if c.ewma > m.QueueDepthEWMA {
+			m.QueueDepthEWMA = c.ewma
+		}
+		m.BatchGrows += c.grows
+		m.BatchShrinks += c.shrinks
+	}
+	return m
 }
 
 // History returns the ids of all operations issued, in issue order.

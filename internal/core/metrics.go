@@ -38,6 +38,27 @@ type ReplicaMetrics struct {
 	// SnapshotOpsSeeded counts operations that became locally done through
 	// snapshot installation rather than descriptor replay.
 	SnapshotOpsSeeded uint64
+	// CompactGossipSent / CompactGossipReceived count CompactGossipMsg
+	// frames (the negotiated delta-encoded wire form of coalesced gossip,
+	// DESIGN.md §12). CompactGossipFallbacks counts flushes that wanted the
+	// compact form but fell back to the legacy frame (an element the codec
+	// refuses, e.g. a recovery ack); CompactGossipRejects counts received
+	// compact frames dropped because decoding failed — corrupt or
+	// truncated payloads are refused, never partially applied.
+	CompactGossipSent      uint64
+	CompactGossipReceived  uint64
+	CompactGossipFallbacks uint64
+	CompactGossipRejects   uint64
+	// GossipBatchTarget / GossipQueueDepthEWMA expose the adaptive gossip
+	// coalescer (DESIGN.md §12) at snapshot time: the effective batch
+	// target and queue-depth EWMA of the busiest peer (the maximum across
+	// per-peer controllers; BatchSize while static or cold).
+	// GossipBatchGrows / GossipBatchShrinks count target transitions,
+	// summed across peers.
+	GossipBatchTarget    int
+	GossipQueueDepthEWMA float64
+	GossipBatchGrows     uint64
+	GossipBatchShrinks   uint64
 	// PipelineRuns counts batches delivered by the shard-per-core runtime's
 	// worker loop (DESIGN.md §9): one run is one mutex round over a replica's
 	// drained inbound backlog. RequestsReceived / PipelineRuns etc. give the
@@ -94,6 +115,20 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.SnapshotsInstalled += o.SnapshotsInstalled
 	m.SnapshotsIgnored += o.SnapshotsIgnored
 	m.SnapshotOpsSeeded += o.SnapshotOpsSeeded
+	m.CompactGossipSent += o.CompactGossipSent
+	m.CompactGossipReceived += o.CompactGossipReceived
+	m.CompactGossipFallbacks += o.CompactGossipFallbacks
+	m.CompactGossipRejects += o.CompactGossipRejects
+	// The two gauges aggregate as maxima (they answer "how batched is the
+	// busiest gossip stream"), matching the per-replica snapshot semantics.
+	if o.GossipBatchTarget > m.GossipBatchTarget {
+		m.GossipBatchTarget = o.GossipBatchTarget
+	}
+	if o.GossipQueueDepthEWMA > m.GossipQueueDepthEWMA {
+		m.GossipQueueDepthEWMA = o.GossipQueueDepthEWMA
+	}
+	m.GossipBatchGrows += o.GossipBatchGrows
+	m.GossipBatchShrinks += o.GossipBatchShrinks
 	m.PipelineRuns += o.PipelineRuns
 	m.Faults += o.Faults
 	m.ResizeRedirects += o.ResizeRedirects
@@ -106,4 +141,20 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.MemoizedOps += o.MemoizedOps
 	m.PendingOps += o.PendingOps
 	m.RetainedOps += o.RetainedOps
+}
+
+// FrontEndMetrics snapshots a front end's counters and its adaptive
+// batching observables (DESIGN.md §12). BatchTarget is the effective batch
+// target of the busiest replica target (the static BatchSize while
+// AdaptiveBatch is off or before any flush opportunity; 0 with batching
+// off), QueueDepthEWMA the matching smoothed queue depth, and
+// BatchGrows/BatchShrinks the controller's target transitions summed
+// across targets.
+type FrontEndMetrics struct {
+	Requests       uint64
+	Responses      uint64
+	BatchTarget    int
+	QueueDepthEWMA float64
+	BatchGrows     uint64
+	BatchShrinks   uint64
 }

@@ -300,6 +300,12 @@ func EstimateSize(payload any) int {
 			size += EstimateSize(g) - headerSize
 		}
 		return size
+	case CompactGossipMsg:
+		// The payload is already encoded bytes: charge them as-is, plus the
+		// frame header — this is what lets Sizer-based (SimNet/LiveNet)
+		// byte stats see the delta-encoding win, not just TCPNet's real
+		// wire counts.
+		return headerSize + 2 + len(m.Data)
 	case GossipMsg:
 		size := headerSize
 		for _, x := range m.R {

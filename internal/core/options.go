@@ -90,6 +90,33 @@ type Options struct {
 	// R descriptors and L labels), so reordering is harmless, but a delta
 	// depends on its predecessors having been delivered.
 	IncrementalGossip bool
+
+	// AdaptiveBatch turns the static BatchSize ceiling into a per-target
+	// feedback loop (DESIGN.md §12): each front-end submission buffer and
+	// each per-peer gossip coalescer runs a batchController that grows or
+	// shrinks its effective batch target inside [1, BatchSize] from the
+	// queue depth observed at flush opportunities — deep backlogs earn big
+	// batches, light traffic flushes near-immediately, and an idle stream
+	// decays back to the unbatched latency profile. Meaningful only with
+	// BatchSize > 1 (there is no range to adapt over otherwise); off, the
+	// static BatchSize trigger of DESIGN.md §8 applies unchanged. Purely
+	// local — no wire or protocol change, so members need not agree.
+	AdaptiveBatch bool
+
+	// CompactGossip lets this replica send coalesced gossip as the
+	// versioned compact wire form (CompactGossipMsg, DESIGN.md §12):
+	// client-id interning, varint label deltas against the frame's base
+	// label, descriptor dedup, and one shared encoder stream per frame in
+	// place of gob's per-frame type descriptors. It is negotiated per peer
+	// — compact frames go only to peers whose transport announced
+	// FeatureCompactGossip support (transport.FeatureNegotiator), so a
+	// cluster can run mixed versions: everyone else receives the legacy
+	// GossipMsg/BatchGossipMsg forms. Off, the replica neither announces
+	// the feature nor sends compact frames — it behaves like a pre-feature
+	// build, which is what the mixed-version interop tests simulate.
+	// Meaningful with the coalesced gossip path (BatchSize > 1 and
+	// IncrementalGossip).
+	CompactGossip bool
 }
 
 // FlushPeriod is the batch-flush ticker period for an enabled batched hot
@@ -108,7 +135,17 @@ func (o Options) FlushPeriod() time.Duration {
 // forfeits crash recovery), incremental gossip on, commute mode off
 // (commute mode needs the SafeUsers client discipline), batching off
 // (it trades per-operation latency for throughput — a deployment
-// decision; see BatchSize and DESIGN.md §8).
+// decision; see BatchSize and DESIGN.md §8). AdaptiveBatch and
+// CompactGossip are on: both are inert until batching is enabled, and once
+// it is, self-tuning targets and the negotiated compact wire form are
+// strictly better defaults than hand-tuned static ones (DESIGN.md §12).
 func DefaultOptions() Options {
-	return Options{Memoize: true, Prune: true, Snapshot: true, IncrementalGossip: true}
+	return Options{
+		Memoize:           true,
+		Prune:             true,
+		Snapshot:          true,
+		IncrementalGossip: true,
+		AdaptiveBatch:     true,
+		CompactGossip:     true,
+	}
 }

@@ -94,6 +94,18 @@ type Replica struct {
 	gossipPend  [][]GossipMsg
 	gossipSince []time.Time
 
+	// gossipCtrl (Options.AdaptiveBatch, DESIGN.md §12): per-peer adaptive
+	// controllers moving the coalescer's flush threshold inside
+	// [1, BatchSize] from observed pending depth. Nil entries / nil slice
+	// mean static BatchSize. Mutated only under mu (SendGossip, Metrics).
+	gossipCtrl []*batchController
+
+	// negotiator is the transport's capability channel (nil when the
+	// transport has none): with Options.CompactGossip the replica announces
+	// FeatureCompactGossip at construction and sends the compact wire form
+	// to exactly those peers whose announced bits include it.
+	negotiator transport.FeatureNegotiator
+
 	// sortScratch is the reusable buffer ensureSorted pre-fetches labels
 	// into: the nearly-sorted suffix pass is the label-compare hot path,
 	// and re-reading the label map per comparison (plus re-allocating the
@@ -243,6 +255,20 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 		r.stableAt[i] = make(map[ops.ID]struct{})
 		r.pendL[i] = make(map[ops.ID]struct{})
 	}
+	if r.opt.AdaptiveBatch && r.opt.BatchSize > 1 {
+		r.gossipCtrl = make([]*batchController, n)
+		for i := 0; i < n; i++ {
+			if i != int(r.id) {
+				r.gossipCtrl[i] = newBatchController(r.opt.BatchSize)
+			}
+		}
+	}
+	if fn, ok := cfg.Network.(transport.FeatureNegotiator); ok {
+		r.negotiator = fn
+		if r.opt.CompactGossip {
+			fn.AnnounceFeatures(r.node, transport.FeatureCompactGossip)
+		}
+	}
 	h := r.handleMessage
 	if cfg.Runtime != nil {
 		q := cfg.Runtime.attach(cfg.Shard, r)
@@ -296,7 +322,7 @@ func (r *Replica) deliverBatch(items []queueItem) {
 			continue
 		}
 		switch it.msg.Payload.(type) {
-		case RequestMsg, BatchRequestMsg, GossipMsg, BatchGossipMsg:
+		case RequestMsg, BatchRequestMsg, GossipMsg, BatchGossipMsg, CompactGossipMsg:
 			run = append(run, it.msg)
 		default:
 			flush()
@@ -342,6 +368,8 @@ func (r *Replica) deliverRun(run []transport.Message) {
 				}
 				r.mergeGossipLocked(g)
 			}
+		case CompactGossipMsg:
+			r.mergeCompactGossipLocked(p)
 		}
 	}
 	redirects = append(redirects, r.drainRecoveryParked()...)
@@ -371,6 +399,26 @@ func (r *Replica) Metrics() ReplicaMetrics {
 	m.MemoizedOps = r.memoized
 	m.PendingOps = len(r.pendingSet)
 	m.RetainedOps = len(r.retained)
+	if r.opt.BatchSize > 1 && r.opt.IncrementalGossip {
+		m.GossipBatchTarget = r.opt.BatchSize // static, or cold adaptive
+	}
+	first := true
+	for _, c := range r.gossipCtrl {
+		if c == nil {
+			continue
+		}
+		// Report the busiest peer's target (the first controller seen
+		// replaces the static placeholder set above).
+		if first || c.target > m.GossipBatchTarget {
+			m.GossipBatchTarget = c.target
+		}
+		first = false
+		if c.ewma > m.GossipQueueDepthEWMA {
+			m.GossipQueueDepthEWMA = c.ewma
+		}
+		m.GossipBatchGrows += c.grows
+		m.GossipBatchShrinks += c.shrinks
+	}
 	return m
 }
 
@@ -385,6 +433,8 @@ func (r *Replica) handleMessage(m transport.Message) {
 		r.handleGossip(p)
 	case BatchGossipMsg:
 		r.handleBatchGossip(p)
+	case CompactGossipMsg:
+		r.handleCompactGossip(p)
 	case RecoveryRequestMsg:
 		r.handleRecoveryRequest(p)
 	case SnapshotMsg:
@@ -587,6 +637,42 @@ func (r *Replica) handleBatchGossip(msg BatchGossipMsg) {
 		r.mergeGossipLocked(g)
 	}
 	r.finishGossipLocked()
+}
+
+// handleCompactGossip applies a delta-encoded gossip frame (DESIGN.md §12):
+// decode, then merge each carried element through the exact per-message
+// logic of handleGossip, in order — semantically identical to the
+// BatchGossipMsg carrying the same elements. A frame that fails to decode
+// is dropped whole and counted (CompactGossipRejects): the codec rejects
+// corruption atomically, so no partial state can be applied.
+func (r *Replica) handleCompactGossip(msg CompactGossipMsg) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.mergeCompactGossipLocked(msg)
+	r.finishGossipLocked()
+}
+
+// mergeCompactGossipLocked decodes and merges a compact frame. Mutex held;
+// shared by the per-delivery and shard-per-core paths.
+func (r *Replica) mergeCompactGossipLocked(msg CompactGossipMsg) {
+	msgs, err := decodeCompactGossip(msg)
+	if err != nil {
+		r.metrics.CompactGossipRejects++
+		return
+	}
+	r.metrics.CompactGossipReceived++
+	if len(msgs) > 1 {
+		r.metrics.GossipBatchesReceived++
+	}
+	for _, g := range msgs {
+		// The decoder stamps every element with the frame's From, so the
+		// element-vs-frame sender check of handleBatchGossip holds by
+		// construction here.
+		r.mergeGossipLocked(g)
+	}
 }
 
 // finishGossipLocked runs the post-merge steps shared by the single and
@@ -1340,19 +1426,51 @@ func (r *Replica) SendGossip() {
 		// Flush the pending batch — even on a suppressed tick, a held batch
 		// keeps aging toward its BatchDelay bound.
 		if !coalesce || len(r.gossipPend[i]) == 0 {
+			// An idle tick (nothing pending for this peer) is a flush
+			// opportunity that observed depth 0: the adaptive controller
+			// decays toward 1 so the next trickle of traffic flushes
+			// immediately instead of waiting out a stale large target.
+			if coalesce && r.gossipCtrl != nil && r.gossipCtrl[i] != nil {
+				r.gossipCtrl[i].observe(0)
+			}
 			continue
 		}
-		if len(r.gossipPend[i]) >= r.opt.BatchSize || r.opt.BatchDelay <= 0 ||
+		// The effective flush threshold: the static BatchSize, or the
+		// per-peer controller's moving target (DESIGN.md §12).
+		target := r.opt.BatchSize
+		if r.gossipCtrl != nil && r.gossipCtrl[i] != nil {
+			target = r.gossipCtrl[i].targetNow()
+		}
+		if len(r.gossipPend[i]) >= target || r.opt.BatchDelay <= 0 ||
 			now.Sub(r.gossipSince[i]) >= r.opt.BatchDelay {
 			pend := r.gossipPend[i]
 			r.gossipPend[i] = nil
+			if r.gossipCtrl != nil && r.gossipCtrl[i] != nil {
+				r.gossipCtrl[i].observe(len(pend))
+			}
 			r.metrics.GossipSent += uint64(len(pend))
+			if len(pend) > 1 {
+				r.metrics.GossipBatchesSent++
+			}
+			// Negotiated delta encoding (DESIGN.md §12): peers that announced
+			// FeatureCompactGossip get the compact frame; everyone else — old
+			// builds, transports without negotiation, peers not yet heard
+			// from — gets the legacy forms. An element the codec refuses
+			// (recovery traffic) falls back to legacy for the whole flush.
+			if r.opt.CompactGossip && r.negotiator != nil &&
+				r.negotiator.PeerFeatures(r.peers[i])&transport.FeatureCompactGossip != 0 {
+				if cm, err := encodeCompactGossip(r.id, pend); err == nil {
+					r.metrics.CompactGossipSent++
+					outbox = append(outbox, outMsg{to: r.peers[i], msg: cm})
+					continue
+				}
+				r.metrics.CompactGossipFallbacks++
+			}
 			if len(pend) == 1 {
 				// A batch of one is just its element: skip the wrapper (and
 				// its frame overhead), exactly as the response path does.
 				outbox = append(outbox, outMsg{to: r.peers[i], msg: pend[0]})
 			} else {
-				r.metrics.GossipBatchesSent++
 				outbox = append(outbox, outMsg{to: r.peers[i], msg: BatchGossipMsg{From: r.id, Msgs: pend}})
 			}
 		}

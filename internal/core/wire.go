@@ -28,6 +28,7 @@ func RegisterWire() {
 		gob.Register(BatchRequestMsg{})
 		gob.Register(BatchResponseMsg{})
 		gob.Register(BatchGossipMsg{})
+		gob.Register(CompactGossipMsg{})
 		gob.Register(RecoveryRequestMsg{})
 		gob.Register(SnapshotMsg{})
 		gob.Register(FreezeKeysMsg{})

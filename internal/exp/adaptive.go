@@ -1,0 +1,412 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/loadlab"
+	"esds/internal/stats"
+	"esds/internal/transport"
+)
+
+// E16: adaptive batching under step load (DESIGN.md §12). E12 showed the
+// batched hot path's sweet spot, but a STATIC batch size is a bet on one
+// offered load: big batches waste latency when traffic is light, small ones
+// waste amortization when it is heavy. E16 steps the open-loop offered rate
+// low → high → low (the loadlab generator of E15, minus the hostile
+// network) against the same multi-transport deployment as E12 — every
+// replica a TCPNet member, the clients a front-end-only member — and
+// compares each static batch size against the adaptive controller, which
+// must ride the steps: match the best static configuration within MinRatio
+// at EVERY load step, no re-tuning allowed between steps. The second claim
+// is the wire: the negotiated compact gossip form must cut bytes/op by at
+// least MinBytesDrop against the identical adaptive run with delta-encoding
+// off. Wire bytes are real frame bytes from transport.Stats.
+
+// AdaptiveParams configures the step-load experiment.
+type AdaptiveParams struct {
+	// Replicas is the cluster size; each replica runs on its own TCPNet.
+	Replicas int
+	// Sessions is the number of open-loop client sessions.
+	Sessions int
+	// Rates is the step-load schedule (total ops/s per step), conventionally
+	// low → high → low so the controller must both grow and decay.
+	Rates []float64
+	// StepDuration is each step's dispatch window.
+	StepDuration time.Duration
+	// ObjectsPerSession is each session's private object count.
+	ObjectsPerSession int
+	// StaticSizes are the fixed Options.BatchSize candidates the adaptive
+	// run is judged against.
+	StaticSizes []int
+	// AdaptiveCap is Options.BatchSize for the adaptive candidates — the
+	// controller's ceiling, conventionally the largest static size.
+	AdaptiveCap int
+	// GossipInterval / RetransmitInterval / BatchFlushInterval drive the
+	// live tickers; BatchFlushInterval doubles as Options.BatchDelay.
+	GossipInterval     time.Duration
+	RetransmitInterval time.Duration
+	BatchFlushInterval time.Duration
+	// Seed roots each step's workload deterministically.
+	Seed int64
+	// DrainTimeout bounds the post-window wait for in-flight operations.
+	DrainTimeout time.Duration
+	// MinRatio gates the adaptive candidate: at every load step its
+	// throughput must reach MinRatio × the best static candidate's at that
+	// step. ≤ 0 disables the gate (smoke runs).
+	MinRatio float64
+	// MinBytesDrop gates the compact gossip form: the adaptive run's
+	// bytes/op must be at least this fraction below the identical run with
+	// CompactGossip off. ≤ 0 disables the gate (smoke runs).
+	MinBytesDrop float64
+}
+
+// DefaultAdaptiveParams is the headline configuration: a 3-replica counter
+// keyspace, 64 open-loop sessions stepped 100 → 900 → 100 ops/s, statics
+// {8, 32, 128} against an adaptive controller capped at 128. The rates are
+// deliberately modest, like E15's: an open-loop generator PINS the offered
+// rate, so a schedule sized for a big machine melts a small CI runner into
+// drain timeouts instead of measurements. The low steps are where static
+// large batches pay latency for nothing and the adaptive target should
+// decay; the high step is where it must grow back.
+func DefaultAdaptiveParams() AdaptiveParams {
+	return AdaptiveParams{
+		Replicas:           3,
+		Sessions:           64,
+		Rates:              []float64{100, 900, 100},
+		StepDuration:       800 * time.Millisecond,
+		ObjectsPerSession:  2,
+		StaticSizes:        []int{8, 32, 128},
+		AdaptiveCap:        128,
+		GossipInterval:     2 * time.Millisecond,
+		RetransmitInterval: 25 * time.Millisecond,
+		BatchFlushInterval: time.Millisecond,
+		Seed:               16,
+		DrainTimeout:       30 * time.Second,
+		MinRatio:           0.9,
+		MinBytesDrop:       0.25,
+	}
+}
+
+// SmokeAdaptiveParams is a fast structural check (CI-friendly): tiny
+// workload, one static candidate, no gates.
+func SmokeAdaptiveParams() AdaptiveParams {
+	return AdaptiveParams{
+		Replicas:           2,
+		Sessions:           8,
+		Rates:              []float64{200, 800},
+		StepDuration:       250 * time.Millisecond,
+		ObjectsPerSession:  2,
+		StaticSizes:        []int{8},
+		AdaptiveCap:        32,
+		GossipInterval:     2 * time.Millisecond,
+		RetransmitInterval: 25 * time.Millisecond,
+		BatchFlushInterval: time.Millisecond,
+		Seed:               7,
+		DrainTimeout:       20 * time.Second,
+	}
+}
+
+// adaptiveCandidate is one deployment configuration under test.
+type adaptiveCandidate struct {
+	Name     string
+	Kind     string // "static" | "adaptive" | "adaptive-legacy"
+	Size     int    // Options.BatchSize (static size or adaptive cap)
+	Adaptive bool   // Options.AdaptiveBatch
+	Compact  bool   // Options.CompactGossip
+}
+
+func adaptiveCandidates(p AdaptiveParams) []adaptiveCandidate {
+	var out []adaptiveCandidate
+	for _, s := range p.StaticSizes {
+		out = append(out, adaptiveCandidate{
+			Name: fmt.Sprintf("static-%d", s), Kind: "static", Size: s, Compact: true,
+		})
+	}
+	out = append(out,
+		adaptiveCandidate{Name: "adaptive", Kind: "adaptive", Size: p.AdaptiveCap, Adaptive: true, Compact: true},
+		adaptiveCandidate{Name: "adaptive-legacy", Kind: "adaptive-legacy", Size: p.AdaptiveCap, Adaptive: true},
+	)
+	return out
+}
+
+// AdaptiveRow is one (candidate, load step) measurement.
+type AdaptiveRow struct {
+	Candidate  string
+	Kind       string
+	Step       int
+	Rate       float64
+	Offered    int
+	Answered   int
+	OpsPerSec  float64 // answered / (window + drain)
+	P50Ms      float64
+	P99Ms      float64
+	WireBytes  uint64 // real frame bytes across every transport, this step
+	BytesPerOp float64
+}
+
+// AdaptiveResult is the regenerated table.
+type AdaptiveResult struct {
+	Rows []AdaptiveRow
+	Err  error // first execution error (fails Verify)
+}
+
+// RunAdaptive executes the candidate × step sweep. Each candidate keeps ONE
+// deployment across all steps — the adaptive controller carries its learned
+// targets from step to step, which is exactly what is under test.
+func RunAdaptive(p AdaptiveParams) AdaptiveResult {
+	var res AdaptiveResult
+	for _, cand := range adaptiveCandidates(p) {
+		rows, err := runAdaptiveCandidate(p, cand)
+		if err != nil && res.Err == nil {
+			res.Err = fmt.Errorf("exp: E16 %s: %w", cand.Name, err)
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res
+}
+
+// runAdaptiveCandidate builds the E12-style multi-transport deployment (one
+// TCPNet per replica, a front-end-only client member), drives every load
+// step through it in sequence, and closes with the merged strict read-back
+// audit — every acknowledged add from every step must read back exactly.
+func runAdaptiveCandidate(p AdaptiveParams, cand adaptiveCandidate) ([]AdaptiveRow, error) {
+	core.RegisterWire()
+
+	opt := core.DefaultOptions()
+	opt.BatchSize = cand.Size
+	opt.BatchDelay = p.BatchFlushInterval
+	opt.AdaptiveBatch = cand.Adaptive
+	opt.CompactGossip = cand.Compact
+
+	nets := make([]*transport.TCPNet, 0, p.Replicas+1)
+	addrs := make([]string, p.Replicas)
+	closeAll := func() {
+		for _, n := range nets {
+			n.Close()
+		}
+	}
+	for i := 0; i < p.Replicas; i++ {
+		net, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		nets = append(nets, net)
+		addrs[i] = net.Addr().String()
+	}
+	members := make([]*core.Keyspace, p.Replicas)
+	for i := 0; i < p.Replicas; i++ {
+		for j := 0; j < p.Replicas; j++ {
+			if j != i {
+				nets[i].SetPeer(core.ReplicaNode(label.ReplicaID(j)), addrs[j])
+			}
+		}
+		members[i] = core.NewKeyspace(core.KeyspaceConfig{
+			Shards:        1,
+			Replicas:      p.Replicas,
+			DataType:      dtype.Counter{},
+			Network:       nets[i],
+			Options:       opt,
+			LocalReplicas: []int{i},
+		})
+		nets[i].Start()
+	}
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	nets = append(nets, feNet)
+	for j := 0; j < p.Replicas; j++ {
+		feNet.SetPeer(core.ReplicaNode(label.ReplicaID(j)), addrs[j])
+	}
+	ks := core.NewKeyspace(core.KeyspaceConfig{
+		Shards:        1,
+		Replicas:      p.Replicas,
+		DataType:      dtype.Counter{},
+		Network:       feNet,
+		Options:       opt,
+		LocalReplicas: []int{},
+	})
+	feNet.Start()
+	defer func() {
+		ks.Close()
+		for _, m := range members {
+			m.Close()
+		}
+		closeAll()
+	}()
+	for _, m := range members {
+		m.StartLiveGossip(p.GossipInterval)
+	}
+	ks.StartLiveRetransmit(p.RetransmitInterval)
+	ks.StartLiveBatchFlush(p.BatchFlushInterval)
+
+	rows := make([]AdaptiveRow, 0, len(p.Rates))
+	merged := &loadlab.Report{Objects: make(map[string]loadlab.ObjectAudit)}
+	for step, rate := range p.Rates {
+		before := collectTCPStats(nets)
+		start := time.Now()
+		rep := loadlab.Run(ks, loadlab.Config{
+			Seed:              p.Seed + int64(step),
+			Sessions:          p.Sessions,
+			Rate:              rate,
+			Duration:          p.StepDuration,
+			ObjectsPerSession: p.ObjectsPerSession,
+			DrainTimeout:      p.DrainTimeout,
+		})
+		total := time.Since(start)
+		after := collectTCPStats(nets)
+		if rep.Unanswered > 0 {
+			return rows, fmt.Errorf("step %d @%.0f: %d of %d operations never answered",
+				step, rate, rep.Unanswered, rep.Offered)
+		}
+		if rep.Errors > 0 {
+			return rows, fmt.Errorf("step %d @%.0f: %d operations answered with errors", step, rate, rep.Errors)
+		}
+		for obj, a := range rep.Objects {
+			m := merged.Objects[obj]
+			m.Session = a.Session
+			m.AddIDs = append(m.AddIDs, a.AddIDs...)
+			m.Sum += a.Sum
+			merged.Objects[obj] = m
+		}
+		q := rep.Lat.Quantiles()
+		row := AdaptiveRow{
+			Candidate: cand.Name,
+			Kind:      cand.Kind,
+			Step:      step,
+			Rate:      rate,
+			Offered:   rep.Offered,
+			Answered:  rep.Answered,
+			OpsPerSec: float64(rep.Answered) / total.Seconds(),
+			P50Ms:     float64(q.P50) / 1e6,
+			P99Ms:     float64(q.P99) / 1e6,
+			WireBytes: after.Bytes - before.Bytes,
+		}
+		if rep.Answered > 0 {
+			row.BytesPerOp = float64(row.WireBytes) / float64(rep.Answered)
+		}
+		rows = append(rows, row)
+	}
+
+	// Merged audit: one strict read per object, constrained after every
+	// acknowledged add of every step — cross-member convergence proven
+	// through the protocol itself (CheckConvergence needs an all-local
+	// cluster, which a multi-transport deployment is not).
+	if err := loadlab.ReadBack(ks, merged, p.DrainTimeout); err != nil {
+		return rows, err
+	}
+	var compactFrames uint64
+	for i, m := range members {
+		if faults := m.Faults(); len(faults) > 0 {
+			return rows, fmt.Errorf("member %d replica faults: %v", i, faults)
+		}
+		rm := m.Shard(0).Replica(i).Metrics()
+		compactFrames += rm.CompactGossipSent
+		if rm.CompactGossipRejects > 0 {
+			return rows, fmt.Errorf("member %d rejected %d compact gossip frames", i, rm.CompactGossipRejects)
+		}
+	}
+	// Structural: a compact-enabled candidate must actually have exercised
+	// the negotiated path, and a legacy one must never have.
+	if cand.Compact && compactFrames == 0 {
+		return rows, fmt.Errorf("compact gossip enabled but no compact frames were sent")
+	}
+	if !cand.Compact && compactFrames != 0 {
+		return rows, fmt.Errorf("compact gossip disabled but %d compact frames were sent", compactFrames)
+	}
+	return rows, nil
+}
+
+// Table renders the sweep. Wall-clock throughput is machine-dependent; the
+// structural columns are liveness (offered == answered) and bytes/op.
+func (r AdaptiveResult) Table() string {
+	t := stats.NewTable("candidate", "step", "rate", "offered", "answered", "ops/s", "p50 ms", "p99 ms", "bytes/op")
+	for _, row := range r.Rows {
+		t.AddRow(row.Candidate, row.Step, row.Rate, row.Offered, row.Answered,
+			row.OpsPerSec, row.P50Ms, row.P99Ms, row.BytesPerOp)
+	}
+	return t.String()
+}
+
+// bytesPerOp returns a candidate's whole-run bytes/op (all steps pooled).
+func (r AdaptiveResult) bytesPerOp(kind string) (float64, bool) {
+	var bytes uint64
+	var answered int
+	found := false
+	for _, row := range r.Rows {
+		if row.Kind == kind {
+			bytes += row.WireBytes
+			answered += row.Answered
+			found = true
+		}
+	}
+	if !found || answered == 0 {
+		return 0, false
+	}
+	return float64(bytes) / float64(answered), true
+}
+
+// Verify checks the adaptive-batching claims: every (candidate, step) point
+// answered everything it offered and read back exactly (folded into Err by
+// the runner); the adaptive candidate reaches MinRatio × the best static
+// throughput at EVERY load step; and the compact gossip form cuts the
+// adaptive run's bytes/op by at least MinBytesDrop against the identical
+// legacy-encoded run.
+func (r AdaptiveResult) Verify(p AdaptiveParams) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	want := len(adaptiveCandidates(p)) * len(p.Rates)
+	if len(r.Rows) != want || want == 0 {
+		return fmt.Errorf("exp: E16 has %d sweep points, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if row.Offered == 0 || row.Answered != row.Offered {
+			return fmt.Errorf("exp: E16 %s step %d answered %d of %d offered",
+				row.Candidate, row.Step, row.Answered, row.Offered)
+		}
+		if row.OpsPerSec <= 0 || row.WireBytes == 0 {
+			return fmt.Errorf("exp: E16 %s step %d recorded no work (%+v)", row.Candidate, row.Step, row)
+		}
+	}
+	if p.MinRatio > 0 {
+		for step := range p.Rates {
+			bestStatic, adaptive := 0.0, 0.0
+			for _, row := range r.Rows {
+				if row.Step != step {
+					continue
+				}
+				switch row.Kind {
+				case "static":
+					if row.OpsPerSec > bestStatic {
+						bestStatic = row.OpsPerSec
+					}
+				case "adaptive":
+					adaptive = row.OpsPerSec
+				}
+			}
+			if adaptive < p.MinRatio*bestStatic {
+				return fmt.Errorf("exp: E16 step %d: adaptive %.0f ops/s below %.2f× best static %.0f ops/s — the controller failed to track the load step",
+					step, adaptive, p.MinRatio, bestStatic)
+			}
+		}
+	}
+	if p.MinBytesDrop > 0 {
+		compact, ok1 := r.bytesPerOp("adaptive")
+		legacy, ok2 := r.bytesPerOp("adaptive-legacy")
+		if !ok1 || !ok2 {
+			return fmt.Errorf("exp: E16 missing adaptive candidates for the bytes/op comparison")
+		}
+		if compact > (1-p.MinBytesDrop)*legacy {
+			return fmt.Errorf("exp: E16 compact gossip bytes/op %.0f not %.0f%% below legacy %.0f — the delta encoding failed its wire-efficiency gate",
+				compact, p.MinBytesDrop*100, legacy)
+		}
+	}
+	return nil
+}

@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
+	if len(all) != 16 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -330,5 +330,30 @@ func TestE12BatchingSmoke(t *testing.T) {
 		if row.WireBytes == 0 || row.Frames == 0 {
 			t.Fatalf("row %+v recorded no wire traffic", row)
 		}
+	}
+}
+
+func TestE16AdaptiveSmoke(t *testing.T) {
+	// Structural smoke of the adaptive-batching experiment: tiny step-load
+	// sweep over real loopback sockets, throughput and bytes/op gates off
+	// (wall-clock ratios are machine-dependent; the headline gated run is
+	// `esds-bench -exp e16` / BenchmarkE16AdaptiveBatching). The structural
+	// claims — every offered op answered and read back, real wire traffic
+	// on every point, the compact path engaged exactly when negotiated —
+	// are folded into the runner and asserted by Verify.
+	p := SmokeAdaptiveParams()
+	r := RunAdaptive(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	// The delta encoding must not INFLATE the wire even at smoke scale:
+	// compact adaptive ≤ legacy adaptive bytes/op.
+	compact, ok1 := r.bytesPerOp("adaptive")
+	legacy, ok2 := r.bytesPerOp("adaptive-legacy")
+	if !ok1 || !ok2 {
+		t.Fatalf("missing adaptive candidates:\n%s", r.Table())
+	}
+	if compact > legacy {
+		t.Fatalf("compact gossip bytes/op %.0f exceeds legacy %.0f\n%s", compact, legacy, r.Table())
 	}
 }

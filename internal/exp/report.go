@@ -125,6 +125,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e16", Title: "Adaptive batching & compact gossip under step load", PaperRef: "DESIGN.md §12 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultAdaptiveParams()
+				r := RunAdaptive(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 // and asymmetric partitions, optionally scripted as a timeline of
 // partition/heal phases. It is the load lab's WAN emulator (DESIGN.md
 // §11): SimNet already injects these faults under the discrete-event
-// simulator, but the full-stack experiments (E10–E15) run on wall-clock
+// simulator, but the full-stack experiments (E10–E16) run on wall-clock
 // transports where nothing previously stood between the stack and a
 // perfect loopback network.
 //
@@ -151,6 +151,25 @@ func (n *FaultNet) RegisterInline(id NodeID, h Handler) {
 }
 
 var _ InlineRegistrar = (*FaultNet)(nil)
+
+// AnnounceFeatures forwards to the inner transport when it negotiates;
+// otherwise the announcement is dropped, which leaves every PeerFeatures
+// query at zero — senders then use legacy wire forms, the safe degradation.
+func (n *FaultNet) AnnounceFeatures(id NodeID, features uint32) {
+	if fn, ok := n.inner.(FeatureNegotiator); ok {
+		fn.AnnounceFeatures(id, features)
+	}
+}
+
+// PeerFeatures forwards to the inner transport (zero without one).
+func (n *FaultNet) PeerFeatures(id NodeID) uint32 {
+	if fn, ok := n.inner.(FeatureNegotiator); ok {
+		return fn.PeerFeatures(id)
+	}
+	return 0
+}
+
+var _ FeatureNegotiator = (*FaultNet)(nil)
 
 // newLinkRand derives the decision stream for a directed link. FNV-1a
 // over (seed, from, to) keeps streams independent across links while

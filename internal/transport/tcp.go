@@ -66,13 +66,20 @@ type TCPNet struct {
 	static  map[NodeID]bool
 	senders map[string]*tcpSend // dial address → sender goroutine state
 	inbound map[net.Conn]struct{}
-	stats   Stats
-	wg      sync.WaitGroup
+	// feat holds capability bits per node (FeatureNegotiator): announced
+	// for local nodes, learned from frames for remote peers. Every outbound
+	// frame piggybacks the sender node's announced bits, so a peer knows a
+	// node's capabilities as soon as its first frame arrives — no extra
+	// handshake round, and a restarted peer re-teaches them on reconnect.
+	feat  map[NodeID]uint32
+	stats Stats
+	wg    sync.WaitGroup
 }
 
 var (
-	_ Network         = (*TCPNet)(nil)
-	_ InlineRegistrar = (*TCPNet)(nil)
+	_ Network           = (*TCPNet)(nil)
+	_ InlineRegistrar   = (*TCPNet)(nil)
+	_ FeatureNegotiator = (*TCPNet)(nil)
 )
 
 // TCPConfig configures a TCPNet.
@@ -117,6 +124,12 @@ type tcpFrame struct {
 	From    NodeID
 	To      NodeID
 	ReplyTo string
+	// Feat carries the sending node's announced capability bits
+	// (FeatureNegotiator). gob tolerates the field on exactly one side:
+	// an old peer decodes frames that carry it and sends frames without it
+	// (which decode here as 0 = no capabilities) — negotiation with
+	// pre-feature builds therefore works without a version handshake.
+	Feat    uint32
 	Payload any
 }
 
@@ -322,10 +335,20 @@ func (n *TCPNet) readLoop(conn net.Conn) {
 // Advertise) is unusable for dialing and is ignored.
 func (n *TCPNet) deliver(f tcpFrame) {
 	n.mu.Lock()
-	if f.ReplyTo != "" && dialable(f.ReplyTo) && !n.static[f.From] {
+	{
 		_, local := n.handlers[f.From]
-		if _, inl := n.inline[f.From]; !local && !inl {
-			n.peers[f.From] = f.ReplyTo
+		_, inl := n.inline[f.From]
+		if !local && !inl {
+			if f.ReplyTo != "" && dialable(f.ReplyTo) && !n.static[f.From] {
+				n.peers[f.From] = f.ReplyTo
+			}
+			// Learn the sender's capability bits (unconditionally: a frame
+			// without bits is a pre-feature or downgraded peer, and zero is
+			// exactly what senders must then assume).
+			if n.feat == nil {
+				n.feat = make(map[NodeID]uint32)
+			}
+			n.feat[f.From] = f.Feat
 		}
 	}
 	if h, ok := n.inline[f.To]; ok {
@@ -395,9 +418,10 @@ func (n *TCPNet) Send(from, to NodeID, payload any) {
 		n.cfg.Logf("transport: tcp no address for node %q, message dropped", to)
 		return
 	}
+	feat := n.feat[from]
 	n.mu.Unlock()
 
-	frame, err := encodeFrame(tcpFrame{From: from, To: to, ReplyTo: n.cfg.Advertise, Payload: payload})
+	frame, err := encodeFrame(tcpFrame{From: from, To: to, ReplyTo: n.cfg.Advertise, Feat: feat, Payload: payload})
 	if err != nil {
 		n.bumpDropped()
 		n.cfg.Logf("transport: tcp encode %T for %q: %v", payload, to, err)
@@ -545,6 +569,29 @@ func (n *TCPNet) bumpDroppedN(count int) {
 	n.mu.Lock()
 	n.stats.Dropped += uint64(count)
 	n.mu.Unlock()
+}
+
+// AnnounceFeatures implements FeatureNegotiator for a node of THIS process:
+// the bits ride on every frame the node sends, and peers learn them in
+// deliver. Local peers (same TCPNet) read them from the shared map, so
+// in-process negotiation needs no frame at all.
+func (n *TCPNet) AnnounceFeatures(id NodeID, features uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.feat == nil {
+		n.feat = make(map[NodeID]uint32)
+	}
+	n.feat[id] = features
+}
+
+// PeerFeatures implements FeatureNegotiator: a local node's announcement,
+// or the bits the peer's most recent frame carried. Zero until a frame from
+// the peer has arrived — senders fall back to legacy encodings, which is
+// the safe direction.
+func (n *TCPNet) PeerFeatures(id NodeID) uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.feat[id]
 }
 
 // SetPeer adds or replaces the dial address for a node at runtime. Like

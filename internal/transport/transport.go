@@ -66,6 +66,34 @@ type InlineRegistrar interface {
 	RegisterInline(id NodeID, h Handler)
 }
 
+// Feature bits announced through a FeatureNegotiator. A bit names a wire
+// capability the announcing node can DECODE; a sender uses the capability
+// only toward peers whose announced bits include it.
+const (
+	// FeatureCompactGossip: the node decodes core.CompactGossipMsg, the
+	// delta-encoded form of coalesced gossip (DESIGN.md §12).
+	FeatureCompactGossip uint32 = 1 << 0
+)
+
+// FeatureNegotiator is implemented by transports that can carry per-node
+// capability bits to peers, so wire-format upgrades deploy incrementally: a
+// node announces what it can decode, and senders check PeerFeatures before
+// using an upgraded form — an unannounced peer (older build, or a transport
+// without negotiation) gets the legacy encoding. TCPNet piggybacks the bits
+// on its frames and learns them per peer; LiveNet keeps an in-process map.
+// SimNet deliberately does not implement it: the simulator pins the paper's
+// wire model, and negotiation-dependent paths are exercised on the live
+// transports.
+type FeatureNegotiator interface {
+	// AnnounceFeatures declares the capability bits of a LOCAL node, before
+	// or after registration. Announcing replaces earlier announcements.
+	AnnounceFeatures(id NodeID, features uint32)
+	// PeerFeatures returns the capability bits known for a node: its own
+	// announcement (local node) or what its frames carried (remote peer).
+	// Zero means "nothing known" — senders must then use legacy forms.
+	PeerFeatures(id NodeID) uint32
+}
+
 // Stats are cumulative message counters, used by the communication
 // experiments (E8 and E12).
 type Stats struct {
@@ -243,14 +271,16 @@ type LiveNet struct {
 	mu     sync.Mutex
 	nodes  map[NodeID]*mailbox
 	inline map[NodeID]Handler
+	feat   map[NodeID]uint32
 	closed bool
 	wg     sync.WaitGroup
 	stats  Stats
 }
 
 var (
-	_ Network         = (*LiveNet)(nil)
-	_ InlineRegistrar = (*LiveNet)(nil)
+	_ Network           = (*LiveNet)(nil)
+	_ InlineRegistrar   = (*LiveNet)(nil)
+	_ FeatureNegotiator = (*LiveNet)(nil)
 )
 
 type mailbox struct {
@@ -343,6 +373,25 @@ func (n *LiveNet) RegisterInline(id NodeID, h Handler) {
 		n.inline = make(map[NodeID]Handler)
 	}
 	n.inline[id] = h
+}
+
+// AnnounceFeatures implements FeatureNegotiator. In-process there is no
+// wire to piggyback on: every node shares one map, so an announcement is
+// visible to all peers immediately.
+func (n *LiveNet) AnnounceFeatures(id NodeID, features uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.feat == nil {
+		n.feat = make(map[NodeID]uint32)
+	}
+	n.feat[id] = features
+}
+
+// PeerFeatures implements FeatureNegotiator.
+func (n *LiveNet) PeerFeatures(id NodeID) uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.feat[id]
 }
 
 // Send implements Network. Messages to unregistered nodes are dropped
