@@ -18,8 +18,8 @@ test:
 race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 . ./internal/core ./internal/transport ./cmd/esds-server
 
-# Every E1–E16 benchmark body runs exactly once: a harness smoke test, not
-# a measurement (the E10–E16 live-transport experiments run their full
+# Every E1–E17 benchmark body runs exactly once: a harness smoke test, not
+# a measurement (the E10–E17 live-transport experiments run their full
 # workloads even at 1x). benchjson tees the output and captures every
 # metric — sharding speedup, resize windows, core scaling, durable
 # throughput, adaptive-batching wire efficiency — into the
@@ -34,7 +34,7 @@ bench:
 # silent harness rot — or if an E12 throughput metric fell more than 20%
 # below its committed value, or a bytes/op metric rose more than 20% above
 # it (-max-regress: throughput baselines are floors, wire baselines are
-# ceilings). The gate is scoped to E12–E16 (-regress-match) because their
+# ceilings). The gate is scoped to E12–E17 (-regress-match) because their
 # steady-state metrics are stable run-to-run, while windowed metrics like
 # E11's mid-migration ops/s swing ±2× on identical code; gate more
 # benchmarks as their variance is characterized. E12's speedup ratio is
@@ -50,9 +50,13 @@ bench:
 # -exp e13` / `-exp e14` runs enforce them where they are meaningful.
 # E16's bytes/op-compact and bytes/op-legacy are the new wire-efficiency
 # trajectory: frame layouts, not machine speed, so the ceiling holds on
-# any runner.
+# any runner. E17's per-member bytes/op figures are placement-geometry
+# quantities and hold anywhere for the same reason. BENCH_fresh.json is a
+# scratch comparison artifact, deleted once the diff passes — only the
+# committed BENCH_results.json trajectory belongs in the tree.
 bench-diff:
-	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_fresh.json -require BENCH_results.json -max-regress 0.2 -regress-match '^BenchmarkE12|^BenchmarkE13|^BenchmarkE14|^BenchmarkE15|^BenchmarkE16'
+	set -o pipefail; $(GO) test -bench . -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_fresh.json -require BENCH_results.json -max-regress 0.2 -regress-match '^BenchmarkE12|^BenchmarkE13|^BenchmarkE14|^BenchmarkE15|^BenchmarkE16|^BenchmarkE17'
+	rm -f BENCH_fresh.json
 
 # Deterministic fault-injection suite under the race detector: the
 # crash/recover/prune chaos matrix (crash timing × prune/snapshot options ×
@@ -61,9 +65,11 @@ bench-diff:
 # the multi-process SIGKILL restart tests (snapshot recovery with pruning,
 # and mid-batch durability against the group-commit journal), and the
 # live-resharding cell (resize under load, with replicas crashing
-# mid-migration, and the multi-process -resize admin path). Seeds are
-# pinned; sweep others with ESDS_CHAOS_SEEDS=7,8,9 make chaos. A failing
-# matrix cell shrinks to a minimal reproduction automatically.
+# mid-migration, and the multi-process -resize admin path), and the
+# placement cell (a placed fleet's hosting member killed mid-load and
+# rejoined via range catch-up from surviving co-hosts, DESIGN.md §13).
+# Seeds are pinned; sweep others with ESDS_CHAOS_SEEDS=7,8,9 make chaos.
+# A failing matrix cell shrinks to a minimal reproduction automatically.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestPruneRecovery|TestSnapshot|TestRecover|TestCrash|TestHostile' ./internal/core
 	$(GO) test -race -count=1 -run 'TestKillNine|TestResizeAdminAgainstCluster' ./cmd/esds-server

@@ -356,6 +356,32 @@ func BenchmarkE16AdaptiveBatching(b *testing.B) {
 	b.ReportMetric(1-compact/legacy, "wire-drop-frac")
 }
 
+// BenchmarkE17FleetPlacement runs the placement scaling experiment: the
+// same 6-shard × 3-replica keyspace deployed on a 3-member fleet (full
+// replication forced) and a 6-member fleet (each member hosts half the
+// shards), same open-loop workload, strict read-back of every acknowledged
+// op. The ≥40% drop gates stay ON — resident shards per member and
+// per-member bytes/op are placement-geometry quantities, not machine
+// speed, so the gate holds on any runner; benchjson additionally ceilings
+// the bytes/op metrics against the committed baseline.
+func BenchmarkE17FleetPlacement(b *testing.B) {
+	p := exp.DefaultFleetParams()
+	var r exp.FleetResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunFleet(p)
+		if err := r.Verify(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	b.ReportMetric(first.BytesPerMemOp, "bytes/op-member-small")
+	b.ReportMetric(last.BytesPerMemOp, "bytes/op-member-grown")
+	b.ReportMetric(1-last.BytesPerMemOp/first.BytesPerMemOp, "wire-drop-frac")
+	b.ReportMetric(first.ResidentMean, "resident-shards-small")
+	b.ReportMetric(last.ResidentMean, "resident-shards-grown")
+	b.ReportMetric(last.OpsPerSec, "ops/s-grown")
+}
+
 // --- Microbenchmarks of the core algorithm ---
 
 // BenchmarkLabelGeneration measures label assignment (ℒ_r partition).

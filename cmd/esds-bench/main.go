@@ -26,7 +26,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("esds-bench", flag.ContinueOnError)
-	which := fs.String("exp", "all", "experiment id (e1..e16) or 'all'")
+	which := fs.String("exp", "all", "experiment id (e1..e17) or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2

@@ -6,6 +6,10 @@
 // of §9.3 + §10.2 composition): for every snapshottable data type and every
 // cut of random histories, installing the canonical state snapshot of the
 // prefix must be indistinguishable from replaying the prefix's descriptors.
+// A further sweep covers the range catch-up equivalence (DESIGN.md §13):
+// splicing a chunked single-peer range transfer onto a local prefix must be
+// indistinguishable from the full snapshot install at the same cut and from
+// uninterrupted replay, across (have, cut) windows and chunk sizes.
 //
 // Usage:
 //
@@ -46,6 +50,9 @@ func run(args []string) int {
 	resizeRuns := fs.Int("resize-runs", 10,
 		"random keyed histories per data type for the resize equivalence sweep (0 disables): every cut of every history, across several ring growths, must match the unsharded serial order")
 	resizeLen := fs.Int("resize-len", 24, "operations per history in the resize sweep")
+	rangeRuns := fs.Int("range-runs", 10,
+		"random histories per data type for the range catch-up equivalence sweep (0 disables): chunked single-peer transfers at every (have, cut) window must match the full snapshot install and the uninterrupted replay")
+	rangeLen := fs.Int("range-len", 24, "operations per history in the range sweep")
 	quiet := fs.Bool("q", false, "only print failures and the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,10 +102,56 @@ func run(args []string) int {
 			resizeChecks-resizeFailures, resizeChecks)
 	}
 
-	if failures+snapFailures+resizeFailures > 0 {
+	rangeFailures, rangeChecks := rangeSweep(*rangeRuns, *rangeLen, *seed, *quiet)
+	if *rangeRuns > 0 {
+		fmt.Printf("esds-check: range catch-up equivalence: %d/%d window checks passed\n",
+			rangeChecks-rangeFailures, rangeChecks)
+	}
+
+	if failures+snapFailures+resizeFailures+rangeFailures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// rangeSweep checks CheckRangeCatchupEquivalence for every snapshottable
+// data type (each built-in and its keyed lift) over random histories, at
+// every (have, cut) window and several chunk sizes. It returns
+// (failures, checks).
+func rangeSweep(runs, histLen int, seed int64, quiet bool) (failures, checks int) {
+	if runs <= 0 {
+		return 0, 0
+	}
+	var dts []dtype.DataType
+	for _, name := range dtype.Names() {
+		dt, _ := dtype.ByName(name)
+		dts = append(dts, dt, dtype.NewKeyed(dt))
+	}
+	for _, dt := range dts {
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(seed + int64(run)))
+			seq := make([]ops.Operation, histLen)
+			for i := range seq {
+				seq[i] = ops.New(dtype.RandomOp(rng, dt), ops.ID{Client: "chk", Seq: uint64(i)}, nil, false)
+			}
+			for cut := 0; cut <= len(seq); cut += 2 {
+				for _, have := range []int{0, cut / 2, cut} {
+					for _, chunk := range []int{1, 5} {
+						checks++
+						if err := spec.CheckRangeCatchupEquivalence(dt, seq, have, cut, chunk); err != nil {
+							failures++
+							fmt.Printf("range sweep: %s (seed %d, have %d, cut %d, chunk %d): FAIL: %v\n",
+								dt.Name(), seed+int64(run), have, cut, chunk, err)
+						}
+					}
+				}
+			}
+		}
+		if !quiet {
+			fmt.Printf("range sweep: %s: ok — %d histories × all windows × 2 chunk sizes\n", dt.Name(), runs)
+		}
+	}
+	return failures, checks
 }
 
 // resizeSweep checks CheckResizeEquivalence for every built-in data type

@@ -50,6 +50,7 @@ import (
 	"esds/internal/dtype"
 	"esds/internal/label"
 	"esds/internal/ops"
+	"esds/internal/placement"
 	"esds/internal/transport"
 )
 
@@ -65,6 +66,7 @@ type config struct {
 	advertise string
 	dtName    string
 	shards    int
+	place     int
 	workers   int
 	resize    int
 	gossip    time.Duration
@@ -89,6 +91,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.dtName, "type", "counter", "data type: "+strings.Join(dtype.Names(), "|"))
 	fs.IntVar(&cfg.shards, "shards", 1,
 		"shard the service into a multi-object keyspace of this many independent clusters; every member must agree")
+	fs.IntVar(&cfg.place, "place", 0,
+		"replicate each shard on only this many of the -peers members (shard placement, DESIGN.md §13): the placement map assigns every shard's replica slots to members deterministically, and a member stores, serves, and gossips only the shards it hosts; 0 = every member hosts every shard; every member and client must agree")
 	fs.IntVar(&cfg.workers, "workers", 0,
 		"size of the shard-per-core worker pool executing this member's shard replicas (DESIGN.md §9): each shard is pinned to one worker goroutine; 0 = one worker per schedulable core (GOMAXPROCS), negative = disable (one mailbox goroutine per replica); applies to replica members with -shards > 1")
 	fs.IntVar(&cfg.resize, "resize", 0,
@@ -138,6 +142,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	if cfg.shards < 1 {
 		return cfg, fmt.Errorf("-shards %d must be at least 1", cfg.shards)
 	}
+	if cfg.place < 0 {
+		return cfg, fmt.Errorf("-place %d is negative; use 0 for full replication", cfg.place)
+	}
+	if cfg.place > len(cfg.peers) {
+		return cfg, fmt.Errorf("-place %d wants more replicas per shard than the fleet has members (%d)", cfg.place, len(cfg.peers))
+	}
 	if cfg.gossip <= 0 {
 		return cfg, fmt.Errorf("-gossip %v must be positive: the §9.1 liveness assumption needs a gossip round in every bounded interval", cfg.gossip)
 	}
@@ -160,8 +170,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		if cfg.resize < 2 {
 			return cfg, fmt.Errorf("-resize %d: a keyspace can only grow to 2 or more shards", cfg.resize)
 		}
-		if cfg.client != "" || cfg.id >= 0 || cfg.recover || cfg.storeDir != "" {
-			return cfg, fmt.Errorf("-resize is an admin command: it takes only -peers (and optionally -verbose), not -client/-id/-recover/-store")
+		if cfg.client != "" || cfg.id >= 0 || cfg.recover || cfg.storeDir != "" || cfg.place > 0 {
+			return cfg, fmt.Errorf("-resize is an admin command: it takes only -peers (and optionally -verbose), not -client/-id/-recover/-store/-place")
 		}
 		return cfg, nil
 	}
@@ -227,10 +237,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	// Every shard's replica i lives behind the same member address: shards
 	// share each process's single listener, kept apart by shard-qualified
 	// node names. Member control nodes (ctl:<i>) carry the resize admin
-	// protocol.
+	// protocol. Under -place the replica entries come from the placement
+	// map instead (ApplyPlacement below): slot k of a shard belongs to the
+	// member the placement assigns it, not to member k.
+	var place *placement.Placement
+	if cfg.place > 0 {
+		place = placement.New(cfg.shards, cfg.place, len(cfg.peers))
+	}
 	peerTable := make(map[transport.NodeID]string, len(cfg.peers)*cfg.shards)
 	for i, addr := range cfg.peers {
 		peerTable[ctlNode(i)] = addr
+		if place != nil {
+			continue
+		}
 		if cfg.client == "" && i == cfg.id {
 			continue
 		}
@@ -261,13 +280,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer net.Close()
+	if place != nil {
+		core.ApplyPlacement(net, place, cfg.peers)
+	}
 
 	local := []int{}
 	if cfg.client == "" {
 		local = []int{cfg.id}
 	}
-	if cfg.shards > 1 {
-		return runSharded(cfg, dt, net, rt, local, stdin, stdout, stderr)
+	if cfg.shards > 1 || place != nil {
+		return runSharded(cfg, dt, net, rt, local, place, stdin, stdout, stderr)
 	}
 	var stores []core.StableStore
 	var fileStores []*core.FileStableStore
@@ -406,10 +428,11 @@ func storeFailure(stores []*core.FileStableStore) <-chan error {
 	return ch
 }
 
-// runSharded is the -shards N > 1 path: the member hosts its replica id in
-// every shard of a multi-object keyspace (or a keyspace front end, with
-// -client).
-func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.ShardRuntime, local []int, stdin io.Reader, stdout, stderr io.Writer) int {
+// runSharded is the -shards N > 1 (or -place) path: the member hosts its
+// replica id in every shard of a multi-object keyspace — or, when placed,
+// only the replica slots the placement map assigns it (or a keyspace front
+// end, with -client).
+func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.ShardRuntime, local []int, place *placement.Placement, stdin io.Reader, stdout, stderr io.Writer) int {
 	var storeFor func(shard, replica int) core.StableStore
 	var storeErr error
 	var stores []*core.FileStableStore
@@ -423,7 +446,10 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.S
 	}()
 	if cfg.storeDir != "" && cfg.client == "" {
 		storeFor = func(shard, replica int) core.StableStore {
-			if replica != cfg.id || storeErr != nil {
+			// Placed keyspaces only ask for hosted slots (which need not be
+			// slot cfg.id); full-replication members persist only their own
+			// replica id.
+			if (place == nil && replica != cfg.id) || storeErr != nil {
 				return nil
 			}
 			st, err := openStore(cfg.storeDir, shard, replica, !cfg.storeSync)
@@ -435,20 +461,44 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.S
 			return st
 		}
 	}
+	replicas := len(cfg.peers)
+	member := -1
+	if place != nil {
+		replicas = cfg.place
+		if cfg.client == "" {
+			member = cfg.id
+		}
+	}
 	ks := core.NewKeyspace(core.KeyspaceConfig{
 		Shards:        cfg.shards,
-		Replicas:      len(cfg.peers),
+		Replicas:      replicas,
 		DataType:      dt,
 		Network:       net,
 		Options:       cfg.opts,
 		LocalReplicas: local,
 		StoreFor:      storeFor,
 		Runtime:       rt,
+		Placement:     place,
+		Member:        member,
+		// The fleet size is pinned by -peers; a wrong-member refusal naming
+		// a larger fleet means this process's address list is stale, and
+		// only a restart can supply the missing addresses.
+		OnStalePlacement: func(members int) {
+			fmt.Fprintf(stderr, "esds-server: placement is stale: the fleet reports %d members but -peers names %d; restart with the full member list\n",
+				members, len(cfg.peers))
+		},
 		// Online growth (a local Resize or a -resize admin command, or a
 		// redirect-taught client following one): the new shards' remote
 		// replicas live behind the same member addresses as every other
-		// shard's.
+		// shard's. Placed keyspaces extend the placement map the same way
+		// NewKeyspace's buildShard does (Extend is deterministic), then
+		// re-point every slot. Runs under the keyspace lock — no ks calls.
 		OnGrow: func(oldShards, newShards int) {
+			if place != nil {
+				place = place.Extend(newShards)
+				core.ApplyPlacement(net, place, cfg.peers)
+				return
+			}
 			for s := oldShards; s < newShards; s++ {
 				for i, addr := range cfg.peers {
 					if cfg.client == "" && i == cfg.id {
@@ -495,7 +545,11 @@ func runSharded(cfg config, dt dtype.DataType, net *transport.TCPNet, rt *core.S
 		}
 		startRecovery(all, cfg.gossip, stdout)
 	}
-	fmt.Fprintf(stdout, "READY replica=%d shards=%d addr=%s type=%s\n", cfg.id, cfg.shards, net.Addr(), cfg.dtName)
+	ready := fmt.Sprintf("READY replica=%d shards=%d addr=%s type=%s", cfg.id, cfg.shards, net.Addr(), cfg.dtName)
+	if place != nil {
+		ready += fmt.Sprintf(" place=%d hosted=%d", cfg.place, len(place.ShardsOf(cfg.id)))
+	}
+	fmt.Fprintln(stdout, ready)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -488,6 +488,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-id", "0"}, "admin command"},
 		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-client", "c"}, "admin command"},
 		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-store", "/tmp/x"}, "admin command"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-place", "-1"}, "-place -1 is negative"},
+		{[]string{"-peers", "a:1,b:2", "-id", "0", "-place", "3"}, "more replicas per shard than the fleet has members"},
+		{[]string{"-peers", "a:1,b:2", "-resize", "4", "-place", "2"}, "admin command"},
 	}
 	for _, tc := range cases {
 		_, err := parseFlags(tc.args, os.Stderr)
@@ -657,5 +660,37 @@ func TestShardedClientModeAgainstCluster(t *testing.T) {
 	// responses proved routing worked — this checks the printed form).
 	if !strings.HasPrefix(lines[4], "cart:1@") || !strings.HasPrefix(lines[5], "cart:2@") {
 		t.Fatalf("response lines lack object@shard prefixes:\n%s", stdout.String())
+	}
+}
+
+// TestPlacedClientModeAgainstCluster runs a placed fleet (-place: each shard
+// on 2 of the 3 member processes, placement map agreed from the flags alone)
+// and drives it through a -client front end, which must route every object
+// to a hosting member. The strict reads prove the placed deployment serves
+// the full keyspace even though no single member hosts it.
+func TestPlacedClientModeAgainstCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	peers := reservePorts(t, 3)
+	for i := 0; i < 3; i++ {
+		spawnReplica(t, i, peers, "-shards", "4", "-place", "2")
+	}
+
+	var stdout strings.Builder
+	script := strings.NewReader("cart:1 add 2\ncart:1 add 3\ncart:2 add 10\ncart:1 read!\ncart:2 read!\n")
+	code := run([]string{"-client", "cli", "-shards", "4", "-place", "2", "-peers", strings.Join(peers, ",")}, script, &stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("placed client mode exited %d\noutput:\n%s", code, stdout.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 6 { // READY + five responses
+		t.Fatalf("client printed %d lines:\n%s", len(lines), stdout.String())
+	}
+	if !strings.HasSuffix(lines[4], "= 5") {
+		t.Fatalf("strict read of cart:1 = %q, want suffix %q", lines[4], "= 5")
+	}
+	if !strings.HasSuffix(lines[5], "= 10") {
+		t.Fatalf("strict read of cart:2 = %q, want suffix %q", lines[5], "= 10")
 	}
 }

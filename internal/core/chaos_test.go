@@ -12,6 +12,7 @@ import (
 	"esds/internal/dtype"
 	"esds/internal/label"
 	"esds/internal/ops"
+	"esds/internal/placement"
 	"esds/internal/sim"
 	"esds/internal/spec"
 	"esds/internal/transport"
@@ -581,6 +582,241 @@ func TestPruneRecoveryDataLossRegression(t *testing.T) {
 	}
 	if err := runPruneRecoveryScenario(opt); err != nil {
 		t.Fatalf("prune+recovery under production options: %v", err)
+	}
+}
+
+// --- placement chaos: kill a hosting member, recover via range catch-up ---
+
+// placementChaosConfig is one cell of the placement chaos matrix: a placed
+// fleet (each shard on a strict subset of the members) under gossip loss,
+// with one member killed mid-load — every replica it hosts crashes with
+// full memory loss — and brought back through RANGE catch-up from the
+// surviving co-hosts (DESIGN.md §13), not the §9.3 all-peers handshake.
+// All randomness derives from Seed.
+type placementChaosConfig struct {
+	Seed       int64
+	Shards     int
+	Replicas   int
+	Members    int
+	NumOps     int
+	StrictProb float64
+	DropProb   float64
+	Opt        Options
+}
+
+func (c placementChaosConfig) String() string {
+	return fmt.Sprintf("seed=%d shards=%d replicas=%d members=%d ops=%d strict=%.2f drop=%.2f prune=%v snapshot=%v",
+		c.Seed, c.Shards, c.Replicas, c.Members, c.NumOps, c.StrictProb, c.DropProb, c.Opt.Prune, c.Opt.Snapshot)
+}
+
+// runPlacementChaos drives one cell and returns the first violated
+// property. Properties:
+//
+//   - liveness: every submitted operation is answered (retransmission
+//     rotates to surviving hosts while the victim is down; range recovery
+//     restores the killed slots),
+//   - the victim rejoined through range catch-up (one completed round per
+//     killed replica, served by a surviving co-host),
+//   - strict read-back: a post-heal strict read per object observes every
+//     acknowledged operation on it,
+//   - no member recorded a fault.
+func runPlacementChaos(cfg placementChaosConfig) error {
+	s := sim.New(cfg.Seed)
+	isReplica := func(id transport.NodeID) bool {
+		return transport.ShardOfNode(id) >= 0 && strings.Contains(string(id), "replica:")
+	}
+	net := transport.NewSimNet(s, transport.SimNetConfig{
+		Latency: transport.ClassLatency(isReplica,
+			transport.UniformLatency(200*sim.Microsecond, 2*sim.Millisecond),
+			transport.UniformLatency(500*sim.Microsecond, 4*sim.Millisecond)),
+		DropProb: cfg.DropProb,
+		Sizer:    EstimateSize,
+	})
+	place := placement.New(cfg.Shards, cfg.Replicas, cfg.Members)
+	members := make([]*Keyspace, cfg.Members)
+	for m := range members {
+		members[m] = NewKeyspace(KeyspaceConfig{
+			Shards:    cfg.Shards,
+			Replicas:  cfg.Replicas,
+			DataType:  dtype.Counter{},
+			Network:   net,
+			Options:   cfg.Opt,
+			Placement: place,
+			Member:    m,
+			// The durable store is what makes single-peer range recovery
+			// sound (see internal/core/range.go): it survives the crash even
+			// though the replica's memory does not.
+			StoreFor: func(shard, slot int) StableStore { return NewMemStableStore() },
+		})
+		members[m].StartSimGossip(s, 5*sim.Millisecond)
+		defer members[m].Close()
+	}
+	cks := NewKeyspace(KeyspaceConfig{
+		Shards:        cfg.Shards,
+		Replicas:      cfg.Replicas,
+		DataType:      dtype.Counter{},
+		Network:       net,
+		Options:       cfg.Opt,
+		LocalReplicas: []int{},
+	})
+	defer cks.Close()
+	s.Every(40*sim.Millisecond, func() { cks.RetransmitAll() })
+	// Re-issue stuck recovery rounds: range requests and chunks are plain
+	// messages and can be dropped like anything else; the retry rotates an
+	// open round to the next surviving co-host.
+	s.Every(50*sim.Millisecond, func() {
+		for _, ks := range members {
+			for sh := 0; sh < ks.NumShards(); sh++ {
+				for _, r := range ks.Shard(sh).LocalReplicas() {
+					r.RetryRecovery()
+				}
+			}
+		}
+	})
+
+	// The kill: one member crashes with full memory loss on every replica
+	// it hosts, mid-load; 40ms later it rejoins via range catch-up.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	victim := members[rng.Intn(cfg.Members)]
+	var victimReplicas []*Replica
+	for sh := 0; sh < victim.NumShards(); sh++ {
+		victimReplicas = append(victimReplicas, victim.Shard(sh).LocalReplicas()...)
+	}
+	if len(victimReplicas) == 0 {
+		return fmt.Errorf("setup: victim member hosts nothing")
+	}
+	s.ScheduleAt(sim.Time(150*sim.Millisecond), func() {
+		for _, r := range victimReplicas {
+			net.SetNodeDown(r.Node(), true)
+			r.Crash()
+		}
+	})
+	s.ScheduleAt(sim.Time(190*sim.Millisecond), func() {
+		for _, r := range victimReplicas {
+			net.SetNodeDown(r.Node(), false)
+			r.RecoverViaRange()
+		}
+	})
+
+	// Workload: keyed counter adds across objects spanning every shard,
+	// submitted through the routing client over the whole chaos window. The
+	// acknowledged sum per object is the read-back obligation.
+	type outcome struct {
+		x      ops.Operation
+		object string
+		n      int64
+		done   bool
+	}
+	var all []*outcome
+	clients := []string{"a", "b", "c"}
+	routers := make(map[string]*KeyspaceClient, len(clients))
+	for _, c := range clients {
+		routers[c] = cks.Client(c)
+	}
+	numObjects := 2 * cfg.Shards
+	for i := 0; i < cfg.NumOps; i++ {
+		i := i
+		c := clients[rng.Intn(len(clients))]
+		object := fmt.Sprintf("obj-%d", rng.Intn(numObjects))
+		n := int64(rng.Intn(9) + 1)
+		strict := rng.Float64() < cfg.StrictProb
+		at := sim.Time(rng.Intn(300)) * sim.Time(sim.Millisecond)
+		s.ScheduleAt(at, func() {
+			o := &outcome{object: object, n: n}
+			o.x = routers[c].Submit(cks.WrapOp(object, dtype.CtrAdd{N: n}), nil, strict, func(r Response) {
+				o.done = true
+			})
+			all = append(all, o)
+			_ = i
+		})
+	}
+
+	// Chaos, heal, drain.
+	s.RunUntil(sim.Time(400 * sim.Millisecond))
+	net.SetDropProb(0)
+	s.RunUntil(sim.Time(6 * sim.Second))
+
+	for _, o := range all {
+		if !o.done {
+			return fmt.Errorf("liveness: op %v on %s never answered", o.x.ID, o.object)
+		}
+	}
+	// The rejoin really went through the range path, once per killed
+	// replica, and some surviving member served it.
+	if got := victim.TotalMetrics().RangeCatchups; got < uint64(len(victimReplicas)) {
+		return fmt.Errorf("victim completed %d range catch-ups, want at least %d (one per killed replica)",
+			got, len(victimReplicas))
+	}
+	served := uint64(0)
+	for _, ks := range members {
+		if ks != victim {
+			served += ks.TotalMetrics().RangeServed
+		}
+	}
+	if served == 0 {
+		return fmt.Errorf("no surviving member served a range request")
+	}
+	// Strict read-back: every acknowledged add is visible.
+	expect := make(map[string]int64)
+	for _, o := range all {
+		expect[o.object] += o.n
+	}
+	reader := cks.Client("auditor")
+	for object, want := range expect {
+		var got dtype.Value
+		done := false
+		reader.Submit(cks.WrapOp(object, dtype.CtrRead{}), nil, true, func(r Response) {
+			got = r.Value
+			done = true
+		})
+		s.RunFor(4 * sim.Second)
+		if !done {
+			return fmt.Errorf("strict read-back of %s never answered", object)
+		}
+		if got != want {
+			return fmt.Errorf("strict read-back of %s = %v, want %d: an acknowledged operation is missing", object, got, want)
+		}
+	}
+	for m, ks := range members {
+		if faults := ks.Faults(); len(faults) > 0 {
+			return fmt.Errorf("member %d faults: %v", m, faults)
+		}
+	}
+	return nil
+}
+
+// TestChaosPlacementKillAndRangeRecover is the placement chaos matrix
+// (`make chaos`, CI recovery-chaos job): option sets × gossip loss ×
+// pinned seeds (ESDS_CHAOS_SEEDS sweeps more). The replay cell exercises
+// the degraded full-tail range answer (no snapshots, nothing pruned); the
+// prune+snapshot cell exercises the chunked state transfer, which is the
+// only way back once survivors have pruned.
+func TestChaosPlacementKillAndRangeRecover(t *testing.T) {
+	optSets := []struct {
+		name string
+		opt  Options
+	}{
+		{"replay", Options{Memoize: true}},
+		{"prune+snapshot", Options{Memoize: true, Prune: true, Snapshot: true}},
+	}
+	for _, opts := range optSets {
+		for _, drop := range []float64{0, 0.10} {
+			for _, seed := range chaosSeeds(t) {
+				cfg := placementChaosConfig{
+					Seed:       seed,
+					Shards:     4,
+					Replicas:   2,
+					Members:    3,
+					NumOps:     40,
+					StrictProb: 0.3,
+					DropProb:   drop,
+					Opt:        opts.opt,
+				}
+				if err := runPlacementChaos(cfg); err != nil {
+					t.Fatalf("%s cell {%v} failed: %v", opts.name, cfg, err)
+				}
+			}
+		}
 	}
 }
 

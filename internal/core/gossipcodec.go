@@ -64,6 +64,12 @@ type CompactGossipMsg struct {
 	Data []byte
 }
 
+// SubscribableGossip marks CompactGossipMsg as gossip-topic traffic: a
+// transport with per-shard subscriptions may suppress it toward members
+// that do not host the destination shard (recovery traffic never takes the
+// compact path, so nothing a recovering replica waits on is affected).
+func (CompactGossipMsg) SubscribableGossip() {}
+
 // errCompactUnencodable marks an element the compact form refuses to carry
 // (recovery acks and resize records stay on the legacy path). The sender
 // falls back to the legacy frame; this is not a failure.

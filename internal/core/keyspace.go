@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"esds/internal/dtype"
+	"esds/internal/placement"
 	"esds/internal/ring"
 	"esds/internal/sim"
 	"esds/internal/transport"
@@ -44,6 +45,15 @@ type Keyspace struct {
 
 	resizing bool
 	clients  map[string]*KeyspaceClient
+
+	// place is the keyspace's shard→member placement view (nil without
+	// placement), extended in step with shard growth so resize-created
+	// shards get deterministic hosts too. knownMembers is the largest fleet
+	// size this keyspace has seen — its own placement's, or one surfaced by
+	// a wrong-member Redirect — so the stale-placement hook fires once per
+	// epoch, not once per refused frame.
+	place        *placement.Placement
+	knownMembers int
 
 	// Ticker periods recorded so clusters created by online growth start
 	// the same schedulers the original shards run.
@@ -100,6 +110,26 @@ type KeyspaceConfig struct {
 	// worker than its sources, preserving cross-shard independence as the
 	// keyspace grows.
 	Runtime *ShardRuntime
+	// Placement, if non-nil, assigns each shard's replica slots to fleet
+	// members (internal/placement, DESIGN.md §13) and — together with
+	// Member — replaces the uniform LocalReplicas with a PER-SHARD set:
+	// this process hosts exactly the slots Placement.Slots(shard, Member)
+	// of each shard, and builds front-end-only clusters for the rest. Its
+	// geometry must match Shards and Replicas. On a transport.ShardSubscriber
+	// network (a TCPNet fleet member) the hosted shard set is announced as
+	// the gossip subscription, and on a transport.FallbackRegistrar network
+	// misrouted request frames are answered with wrong-member Redirects.
+	Placement *placement.Placement
+	// Member is this process's index in Placement's member set. Use -1 for
+	// a client-only process that hosts nothing. Ignored without Placement.
+	Member int
+	// OnStalePlacement, if non-nil, fires (outside keyspace locks, at most
+	// once per distinct fleet size) when a wrong-member Redirect reveals
+	// the fleet runs a placement with more members than this keyspace was
+	// built with. The hook re-points the peer table — typically
+	// ApplyPlacement(net, Placement.Grow(members), addrs) — after which
+	// retransmission delivers the refused operations to the right members.
+	OnStalePlacement func(members int)
 }
 
 // NewKeyspace builds one cluster per shard over the shared network.
@@ -117,19 +147,52 @@ func NewKeyspace(cfg KeyspaceConfig) *Keyspace {
 		migrated: make(map[string]migratedEntry),
 		clients:  make(map[string]*KeyspaceClient),
 	}
+	if cfg.Placement != nil {
+		if cfg.Placement.Shards() != cfg.Shards || cfg.Placement.Replicas() != cfg.Replicas {
+			panic(fmt.Sprintf("core: placement geometry %dx%d does not match keyspace %dx%d",
+				cfg.Placement.Shards(), cfg.Placement.Replicas(), cfg.Shards, cfg.Replicas))
+		}
+		if cfg.Member >= cfg.Placement.Members() {
+			panic(fmt.Sprintf("core: member %d out of placement's %d members", cfg.Member, cfg.Placement.Members()))
+		}
+		k.place = cfg.Placement
+		k.knownMembers = cfg.Placement.Members()
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		k.shards = append(k.shards, k.buildShard(s))
 	}
+	k.announcePlacement()
 	return k
 }
 
 // buildShard constructs the cluster for shard s from the saved config.
+// Under placement the shard's local replica set is its placement row
+// restricted to this member — possibly empty, a front-end-only cluster for
+// a shard hosted elsewhere — and stores are created only for hosted slots.
 func (k *Keyspace) buildShard(s int) *Cluster {
+	localReplicas := k.cfg.LocalReplicas
+	if k.place != nil {
+		if s >= k.place.Shards() {
+			// A resize outgrew the placement: extend it (deterministic, so
+			// every member computes the same hosts for the new shards).
+			k.place = k.place.Extend(s + 1)
+		}
+		localReplicas = k.place.Slots(s, k.cfg.Member)
+		if localReplicas == nil {
+			localReplicas = []int{}
+		}
+	}
 	var stores []StableStore
 	if k.cfg.StoreFor != nil {
 		stores = make([]StableStore, k.cfg.Replicas)
-		for i := range stores {
-			stores[i] = k.cfg.StoreFor(s, i)
+		if k.place != nil {
+			for _, i := range localReplicas {
+				stores[i] = k.cfg.StoreFor(s, i)
+			}
+		} else {
+			for i := range stores {
+				stores[i] = k.cfg.StoreFor(s, i)
+			}
 		}
 	}
 	return NewCluster(ClusterConfig{
@@ -138,7 +201,7 @@ func (k *Keyspace) buildShard(s int) *Cluster {
 		Network:       k.cfg.Network,
 		Options:       k.cfg.Options,
 		Stores:        stores,
-		LocalReplicas: k.cfg.LocalReplicas,
+		LocalReplicas: localReplicas,
 		Shard:         s,
 		Runtime:       k.cfg.Runtime,
 	})
@@ -176,6 +239,9 @@ func (k *Keyspace) ensureShardsLocked(n int) {
 		}
 		k.shards = append(k.shards, c)
 	}
+	// Growth may have extended the placement with shards this member hosts:
+	// re-announce the subscription so peers stop suppressing them.
+	k.announceSubscriptionLocked()
 }
 
 // NumShards returns the shard count (including destinations of an

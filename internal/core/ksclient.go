@@ -336,6 +336,16 @@ func (c *KeyspaceClient) sweepDependentsLocked(ro *routedOp) {
 
 // onRedirect is the front ends' Redirect callback.
 func (c *KeyspaceClient) onRedirect(shard int, id ops.ID, rd Redirect) {
+	if rd.Members != 0 {
+		// Wrong-member refusal (shard placement, DESIGN.md §13), not a
+		// resize verdict: the request reached a member that does not host
+		// the shard because this process's peer table was computed from an
+		// older placement. The operation stays pending — surface the newer
+		// fleet size so the deployment re-points the peer table, and the
+		// ordinary retransmission ticker then delivers to the right member.
+		c.ks.learnMembers(rd.Members)
+		return
+	}
 	c.mu.Lock()
 	ro, ok := c.inflight[id]
 	if !ok || ro.parked || ro.shard != shard {

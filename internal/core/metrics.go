@@ -38,6 +38,18 @@ type ReplicaMetrics struct {
 	// SnapshotOpsSeeded counts operations that became locally done through
 	// snapshot installation rather than descriptor replay.
 	SnapshotOpsSeeded uint64
+	// Range catch-up counters (DESIGN.md §13). RangeServed counts range
+	// requests this replica answered; RangeChunksSent/Received count
+	// RangeResponseMsg frames (Done chunks included). RangeCatchups counts
+	// client rounds completed; RangeRetries counts rounds rotated to
+	// another peer; RangeRejects counts chunks refused (stale nonce, gaps,
+	// or a transfer the snapshot validator turned away).
+	RangeServed         uint64
+	RangeChunksSent     uint64
+	RangeChunksReceived uint64
+	RangeCatchups       uint64
+	RangeRetries        uint64
+	RangeRejects        uint64
 	// CompactGossipSent / CompactGossipReceived count CompactGossipMsg
 	// frames (the negotiated delta-encoded wire form of coalesced gossip,
 	// DESIGN.md §12). CompactGossipFallbacks counts flushes that wanted the
@@ -115,6 +127,12 @@ func (m *ReplicaMetrics) Add(o ReplicaMetrics) {
 	m.SnapshotsInstalled += o.SnapshotsInstalled
 	m.SnapshotsIgnored += o.SnapshotsIgnored
 	m.SnapshotOpsSeeded += o.SnapshotOpsSeeded
+	m.RangeServed += o.RangeServed
+	m.RangeChunksSent += o.RangeChunksSent
+	m.RangeChunksReceived += o.RangeChunksReceived
+	m.RangeCatchups += o.RangeCatchups
+	m.RangeRetries += o.RangeRetries
+	m.RangeRejects += o.RangeRejects
 	m.CompactGossipSent += o.CompactGossipSent
 	m.CompactGossipReceived += o.CompactGossipReceived
 	m.CompactGossipFallbacks += o.CompactGossipFallbacks

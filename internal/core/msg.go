@@ -57,6 +57,17 @@ type Redirect struct {
 	// translate stale prev-set references to source-era operations.
 	HasInstall bool
 	InstallID  ops.ID
+	// Members, when non-zero, makes this a WRONG-MEMBER refusal instead of a
+	// resize verdict (shard placement, DESIGN.md §13): the request reached a
+	// fleet member that does not host the target shard, because the sender's
+	// peer table was computed from an older placement. Members is the
+	// refusing member's fleet size — placement is a pure function of
+	// (shards, replicas, members), so that one integer names the whole
+	// placement epoch. The operation stays pending; the submitter re-points
+	// its peer table (core.ApplyPlacement with the grown placement) and
+	// ordinary retransmission delivers to the right member. The resize
+	// fields above are meaningless on a wrong-member refusal.
+	Members int
 }
 
 // BatchRequestMsg carries many ⟨"request"⟩ messages in one frame — the
@@ -95,6 +106,11 @@ type BatchGossipMsg struct {
 	Msgs []GossipMsg
 }
 
+// SubscribableGossip marks BatchGossipMsg as gossip-topic traffic: a
+// transport with per-shard subscriptions (transport.ShardSubscriber) may
+// suppress it toward members that do not host the destination shard.
+func (BatchGossipMsg) SubscribableGossip() {}
+
 // GossipMsg is a ⟨"gossip", R, D, L, S⟩ message between replicas (message
 // set 𝓜_gossip, §6.1). R carries full operation descriptors (the receiver
 // may not know them yet); D and S are identifier sets (their descriptors are
@@ -132,6 +148,13 @@ type GossipMsg struct {
 	Resizes []ResizeRecord
 }
 
+// SubscribableGossip marks GossipMsg as gossip-topic traffic (see
+// transport.Subscribable). Recovery acks ride on GossipMsg too, but a
+// recovery answer only ever flows between two replicas of one shard — both
+// of which host it by definition — so subscription suppression can never
+// drop one.
+func (GossipMsg) SubscribableGossip() {}
+
 // SnapOp is one entry of a replica snapshot (SnapshotMsg): an operation of
 // the sender's memoized solid prefix, reduced to what a recovering replica
 // needs when the full descriptor may have been pruned everywhere — its
@@ -168,6 +191,62 @@ type SnapshotMsg struct {
 	Ops       []SnapOp
 	State     []byte // canonical encoding of the state after Ops
 	Watermark uint64 // highest label Seq the sender has observed (§9.3 freshness)
+}
+
+// --- descriptor-range catch-up (DESIGN.md §13) ---
+//
+// The §9.3 handshake is a full-fleet affair: a recovering replica blocks on
+// an answer (snapshot + full gossip) from EVERY peer. Under shard placement
+// a member that joins or recovers a SINGLE shard wants the BlocksByRange
+// discipline instead: fetch the missing slice of the shard's history from
+// any one hosting peer, in bounded chunks, and resume. The range protocol
+// is exactly that — RangeRequestMsg names the requester's solid-prefix
+// length, the serving peer streams SnapOp chunks for the missing slice and
+// finishes with the post-prefix state, its label watermark, its resize
+// records, and a self-contained tail gossip covering its unsolid suffix.
+// The requester splices the chunks onto its own prefix, routes the result
+// through the ordinary snapshot-install validator, and merges the tail.
+
+// RangeRequestMsg asks one hosting peer for the slice of the shard's
+// history the requester is missing. Have is the length of the requester's
+// memoized solid prefix (the first index it wants); Nonce pairs the
+// response chunks with one request round, so chunks from an abandoned
+// round (after a retry rotated to another peer) are ignored.
+//
+// Like RecoveryRequestMsg, a range request also resets the serving peer's
+// incremental-gossip bookkeeping for the requester: everything previously
+// delta-sent may have been lost with the requester's memory, so the peer's
+// tail answer is rebuilt from its full state.
+type RangeRequestMsg struct {
+	From  label.ReplicaID
+	Have  int
+	Nonce uint64
+}
+
+// RangeResponseMsg is one chunk of a range answer. Non-final chunks carry
+// only Ops — SnapOps for doneSeq[Offset : Offset+len(Ops)] of the serving
+// peer's memoized prefix. The final chunk (Done) additionally carries the
+// canonical state after the FULL prefix, the peer's label watermark, its
+// resize records, and the tail gossip. Total is the peer's memoized length,
+// so the requester can tell an empty answer ("I have nothing you lack")
+// from a truncated one.
+type RangeResponseMsg struct {
+	From     label.ReplicaID
+	Nonce    uint64
+	Offset   int
+	Ops      []SnapOp
+	Done     bool
+	DataType string
+	Total    int
+	// Final-chunk fields (valid only with Done). HasState distinguishes a
+	// peer that cannot snapshot (no Snapshotter, or snapshots disabled) —
+	// such a peer serves no chunks and answers Done with the tail gossip
+	// alone, which is complete because nothing it holds was pruned.
+	HasState  bool
+	State     []byte
+	Watermark uint64
+	Resizes   []ResizeRecord
+	Tail      GossipMsg
 }
 
 // --- live-resharding control messages ---
@@ -320,6 +399,17 @@ func EstimateSize(payload any) int {
 		size := headerSize + len(m.Ops)*(idBytes+labelBytes+16+2) + len(m.State)
 		for _, so := range m.Ops {
 			size += len(so.Key)
+		}
+		return size
+	case RangeRequestMsg:
+		return headerSize + 16
+	case RangeResponseMsg:
+		size := headerSize + 16 + len(m.Ops)*(idBytes+labelBytes+16+2) + len(m.State)
+		for _, so := range m.Ops {
+			size += len(so.Key)
+		}
+		if m.Done {
+			size += EstimateSize(m.Tail) - headerSize
 		}
 		return size
 	default:

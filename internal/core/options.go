@@ -53,6 +53,14 @@ type Options struct {
 	// them).
 	SnapshotCap int
 
+	// RangeChunkOps bounds the per-chunk SnapOp count of the range answers
+	// this replica SERVES (descriptor-range catch-up, DESIGN.md §13): a
+	// request for a long missing slice is streamed as ceil(missing/chunk)
+	// frames instead of one unbounded message. Zero means the built-in
+	// default (256); negative values are invalid. Purely server-local — no
+	// negotiation, clients accept any chunking.
+	RangeChunkOps int
+
 	// BatchSize enables the batched hot path (DESIGN.md §8) when > 1: front
 	// ends pack up to BatchSize submissions per target replica into one
 	// BatchRequestMsg, replicas pack responses to one front end into one

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/placement"
+	"esds/internal/transport"
+)
+
+// Shard placement over a fleet (DESIGN.md §13). A placed keyspace hosts
+// only the replica slots its member is assigned; everything here is the
+// glue between that partial-replication shape and the transports:
+//
+//   - ApplyPlacement programs a member's (or client's) peer table so every
+//     shard-qualified replica node dials the member hosting it;
+//   - announcePlacement turns the hosted shard set into the transport's
+//     gossip subscription and installs the wrong-member fallback;
+//   - the fallback answers misrouted request frames with a Redirect whose
+//     Members field names the fleet size, and learnMembers surfaces such a
+//     refusal to the deployment exactly once per placement epoch.
+
+// PeerTable is the peer-programming surface ApplyPlacement needs — the
+// SetPeer method of *transport.TCPNet (an interface so tests can interpose).
+type PeerTable interface {
+	SetPeer(id transport.NodeID, addr string)
+}
+
+// ApplyPlacement points a peer table at a placed fleet: for every shard and
+// replica slot, the slot's node name dials the hosting member's advertised
+// address (addrs[m] is member m's). Every member and every client of a
+// deployment applies the same placement — it is a pure function of
+// (shards, replicas, members) — so the whole fleet agrees on who hosts what
+// from three integers and an address list. Re-invoke with the grown
+// placement when OnStalePlacement fires or the fleet is resized.
+func ApplyPlacement(t PeerTable, p *placement.Placement, addrs []string) {
+	if len(addrs) < p.Members() {
+		panic(fmt.Sprintf("core: placement names %d members, only %d addresses", p.Members(), len(addrs)))
+	}
+	for s := 0; s < p.Shards(); s++ {
+		for slot := 0; slot < p.Replicas(); slot++ {
+			t.SetPeer(ReplicaNodeIn(s, label.ReplicaID(slot)), addrs[p.Member(s, slot)])
+		}
+	}
+}
+
+// announcePlacement wires the keyspace's placement into the transport:
+// the hosted shard set becomes the member's gossip subscription, and the
+// wrong-member fallback starts answering misrouted requests. A no-op
+// without placement, and on transports without the respective capability
+// (SimNet, LiveNet — a shared in-process bus has no per-member identity).
+func (k *Keyspace) announcePlacement() {
+	if k.place == nil {
+		return
+	}
+	if fr, ok := k.cfg.Network.(transport.FallbackRegistrar); ok {
+		fr.RegisterFallback(k.placementFallback)
+	}
+	k.mu.Lock()
+	k.announceSubscriptionLocked()
+	k.mu.Unlock()
+}
+
+// announceSubscriptionLocked (re-)announces the hosted shard set. k.mu held
+// (the placement may have just been extended by shard growth).
+func (k *Keyspace) announceSubscriptionLocked() {
+	if k.place == nil {
+		return
+	}
+	ss, ok := k.cfg.Network.(transport.ShardSubscriber)
+	if !ok {
+		return
+	}
+	shards := k.place.ShardsOf(k.cfg.Member)
+	if shards == nil {
+		shards = []int{} // client-only member: "hosts nothing", not "no announcement"
+	}
+	ss.SubscribeShards(shards)
+}
+
+// placementFallback handles inbound frames for nodes this member does not
+// host: request frames get a wrong-member Redirect back to the submitting
+// front end, everything else (stale gossip for a shard that moved away, a
+// range request for a dropped slot) is dropped — the sender's own retry
+// discipline rotates to a live host.
+func (k *Keyspace) placementFallback(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case RequestMsg:
+		k.refuseWrongMember(m.To, []ops.Operation{p.Op})
+	case BatchRequestMsg:
+		k.refuseWrongMember(m.To, p.Ops)
+	}
+}
+
+// refuseWrongMember answers requests misrouted to this member with a
+// Redirect naming the fleet size, so the submitter can recompute the
+// placement and re-point its peer table. The reply is sent AS the refused
+// node: the submitting front end knows that name, and the response teaches
+// its transport this member's reply address like any other response would.
+func (k *Keyspace) refuseWrongMember(node transport.NodeID, xs []ops.Operation) {
+	shard := transport.ShardOfNode(node)
+	k.mu.Lock()
+	members := 0
+	if k.place != nil {
+		members = k.place.Members()
+	}
+	k.mu.Unlock()
+	if members == 0 {
+		return
+	}
+	rd := &Redirect{Members: members}
+	for _, x := range xs {
+		k.cfg.Network.Send(node, FrontEndNodeIn(shard, x.ID.Client), ResponseMsg{ID: x.ID, Redirect: rd})
+	}
+}
+
+// learnMembers folds a wrong-member Redirect's fleet size into the
+// keyspace's view and fires OnStalePlacement — once per distinct size, so
+// a burst of refusals costs one hook invocation. The keyspace itself only
+// records the number: shard routing (the ring) is untouched by placement,
+// and the peer table belongs to the deployment, which the hook hands the
+// work to.
+func (k *Keyspace) learnMembers(members int) {
+	k.mu.Lock()
+	if k.place == nil || members <= k.knownMembers {
+		k.mu.Unlock()
+		return
+	}
+	k.knownMembers = members
+	hook := k.cfg.OnStalePlacement
+	k.mu.Unlock()
+	if hook != nil {
+		hook(members)
+	}
+}
+
+// Placement returns the keyspace's current placement view (extended in
+// step with shard growth), or nil when the keyspace is not placed.
+func (k *Keyspace) Placement() *placement.Placement {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.place
+}

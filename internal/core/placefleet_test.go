@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"esds/internal/dtype"
+	"esds/internal/placement"
+	"esds/internal/transport"
+)
+
+// placedFleet is a multi-process-shaped deployment for the placement interop
+// tests: one TCPNet per member, each running the keyspace slice its
+// placement row assigns, plus a client-only member.
+type placedFleet struct {
+	place   *placement.Placement
+	nets    []*transport.TCPNet
+	addrs   []string
+	members []*Keyspace
+}
+
+func (f *placedFleet) close() {
+	for _, m := range f.members {
+		if m != nil {
+			m.Close()
+		}
+	}
+	for _, n := range f.nets {
+		n.Close()
+	}
+}
+
+// addMember appends one placed member (listening net, peer table, keyspace,
+// gossip ticker) hosting placement row `member`.
+func (f *placedFleet) addMember(t *testing.T, member int, opt Options) {
+	t.Helper()
+	net, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("member %d listen: %v", member, err)
+	}
+	f.nets = append(f.nets, net)
+	f.addrs = append(f.addrs, net.Addr().String())
+	ks := NewKeyspace(KeyspaceConfig{
+		Shards:    f.place.Shards(),
+		Replicas:  f.place.Replicas(),
+		DataType:  dtype.Counter{},
+		Network:   net,
+		Options:   opt,
+		Placement: f.place,
+		Member:    member,
+	})
+	f.members = append(f.members, ks)
+	net.Start()
+	ks.StartLiveGossip(2 * time.Millisecond)
+}
+
+func newPlacedFleet(t *testing.T, place *placement.Placement, opt Options) *placedFleet {
+	t.Helper()
+	RegisterWire()
+	f := &placedFleet{place: place}
+	for m := 0; m < place.Members(); m++ {
+		f.addMember(t, m, opt)
+	}
+	for _, net := range f.nets {
+		ApplyPlacement(net, place, f.addrs)
+	}
+	return f
+}
+
+// TestPlacedFleetSubscriptionIsolation drives a placed TCPNet fleet end to
+// end: members host only their placement rows, the per-shard gossip
+// subscription keeps foreign gossip off every wire, and a mid-run placement
+// change — a fourth member joins and takes over its stolen slots via LIVE
+// range catch-up, no §9.3 all-peers handshake — preserves both the isolation
+// and every acknowledged operation.
+func TestPlacedFleetSubscriptionIsolation(t *testing.T) {
+	const shards, replicas = 4, 2
+	place3 := placement.New(shards, replicas, 3)
+	fleet := newPlacedFleet(t, place3, DefaultOptions())
+	defer fleet.close()
+
+	// Client-only member: hosts nothing, routes everywhere.
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("client listen: %v", err)
+	}
+	fleet.nets = append(fleet.nets, feNet)
+	ApplyPlacement(feNet, place3, fleet.addrs)
+	cks := NewKeyspace(KeyspaceConfig{
+		Shards:    shards,
+		Replicas:  replicas,
+		DataType:  dtype.Counter{},
+		Network:   feNet,
+		Options:   DefaultOptions(),
+		Placement: place3,
+		Member:    -1,
+	})
+	fleet.members = append(fleet.members, cks)
+	feNet.Start()
+	cks.StartLiveRetransmit(10 * time.Millisecond)
+
+	// Partial replication must be real: with 8 slots over 3 members, at
+	// least one member hosts strictly fewer than all four shards.
+	partial := false
+	for m := 0; m < 3; m++ {
+		if len(place3.ShardsOf(m)) < shards {
+			partial = true
+		}
+	}
+	if !partial {
+		t.Fatalf("placement %v is full replication; the isolation claim would be vacuous", place3.Table())
+	}
+
+	// Phase A: writes across every shard, then a strict read per object —
+	// which both audits the values and forces global stability, so the
+	// phase-A history is everywhere before the placement changes.
+	w := cks.Client("writer")
+	objects := make([]string, 12)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("obj-%d", i)
+	}
+	for _, obj := range objects {
+		if _, v, err := w.SubmitWait(cks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, false); err != nil || v != "ok" {
+			t.Fatalf("phase A add %s: v=%v err=%v", obj, v, err)
+		}
+	}
+	for _, obj := range objects {
+		if _, v, err := w.SubmitWait(cks.WrapOp(obj, dtype.CtrRead{}), nil, true); err != nil || v != int64(1) {
+			t.Fatalf("phase A strict read %s: v=%v err=%v", obj, v, err)
+		}
+	}
+	for m := 0; m < 3; m++ {
+		if s := fleet.nets[m].Stats(); s.Foreign != 0 {
+			t.Fatalf("member %d received %d foreign gossip frames in phase A", m, s.Foreign)
+		}
+		if got := fleet.members[m].TotalMetrics().GossipReceived; got == 0 {
+			t.Fatalf("member %d exchanged no gossip — the subscription silenced its own shards", m)
+		}
+	}
+
+	// Phase B: the fleet grows to four members. The newcomer hosts the slots
+	// placement steals for it; each victim's old replica instance is crashed
+	// (its process "left" the slot), every peer table is re-pointed, and the
+	// newcomer joins each stolen slot by live range catch-up from the
+	// surviving co-host.
+	place4 := place3.Grow(4)
+	type slot struct{ s, k, old int }
+	var moved []slot
+	for s := 0; s < shards; s++ {
+		for k := 0; k < replicas; k++ {
+			if place3.Member(s, k) != place4.Member(s, k) {
+				if place4.Member(s, k) != 3 {
+					t.Fatalf("slot (%d,%d) moved to member %d, not the newcomer", s, k, place4.Member(s, k))
+				}
+				moved = append(moved, slot{s, k, place3.Member(s, k)})
+			}
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("growing the fleet moved no slots; nothing to hand off")
+	}
+	fleet.place = place4
+	fleet.addMember(t, 3, DefaultOptions())
+	for _, net := range fleet.nets {
+		ApplyPlacement(net, place4, fleet.addrs)
+	}
+	newcomer := fleet.members[len(fleet.members)-1]
+	for _, mv := range moved {
+		fleet.members[mv.old].Shard(mv.s).Replica(mv.k).Crash()
+		r := newcomer.Shard(mv.s).Replica(mv.k)
+		if r == nil {
+			t.Fatalf("newcomer does not host moved slot (%d,%d)", mv.s, mv.k)
+		}
+		if !r.CatchUpRange() {
+			t.Fatalf("slot (%d,%d): CatchUpRange refused", mv.s, mv.k)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, mv := range moved {
+		r := newcomer.Shard(mv.s).Replica(mv.k)
+		for r.RangeCatchingUp() {
+			if time.Now().After(deadline) {
+				t.Fatalf("slot (%d,%d): range catch-up never completed", mv.s, mv.k)
+			}
+			time.Sleep(5 * time.Millisecond)
+			r.RetryRecovery()
+		}
+	}
+	if got := newcomer.TotalMetrics().RangeCatchups; got != uint64(len(moved)) {
+		t.Fatalf("newcomer completed %d range catch-ups, want %d", got, len(moved))
+	}
+
+	// The handed-off history must be intact: a second add per object, then a
+	// strict read seeing BOTH phases. Strict reads stabilize only with the
+	// newcomer's replicas participating, so a correct answer proves the
+	// catch-up produced a live, complete replica.
+	for _, obj := range objects {
+		if _, v, err := w.SubmitWait(cks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, false); err != nil || v != "ok" {
+			t.Fatalf("phase B add %s: v=%v err=%v", obj, v, err)
+		}
+	}
+	for _, obj := range objects {
+		if _, v, err := w.SubmitWait(cks.WrapOp(obj, dtype.CtrRead{}), nil, true); err != nil || v != int64(2) {
+			t.Fatalf("phase B strict read %s: v=%v err=%v", obj, v, err)
+		}
+	}
+	for m, ks := range fleet.members {
+		if m == len(fleet.members)-2 {
+			continue // the client-only keyspace hosts nothing
+		}
+		if s := fleet.nets[m].Stats(); s.Foreign != 0 {
+			t.Fatalf("member %d received %d foreign gossip frames after the placement change", m, s.Foreign)
+		}
+		if faults := ks.Faults(); len(faults) != 0 {
+			t.Fatalf("member %d faults: %v", m, faults)
+		}
+	}
+}
+
+// TestPlacedFleetWrongMemberRedirect pins the stale-client path: a client
+// whose peer table was computed from an older placement sends requests to a
+// member that no longer hosts the target shard, and must be healed by the
+// wrong-member Redirect — the refusal names the fleet size, the
+// OnStalePlacement hook re-points the peer table, and ordinary
+// retransmission delivers, with no operation lost or duplicated.
+func TestPlacedFleetWrongMemberRedirect(t *testing.T) {
+	const shards, replicas = 4, 1
+	// The fleet runs at two members; the client believes there is one, so
+	// every operation on a stolen shard is misrouted on first send.
+	place1 := placement.New(shards, replicas, 1)
+	place2 := place1.Grow(2)
+	if placement.Moved(place1, place2) == 0 {
+		t.Fatal("growth moved nothing; the redirect path would be idle")
+	}
+	fleet := newPlacedFleet(t, place2, DefaultOptions())
+	defer fleet.close()
+
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("client listen: %v", err)
+	}
+	fleet.nets = append(fleet.nets, feNet)
+	ApplyPlacement(feNet, place1, fleet.addrs[:1]) // the stale view
+	var healed atomic.Int64
+	addrs := fleet.addrs
+	cks := NewKeyspace(KeyspaceConfig{
+		Shards:    shards,
+		Replicas:  replicas,
+		DataType:  dtype.Counter{},
+		Network:   feNet,
+		Options:   DefaultOptions(),
+		Placement: place1,
+		Member:    -1,
+		OnStalePlacement: func(members int) {
+			healed.Store(int64(members))
+			ApplyPlacement(feNet, place1.Grow(members), addrs)
+		},
+	})
+	fleet.members = append(fleet.members, cks)
+	feNet.Start()
+	cks.StartLiveRetransmit(10 * time.Millisecond)
+
+	w := cks.Client("writer")
+	for i := 0; i < 16; i++ {
+		obj := fmt.Sprintf("obj-%d", i)
+		if _, v, err := w.SubmitWait(cks.WrapOp(obj, dtype.CtrAdd{N: 1}), nil, false); err != nil || v != "ok" {
+			t.Fatalf("add %s: v=%v err=%v", obj, v, err)
+		}
+	}
+	if got := healed.Load(); got != 2 {
+		t.Fatalf("stale-placement hook reported fleet size %d, want 2", got)
+	}
+	for i := 0; i < 16; i++ {
+		obj := fmt.Sprintf("obj-%d", i)
+		if _, v, err := w.SubmitWait(cks.WrapOp(obj, dtype.CtrRead{}), nil, true); err != nil || v != int64(1) {
+			t.Fatalf("strict read %s: v=%v err=%v", obj, v, err)
+		}
+	}
+	for m := 0; m < 2; m++ {
+		if faults := fleet.members[m].Faults(); len(faults) != 0 {
+			t.Fatalf("member %d faults: %v", m, faults)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"esds/internal/dtype"
+	"esds/internal/label"
+	"esds/internal/ops"
+	"esds/internal/transport"
+)
+
+// Descriptor-range catch-up (DESIGN.md §13). The §9.3 handshake makes a
+// recovering replica block on an answer — snapshot plus full gossip — from
+// EVERY peer. Under shard placement that is the wrong shape twice over: a
+// member that (re)joins a single shard transfers the same solid prefix R
+// times, and it cannot resume until the slowest peer answers. The range
+// protocol is the BlocksByRange discipline instead: the client names the
+// solid-prefix length it already holds, ONE hosting peer streams the
+// missing slice as bounded SnapOp chunks and finishes with the post-prefix
+// state, its label watermark, its resize records, and a tail gossip
+// covering its unsolid suffix; the client splices the chunks onto its own
+// prefix, routes the result through the ordinary snapshot-install
+// validator (installSnapshot — range answers get exactly the scrutiny
+// full snapshots do), and merges the tail.
+//
+// Single-peer resume is sound because of the durable write path: every
+// label this replica ever externalized is in its StableStore (reloaded
+// before the round opens), so the §9.3 label condition holds without
+// consulting anyone; and everything the crash lost that the serving peer
+// does not yet know — an operation another peer admitted and delta-sent
+// here pre-crash — reaches the serving peer through normal gossip and is
+// relayed on its reset delta stream. A replica WITHOUT a stable store
+// should keep using the full §9.3 handshake, whose all-peers barrier is
+// what stood in for durability.
+
+// rangeChunkOps is the default per-chunk SnapOp count of a range answer
+// (Options.RangeChunkOps overrides).
+const rangeChunkOps = 256
+
+// CatchUpRange opens a range catch-up round against one hosting peer: the
+// live-join form — the replica keeps serving while the round runs. Returns
+// false when the replica has no peer to fetch from (single-replica shard)
+// or is crashed. RetryRecovery rotates an unanswered round to the next
+// peer; the round closes when the Done chunk installs.
+func (r *Replica) CatchUpRange() bool {
+	r.mu.Lock()
+	if r.crashed || r.n < 2 {
+		r.mu.Unlock()
+		return false
+	}
+	to, req := r.openRangeRoundLocked()
+	node := r.node
+	r.mu.Unlock()
+	r.net.Send(node, to, req)
+	return true
+}
+
+// RecoverViaRange restarts a crashed replica through a range round instead
+// of the full §9.3 handshake: the stable store is reloaded exactly as in
+// Recover, but the replica then fetches the shard history it is missing
+// from a single hosting peer and resumes as soon as that one transfer
+// completes. Requests are parked while the round is open (the resize
+// obligations arrive with the Done chunk, like with recovery answers). A
+// single-replica shard resumes immediately on its store alone.
+func (r *Replica) RecoverViaRange() {
+	r.mu.Lock()
+	r.reloadStoreLocked()
+	r.recovering = r.n > 1
+	r.recoveryAcks = make(map[label.ReplicaID]struct{})
+	if !r.recovering {
+		r.mu.Unlock()
+		return
+	}
+	to, req := r.openRangeRoundLocked()
+	node := r.node
+	r.mu.Unlock()
+	r.net.Send(node, to, req)
+}
+
+// RangeCatchingUp reports whether a range round is open.
+func (r *Replica) RangeCatchingUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rangeNonce != 0
+}
+
+// openRangeRoundLocked starts a fresh round: new nonce, next peer in the
+// rotation, buffer cleared, Have pinned to the current solid prefix.
+// Mutex held; caller sends the returned request after unlocking.
+func (r *Replica) openRangeRoundLocked() (transport.NodeID, RangeRequestMsg) {
+	r.rangeSeq++
+	r.rangeNonce = r.rangeSeq
+	r.rangePeer = (int(r.id) + 1 + r.rangeTries%(r.n-1)) % r.n
+	r.rangeHave = r.memoized
+	r.rangeBuf = nil
+	return r.peers[r.rangePeer], RangeRequestMsg{From: r.id, Have: r.rangeHave, Nonce: r.rangeNonce}
+}
+
+// retryRangeLocked rotates an open round to the next peer (the §9.3 retry
+// discipline, one peer at a time). Mutex held on entry; released.
+func (r *Replica) retryRangeLocked() {
+	if r.rangeNonce == 0 {
+		r.mu.Unlock()
+		return
+	}
+	r.rangeTries++
+	r.metrics.RangeRetries++
+	to, req := r.openRangeRoundLocked()
+	node := r.node
+	r.mu.Unlock()
+	r.net.Send(node, to, req)
+}
+
+// handleRangeRequest serves one range round: chunked SnapOps for the slice
+// of the memoized solid prefix the requester is missing, then the Done
+// chunk with state, watermark, resize records, and the tail gossip. A peer
+// that cannot snapshot (snapshots off, no Snapshotter, or an encoding
+// failure) serves no chunks and sends a FULL tail instead — complete,
+// because such a configuration never pruned a descriptor it would need.
+//
+// Like handleRecoveryRequest, serving the request resets this replica's
+// delta bookkeeping for the requester: everything previously delta-sent
+// may have died with the requester's memory, and the answer re-covers the
+// full state, so the queues restart empty from here.
+func (r *Replica) handleRangeRequest(msg RangeRequestMsg) {
+	from := int(msg.From)
+	r.mu.Lock()
+	if from < 0 || from >= r.n || from == int(r.id) || r.crashed || r.recovering {
+		// A recovering server cannot vouch for its own view yet; the
+		// client's retry rotates to a healthy peer.
+		r.mu.Unlock()
+		return
+	}
+	r.metrics.RangeServed++
+	lo := msg.Have
+	if lo < 0 {
+		lo = 0
+	}
+	total := r.memoized
+	if lo > total {
+		lo = total
+	}
+
+	canSnap := r.opt.Snapshot && total > 0 && dtype.CanSnapshot(r.dt)
+	var state []byte
+	if canSnap {
+		enc, err := r.dt.(dtype.Snapshotter).EncodeState(r.memoState)
+		if err != nil {
+			r.fault(FaultBadSnapshot, ops.ID{}, "encoding local state for range answer: %v", err)
+			canSnap = false
+		} else {
+			state = enc
+		}
+	}
+
+	chunkSize := r.opt.RangeChunkOps
+	if chunkSize <= 0 {
+		chunkSize = rangeChunkOps
+	}
+	var out []RangeResponseMsg
+	if canSnap {
+		for off := lo; off < total; off += chunkSize {
+			hi := off + chunkSize
+			if hi > total {
+				hi = total
+			}
+			out = append(out, RangeResponseMsg{
+				From:   r.id,
+				Nonce:  msg.Nonce,
+				Offset: off,
+				Ops:    r.buildPrefixSnapOps(off, hi),
+			})
+		}
+	}
+	done := RangeResponseMsg{
+		From:     r.id,
+		Nonce:    msg.Nonce,
+		Offset:   total,
+		Done:     true,
+		DataType: r.dt.Name(),
+		Total:    total,
+		HasState: canSnap,
+		State:    state,
+		Resizes:  r.resizeRecordsLocked(),
+	}
+	if canSnap {
+		done.Watermark = r.gen.HighSeq()
+		// The chunks and state cover the prefix; the tail only has to carry
+		// the unsolid suffix and the not-yet-done arrival queue.
+		r.ensureSorted()
+		done.Tail = GossipMsg{From: r.id, L: make(map[ops.ID]label.Label)}
+		for _, id := range r.doneSeq[r.memoized:] {
+			if x, ok := r.retained[id]; ok {
+				done.Tail.R = append(done.Tail.R, x)
+			}
+			done.Tail.D = append(done.Tail.D, id)
+			if l := r.labels.Get(id); !l.IsInf() {
+				done.Tail.L[id] = l
+			}
+			if _, st := r.stableAt[r.id][id]; st {
+				done.Tail.S = append(done.Tail.S, id)
+			}
+		}
+		for _, id := range r.rcvdQueue {
+			if x, ok := r.retained[id]; ok {
+				done.Tail.R = append(done.Tail.R, x)
+			}
+			if l := r.labels.Get(id); !l.IsInf() {
+				done.Tail.L[id] = l
+			}
+		}
+	} else {
+		done.Tail = r.buildFullGossip()
+		done.Watermark = r.gen.HighSeq()
+	}
+	out = append(out, done)
+	r.metrics.RangeChunksSent += uint64(len(out))
+
+	// Pending deltas for the requester are superseded by this answer.
+	if r.opt.IncrementalGossip {
+		r.pendR[from] = nil
+		r.pendD[from] = nil
+		r.pendS[from] = nil
+		r.pendL[from] = make(map[ops.ID]struct{})
+	}
+	r.gossipPend[from] = nil
+	to := r.peers[from]
+	r.mu.Unlock()
+
+	// The answer carries labels; the ack-after-durable invariant extends to
+	// range answers like any other externalization.
+	if !r.commitStore() {
+		return
+	}
+	for _, m := range out {
+		r.net.Send(r.node, to, m)
+	}
+}
+
+// handleRangeResponse assembles the client side of a round: buffer
+// contiguous chunks, and on the Done chunk splice them onto the replica's
+// own prefix, validate and install the result through installSnapshot, and
+// merge the tail. Any gap, nonce mismatch, or validation failure abandons
+// the attempt — the round stays open and the retry ticker rotates it to
+// another peer, so a lossy or hostile server costs a retry, never
+// corruption.
+func (r *Replica) handleRangeResponse(msg RangeResponseMsg) {
+	r.mu.Lock()
+	if r.crashed || r.rangeNonce == 0 || msg.Nonce != r.rangeNonce || int(msg.From) != r.rangePeer {
+		r.metrics.RangeRejects++
+		r.mu.Unlock()
+		return
+	}
+	if !msg.Done {
+		if msg.Offset != r.rangeHave+len(r.rangeBuf) || len(msg.Ops) == 0 {
+			// Out-of-order or empty chunk: drop it and everything after it —
+			// the buffer stays a solid extension of Have or it is worthless.
+			r.metrics.RangeRejects++
+			r.mu.Unlock()
+			return
+		}
+		r.metrics.RangeChunksReceived++
+		r.rangeBuf = append(r.rangeBuf, msg.Ops...)
+		r.mu.Unlock()
+		return
+	}
+	r.metrics.RangeChunksReceived++
+	if !r.finishRangeLocked(msg) {
+		// Failed round: keep it open (and the buffer clear) for the retry
+		// rotation.
+		r.metrics.RangeRejects++
+		r.rangeBuf = nil
+		r.mu.Unlock()
+		return
+	}
+	r.finishGossipLocked()
+}
+
+// finishRangeLocked applies a Done chunk. Mutex held; reports whether the
+// round completed (on true the round is closed and, in recovery mode, the
+// replica has resumed).
+func (r *Replica) finishRangeLocked(msg RangeResponseMsg) bool {
+	// Freshness first, as in installSnapshot: labels issued from here on
+	// sort above everything the serving peer had seen.
+	r.gen.ObserveSeq(msg.Watermark)
+	if msg.HasState && msg.Total > r.memoized {
+		if r.rangeHave+len(r.rangeBuf) != msg.Total {
+			// Truncated transfer: a chunk was lost (or withheld). Refuse —
+			// installing a prefix with a hole would be exactly the corruption
+			// the validator exists to stop.
+			return false
+		}
+		snap := SnapshotMsg{
+			From:      msg.From,
+			DataType:  msg.DataType,
+			Ops:       append(r.buildPrefixSnapOps(0, r.rangeHave), r.rangeBuf...),
+			State:     msg.State,
+			Watermark: msg.Watermark,
+		}
+		if r.installSnapshot(snap) {
+			r.metrics.SnapshotsInstalled++
+		}
+		if r.memoized < msg.Total {
+			// The splice failed validation (installSnapshot recorded the
+			// fault): do not complete the round on a prefix we refused.
+			return false
+		}
+	}
+	r.installResizeRecords(msg.Resizes)
+	r.mergeGossipLocked(msg.Tail)
+	r.rangeNonce = 0
+	r.rangeBuf = nil
+	r.rangeTries = 0
+	r.metrics.RangeCatchups++
+	if r.recovering {
+		// Range-mode recovery resumes on this single completed transfer —
+		// the §9.3 all-peers barrier is replaced by the durable store (see
+		// the file comment).
+		r.recovering = false
+	}
+	return true
+}

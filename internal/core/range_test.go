@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/sim"
+)
+
+// TestRangeRecoveryFromOnePeer drives the descriptor-range catch-up end to
+// end over the deterministic network: a replica crashes after a pruned,
+// fully-stable workload, recovers via a range round while its FIRST-choice
+// peer is dead (so the retry rotation is exercised), and must rebuild the
+// whole history from the single surviving host — in bounded chunks — with
+// the §9.3 label condition intact.
+func TestRangeRecoveryFromOnePeer(t *testing.T) {
+	opt := DefaultOptions()
+	opt.RangeChunkOps = 3 // 10 memoized ops -> 4 chunks + the Done frame
+	e, _ := newRecoveryEnv(t, opt)
+	for i := 0; i < 10; i++ {
+		e.submit(fmt.Sprintf("c%d", i%2), dtype.LogAppend{Entry: fmt.Sprintf("e%d", i)}, nil, false)
+		e.s.RunFor(3 * sim.Millisecond)
+	}
+	e.s.RunFor(200 * sim.Millisecond)
+
+	r0 := e.cluster.Replica(0)
+	before := r0.Snapshot()
+	if len(before.Done) != 10 || before.Memoized != 10 {
+		t.Fatalf("pre-crash done=%d memoized=%d, want 10/10", len(before.Done), before.Memoized)
+	}
+
+	nodes := e.cluster.Nodes()
+	e.net.SetNodeDown(nodes[0], true)
+	r0.Crash()
+	// Peer 1 — the round's first choice — is down too: recovery must rotate
+	// to the one remaining host.
+	e.net.SetNodeDown(nodes[1], true)
+	e.s.RunFor(20 * sim.Millisecond)
+
+	e.net.SetNodeDown(nodes[0], false)
+	r0.RecoverViaRange()
+	if !r0.Recovering() || !r0.RangeCatchingUp() {
+		t.Fatal("replica not in range recovery after RecoverViaRange")
+	}
+	e.s.RunFor(50 * sim.Millisecond)
+	if !r0.Recovering() {
+		t.Fatal("recovery completed against a dead peer")
+	}
+	r0.RetryRecovery() // rotates the open round to replica 2
+	e.s.RunFor(100 * sim.Millisecond)
+	if r0.Recovering() || r0.RangeCatchingUp() {
+		t.Fatal("range recovery never completed from the surviving host")
+	}
+
+	m := r0.Metrics()
+	if m.RangeCatchups != 1 || m.RangeRetries != 1 {
+		t.Fatalf("catchups=%d retries=%d, want 1/1", m.RangeCatchups, m.RangeRetries)
+	}
+	if m.RangeChunksReceived != 5 {
+		t.Fatalf("chunks received = %d, want 4 ops chunks + 1 Done", m.RangeChunksReceived)
+	}
+	if got := e.cluster.Replica(2).Metrics().RangeServed; got != 1 {
+		t.Fatalf("surviving host served %d range rounds, want 1", got)
+	}
+
+	after := r0.Snapshot()
+	if len(after.Done) != 10 || after.Memoized != 10 {
+		t.Fatalf("post-recovery done=%d memoized=%d, want 10/10", len(after.Done), after.Memoized)
+	}
+	// §9.3 correctness condition, unchanged by the transport of the answer.
+	for id, l := range after.Labels {
+		if old, ok := before.Labels[id]; ok && old.Less(l) {
+			t.Fatalf("label of %v rose across crash: %v -> %v", id, old, l)
+		}
+	}
+
+	e.net.SetNodeDown(nodes[1], false)
+	e.s.RunFor(200 * sim.Millisecond)
+	if conv := e.cluster.CheckConvergence(); !conv.Converged {
+		t.Fatalf("cluster did not reconverge: %s", conv.Reason)
+	}
+	for i := 0; i < 3; i++ {
+		if faults := e.cluster.Replica(i).Faults(); len(faults) != 0 {
+			t.Fatalf("replica %d recorded faults: %v", i, faults)
+		}
+	}
+}
+
+// TestRangeRecoveryWithoutSnapshots pins the degraded form: a server that
+// cannot snapshot serves no chunks and answers with a full self-contained
+// tail, which is complete because nothing was ever pruned. The client
+// resumes on descriptor replay exactly as the §9.3 fallback does.
+func TestRangeRecoveryWithoutSnapshots(t *testing.T) {
+	e, _ := newRecoveryEnv(t, Options{Memoize: true, IncrementalGossip: true})
+	for i := 0; i < 6; i++ {
+		e.submit("c", dtype.LogAppend{Entry: fmt.Sprintf("e%d", i)}, nil, false)
+		e.s.RunFor(3 * sim.Millisecond)
+	}
+	e.s.RunFor(200 * sim.Millisecond)
+
+	r0 := e.cluster.Replica(0)
+	e.net.SetNodeDown(r0.Node(), true)
+	r0.Crash()
+	e.s.RunFor(20 * sim.Millisecond)
+	e.net.SetNodeDown(r0.Node(), false)
+	r0.RecoverViaRange()
+	e.s.RunFor(200 * sim.Millisecond)
+
+	if r0.Recovering() {
+		t.Fatal("range recovery without snapshots never completed")
+	}
+	if got := len(r0.Snapshot().Done); got != 6 {
+		t.Fatalf("post-recovery done = %d, want 6", got)
+	}
+	if conv := e.cluster.CheckConvergence(); !conv.Converged {
+		t.Fatalf("cluster did not reconverge: %s", conv.Reason)
+	}
+}

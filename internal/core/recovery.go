@@ -247,19 +247,20 @@ func (r *Replica) Crash() {
 	r.crashed = true
 	r.recovering = false
 	r.recoveryAcks = nil
+	// Abandon any open range round (rangeSeq survives, so a chunk addressed
+	// to a pre-crash round can never match a post-crash nonce).
+	r.rangeNonce = 0
+	r.rangeBuf = nil
+	r.rangeTries = 0
 }
 
-// Recover restarts a crashed replica: persisted labels are reloaded (so
-// every re-learned operation gets a label ≤ its pre-crash label, the §9.3
-// correctness condition), persisted descriptors are replayed into rcvd_r
-// (so an operation this replica acknowledged and never gossiped re-enters
-// the algorithm — and, once re-labeled, gossip — instead of being lost),
-// persisted resize records and key-index entries are reinstalled, every
-// peer is asked for fresh gossip, and the replica resumes the algorithm
-// only after all peers have answered. A single-replica cluster resumes
-// immediately.
-func (r *Replica) Recover() {
-	r.mu.Lock()
+// reloadStoreLocked replays the stable store into a freshly crashed
+// replica — the shared first half of Recover and RecoverViaRange. Persisted
+// labels are observed (so every future label sorts above them, §9.3) and
+// held aside for reuse, descriptors are replayed into rcvd_r in journal
+// order, and resize records and key-index entries are reinstalled. Clears
+// the crashed flag. Mutex held.
+func (r *Replica) reloadStoreLocked() {
 	if r.store != nil {
 		for id, l := range r.store.Labels() {
 			// Freshness is unconditional: labels issued after recovery must
@@ -295,6 +296,20 @@ func (r *Replica) Recover() {
 			}
 		}
 	}
+}
+
+// Recover restarts a crashed replica: persisted labels are reloaded (so
+// every re-learned operation gets a label ≤ its pre-crash label, the §9.3
+// correctness condition), persisted descriptors are replayed into rcvd_r
+// (so an operation this replica acknowledged and never gossiped re-enters
+// the algorithm — and, once re-labeled, gossip — instead of being lost),
+// persisted resize records and key-index entries are reinstalled, every
+// peer is asked for fresh gossip, and the replica resumes the algorithm
+// only after all peers have answered. A single-replica cluster resumes
+// immediately.
+func (r *Replica) Recover() {
+	r.mu.Lock()
+	r.reloadStoreLocked()
 	r.recovering = r.n > 1
 	r.recoveryAcks = make(map[label.ReplicaID]struct{})
 	peers := make([]transport.NodeID, 0, r.n-1)
@@ -325,6 +340,13 @@ func (r *Replica) RetryRecovery() {
 	r.mu.Lock()
 	if r.crashed || !r.recovering {
 		r.mu.Unlock()
+		return
+	}
+	if r.rangeNonce != 0 {
+		// Range-mode recovery: the retry rotates the round to the next peer
+		// (the serving peer may itself have died) instead of re-broadcasting
+		// §9.3 requests. Existing retry drivers need no range awareness.
+		r.retryRangeLocked()
 		return
 	}
 	var missing []transport.NodeID

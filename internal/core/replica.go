@@ -119,6 +119,17 @@ type Replica struct {
 	recovering   bool
 	recoveryAcks map[label.ReplicaID]struct{}
 
+	// Descriptor-range catch-up (range.go, DESIGN.md §13): the client-side
+	// state of one range round. rangeNonce is 0 when no round is open;
+	// rangeSeq is the monotone nonce source (it survives Crash so a stale
+	// pre-crash chunk can never match a post-crash round).
+	rangeNonce uint64
+	rangeSeq   uint64
+	rangePeer  int
+	rangeHave  int
+	rangeBuf   []SnapOp
+	rangeTries int
+
 	// storeHeld carries the store-reloaded labels of operations that are
 	// not yet done again after a recovery. Such a label is NOT entered into
 	// the label map: if it ever escaped this replica pre-crash, the §9.3
@@ -437,6 +448,10 @@ func (r *Replica) handleMessage(m transport.Message) {
 		r.handleCompactGossip(p)
 	case RecoveryRequestMsg:
 		r.handleRecoveryRequest(p)
+	case RangeRequestMsg:
+		r.handleRangeRequest(p)
+	case RangeResponseMsg:
+		r.handleRangeResponse(p)
 	case SnapshotMsg:
 		r.handleSnapshot(p)
 	case FreezeKeysMsg:
@@ -1495,6 +1510,14 @@ func (r *Replica) buildGossip(i int) GossipMsg {
 	if r.opt.IncrementalGossip {
 		return r.buildDelta(i)
 	}
+	return r.buildFullGossip()
+}
+
+// buildFullGossip assembles a self-contained full-state gossip message,
+// regardless of the IncrementalGossip setting — the non-incremental body of
+// buildGossip, also used by the range server when it cannot snapshot (its
+// tail must then carry everything). Mutex held.
+func (r *Replica) buildFullGossip() GossipMsg {
 	msg := GossipMsg{From: r.id, L: r.labels.Snapshot()}
 	msg.R = make([]ops.Operation, 0, len(r.doneSeq)+len(r.rcvdQueue))
 

@@ -64,26 +64,35 @@ func (r *Replica) buildSnapshot() (SnapshotMsg, bool) {
 			return SnapshotMsg{}, false
 		}
 	}
-	msg := SnapshotMsg{
+	return SnapshotMsg{
 		From:      r.id,
 		DataType:  r.dt.Name(),
-		Ops:       make([]SnapOp, r.memoized),
+		Ops:       r.buildPrefixSnapOps(0, r.memoized),
 		State:     enc,
 		Watermark: r.gen.HighSeq(),
-	}
-	for i := 0; i < r.memoized; i++ {
+	}, true
+}
+
+// buildPrefixSnapOps assembles the SnapOp entries for doneSeq[lo:hi], a
+// slice of the memoized solid prefix (hi ≤ r.memoized). It is the common
+// bottom half of buildSnapshot and of the range server's chunker — and,
+// on the range CLIENT, what reconstructs its own already-held prefix when
+// splicing fetched chunks into a full snapshot. Mutex held.
+func (r *Replica) buildPrefixSnapOps(lo, hi int) []SnapOp {
+	out := make([]SnapOp, 0, hi-lo)
+	for i := lo; i < hi; i++ {
 		id := r.doneSeq[i]
 		_, stable := r.stableAt[r.id][id]
-		msg.Ops[i] = SnapOp{
+		out = append(out, SnapOp{
 			ID:     id,
 			Label:  r.labels.Get(id),
 			Value:  r.memoVals[id],
 			Stable: stable,
 			Strict: r.isStrict(id),
 			Key:    r.keyOf[id],
-		}
+		})
 	}
-	return msg, true
+	return out
 }
 
 // handleSnapshot validates and installs a received snapshot, then lets the

@@ -31,6 +31,8 @@ func RegisterWire() {
 		gob.Register(CompactGossipMsg{})
 		gob.Register(RecoveryRequestMsg{})
 		gob.Register(SnapshotMsg{})
+		gob.Register(RangeRequestMsg{})
+		gob.Register(RangeResponseMsg{})
 		gob.Register(FreezeKeysMsg{})
 		gob.Register(FreezeAckMsg{})
 		gob.Register(KeyMigratedMsg{})

@@ -131,7 +131,7 @@ func TestE9Baselines(t *testing.T) {
 
 func TestRegistryCompleteAndTablesRender(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
+	if len(all) != 17 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := make(map[string]bool)
@@ -355,5 +355,26 @@ func TestE16AdaptiveSmoke(t *testing.T) {
 	}
 	if compact > legacy {
 		t.Fatalf("compact gossip bytes/op %.0f exceeds legacy %.0f\n%s", compact, legacy, r.Table())
+	}
+}
+
+func TestE17FleetSmoke(t *testing.T) {
+	// Structural smoke of the placement fleet experiment: two small placed
+	// fleets over real loopback sockets, drop gates off (the headline gated
+	// run is `esds-bench -exp e17` / BenchmarkE17FleetPlacement). The
+	// structural claims — every offered op answered and read back strictly,
+	// zero foreign gossip frames on every member wire, zero replica faults
+	// — are folded into the runner and surface through Verify.
+	p := SmokeFleetParams()
+	r := RunFleet(p)
+	if err := r.Verify(p); err != nil {
+		t.Fatalf("%v\n%s", err, r.Table())
+	}
+	// Even without the drop gates, growing the fleet at fixed geometry must
+	// strictly shrink the per-member hosted set: placement's whole point.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.ResidentMean >= first.ResidentMean {
+		t.Fatalf("resident shards per member did not fall (%.2f at %d members, %.2f at %d)\n%s",
+			first.ResidentMean, first.Members, last.ResidentMean, last.Members, r.Table())
 	}
 }

@@ -1,0 +1,328 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"esds/internal/core"
+	"esds/internal/dtype"
+	"esds/internal/loadlab"
+	"esds/internal/placement"
+	"esds/internal/stats"
+	"esds/internal/transport"
+)
+
+// E17: shard placement across a growing fleet (DESIGN.md §13). Full
+// replication makes every member's gossip bill proportional to the WHOLE
+// keyspace: adding members adds capacity for requests but not for state —
+// each still hosts every shard and gossips every descriptor. Placement
+// breaks that coupling. E17 holds the keyspace geometry fixed (Shards ×
+// Replicas) and grows the member fleet, deploying each fleet size as its
+// own placed multi-transport cluster: one TCPNet per member hosting exactly
+// the replica slots the placement map assigns it, a front-end-only client
+// member routing by shard, and the per-shard gossip subscription keeping
+// foreign traffic off every wire (Stats.Foreign must stay zero). The same
+// open-loop workload runs against every fleet, every acknowledged add must
+// read back exactly, and the claims under gate are the two quantities
+// placement exists to shrink: the shards resident per member and the wire
+// bytes each member pays per answered operation, both of which must FALL by
+// at least the configured fractions as the fleet grows.
+
+// FleetParams configures the placement scaling experiment.
+type FleetParams struct {
+	// Shards × Replicas is the keyspace geometry, fixed across the sweep.
+	Shards   int
+	Replicas int
+	// FleetSizes are the member counts, conventionally increasing; the
+	// drop gates compare the last fleet against the first.
+	FleetSizes []int
+	// Sessions / Rate / Duration / ObjectsPerSession shape the open-loop
+	// workload (identical for every fleet size).
+	Sessions          int
+	Rate              float64
+	Duration          time.Duration
+	ObjectsPerSession int
+	// GossipInterval / RetransmitInterval drive the live tickers.
+	GossipInterval     time.Duration
+	RetransmitInterval time.Duration
+	// Seed roots the workload deterministically.
+	Seed int64
+	// DrainTimeout bounds the post-window wait for in-flight operations.
+	DrainTimeout time.Duration
+	// MinBytesDrop gates per-member wire bytes per answered op: the last
+	// fleet's figure must be at least this fraction below the first's.
+	// ≤ 0 disables the gate (smoke runs).
+	MinBytesDrop float64
+	// MinResidentDrop gates mean resident shards per member, same shape.
+	MinResidentDrop float64
+}
+
+// DefaultFleetParams is the headline configuration: a 6-shard, 3-replica
+// counter keyspace deployed at 3 members (full replication is forced: every
+// member must host every shard) and at 6 members (each hosts half the
+// keyspace). Growing the fleet 3 → 6 must cut both resident shards and
+// per-member bytes/op by ≥ 40% — the placement dividend, with ~50%
+// available geometrically.
+func DefaultFleetParams() FleetParams {
+	return FleetParams{
+		Shards:             6,
+		Replicas:           3,
+		FleetSizes:         []int{3, 6},
+		Sessions:           48,
+		Rate:               600,
+		Duration:           800 * time.Millisecond,
+		ObjectsPerSession:  2,
+		GossipInterval:     2 * time.Millisecond,
+		RetransmitInterval: 25 * time.Millisecond,
+		Seed:               17,
+		DrainTimeout:       30 * time.Second,
+		MinBytesDrop:       0.4,
+		MinResidentDrop:    0.4,
+	}
+}
+
+// SmokeFleetParams is a fast structural check (CI-friendly): tiny workload,
+// small fleets, no drop gates — liveness, read-back, isolation, and zero
+// faults still apply.
+func SmokeFleetParams() FleetParams {
+	return FleetParams{
+		Shards:             4,
+		Replicas:           2,
+		FleetSizes:         []int{2, 4},
+		Sessions:           8,
+		Rate:               200,
+		Duration:           250 * time.Millisecond,
+		ObjectsPerSession:  2,
+		GossipInterval:     2 * time.Millisecond,
+		RetransmitInterval: 25 * time.Millisecond,
+		Seed:               7,
+		DrainTimeout:       20 * time.Second,
+	}
+}
+
+// FleetRow is one fleet-size measurement.
+type FleetRow struct {
+	Members        int
+	ResidentMean   float64 // mean shards hosted per member
+	ResidentMax    int     // largest hosted set
+	Offered        int
+	Answered       int
+	OpsPerSec      float64
+	P50Ms          float64
+	P99Ms          float64
+	MemberBytes    uint64  // member-transport frame bytes over the open-loop window
+	BytesPerMemOp  float64 // MemberBytes / members / answered
+	RangeServedOps uint64  // range rounds served (0 in steady state — no catch-up ran)
+}
+
+// FleetResult is the regenerated table.
+type FleetResult struct {
+	Rows []FleetRow
+	Err  error // first execution error (fails Verify)
+}
+
+// RunFleet executes the fleet-size sweep: each size is deployed, loaded,
+// audited, and torn down independently.
+func RunFleet(p FleetParams) FleetResult {
+	var res FleetResult
+	for _, members := range p.FleetSizes {
+		row, err := runFleetSize(p, members)
+		if err != nil && res.Err == nil {
+			res.Err = fmt.Errorf("exp: E17 fleet of %d: %w", members, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// runFleetSize deploys one placed fleet — a TCPNet per member, slots by
+// placement, a front-end-only client — drives the workload, and audits.
+func runFleetSize(p FleetParams, memberCount int) (FleetRow, error) {
+	core.RegisterWire()
+	row := FleetRow{Members: memberCount}
+	place := placement.New(p.Shards, p.Replicas, memberCount)
+	resident := 0
+	for m := 0; m < memberCount; m++ {
+		n := len(place.ShardsOf(m))
+		resident += n
+		if n > row.ResidentMax {
+			row.ResidentMax = n
+		}
+	}
+	row.ResidentMean = float64(resident) / float64(memberCount)
+
+	opt := core.DefaultOptions()
+	nets := make([]*transport.TCPNet, 0, memberCount+1)
+	addrs := make([]string, memberCount)
+	closeAll := func() {
+		for _, n := range nets {
+			n.Close()
+		}
+	}
+	for i := 0; i < memberCount; i++ {
+		net, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			closeAll()
+			return row, err
+		}
+		nets = append(nets, net)
+		addrs[i] = net.Addr().String()
+	}
+	members := make([]*core.Keyspace, memberCount)
+	for i := 0; i < memberCount; i++ {
+		core.ApplyPlacement(nets[i], place, addrs)
+		members[i] = core.NewKeyspace(core.KeyspaceConfig{
+			Shards:    p.Shards,
+			Replicas:  p.Replicas,
+			DataType:  dtype.Counter{},
+			Network:   nets[i],
+			Options:   opt,
+			Placement: place,
+			Member:    i,
+		})
+		nets[i].Start()
+	}
+	feNet, err := transport.NewTCPNet(transport.TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		closeAll()
+		return row, err
+	}
+	nets = append(nets, feNet)
+	core.ApplyPlacement(feNet, place, addrs)
+	ks := core.NewKeyspace(core.KeyspaceConfig{
+		Shards:    p.Shards,
+		Replicas:  p.Replicas,
+		DataType:  dtype.Counter{},
+		Network:   feNet,
+		Options:   opt,
+		Placement: place,
+		Member:    -1,
+	})
+	feNet.Start()
+	defer func() {
+		ks.Close()
+		for _, m := range members {
+			m.Close()
+		}
+		closeAll()
+	}()
+	for _, m := range members {
+		m.StartLiveGossip(p.GossipInterval)
+	}
+	ks.StartLiveRetransmit(p.RetransmitInterval)
+
+	sumBytes := func() uint64 {
+		var b uint64
+		for _, n := range nets[:memberCount] {
+			b += n.Stats().Bytes
+		}
+		return b
+	}
+	before := sumBytes()
+	// The wire accounting window is EXACTLY the open-loop duration, closed
+	// by a timer while the run drains: gossip tickers keep firing through
+	// drain and read-back, and that idle traffic is proportional to
+	// wall-clock, not to the measured workload — an accounting window that
+	// stretched with run-to-run drain jitter would blur the per-member
+	// bytes/op comparison the experiment gates on. Both fleet sizes get the
+	// identical window, so the gated ratio compares like with like.
+	windowBytes := make(chan uint64, 1)
+	windowTimer := time.AfterFunc(p.Duration, func() { windowBytes <- sumBytes() })
+	defer windowTimer.Stop()
+	start := time.Now()
+	rep := loadlab.Run(ks, loadlab.Config{
+		Seed:              p.Seed,
+		Sessions:          p.Sessions,
+		Rate:              p.Rate,
+		Duration:          p.Duration,
+		ObjectsPerSession: p.ObjectsPerSession,
+		DrainTimeout:      p.DrainTimeout,
+	})
+	total := time.Since(start)
+	memberBytes := <-windowBytes - before
+	if rep.Unanswered > 0 {
+		return row, fmt.Errorf("%d of %d operations never answered", rep.Unanswered, rep.Offered)
+	}
+	if rep.Errors > 0 {
+		return row, fmt.Errorf("%d operations answered with errors", rep.Errors)
+	}
+	// Exact strict read-back of every acknowledged add — the reads travel
+	// the same placed routes the workload used.
+	if err := loadlab.ReadBack(ks, rep, p.DrainTimeout); err != nil {
+		return row, err
+	}
+	for i, n := range nets[:memberCount] {
+		// Subscription isolation on the wire: a placed member must never
+		// receive gossip for a shard it does not host (checked after the
+		// audit so read-back traffic is under the same obligation).
+		if s := n.Stats(); s.Foreign != 0 {
+			return row, fmt.Errorf("member %d received %d foreign gossip frames", i, s.Foreign)
+		}
+	}
+	for i, m := range members {
+		if faults := m.Faults(); len(faults) > 0 {
+			return row, fmt.Errorf("member %d replica faults: %v", i, faults)
+		}
+		row.RangeServedOps += m.TotalMetrics().RangeServed
+	}
+	q := rep.Lat.Quantiles()
+	row.Offered = rep.Offered
+	row.Answered = rep.Answered
+	row.OpsPerSec = float64(rep.Answered) / total.Seconds()
+	row.P50Ms = float64(q.P50) / 1e6
+	row.P99Ms = float64(q.P99) / 1e6
+	row.MemberBytes = memberBytes
+	if rep.Answered > 0 {
+		row.BytesPerMemOp = float64(memberBytes) / float64(memberCount) / float64(rep.Answered)
+	}
+	return row, nil
+}
+
+// Table renders the sweep. Wall-clock throughput is machine-dependent; the
+// structural columns are liveness (offered == answered), resident shards,
+// and per-member bytes/op.
+func (r FleetResult) Table() string {
+	t := stats.NewTable("members", "resident(mean)", "resident(max)", "offered", "answered",
+		"ops/s", "p50 ms", "p99 ms", "member-bytes/op")
+	for _, row := range r.Rows {
+		t.AddRow(row.Members, row.ResidentMean, row.ResidentMax, row.Offered, row.Answered,
+			row.OpsPerSec, row.P50Ms, row.P99Ms, row.BytesPerMemOp)
+	}
+	return t.String()
+}
+
+// Verify checks the placement scaling claims: every fleet answered and
+// read back everything under zero faults and zero foreign frames (folded
+// into Err by the runner), and growing the fleet from the first size to the
+// last cut both mean resident shards and per-member bytes/op by the
+// configured fractions.
+func (r FleetResult) Verify(p FleetParams) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if len(r.Rows) != len(p.FleetSizes) || len(r.Rows) == 0 {
+		return fmt.Errorf("exp: E17 has %d rows, want %d", len(r.Rows), len(p.FleetSizes))
+	}
+	for _, row := range r.Rows {
+		if row.Offered == 0 || row.Answered != row.Offered {
+			return fmt.Errorf("exp: E17 fleet of %d answered %d of %d offered", row.Members, row.Answered, row.Offered)
+		}
+		if row.OpsPerSec <= 0 || row.MemberBytes == 0 {
+			return fmt.Errorf("exp: E17 fleet of %d recorded no work (%+v)", row.Members, row)
+		}
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if p.MinResidentDrop > 0 {
+		if last.ResidentMean > (1-p.MinResidentDrop)*first.ResidentMean {
+			return fmt.Errorf("exp: E17 resident shards per member %.2f at %d members not %.0f%% below %.2f at %d — placement failed to shed state",
+				last.ResidentMean, last.Members, p.MinResidentDrop*100, first.ResidentMean, first.Members)
+		}
+	}
+	if p.MinBytesDrop > 0 {
+		if last.BytesPerMemOp > (1-p.MinBytesDrop)*first.BytesPerMemOp {
+			return fmt.Errorf("exp: E17 per-member bytes/op %.0f at %d members not %.0f%% below %.0f at %d — the subscription failed to shed wire traffic",
+				last.BytesPerMemOp, last.Members, p.MinBytesDrop*100, first.BytesPerMemOp, first.Members)
+		}
+	}
+	return nil
+}

@@ -133,6 +133,14 @@ func All() []Experiment {
 				return r.Table(), r.Verify(p)
 			},
 		},
+		{
+			ID: "e17", Title: "Shard placement across a growing fleet", PaperRef: "DESIGN.md §13 (beyond the paper)",
+			Run: func() (string, error) {
+				p := DefaultFleetParams()
+				r := RunFleet(p)
+				return r.Table(), r.Verify(p)
+			},
+		},
 	}
 }
 

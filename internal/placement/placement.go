@@ -1,0 +1,310 @@
+// Package placement maps keyspace shards onto fleet members. It is the
+// layer above internal/ring: the ring decides which SHARD owns an object,
+// the placement decides which MEMBERS host each shard's replicas. Like the
+// ring it is deterministic and purely functional — the placement for
+// (shards, replicas, members) is always the same table, so every member and
+// every client of a deployment computes identical shard→member assignments
+// from nothing but three integers, with no coordination service.
+//
+// The construction is incremental by member count: the base placement at
+// members == replicas puts replica slot i of every shard on member i (the
+// legacy all-shards-everywhere topology, so a fleet of exactly R members
+// behaves byte-for-byte like the pre-placement deployments), and each
+// additional member steals its fair share of slots from the most-loaded
+// members, one slot at a time. That gives the three properties the fleet
+// needs by construction:
+//
+//   - every shard has exactly `replicas` hosts, all distinct;
+//   - member loads are balanced within ±1 slot;
+//   - growing the member set moves at most ceil(shards·replicas/members)
+//     assignments — the minimal-movement property that keeps a fleet
+//     resize from re-sharding the world (mirroring the ring's arc-stealing
+//     incrementality one level up).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"esds/internal/ring"
+)
+
+// Placement is an immutable shard→member assignment table.
+type Placement struct {
+	shards   int
+	replicas int
+	members  int
+	// assign[shard][slot] = member hosting replica `slot` of `shard`.
+	assign [][]int
+}
+
+// Assignment is one shard's row of the table: the members hosting its
+// replica slots, in slot order. It is the exchange form of a placement
+// epoch (DESIGN.md §13).
+type Assignment struct {
+	Shard   int
+	Members []int
+}
+
+// New returns the placement for the given geometry. It panics when
+// shards < 1, replicas < 1, or members < replicas (a shard needs
+// `replicas` distinct hosts).
+func New(shards, replicas, members int) *Placement {
+	if shards < 1 {
+		panic(fmt.Sprintf("placement: invalid shard count %d", shards))
+	}
+	if replicas < 1 {
+		panic(fmt.Sprintf("placement: invalid replica count %d", replicas))
+	}
+	if members < replicas {
+		panic(fmt.Sprintf("placement: %d members cannot host %d replicas per shard", members, replicas))
+	}
+	p := &Placement{shards: shards, replicas: replicas, members: replicas}
+	p.assign = make([][]int, shards)
+	for s := range p.assign {
+		row := make([]int, replicas)
+		for k := range row {
+			row[k] = k
+		}
+		p.assign[s] = row
+	}
+	for m := replicas + 1; m <= members; m++ {
+		p = p.growOne()
+	}
+	return p
+}
+
+// growOne adds one member, stealing its fair share of slots from the
+// most-loaded members. Victims lose one slot at a time from the current
+// maximum, so the surviving members stay balanced; the newcomer stops at
+// floor(total/members), so the whole table stays within ±1. Only stolen
+// slots change hands — members never trade slots among themselves.
+func (p *Placement) growOne() *Placement {
+	q := &Placement{shards: p.shards, replicas: p.replicas, members: p.members + 1}
+	q.assign = make([][]int, p.shards)
+	for s, row := range p.assign {
+		q.assign[s] = append([]int(nil), row...)
+	}
+	newbie := q.members - 1
+	want := (p.shards * p.replicas) / q.members
+	for got := 0; got < want; got++ {
+		if !q.stealOne(newbie) {
+			break // no eligible slot anywhere: every shard already hosts the newcomer
+		}
+	}
+	return q
+}
+
+// stealOne moves one slot from the most-loaded member (lowest index on
+// ties) to `to`, skipping shards that already host `to` (a shard's replica
+// hosts must be distinct). Within a victim, the slot with the largest
+// placement hash goes first — a deterministic choice that spreads steals
+// across shards instead of clustering them at low indexes.
+func (q *Placement) stealOne(to int) bool {
+	loads := q.loads()
+	type victim struct{ load, member int }
+	order := make([]victim, 0, q.members)
+	for m := 0; m < q.members; m++ {
+		if m != to {
+			order = append(order, victim{loads[m], m})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].load != order[j].load {
+			return order[i].load > order[j].load
+		}
+		return order[i].member < order[j].member
+	})
+	for _, v := range order {
+		bestS, bestK := -1, -1
+		var bestH uint64
+		for s, row := range q.assign {
+			if q.hostsMember(s, to) {
+				continue
+			}
+			for k, m := range row {
+				if m != v.member {
+					continue
+				}
+				h := ring.Hash(fmt.Sprintf("place-%d-%d-%d", to, s, k))
+				if bestS < 0 || h > bestH {
+					bestS, bestK, bestH = s, k, h
+				}
+			}
+		}
+		if bestS >= 0 {
+			q.assign[bestS][bestK] = to
+			return true
+		}
+	}
+	return false
+}
+
+func (q *Placement) hostsMember(shard, member int) bool {
+	for _, m := range q.assign[shard] {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}
+
+func (q *Placement) loads() []int {
+	loads := make([]int, q.members)
+	for _, row := range q.assign {
+		for _, m := range row {
+			loads[m]++
+		}
+	}
+	return loads
+}
+
+// Shards returns the shard count the placement was built for.
+func (p *Placement) Shards() int { return p.shards }
+
+// Replicas returns the per-shard replica count.
+func (p *Placement) Replicas() int { return p.replicas }
+
+// Members returns the fleet size.
+func (p *Placement) Members() int { return p.members }
+
+// Member returns the member hosting replica `slot` of `shard`.
+func (p *Placement) Member(shard, slot int) int { return p.assign[shard][slot] }
+
+// Hosts returns the members hosting `shard`, in replica-slot order.
+func (p *Placement) Hosts(shard int) []int {
+	return append([]int(nil), p.assign[shard]...)
+}
+
+// Slots returns the replica slots of `shard` hosted by `member` — the
+// per-shard LocalReplicas list a member feeds core.KeyspaceConfig. Empty
+// when the member does not host the shard.
+func (p *Placement) Slots(shard, member int) []int {
+	var out []int
+	for k, m := range p.assign[shard] {
+		if m == member {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ShardsOf returns the shards `member` hosts, ascending — the member's
+// resident set, and its gossip subscription.
+func (p *Placement) ShardsOf(member int) []int {
+	var out []int
+	for s := range p.assign {
+		if p.hostsMember(s, member) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Load returns the number of replica slots assigned to `member`.
+func (p *Placement) Load(member int) int { return p.loads()[member] }
+
+// Table returns every shard's assignment row — the explicit epoch form.
+func (p *Placement) Table() []Assignment {
+	out := make([]Assignment, p.shards)
+	for s := range p.assign {
+		out[s] = Assignment{Shard: s, Members: p.Hosts(s)}
+	}
+	return out
+}
+
+// Grow returns the placement with `members` total members (≥ the current
+// count). Because construction is incremental by member, Grow(p, m) is
+// identical to New(shards, replicas, m) — growth is a pure function of the
+// geometry, never of history.
+func (p *Placement) Grow(members int) *Placement {
+	if members < p.members {
+		panic(fmt.Sprintf("placement: cannot shrink %d members to %d", p.members, members))
+	}
+	q := p
+	for q.members < members {
+		q = q.growOne()
+	}
+	return q
+}
+
+// Extend returns the placement with `shards` total shards (≥ the current
+// count), composing with keyspace Resize: existing assignments are kept
+// verbatim — a resize NEVER moves a live shard between members — and each
+// new shard's replica slots go to the least-loaded members (lowest index
+// on ties), keeping balance. The result is deterministic given the resize
+// sequence, so every member applying the same Resize computes the same
+// extended placement.
+func (p *Placement) Extend(shards int) *Placement {
+	if shards < p.shards {
+		panic(fmt.Sprintf("placement: cannot shrink %d shards to %d", p.shards, shards))
+	}
+	q := &Placement{shards: shards, replicas: p.replicas, members: p.members}
+	q.assign = make([][]int, shards)
+	for s, row := range p.assign {
+		q.assign[s] = append([]int(nil), row...)
+	}
+	for s := p.shards; s < shards; s++ {
+		loads := q.loadsPartial(s)
+		row := make([]int, q.replicas)
+		for k := range row {
+			best := -1
+			for m := 0; m < q.members; m++ {
+				if intsContain(row[:k], m) {
+					continue
+				}
+				if best < 0 || loads[m] < loads[best] {
+					best = m
+				}
+			}
+			row[k] = best
+			loads[best]++
+		}
+		q.assign[s] = row
+	}
+	return q
+}
+
+// loadsPartial counts loads over the first `upTo` shards (the rows already
+// assigned while Extend fills the table).
+func (q *Placement) loadsPartial(upTo int) []int {
+	loads := make([]int, q.members)
+	for s := 0; s < upTo; s++ {
+		for _, m := range q.assign[s] {
+			loads[m]++
+		}
+	}
+	return loads
+}
+
+func intsContain(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Moved counts the (shard, slot) assignments that changed member between
+// two placements, over the shards and slots they share — the movement cost
+// of a fleet or keyspace change.
+func Moved(old, new *Placement) int {
+	moved := 0
+	shards := old.shards
+	if new.shards < shards {
+		shards = new.shards
+	}
+	for s := 0; s < shards; s++ {
+		slots := len(old.assign[s])
+		if len(new.assign[s]) < slots {
+			slots = len(new.assign[s])
+		}
+		for k := 0; k < slots; k++ {
+			if old.assign[s][k] != new.assign[s][k] {
+				moved++
+			}
+		}
+	}
+	return moved
+}

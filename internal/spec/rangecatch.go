@@ -1,0 +1,156 @@
+package spec
+
+import (
+	"fmt"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+)
+
+// Range catch-up equivalence (DESIGN.md §13). A replica joining or
+// recovering a single shard fetches the slice of the solid prefix it is
+// missing from ONE hosting peer as bounded chunks, splices the chunks onto
+// its own prefix, and installs the result against the server's state
+// snapshot — instead of the §9.3 handshake's full snapshot from every peer.
+// The soundness obligation is an equivalence: for a history seq in its
+// eventual total order, a server whose solid prefix is seq[:cut], and a
+// client already holding seq[:have],
+//
+//	splice(seq[:have], chunks(seq[have:cut])) then replay(seq[cut:])
+//	  ≡  install(snapshot(seq[:cut])) then replay(seq[cut:])
+//	  ≡  replay(σ₀, seq)
+//
+// CheckRangeCatchupEquivalence checks the honest-server form of the claim;
+// CheckRangeTransfer exposes the transfer itself so tests can feed the
+// splice discipline a lossy, reordering, or substituting server and prove
+// the validation refuses the transfer rather than installing corruption —
+// the same discipline the implementation applies in handleRangeResponse
+// (contiguity, total coverage) and installSnapshot (state validation).
+
+// RangeChunk is one streamed slice of a range answer: Offset is the
+// history position of Ops[0] (the model of RangeResponseMsg.Offset).
+type RangeChunk struct {
+	Offset int
+	Ops    []ops.Operation
+}
+
+// RangeChunks slices the server's memoized segment seq[have:cut] into
+// chunks of at most chunk operations — the honest server's stream.
+func RangeChunks(seq []ops.Operation, have, cut, chunk int) []RangeChunk {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var out []RangeChunk
+	for off := have; off < cut; off += chunk {
+		hi := off + chunk
+		if hi > cut {
+			hi = cut
+		}
+		out = append(out, RangeChunk{Offset: off, Ops: seq[off:hi]})
+	}
+	return out
+}
+
+// CheckRangeCatchupEquivalence checks the range catch-up claim for an
+// honest server: the client holds seq[:have], the server's solid prefix is
+// seq[:cut], and the transfer arrives as chunks of at most chunk
+// operations. Requires 0 ≤ have ≤ cut ≤ len(seq).
+func CheckRangeCatchupEquivalence(dt dtype.DataType, seq []ops.Operation, have, cut, chunk int) error {
+	return CheckRangeTransfer(dt, seq, have, cut, RangeChunks(seq, have, cut, chunk))
+}
+
+// CheckRangeTransfer validates one explicit transfer against the
+// equivalence. The transfer is accepted only if it passes the client-side
+// splice discipline — each chunk contiguous with the buffer, non-empty, and
+// the buffered total exactly covering [have, cut) — and the installed
+// result is indistinguishable from both the §9.3 full-snapshot install at
+// the same cut and an uninterrupted replay. A transfer from a faulty server
+// must therefore produce an error here, never a silently wrong state.
+func CheckRangeTransfer(dt dtype.DataType, seq []ops.Operation, have, cut int, transfer []RangeChunk) error {
+	if have < 0 || cut < have || cut > len(seq) {
+		return fmt.Errorf("spec: range window [%d, %d) out of range for %d operations", have, cut, len(seq))
+	}
+	sn, ok := dt.(dtype.Snapshotter)
+	if !ok {
+		return fmt.Errorf("spec: data type %s has no snapshot encoding", dt.Name())
+	}
+
+	// Ground truth: one uninterrupted replay.
+	fullState := dt.Initial()
+	fullVals := make([]dtype.Value, len(seq))
+	for i, x := range seq {
+		fullState, fullVals[i] = dt.Apply(fullState, x.Op)
+	}
+
+	// Client-side splice discipline (handleRangeResponse): chunks must
+	// extend the buffer contiguously and cover exactly [have, cut).
+	spliced := append([]ops.Operation{}, seq[:have]...)
+	for i, ch := range transfer {
+		if len(ch.Ops) == 0 {
+			return fmt.Errorf("spec: range chunk %d is empty", i)
+		}
+		if ch.Offset != len(spliced) {
+			return fmt.Errorf("spec: range chunk %d at offset %d does not extend the buffer (want offset %d)",
+				i, ch.Offset, len(spliced))
+		}
+		spliced = append(spliced, ch.Ops...)
+	}
+	if len(spliced) != cut {
+		return fmt.Errorf("spec: truncated range transfer: spliced %d operations, server prefix is %d", len(spliced), cut)
+	}
+
+	// The server's state snapshot of its solid prefix, through the wire
+	// encoding — what arrives in the Done chunk.
+	serverState := dt.Initial()
+	for i := 0; i < cut; i++ {
+		serverState, _ = dt.Apply(serverState, seq[i].Op)
+	}
+	enc, err := sn.EncodeState(serverState)
+	if err != nil {
+		return fmt.Errorf("spec: encoding server state at cut %d: %w", cut, err)
+	}
+	installed, err := sn.DecodeState(enc)
+	if err != nil {
+		return fmt.Errorf("spec: decoding server state at cut %d: %w", cut, err)
+	}
+
+	// State validation (installSnapshot): replaying the spliced descriptors
+	// must reproduce the installed state exactly — a server that kept its
+	// offsets contiguous while substituting operations fails here. The
+	// memoized values must match the full replay (they answer retransmitted
+	// requests for pruned operations).
+	st := dt.Initial()
+	for i, x := range spliced {
+		var v dtype.Value
+		st, v = dt.Apply(st, x.Op)
+		if fmt.Sprint(v) != fmt.Sprint(fullVals[i]) {
+			return fmt.Errorf("spec: spliced value of %v differs: %v vs full replay %v", x.ID, v, fullVals[i])
+		}
+	}
+	if fmt.Sprint(st) != fmt.Sprint(installed) {
+		return fmt.Errorf("spec: spliced prefix does not reproduce the server state at cut %d:\n  splice:  %v\n  install: %v",
+			cut, st, installed)
+	}
+	// Tail replay on the installed state: every post-cut value and the
+	// final state must match the uninterrupted replay.
+	st = installed
+	for i := cut; i < len(seq); i++ {
+		var v dtype.Value
+		st, v = dt.Apply(st, seq[i].Op)
+		if fmt.Sprint(v) != fmt.Sprint(fullVals[i]) {
+			return fmt.Errorf("spec: value of %v after range install differs: %v vs full replay %v",
+				seq[i].ID, v, fullVals[i])
+		}
+	}
+	if fmt.Sprint(st) != fmt.Sprint(fullState) {
+		return fmt.Errorf("spec: final state after range catch-up differs at [%d, %d):\n  range:  %v\n  replay: %v",
+			have, cut, st, fullState)
+	}
+	// The other leg of the equivalence: the §9.3 full-snapshot install at
+	// the same cut must agree too — range catch-up is only sound if it is
+	// interchangeable with the handshake it replaces.
+	if err := CheckSnapshotInstallEquivalence(dt, seq, cut); err != nil {
+		return fmt.Errorf("spec: §9.3 snapshot install at cut %d disagrees with replay, so range catch-up cannot be equivalent either: %w", cut, err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package spec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"esds/internal/dtype"
+	"esds/internal/ops"
+)
+
+// TestRangeCatchupEquivalenceAllTypes sweeps the range catch-up obligation
+// across every snapshottable type, random histories, and (have, cut, chunk)
+// windows: splicing a chunked single-peer transfer onto a local prefix must
+// be indistinguishable from a full snapshot install and from uninterrupted
+// replay.
+func TestRangeCatchupEquivalenceAllTypes(t *testing.T) {
+	for _, name := range dtype.Names() {
+		inner, _ := dtype.ByName(name)
+		for _, dt := range []dtype.DataType{inner, dtype.NewKeyed(inner)} {
+			dt := dt
+			t.Run(dt.Name(), func(t *testing.T) {
+				for run := 0; run < 10; run++ {
+					rng := rand.New(rand.NewSource(int64(run)))
+					seq := randomHistory(rng, dt, 18)
+					for cut := 0; cut <= len(seq); cut += 3 {
+						for _, have := range []int{0, cut / 2, cut} {
+							for _, chunk := range []int{1, 5} {
+								if err := CheckRangeCatchupEquivalence(dt, seq, have, cut, chunk); err != nil {
+									t.Fatalf("run %d have=%d cut=%d chunk=%d: %v", run, have, cut, chunk, err)
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRangeTransferTeeth feeds the splice discipline deliberately faulty
+// servers: every corruption a lossy or hostile range server can produce
+// must be refused with an error, never installed.
+func TestRangeTransferTeeth(t *testing.T) {
+	dt := dtype.Counter{}
+	rng := rand.New(rand.NewSource(7))
+	seq := randomHistory(rng, dt, 12)
+	const have, cut, chunk = 2, 10, 3
+	honest := RangeChunks(seq, have, cut, chunk)
+	if err := CheckRangeTransfer(dt, seq, have, cut, honest); err != nil {
+		t.Fatalf("honest transfer refused: %v", err)
+	}
+
+	check := func(name, wantErr string, transfer []RangeChunk) {
+		t.Helper()
+		err := CheckRangeTransfer(dt, seq, have, cut, transfer)
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", name, err, wantErr)
+		}
+	}
+	// A chunk lost in the middle: the next offset does not extend the buffer.
+	check("dropped chunk", "does not extend the buffer", append(append([]RangeChunk{}, honest[0]), honest[2:]...))
+	// The stream cut short: the splice does not reach the server's prefix.
+	check("truncated transfer", "truncated", honest[:len(honest)-1])
+	// Chunks delivered out of order.
+	check("reordered chunks", "does not extend the buffer",
+		append(append([]RangeChunk{}, honest[1]), honest[0]))
+	// An empty chunk (the implementation refuses these outright).
+	check("empty chunk", "is empty",
+		append([]RangeChunk{{Offset: have}}, honest...))
+	// A server that substitutes an operation but keeps its offsets
+	// contiguous: only the state validation can catch it.
+	forged := make([]RangeChunk, len(honest))
+	copy(forged, honest)
+	forgedOps := append([]ops.Operation{}, forged[0].Ops...)
+	forgedOps[0] = ops.New(dtype.CtrAdd{N: 999}, forgedOps[0].ID, nil, false)
+	forged[0] = RangeChunk{Offset: forged[0].Offset, Ops: forgedOps}
+	check("substituted operation", "differs", forged)
+
+	// Misuse of the checker itself.
+	if err := CheckRangeTransfer(dt, seq, -1, cut, honest); err == nil {
+		t.Error("negative have accepted")
+	}
+	if err := CheckRangeTransfer(dt, seq, cut, have, honest); err == nil {
+		t.Error("cut < have accepted")
+	}
+	if err := CheckRangeTransfer(dt, seq, have, len(seq)+1, honest); err == nil {
+		t.Error("out-of-range cut accepted")
+	}
+	// A broken snapshot encoding breaks the equivalence even with an honest
+	// transfer.
+	loud := []ops.Operation{
+		ops.New(dtype.CtrAdd{N: 5}, ops.ID{Client: "h", Seq: 0}, nil, false),
+		ops.New(dtype.CtrAdd{N: 7}, ops.ID{Client: "h", Seq: 1}, nil, false),
+		ops.New(dtype.CtrRead{}, ops.ID{Client: "h", Seq: 2}, nil, false),
+	}
+	if err := CheckRangeCatchupEquivalence(brokenSnapshotType{}, loud, 0, 2, 1); err == nil ||
+		!strings.Contains(err.Error(), "does not reproduce the server state") {
+		t.Errorf("broken encoding not caught: %v", err)
+	}
+}

@@ -71,15 +71,31 @@ type TCPNet struct {
 	// frame piggybacks the sender node's announced bits, so a peer knows a
 	// node's capabilities as soon as its first frame arrives — no extra
 	// handshake round, and a restarted peer re-teaches them on reconnect.
-	feat  map[NodeID]uint32
-	stats Stats
-	wg    sync.WaitGroup
+	feat map[NodeID]uint32
+	// subs is this member's announced shard subscription (ShardSubscriber),
+	// packed one bit per shard; nil means no subscription (host everything,
+	// the legacy behavior). It rides on every outbound frame and gates
+	// inbound Subscribable frames.
+	subs []uint64
+	// peerSubs holds the subscriptions learned from peers' frames, keyed by
+	// the peer's advertised dial address — the member identity, since one
+	// TCPNet instance is one member. A missing entry means the peer never
+	// announced (older build, or no placement): senders must not suppress.
+	peerSubs map[string][]uint64
+	// fallback, when set, receives inbound frames addressed to unregistered
+	// nodes (FallbackRegistrar) instead of having them dropped — the hook
+	// the keyspace's wrong-member redirects hang off.
+	fallback Handler
+	stats    Stats
+	wg       sync.WaitGroup
 }
 
 var (
 	_ Network           = (*TCPNet)(nil)
 	_ InlineRegistrar   = (*TCPNet)(nil)
 	_ FeatureNegotiator = (*TCPNet)(nil)
+	_ ShardSubscriber   = (*TCPNet)(nil)
+	_ FallbackRegistrar = (*TCPNet)(nil)
 )
 
 // TCPConfig configures a TCPNet.
@@ -129,7 +145,13 @@ type tcpFrame struct {
 	// an old peer decodes frames that carry it and sends frames without it
 	// (which decode here as 0 = no capabilities) — negotiation with
 	// pre-feature builds therefore works without a version handshake.
-	Feat    uint32
+	Feat uint32
+	// Subs carries the sending MEMBER's shard subscription bitmap
+	// (ShardSubscriber), nil when the member never subscribed — gob omits
+	// the nil field entirely, so non-placement deployments pay zero bytes
+	// for it, and pre-subscription builds interoperate the same way Feat
+	// does.
+	Subs    []uint64
 	Payload any
 }
 
@@ -349,6 +371,35 @@ func (n *TCPNet) deliver(f tcpFrame) {
 				n.feat = make(map[NodeID]uint32)
 			}
 			n.feat[f.From] = f.Feat
+			// Learn the sending member's shard subscription, keyed by its
+			// dial address (one TCPNet = one member). A frame without one is
+			// a pre-subscription or unplaced peer: forget any earlier
+			// announcement so a member that dropped its subscription stops
+			// being suppressed toward.
+			if f.ReplyTo != "" {
+				if f.Subs != nil {
+					if n.peerSubs == nil {
+						n.peerSubs = make(map[string][]uint64)
+					}
+					n.peerSubs[f.ReplyTo] = f.Subs
+				} else if n.peerSubs != nil {
+					delete(n.peerSubs, f.ReplyTo)
+				}
+			}
+		}
+	}
+	// Subscription gate (DESIGN.md §13): a subscribed member refuses gossip
+	// for shards it does not host. Send-side suppression means such frames
+	// normally never arrive; this is the receive-side backstop for peers
+	// that have not yet learned the subscription, and the counter interop
+	// tests assert on.
+	if n.subs != nil {
+		if _, topical := f.Payload.(Subscribable); topical && !bitmapHas(n.subs, ShardOfNode(f.To)) {
+			n.stats.Foreign++
+			n.stats.Dropped++
+			n.mu.Unlock()
+			n.cfg.Logf("transport: tcp gossip frame for unhosted shard %d (node %q) dropped", ShardOfNode(f.To), f.To)
+			return
 		}
 	}
 	if h, ok := n.inline[f.To]; ok {
@@ -359,6 +410,12 @@ func (n *TCPNet) deliver(f tcpFrame) {
 	}
 	mb, ok := n.handlers[f.To]
 	if !ok {
+		if fb := n.fallback; fb != nil {
+			n.stats.Delivered++
+			n.mu.Unlock()
+			fb(Message{From: f.From, To: f.To, Payload: f.Payload})
+			return
+		}
 		n.stats.Dropped++
 		n.mu.Unlock()
 		n.cfg.Logf("transport: tcp frame for unregistered node %q dropped", f.To)
@@ -418,10 +475,23 @@ func (n *TCPNet) Send(from, to NodeID, payload any) {
 		n.cfg.Logf("transport: tcp no address for node %q, message dropped", to)
 		return
 	}
+	// Send-side subscription suppression (DESIGN.md §13): gossip for a
+	// shard the destination member announced it does not host never leaves
+	// this process — the peer neither receives nor decodes it. Members that
+	// never announced (no entry) get everything, the safe legacy behavior.
+	if _, topical := payload.(Subscribable); topical {
+		if ps, known := n.peerSubs[addr]; known && !bitmapHas(ps, ShardOfNode(to)) {
+			n.stats.Sent--
+			n.stats.Suppressed++
+			n.mu.Unlock()
+			return
+		}
+	}
 	feat := n.feat[from]
+	subs := n.subs
 	n.mu.Unlock()
 
-	frame, err := encodeFrame(tcpFrame{From: from, To: to, ReplyTo: n.cfg.Advertise, Feat: feat, Payload: payload})
+	frame, err := encodeFrame(tcpFrame{From: from, To: to, ReplyTo: n.cfg.Advertise, Feat: feat, Subs: subs, Payload: payload})
 	if err != nil {
 		n.bumpDropped()
 		n.cfg.Logf("transport: tcp encode %T for %q: %v", payload, to, err)
@@ -592,6 +662,29 @@ func (n *TCPNet) PeerFeatures(id NodeID) uint32 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.feat[id]
+}
+
+// SubscribeShards implements ShardSubscriber: it announces the shards this
+// member hosts. The bitmap rides on every subsequent outbound frame, so
+// peers learn it with the member's next message; frames already encoded or
+// in flight keep the previous announcement. Subscribing replaces any
+// earlier subscription — call it again after a placement change.
+func (n *TCPNet) SubscribeShards(shards []int) {
+	b := shardBitmap(shards)
+	n.mu.Lock()
+	n.subs = b
+	n.mu.Unlock()
+}
+
+// RegisterFallback implements FallbackRegistrar: inbound frames for
+// unregistered nodes are handed to h instead of being dropped. Installing
+// replaces any earlier fallback; the handler runs on the connection's
+// reader goroutine (after the mailbox-less deliver path) and must not
+// block.
+func (n *TCPNet) RegisterFallback(h Handler) {
+	n.mu.Lock()
+	n.fallback = h
+	n.mu.Unlock()
 }
 
 // SetPeer adds or replaces the dial address for a node at runtime. Like

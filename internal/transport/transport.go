@@ -94,6 +94,105 @@ type FeatureNegotiator interface {
 	PeerFeatures(id NodeID) uint32
 }
 
+// Subscribable marks payloads that belong to a per-shard gossip topic
+// (DESIGN.md §13): the periodic replica↔replica gossip forms. A transport
+// with shard subscriptions suppresses Subscribable frames toward members
+// whose announced subscription excludes the destination shard. Request,
+// response, recovery, and range-catch-up traffic deliberately does NOT
+// implement it — that is the req/resp domain, which must reach a member
+// regardless of placement so it can answer or redirect.
+type Subscribable interface {
+	// SubscribableGossip is a marker method; it is never called.
+	SubscribableGossip()
+}
+
+// ShardSubscriber is implemented by transports where one transport
+// instance is one fleet MEMBER (TCPNet: one process, one listen address)
+// and can therefore announce which keyspace shards the member hosts.
+// After SubscribeShards:
+//
+//   - outbound: every frame carries the subscription, teaching peers the
+//     member's hosted set;
+//   - inbound: Subscribable frames for shards outside the subscription are
+//     counted Foreign and dropped without delivery;
+//   - peers: senders suppress Subscribable frames toward this member for
+//     shards it does not host, so suppressed gossip never crosses the wire
+//     at all — the subscription is wire-visible, not a local filter.
+//
+// LiveNet and SimNet deliberately do not implement it: a single in-process
+// bus hosts every member at once, so "which member hosts this shard" has
+// no per-instance meaning there; placement-dependent wire behavior is
+// exercised on TCPNet fleets.
+type ShardSubscriber interface {
+	// SubscribeShards announces the hosted shard set, replacing any earlier
+	// announcement. Members learn a peer's subscription from its frames, so
+	// announce before Start to avoid an unsubscribed first impression. An
+	// empty (non-nil) slice means "hosts nothing" — a client-only member.
+	SubscribeShards(shards []int)
+}
+
+// FallbackRegistrar is implemented by transports that can hand INBOUND
+// frames addressed to unregistered nodes to a process-wide fallback handler
+// instead of dropping them. Under shard placement a member registers only
+// the replica nodes it hosts, so a request frame for an unregistered
+// replica node is a routing mistake — the sender's peer table was computed
+// from an older placement — and the fallback is where the keyspace answers
+// it with a wrong-member Redirect (DESIGN.md §13). Only frames arriving
+// from OTHER processes reach the fallback: a local Send to an unregistered
+// node still routes through the peer table to the wire, so a member's own
+// front ends reach remote shards normally.
+type FallbackRegistrar interface {
+	// RegisterFallback installs (or replaces) the fallback handler. The
+	// handler runs on the delivering goroutine and must not block.
+	RegisterFallback(h Handler)
+}
+
+// ShardOfNode extracts the keyspace shard from a node name. Shard-qualified
+// names have an "s<digits>/" prefix (see core.ReplicaNodeIn); names without
+// one — legacy replica names, front ends, and everything else — are shard 0.
+func ShardOfNode(id NodeID) int {
+	if len(id) < 3 || id[0] != 's' {
+		return 0
+	}
+	shard, i := 0, 1
+	for i < len(id) && id[i] >= '0' && id[i] <= '9' {
+		shard = shard*10 + int(id[i]-'0')
+		i++
+	}
+	if i == 1 || i >= len(id) || id[i] != '/' {
+		return 0
+	}
+	return shard
+}
+
+// shardBitmap packs a shard set into the wire form carried on frames: one
+// bit per shard. The result always has at least one word, so an empty
+// subscription ("hosts nothing") survives gob, which drops zero-length
+// slices — a nil result would read back as "no subscription at all".
+func shardBitmap(shards []int) []uint64 {
+	words := 1
+	for _, s := range shards {
+		if s/64+1 > words {
+			words = s/64 + 1
+		}
+	}
+	b := make([]uint64, words)
+	for _, s := range shards {
+		if s >= 0 {
+			b[s/64] |= 1 << (uint(s) % 64)
+		}
+	}
+	return b
+}
+
+// bitmapHas reports whether the packed shard set contains shard.
+func bitmapHas(b []uint64, shard int) bool {
+	if shard < 0 || shard/64 >= len(b) {
+		return false
+	}
+	return b[shard/64]&(1<<(uint(shard)%64)) != 0
+}
+
 // Stats are cumulative message counters, used by the communication
 // experiments (E8 and E12).
 type Stats struct {
@@ -107,6 +206,16 @@ type Stats struct {
 	// Sent/Flushes approximates the achieved frames-per-syscall of the
 	// batched hot path. Zero on SimNet and LiveNet, which have no sockets.
 	Flushes uint64
+	// Suppressed counts outbound Subscribable frames withheld because the
+	// destination member's announced shard subscription excludes the target
+	// shard (ShardSubscriber transports only). Suppressed frames never
+	// reach the wire and are not counted in Sent or Bytes.
+	Suppressed uint64
+	// Foreign counts inbound Subscribable frames that arrived for a shard
+	// outside this transport's own subscription. Zero in a correctly placed
+	// fleet — nonzero means some peer sent gossip past the subscription
+	// (e.g. before it learned this member's hosted set).
+	Foreign uint64
 }
 
 // --- SimNet ---
